@@ -1,0 +1,23 @@
+//! # adaptbf-analysis
+//!
+//! Quantitative analysis of AdapTBF runs: the fairness and responsiveness
+//! claims of the paper, turned into numbers.
+//!
+//! * [`fairness`] — Jain's fairness index over priority-normalized shares
+//!   and per-window proportionality error ("how far is each job's share
+//!   from its node-share entitlement?");
+//! * [`latency`] — per-job burst responsiveness from the simulator's
+//!   end-to-end latency histograms;
+//! * [`summary`] — one-call comparison of all three policies on any
+//!   scenario, suitable for reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod latency;
+pub mod summary;
+
+pub use fairness::{jains_index, proportionality_error, windowed_proportionality};
+pub use latency::LatencyComparison;
+pub use summary::{analyze, PolicyAnalysis};

@@ -1,0 +1,42 @@
+//! Section IV-G: token allocation algorithm scaling.
+//!
+//! The paper reports O(n) scaling with < 30 µs per active job. This bench
+//! measures one full `AllocationController::step` for growing active-set
+//! sizes; per-job cost should stay flat (linear total).
+
+use adaptbf_core::AllocationController;
+use adaptbf_model::config::paper;
+use adaptbf_model::{JobId, JobObservation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn observations(n: usize) -> Vec<JobObservation> {
+    (0..n)
+        .map(|i| {
+            JobObservation::new(
+                JobId(i as u32 + 1),
+                (i as u64 % 16) + 1,
+                20 + (i as u64 * 37) % 300,
+            )
+        })
+        .collect()
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation_step");
+    for n in [1usize, 10, 100, 1000] {
+        let obs = observations(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &obs, |b, obs| {
+            let mut controller = AllocationController::new(paper::adaptbf());
+            // Warm the ledger: steady-state behaviour includes records.
+            for _ in 0..3 {
+                controller.step(obs);
+            }
+            b.iter(|| controller.step(std::hint::black_box(obs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! The TBF substrate's hot paths (Figure 1 mechanism): classification +
+//! enqueue, deadline-heap dispatch, and rule churn — the operations every
+//! RPC and every control cycle pay for.
+
+use adaptbf_model::{ClientId, JobId, ProcId, Rpc, RpcId, SimTime, TbfSchedulerConfig};
+use adaptbf_tbf::{NrsTbfScheduler, RpcMatcher, SchedDecision};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn rpc(id: u64, job: u32) -> Rpc {
+    Rpc::new(RpcId(id), JobId(job), ClientId(0), ProcId(0), SimTime::ZERO)
+}
+
+fn scheduler_with_rules(n_jobs: u32) -> NrsTbfScheduler {
+    let mut s = NrsTbfScheduler::new(TbfSchedulerConfig::default());
+    for j in 1..=n_jobs {
+        s.start_rule(
+            format!("job{j}"),
+            RpcMatcher::Job(JobId(j)),
+            1_000_000.0, // effectively unthrottled: measures mechanism cost
+            j,
+            SimTime::ZERO,
+        );
+    }
+    s
+}
+
+fn bench_enqueue_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enqueue_dispatch");
+    for n_jobs in [1u32, 16, 128] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &n_jobs, |b, &n| {
+            let mut s = scheduler_with_rules(n);
+            let mut id = 0u64;
+            b.iter(|| {
+                // Advance virtual time 10 µs per iteration so buckets
+                // refill (10 tokens at the 1M tps rule rate) and the
+                // bench measures mechanism cost, not throttling.
+                let now = SimTime::from_micros(id * 10);
+                let job = (id % n as u64) as u32 + 1;
+                s.enqueue(rpc(id, job), now);
+                id += 1;
+                match s.next(now) {
+                    SchedDecision::Serve(r) => std::hint::black_box(r),
+                    other => panic!("expected serve, got {other:?}"),
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rule_churn(c: &mut Criterion) {
+    // One control cycle's worth of rule updates (rate + weight per job).
+    let mut group = c.benchmark_group("rule_churn");
+    for n_jobs in [4usize, 64, 256] {
+        group.throughput(Throughput::Elements(n_jobs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &n_jobs, |b, &n| {
+            let mut s = scheduler_with_rules(n as u32);
+            let ids: Vec<_> = s.rules().rules().iter().map(|r| r.id).collect();
+            let mut rate = 100.0;
+            b.iter(|| {
+                rate = if rate > 1000.0 { 100.0 } else { rate + 1.0 };
+                for id in &ids {
+                    s.change_rate(*id, rate, SimTime::ZERO).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enqueue_dispatch, bench_rule_churn);
+criterion_main!(benches);

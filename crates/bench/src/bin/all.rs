@@ -1,0 +1,38 @@
+//! Run every figure/table of the paper's evaluation in one go and write
+//! all `results/*.csv` artifacts (the inputs to EXPERIMENTS.md).
+
+use adaptbf_bench::{
+    fig3_comparison, fig5_comparison, fig7_comparison, fig9_sweep, write_fig7_series, write_fig9,
+    Options,
+};
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "Running the full evaluation (seed {}, scale {})\n",
+        opts.seed, opts.scale
+    );
+
+    println!("--- Figures 3 & 4: token allocation (Section IV-D) ---");
+    let fig3 = fig3_comparison(opts);
+    fig3.write_timelines("fig3");
+    println!("{}", fig3.write_summary("fig4"));
+
+    println!("--- Figures 5 & 6: token redistribution (Section IV-E) ---");
+    let fig5 = fig5_comparison(opts);
+    fig5.write_timelines("fig5");
+    println!("{}", fig5.write_summary("fig6"));
+
+    println!("--- Figures 7 & 8: token re-compensation (Section IV-F) ---");
+    let fig7 = fig7_comparison(opts);
+    fig7.write_timelines("fig7");
+    write_fig7_series(&fig7);
+    println!("{}", fig7.write_summary("fig8"));
+
+    println!("--- Figure 9: allocation frequency sweep (Section IV-H) ---");
+    let points = fig9_sweep(opts);
+    println!("{}", write_fig9(&points));
+
+    println!("done. See results/ and run `cargo bench -p adaptbf-bench` plus");
+    println!("`cargo run -p adaptbf-bench --bin overhead --release` for §IV-G.");
+}

@@ -1,0 +1,17 @@
+//! Figure 6 (Section IV-E): redistribution summary bars and gains.
+
+use adaptbf_bench::{fig5_comparison, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "== Figure 6: token redistribution summary (seed {}, scale {}) ==",
+        opts.seed, opts.scale
+    );
+    let fig = fig5_comparison(opts);
+    println!("{}", fig.write_summary("fig6"));
+    println!(
+        "paper shape: large gains for jobs 1-3 over both baselines; job4 (and\n\
+         the aggregate) throttled below No BW — the price of priority fairness."
+    );
+}

@@ -1,0 +1,115 @@
+//! Section IV-G: framework overhead.
+//!
+//! The paper reports the token allocation algorithm is O(n) with < 30 µs
+//! per active job, and the whole framework cycle (collect stats, allocate,
+//! manage rules, clear) costs ~25 ms independent of job count. Their
+//! implementation shells out to Lustre procfs; ours is in-memory, so the
+//! absolute cycle cost is far smaller — the *scaling shape* is the target.
+//! Also prints the Table II-derived simulation calibration.
+
+use adaptbf_bench::{write_artifact, Options};
+use adaptbf_core::AllocationController;
+use adaptbf_model::config::paper;
+use adaptbf_model::{JobId, JobObservation, SimTime, TbfSchedulerConfig};
+use adaptbf_sim::controller_driver::ControllerDriver;
+use adaptbf_sim::ost::OstState;
+use std::time::Instant;
+
+fn observations(n: usize) -> Vec<JobObservation> {
+    (0..n)
+        .map(|i| {
+            JobObservation::new(
+                JobId(i as u32 + 1),
+                (i as u64 % 16) + 1,
+                50 + i as u64 % 200,
+            )
+        })
+        .collect()
+}
+
+fn bench_allocation(n: usize, iters: u32) -> f64 {
+    let mut controller = AllocationController::new(paper::adaptbf());
+    let obs = observations(n);
+    // Warm the ledger so steady-state cost is measured.
+    for _ in 0..3 {
+        controller.step(&obs);
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        controller.step(&obs);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_full_cycle(n: usize, iters: u32) -> f64 {
+    let mut ost = OstState::new(paper::ost(), TbfSchedulerConfig::default(), 1);
+    let nodes = (0..n)
+        .map(|i| (JobId(i as u32 + 1), (i as u64 % 16) + 1))
+        .collect();
+    let mut driver = ControllerDriver::new(paper::adaptbf(), nodes);
+    let mut now = SimTime::ZERO;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for i in 0..n {
+            for _ in 0..3 {
+                ost.job_stats.record_arrival(JobId(i as u32 + 1));
+            }
+        }
+        now += adaptbf_model::SimDuration::from_millis(100);
+        driver.tick(&mut ost, now);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let _opts = Options::from_args();
+    println!("== Section IV-G: framework overhead ==\n");
+
+    let ost = paper::ost();
+    println!("Table II calibration (simulated substrate):");
+    println!("  I/O threads          : {}", ost.n_io_threads);
+    println!(
+        "  device bandwidth     : {:.0} MiB/s",
+        ost.disk_bw_bytes_per_s as f64 / (1 << 20) as f64
+    );
+    println!("  device token rate    : {:.0} RPC/s", ost.max_token_rate());
+    println!(
+        "  TBF ceiling T_i      : {:.0} tokens/s",
+        paper::MAX_TOKEN_RATE
+    );
+    println!("  bulk RPC size        : {} MiB\n", ost.rpc_size >> 20);
+
+    println!("Token allocation algorithm scaling (paper: O(n), <30 us/job):");
+    println!("{:>8} {:>14} {:>14}", "jobs", "ns/step", "ns/job");
+    let mut csv = String::from("jobs,ns_per_step,ns_per_job\n");
+    for n in [1usize, 10, 50, 100, 250, 500, 1000] {
+        let iters = if n >= 500 { 200 } else { 1000 };
+        let ns = bench_allocation(n, iters);
+        println!("{n:>8} {ns:>14.0} {:>14.1}", ns / n as f64);
+        csv.push_str(&format!("{n},{ns:.0},{:.1}\n", ns / n as f64));
+    }
+    write_artifact("overhead_alloc_scaling.csv", &csv);
+
+    println!("\nFull framework cycle (collect + allocate + rules + clear):");
+    println!("{:>8} {:>14}", "jobs", "us/cycle");
+    let mut csv = String::from("jobs,us_per_cycle\n");
+    for n in [4usize, 16, 64, 256, 1000] {
+        let iters = if n >= 256 { 50 } else { 300 };
+        let us = bench_full_cycle(n, iters) / 1e3;
+        println!("{n:>8} {us:>14.1}");
+        csv.push_str(&format!("{n},{us:.1}\n"));
+    }
+    write_artifact("overhead_framework_cycle.csv", &csv);
+
+    // Memory footprint: the paper stores job id + record per job.
+    let entry = std::mem::size_of::<adaptbf_core::LedgerEntry>()
+        + std::mem::size_of::<adaptbf_model::JobId>();
+    println!(
+        "\nJob Records memory footprint: {entry} bytes/job ({} KiB for 1000 jobs)",
+        entry * 1000 / 1024
+    );
+    println!(
+        "\npaper shape: per-job allocation cost flat (O(n) total), well under\n\
+         30 us/job; cycle cost dominated by constant work, not job count."
+    );
+}

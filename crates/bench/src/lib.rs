@@ -1,0 +1,215 @@
+//! # adaptbf-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! paper's evaluation (Section IV). Each figure has a thin binary under
+//! `src/bin/` calling into this library; `--bin all` runs the lot and
+//! writes CSV series under `results/`.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig3` | Fig. 3 — token-allocation timelines under the three policies |
+//! | `fig4` | Fig. 4 — per-job/overall bandwidth bars + gains vs No BW |
+//! | `fig5` | Fig. 5 — redistribution timelines (bursty vs continuous) |
+//! | `fig6` | Fig. 6 — redistribution bars + gains |
+//! | `fig7` | Fig. 7 — records & demand over time (lend → re-compensate) |
+//! | `fig8` | Fig. 8 — re-compensation bars + gains |
+//! | `fig9` | Fig. 9 — throughput vs allocation frequency |
+//! | `overhead` | §IV-G — allocation cost scaling, framework overhead, Table II config |
+//! | `all` | everything above |
+//!
+//! Absolute numbers come from the simulated substrate (see DESIGN.md §4);
+//! the *shapes* — who wins, by what factor, where crossovers sit — are the
+//! reproduction targets, asserted by the integration tests in `tests/`.
+
+use adaptbf_model::{AdapTbfConfig, SimDuration};
+use adaptbf_sim::report::{frequency_csv, gauge_csv, timeline_csv};
+use adaptbf_sim::{frequency_sweep, Comparison, FrequencyPoint};
+use adaptbf_workload::{scenarios, Scenario};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Default seed used by all figure binaries (override with `--seed N`).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Simple CLI options shared by the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// RNG seed.
+    pub seed: u64,
+    /// Workload scale factor (1.0 = the paper's full-size runs).
+    pub scale: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: DEFAULT_SEED,
+            scale: 1.0,
+        }
+    }
+}
+
+impl Options {
+    /// Parse `--seed N` and `--scale F` from argv (ignores anything else).
+    pub fn from_args() -> Self {
+        let mut opts = Options::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().expect("--seed takes an integer");
+                    i += 2;
+                }
+                "--scale" if i + 1 < args.len() => {
+                    opts.scale = args[i + 1].parse().expect("--scale takes a float");
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        opts
+    }
+}
+
+/// Where `results/*.csv` land (workspace root when run via cargo).
+pub fn results_dir() -> PathBuf {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| Path::new(&d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let dir = root.join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a CSV artifact and echo its path.
+pub fn write_artifact(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("write artifact");
+    println!("wrote {}", path.display());
+}
+
+/// A figure built from one three-policy comparison.
+pub struct ComparisonFig {
+    /// The workload that was run.
+    pub scenario: Scenario,
+    /// The three policy reports.
+    pub comparison: Comparison,
+}
+
+impl ComparisonFig {
+    /// Run the given scenario under all three policies.
+    pub fn run(scenario: Scenario, seed: u64) -> Self {
+        let comparison = Comparison::run(&scenario, seed);
+        ComparisonFig {
+            scenario,
+            comparison,
+        }
+    }
+
+    /// Dump the three throughput timelines (Figures 3/5 panels a-c).
+    pub fn write_timelines(&self, prefix: &str) {
+        for report in [
+            &self.comparison.no_bw,
+            &self.comparison.static_bw,
+            &self.comparison.adaptbf,
+        ] {
+            write_artifact(
+                &format!("{prefix}_{}_timeline.csv", report.policy),
+                &timeline_csv(&report.metrics.served),
+            );
+        }
+        // AdapTBF's allocation gauge (the dashed "allocated" line of Fig 3c).
+        write_artifact(
+            &format!("{prefix}_adaptbf_allocations.csv"),
+            &gauge_csv(&self.comparison.adaptbf.metrics.allocations),
+        );
+    }
+
+    /// Dump the bars + gains (Figures 4/6/8) and return the printable table.
+    pub fn write_summary(&self, prefix: &str) -> String {
+        let rows = self.comparison.job_rows();
+        let overall = self.comparison.overall_row();
+        let mut csv = String::from("job,no_bw_tps,static_bw_tps,adaptbf_tps,gain_vs_nobw_pct\n");
+        for row in rows.iter().chain(std::iter::once(&overall)) {
+            let label = row.job.map_or_else(|| "overall".into(), |j| j.to_string());
+            csv.push_str(&format!(
+                "{label},{:.1},{:.1},{:.1},{:.2}\n",
+                row.no_bw,
+                row.static_bw,
+                row.adaptbf,
+                row.gain_vs_no_bw() * 100.0
+            ));
+        }
+        write_artifact(&format!("{prefix}_summary.csv"), &csv);
+        adaptbf_sim::report::comparison_table(&rows, overall)
+    }
+}
+
+/// Figure 3/4 driver (Section IV-D).
+pub fn fig3_comparison(opts: Options) -> ComparisonFig {
+    ComparisonFig::run(scenarios::token_allocation_scaled(opts.scale), opts.seed)
+}
+
+/// Figure 5/6 driver (Section IV-E).
+pub fn fig5_comparison(opts: Options) -> ComparisonFig {
+    ComparisonFig::run(
+        scenarios::token_redistribution_scaled(opts.scale),
+        opts.seed,
+    )
+}
+
+/// Figure 7/8 driver (Section IV-F).
+pub fn fig7_comparison(opts: Options) -> ComparisonFig {
+    ComparisonFig::run(
+        scenarios::token_recompensation_scaled(opts.scale),
+        opts.seed,
+    )
+}
+
+/// Figure 7's extra panels: per-job record and demand series from the
+/// AdapTBF run.
+pub fn write_fig7_series(fig: &ComparisonFig) {
+    write_artifact(
+        "fig7_records.csv",
+        &gauge_csv(&fig.comparison.adaptbf.metrics.records),
+    );
+    write_artifact(
+        "fig7_demand.csv",
+        &timeline_csv(&fig.comparison.adaptbf.metrics.demand),
+    );
+}
+
+/// The Figure 9 sweep periods (the paper sweeps 100 ms up to multiple
+/// seconds).
+pub fn fig9_periods() -> Vec<SimDuration> {
+    [100u64, 200, 500, 1000, 2000, 5000]
+        .map(SimDuration::from_millis)
+        .to_vec()
+}
+
+/// Figure 9 driver: allocation-frequency sweep over the Section IV-F
+/// workload.
+pub fn fig9_sweep(opts: Options) -> Vec<FrequencyPoint> {
+    let scenario = scenarios::token_recompensation_scaled(opts.scale);
+    frequency_sweep(
+        &scenario,
+        opts.seed,
+        AdapTbfConfig::default(),
+        &fig9_periods(),
+    )
+}
+
+/// Write + render the Figure 9 results.
+pub fn write_fig9(points: &[FrequencyPoint]) -> String {
+    write_artifact("fig9_frequency.csv", &frequency_csv(points));
+    let mut out = String::from("period      throughput (RPC/s)\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:>8}    {:>10.1}\n",
+            p.period.to_string(),
+            p.throughput_tps
+        ));
+    }
+    out
+}

@@ -1,0 +1,352 @@
+//! Implementation of the `adaptbf-ctl` command line (kept in a library so
+//! the parsing and command logic are unit-testable).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use adaptbf_analysis::summary::analyze;
+use adaptbf_analysis::LatencyComparison;
+use adaptbf_model::config::paper;
+use adaptbf_model::{AdapTbfConfig, JobId, SimDuration};
+use adaptbf_sim::report::{comparison_table, frequency_csv};
+use adaptbf_sim::{frequency_sweep, Comparison, Experiment, Policy};
+use adaptbf_workload::{scenarios, Scenario};
+use std::fmt::Write as _;
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "usage: adaptbf-ctl <command> [options]\n\
+  commands:\n\
+    scenarios                      list built-in scenarios\n\
+    run <scenario>                 run one policy, print the report\n\
+    compare <scenario>             run all three policies, print gains\n\
+    analyze <scenario>             fairness + latency analysis\n\
+    sweep <scenario>               allocation-frequency sweep (Figure 9)\n\
+    ledger <scenario>              final lending/borrowing records\n\
+  options:\n\
+    --policy no_bw|static_bw|adaptbf   (run only; default adaptbf)\n\
+    --seed N        RNG seed (default 42)\n\
+    --scale F       workload scale factor (default 1.0)\n\
+    --period MS     AdapTBF observation period in ms (default 100)";
+
+/// CLI failure modes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad arguments; the message explains what was wrong.
+    Usage(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// RNG seed.
+    pub seed: u64,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// AdapTBF period in milliseconds.
+    pub period_ms: u64,
+    /// Policy for `run`.
+    pub policy: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 42,
+            scale: 1.0,
+            period_ms: 100,
+            policy: "adaptbf".into(),
+        }
+    }
+}
+
+/// Parse trailing `--key value` options.
+pub fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| usage(format!("{key} needs a value")))?;
+        match key {
+            "--seed" => {
+                opts.seed = value
+                    .parse()
+                    .map_err(|_| usage("--seed takes an integer"))?;
+            }
+            "--scale" => {
+                opts.scale = value.parse().map_err(|_| usage("--scale takes a float"))?;
+                if opts.scale <= 0.0 {
+                    return Err(usage("--scale must be positive"));
+                }
+            }
+            "--period" => {
+                opts.period_ms = value
+                    .parse()
+                    .map_err(|_| usage("--period takes milliseconds"))?;
+                if opts.period_ms == 0 {
+                    return Err(usage("--period must be positive"));
+                }
+            }
+            "--policy" => {
+                if !["no_bw", "static_bw", "adaptbf"].contains(&value.as_str()) {
+                    return Err(usage(format!("unknown policy {value}")));
+                }
+                opts.policy = value.clone();
+            }
+            other => return Err(usage(format!("unknown option {other}"))),
+        }
+        i += 2;
+    }
+    Ok(opts)
+}
+
+/// Built-in scenario names and builders.
+pub fn scenario_by_name(name: &str, scale: f64) -> Result<Scenario, CliError> {
+    match name {
+        "token_allocation" => Ok(scenarios::token_allocation_scaled(scale)),
+        "token_redistribution" => Ok(scenarios::token_redistribution_scaled(scale)),
+        "token_recompensation" => Ok(scenarios::token_recompensation_scaled(scale)),
+        "hog_and_victim" => Ok(scenarios::hog_and_victim_scaled(scale)),
+        "job_churn" => Ok(scenarios::job_churn_scaled(scale)),
+        "many_jobs" => Ok(scenarios::many_jobs(32, (30.0 * scale).max(5.0) as u64)),
+        other => Err(usage(format!(
+            "unknown scenario {other}; try `adaptbf-ctl scenarios`"
+        ))),
+    }
+}
+
+fn adaptbf_config(opts: &Options) -> AdapTbfConfig {
+    paper::adaptbf().with_period(SimDuration::from_millis(opts.period_ms))
+}
+
+/// Execute a full command line; returns the text to print.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let command = args.first().map(String::as_str).unwrap_or("");
+    match command {
+        "scenarios" => Ok(list_scenarios()),
+        "run" | "compare" | "analyze" | "sweep" | "ledger" => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| usage(format!("{command} needs a scenario name")))?;
+            let opts = parse_options(&args[2..])?;
+            let scenario = scenario_by_name(name, opts.scale)?;
+            match command {
+                "run" => cmd_run(&scenario, &opts),
+                "compare" => cmd_compare(&scenario, &opts),
+                "analyze" => cmd_analyze(&scenario, &opts),
+                "sweep" => cmd_sweep(&scenario, &opts),
+                "ledger" => cmd_ledger(&scenario, &opts),
+                _ => unreachable!(),
+            }
+        }
+        "" => Err(usage("missing command")),
+        other => Err(usage(format!("unknown command {other}"))),
+    }
+}
+
+fn list_scenarios() -> String {
+    let names = [
+        "token_allocation",
+        "token_redistribution",
+        "token_recompensation",
+        "hog_and_victim",
+        "job_churn",
+        "many_jobs",
+    ];
+    let mut out = String::from("built-in scenarios:\n");
+    for n in names {
+        let s = scenario_by_name(n, 1.0).expect("known name");
+        let _ = writeln!(
+            out,
+            "  {:<22} {} jobs, {}  — {}",
+            n,
+            s.jobs.len(),
+            s.duration,
+            s.description
+        );
+    }
+    out
+}
+
+fn policy_from(opts: &Options) -> Policy {
+    match opts.policy.as_str() {
+        "no_bw" => Policy::NoBw,
+        "static_bw" => Policy::StaticBw,
+        _ => Policy::AdapTbf(adaptbf_config(opts)),
+    }
+}
+
+fn cmd_run(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
+    let report = Experiment::new(scenario.clone(), policy_from(opts))
+        .seed(opts.seed)
+        .run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} under {} (seed {}):\n",
+        scenario.name, report.policy, opts.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>10} {:>12} {:>12}",
+        "job", "served", "released", "tput_tps", "completed"
+    );
+    for (job, o) in &report.per_job {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>10} {:>12.1} {:>12}",
+            job.to_string(),
+            o.served,
+            o.released,
+            o.throughput_tps,
+            o.completion.map_or("-".into(), |t| t.to_string()),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\noverall: {:.1} RPC/s over the makespan",
+        report.overall_throughput_tps()
+    );
+    Ok(out)
+}
+
+fn cmd_compare(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
+    let comparison = Comparison::run_with(
+        scenario,
+        opts.seed,
+        Policy::AdapTbf(adaptbf_config(opts)),
+        Default::default(),
+    );
+    Ok(comparison_table(
+        &comparison.job_rows(),
+        comparison.overall_row(),
+    ))
+}
+
+fn cmd_analyze(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
+    let analysis = analyze(scenario, opts.seed);
+    let mut out = analysis.table();
+    out.push('\n');
+    out.push_str(&analysis.latency.table());
+    Ok(out)
+}
+
+fn cmd_sweep(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
+    let periods: Vec<SimDuration> = [100u64, 200, 500, 1000, 2000]
+        .map(SimDuration::from_millis)
+        .to_vec();
+    let points = frequency_sweep(scenario, opts.seed, adaptbf_config(opts), &periods);
+    Ok(frequency_csv(&points))
+}
+
+fn cmd_ledger(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
+    let report = Experiment::new(scenario.clone(), Policy::AdapTbf(adaptbf_config(opts)))
+        .seed(opts.seed)
+        .run();
+    let mut out = String::from("final lending/borrowing records (positive = lent):\n");
+    let jobs: Vec<JobId> = report.per_job.keys().copied().collect();
+    for job in jobs {
+        let last = report
+            .metrics
+            .records
+            .get(job)
+            .and_then(|s| s.values.last().copied())
+            .unwrap_or(0.0);
+        let _ = writeln!(out, "  {job}: {last:+.0}");
+    }
+    Ok(out)
+}
+
+/// Re-exported latency table type (used by `analyze`).
+pub type Latency = LatencyComparison;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let o = parse_options(&[]).unwrap();
+        assert_eq!(o, Options::default());
+        let o = parse_options(&argv("--seed 7 --scale 0.5 --period 200 --policy no_bw")).unwrap();
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.period_ms, 200);
+        assert_eq!(o.policy, "no_bw");
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        assert!(parse_options(&argv("--seed")).is_err());
+        assert!(parse_options(&argv("--seed x")).is_err());
+        assert!(parse_options(&argv("--scale -1 ")).is_err());
+        assert!(parse_options(&argv("--period 0")).is_err());
+        assert!(parse_options(&argv("--policy gift")).is_err());
+        assert!(parse_options(&argv("--bogus 1")).is_err());
+    }
+
+    #[test]
+    fn unknown_commands_and_scenarios_error() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+        assert!(dispatch(&argv("run nope")).is_err());
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&argv("run")).is_err());
+    }
+
+    #[test]
+    fn scenarios_lists_all() {
+        let out = dispatch(&argv("scenarios")).unwrap();
+        for name in [
+            "token_allocation",
+            "job_churn",
+            "many_jobs",
+            "hog_and_victim",
+        ] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn run_produces_report_table() {
+        let out = dispatch(&argv("run token_allocation --scale 0.015625 --seed 1")).unwrap();
+        assert!(out.contains("adaptbf"), "{out}");
+        assert!(out.contains("job1"));
+        assert!(out.contains("overall:"));
+    }
+
+    #[test]
+    fn compare_produces_gain_table() {
+        let out = dispatch(&argv("compare token_allocation --scale 0.015625")).unwrap();
+        assert!(out.contains("gain_vs_nobw"));
+        assert!(out.contains("overall"));
+    }
+
+    #[test]
+    fn sweep_outputs_csv() {
+        let out = dispatch(&argv("sweep token_recompensation --scale 0.05")).unwrap();
+        assert!(out.starts_with("period_ms,throughput_tps"));
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn ledger_reports_records() {
+        let out = dispatch(&argv("ledger token_recompensation --scale 0.05")).unwrap();
+        assert!(out.contains("job4"));
+    }
+
+    #[test]
+    fn analyze_reports_fairness() {
+        let out = dispatch(&argv("analyze token_allocation --scale 0.015625")).unwrap();
+        assert!(out.contains("fairness"));
+        assert!(out.contains("adap_median"));
+    }
+}

@@ -1,0 +1,33 @@
+//! `adaptbf-ctl` — run, compare and analyze AdapTBF experiments.
+//!
+//! ```text
+//! adaptbf-ctl scenarios                        list built-in scenarios
+//! adaptbf-ctl run <scenario> [opts]            one policy, full report
+//! adaptbf-ctl compare <scenario> [opts]        all three policies + gains
+//! adaptbf-ctl analyze <scenario> [opts]        fairness + latency analysis
+//! adaptbf-ctl sweep <scenario> [opts]          Δt frequency sweep (Fig. 9)
+//! adaptbf-ctl ledger <scenario> [opts]         final lending records
+//!
+//! options: --policy no_bw|static_bw|adaptbf   (run; default adaptbf)
+//!          --seed N                            (default 42)
+//!          --scale F                           (default 1.0)
+//!          --period MS                         (AdapTBF Δt; default 100)
+//! ```
+
+use adaptbf_cli::{dispatch, CliError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", adaptbf_cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Demand forecasting for Eq (11) — the paper's future-work hook.
+//!
+//! The paper estimates next-period demand as `d̄(t+Δt) = d_t` and notes
+//! (Section IV-E) that pattern hints could make allocation smarter. This
+//! module implements that extension behind
+//! [`adaptbf_model::ForecastMode`]: per-job forecast state lives beside
+//! the record in the ledger, stays `Copy`-able (a fixed 8-slot demand
+//! ring), and costs O(1) per job per period.
+
+use adaptbf_model::ForecastMode;
+use serde::{Deserialize, Serialize};
+
+/// Per-job forecasting state (kept in the ledger entry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ForecastState {
+    /// Ring of the most recent active-period demands.
+    history: [u64; 8],
+    /// Valid entries in `history`.
+    len: u8,
+    /// Next write position.
+    head: u8,
+    /// Exponentially weighted moving average of demand.
+    ewma: f64,
+}
+
+impl ForecastState {
+    /// Record this period's observed demand.
+    pub fn observe(&mut self, demand: u64, mode: ForecastMode) {
+        self.history[self.head as usize] = demand;
+        self.head = (self.head + 1) % 8;
+        self.len = (self.len + 1).min(8);
+        let alpha = match mode {
+            ForecastMode::Ewma { alpha } => alpha.clamp(f64::EPSILON, 1.0),
+            // Keep the EWMA warm under other modes so switching modes
+            // mid-run behaves; alpha=0.5 is only a bookkeeping default.
+            _ => 0.5,
+        };
+        self.ewma = if self.len == 1 {
+            demand as f64
+        } else {
+            alpha * demand as f64 + (1.0 - alpha) * self.ewma
+        };
+    }
+
+    /// The forecast `d̄(t+Δt)` given the most recent observation.
+    pub fn predict(&self, last_demand: u64, mode: ForecastMode) -> f64 {
+        match mode {
+            ForecastMode::LastPeriod => last_demand as f64,
+            ForecastMode::Ewma { .. } => self.ewma,
+            ForecastMode::WindowMax { window } => {
+                let window = window.clamp(1, 8).min(self.len.max(1)) as usize;
+                let mut max = last_demand;
+                for k in 0..window.min(self.len as usize) {
+                    let idx = (self.head as usize + 8 - 1 - k) % 8;
+                    max = max.max(self.history[idx]);
+                }
+                max as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_period_matches_paper() {
+        let mut s = ForecastState::default();
+        s.observe(40, ForecastMode::LastPeriod);
+        assert_eq!(s.predict(40, ForecastMode::LastPeriod), 40.0);
+        s.observe(10, ForecastMode::LastPeriod);
+        assert_eq!(s.predict(10, ForecastMode::LastPeriod), 10.0);
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let mode = ForecastMode::Ewma { alpha: 0.5 };
+        let mut s = ForecastState::default();
+        s.observe(100, mode);
+        assert_eq!(s.predict(100, mode), 100.0);
+        s.observe(0, mode);
+        // 0.5·0 + 0.5·100 = 50: remembers the burst half-way.
+        assert_eq!(s.predict(0, mode), 50.0);
+        s.observe(0, mode);
+        assert_eq!(s.predict(0, mode), 25.0);
+    }
+
+    #[test]
+    fn window_max_remembers_bursts() {
+        let mode = ForecastMode::WindowMax { window: 4 };
+        let mut s = ForecastState::default();
+        for d in [5, 80, 5, 5] {
+            s.observe(d, mode);
+        }
+        assert_eq!(s.predict(5, mode), 80.0, "burst within window");
+        // Push the burst out of the window.
+        for _ in 0..4 {
+            s.observe(5, mode);
+        }
+        assert_eq!(s.predict(5, mode), 5.0, "burst expired");
+    }
+
+    #[test]
+    fn window_clamps_to_available_history() {
+        let mode = ForecastMode::WindowMax { window: 8 };
+        let mut s = ForecastState::default();
+        s.observe(30, mode);
+        assert_eq!(s.predict(30, mode), 30.0);
+    }
+
+    #[test]
+    fn ring_wraps_correctly() {
+        let mode = ForecastMode::WindowMax { window: 8 };
+        let mut s = ForecastState::default();
+        for d in 1..=20u64 {
+            s.observe(d, mode);
+        }
+        // History holds 13..=20; max = 20.
+        assert_eq!(s.predict(20, mode), 20.0);
+        assert_eq!(s.predict(0, mode), 20.0);
+    }
+}

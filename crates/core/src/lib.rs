@@ -1,0 +1,59 @@
+//! # adaptbf-core
+//!
+//! The paper's contribution: the **AdapTBF token allocation algorithm**
+//! (Section III-C). One [`AllocationController`] runs per storage target,
+//! entirely on local information, executing three steps every observation
+//! period `Δt`:
+//!
+//! 1. **Priority-based initial allocation** (Eq 1–2): each active job gets
+//!    `α_x = T_i · p_x · Δt` tokens, where `p_x` is its share of compute
+//!    nodes among the jobs active on this OST.
+//! 2. **Redistribution of surplus tokens** (Eq 3–8): tokens a job was
+//!    granted beyond its observed demand are pooled and re-dealt by the
+//!    distribution factor `DF` — deficit jobs (`u > 1`) first, weighted by
+//!    utilization and priority. Every transfer is posted to the job's
+//!    lending/borrowing **record** `r_x`.
+//! 3. **Re-compensation** (Eq 9–20): jobs with positive records (lenders)
+//!    reclaim tokens from jobs with negative records (borrowers), bounded
+//!    by the borrowed amount, scaled by the reclaim coefficient `C` built
+//!    from priority, current utilization, and estimated future utilization.
+//!
+//! Fractional-token fairness (Eq 21–25) is handled by per-job remainder
+//! accounting plus a largest-remainder fix-up so each step hands out an
+//! exact integer total ([`remainder`]).
+//!
+//! The algorithm is *pure* and clock-free: inputs are
+//! [`adaptbf_model::JobObservation`]s, outputs are
+//! [`adaptbf_model::JobAllocation`]s plus a full [`AllocationTrace`] for
+//! diagnostics, figures and tests. Persistence between periods lives in the
+//! [`JobLedger`] (record, remainder, last allocation per job — the paper's
+//! `Job Records` store, Section III-A steps 3/4).
+//!
+//! ## Notation map (paper Table I → code)
+//!
+//! | Paper | Code |
+//! |---|---|
+//! | `S_i`, `T_i` | one controller instance, `AdapTbfConfig::max_token_rate` |
+//! | `Δt` | `AdapTbfConfig::period` |
+//! | `J^Δt_i` | the `observations` slice passed to [`AllocationController::step`] |
+//! | `n_x`, `p_x` | `JobObservation::nodes`, [`trace::JobTrace::priority`] |
+//! | `r_x` | [`ledger::LedgerEntry::record`] |
+//! | `d_x` | `JobObservation::demand_rpcs` |
+//! | `u_x`, `ū_x` | [`trace::JobTrace::utilization`], [`trace::JobTrace::future_utilization`] |
+//! | `α_x` / `α_{x,RD}` / `α_{x,RC}` | [`trace::JobTrace::initial`] / [`trace::JobTrace::after_redistribution`] / [`trace::JobTrace::after_recompensation`] |
+//! | `ρ_x` | [`ledger::LedgerEntry::remainder`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod controller;
+pub mod forecast;
+pub mod ledger;
+pub mod remainder;
+pub mod trace;
+
+pub use controller::{AllocationController, AllocationOutcome};
+pub use forecast::ForecastState;
+pub use ledger::{JobLedger, LedgerEntry};
+pub use trace::{AllocationTrace, JobTrace};

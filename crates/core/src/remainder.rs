@@ -1,0 +1,227 @@
+//! Integer token grants with long-term fractional fairness (Eq 21–25).
+//!
+//! Every allocation step produces real-valued raw shares, but TBF rules
+//! take whole tokens. Each job carries a fractional remainder `ρ_x`
+//! between steps: the step floors `raw + ρ` (Eq 23), stores the new
+//! fraction (Eq 24), and then applies the paper's largest-remainder
+//! fix-up so the step's integer total matches its budget exactly — one
+//! token is added to the job with the largest remainder (leftover case) or
+//! removed from the job with the smallest remainder (excess case) until the
+//! totals agree.
+//!
+//! *Fidelity note (DESIGN.md §3.8):* the paper says "reduce … for the job
+//! with the largest remainder first" for the excess case, which is the
+//! method's name rather than a literal instruction — decrementing the
+//! largest remainder would starve the job owed the most. We decrement
+//! smallest-remainder-first, the standard largest-remainder-method
+//! resolution. Invariants (property-tested): grants are non-negative and
+//! sum exactly to the target; fractional mass is conserved
+//! (`Σ raw + Σ carry_in = Σ grants + Σ carry_out`); each floor-stage
+//! remainder lies in `(-1, 1)` and a fix-up shifts one job's remainder by
+//! at most ±1, which the next call settles.
+
+/// Outcome of one integerization pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Integerized {
+    /// Whole-token grant per job (parallel to the input slices).
+    pub grants: Vec<u64>,
+    /// How many ±1 fix-ups were applied to meet the target.
+    pub adjustments: u64,
+}
+
+/// Convert real-valued raw shares into whole-token grants summing exactly
+/// to `target`, carrying fractional remainders per job.
+///
+/// `raw[i]` is job *i*'s real share for this step; `carry[i]` is its
+/// remainder from previous steps (updated in place). Requires
+/// `target ≈ Σ raw` (within the slack the carries provide); panics in debug
+/// builds if the discrepancy exceeds the number of jobs, which would mean
+/// the caller budgeted inconsistently.
+pub fn integerize(raw: &[f64], carry: &mut [f64], target: u64) -> Integerized {
+    assert_eq!(raw.len(), carry.len(), "raw/carry length mismatch");
+    let n = raw.len();
+    if n == 0 {
+        assert_eq!(target, 0, "cannot distribute {target} tokens to zero jobs");
+        return Integerized {
+            grants: Vec::new(),
+            adjustments: 0,
+        };
+    }
+    debug_assert!(
+        raw.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "raw shares must be non-negative and finite: {raw:?}"
+    );
+
+    // Eq (23)/(24): floor(raw + carry), keep the fraction.
+    let mut grants = vec![0u64; n];
+    for i in 0..n {
+        let v = raw[i] + carry[i];
+        // carry ∈ (-1, 1) and raw ≥ 0, so v > -1; a negative v floors to 0
+        // and stays owed through the carry.
+        let f = v.floor().max(0.0);
+        grants[i] = f as u64;
+        carry[i] = v - f;
+    }
+
+    // Largest-remainder fix-up to meet the step budget exactly. Jobs are
+    // visited in remainder order via one sort (O(n log n)); each round
+    // touches each job at most once, and with consistent budgets a single
+    // round suffices.
+    let mut total: u64 = grants.iter().sum();
+    let mut adjustments = 0u64;
+    if total < target {
+        let mut order: Vec<usize> = (0..n).collect();
+        // Descending remainder, index ascending for determinism on ties.
+        order.sort_by(|&a, &b| {
+            carry[b]
+                .partial_cmp(&carry[a])
+                .unwrap()
+                .then_with(|| a.cmp(&b))
+        });
+        let mut k = 0;
+        while total < target {
+            let i = order[k % n];
+            grants[i] += 1;
+            carry[i] -= 1.0;
+            total += 1;
+            adjustments += 1;
+            k += 1;
+        }
+    } else if total > target {
+        let mut order: Vec<usize> = (0..n).collect();
+        // Ascending remainder among jobs that can afford a decrement.
+        order.sort_by(|&a, &b| {
+            carry[a]
+                .partial_cmp(&carry[b])
+                .unwrap()
+                .then_with(|| a.cmp(&b))
+        });
+        let mut k = 0;
+        while total > target {
+            let i = order[k % n];
+            k += 1;
+            if grants[i] == 0 {
+                continue;
+            }
+            grants[i] -= 1;
+            carry[i] += 1.0;
+            total -= 1;
+            adjustments += 1;
+        }
+    }
+    debug_assert!(
+        adjustments as usize <= n + 1,
+        "excessive fix-ups ({adjustments}) indicate inconsistent budgeting"
+    );
+    Integerized {
+        grants,
+        adjustments,
+    }
+}
+
+/// Floor-only variant used when remainder fairness is disabled (ablation):
+/// fractions are simply lost, totals may undershoot the budget.
+pub fn floor_only(raw: &[f64]) -> Vec<u64> {
+    raw.iter().map(|v| v.floor().max(0.0) as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_integers_pass_through() {
+        let mut carry = vec![0.0; 3];
+        let out = integerize(&[10.0, 30.0, 60.0], &mut carry, 100);
+        assert_eq!(out.grants, vec![10, 30, 60]);
+        assert_eq!(out.adjustments, 0);
+        assert!(carry.iter().all(|c| c.abs() < 1e-9));
+    }
+
+    #[test]
+    fn leftover_goes_to_largest_remainder() {
+        let mut carry = vec![0.0; 3];
+        // Raw: 3.6 + 36.3 + 0.1 = 40 → floors 3+36+0=39, leftover 1 → job 0.
+        let out = integerize(&[3.6, 36.3, 0.1], &mut carry, 40);
+        assert_eq!(out.grants, vec![4, 36, 0]);
+        assert!((carry[0] - (-0.4)).abs() < 1e-9);
+        assert!((carry[1] - 0.3).abs() < 1e-9);
+        assert!((carry[2] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carry_pays_debts_across_calls() {
+        let mut carry = vec![0.0; 2];
+        // Two jobs owed 0.5 each period; target alternates who gets the
+        // extra token, long-run split is even.
+        let mut totals = [0u64; 2];
+        for _ in 0..10 {
+            let out = integerize(&[0.5, 0.5], &mut carry, 1);
+            totals[0] += out.grants[0];
+            totals[1] += out.grants[1];
+        }
+        assert_eq!(totals[0] + totals[1], 10);
+        assert_eq!(totals[0], 5, "long-run fairness: {totals:?}");
+    }
+
+    #[test]
+    fn excess_taken_from_smallest_remainder() {
+        // Carries push the floor total over the target.
+        let mut carry = vec![0.9, 0.8];
+        let raw = [1.2, 1.3];
+        let mass_in: f64 = raw.iter().sum::<f64>() + carry.iter().sum::<f64>();
+        let out = integerize(&raw, &mut carry, 2);
+        // v = [2.1, 2.1] → floors [2, 2] = 4 > 2 → two removals, smallest
+        // remainder first (job 1 at 0.0999…, then job 0 at 0.1).
+        assert_eq!(out.grants, vec![1, 1]);
+        assert_eq!(out.adjustments, 2);
+        // Fractional mass is conserved exactly.
+        let mass_out: f64 = out.grants.iter().sum::<u64>() as f64 + carry.iter().sum::<f64>();
+        assert!((mass_in - mass_out).abs() < 1e-9);
+        // Over-granted carries (here ≈1.1) are settled by the next call.
+        let out2 = integerize(&[0.0, 0.0], &mut carry, 2);
+        assert_eq!(out2.grants, vec![1, 1]);
+        assert!(
+            carry.iter().all(|c| c.abs() < 1.0),
+            "settled carries: {carry:?}"
+        );
+    }
+
+    #[test]
+    fn zero_jobs_zero_target() {
+        let mut carry: Vec<f64> = vec![];
+        let out = integerize(&[], &mut carry, 0);
+        assert!(out.grants.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero jobs")]
+    fn zero_jobs_nonzero_target_panics() {
+        let mut carry: Vec<f64> = vec![];
+        let _ = integerize(&[], &mut carry, 5);
+    }
+
+    #[test]
+    fn negative_carry_defers_grant() {
+        // Job 0 owes a token from an earlier adjustment.
+        let mut carry = vec![-0.7, 0.0];
+        let out = integerize(&[1.0, 1.0], &mut carry, 2);
+        // v = [0.3, 1.0] → floors [0, 1], leftover 1 → largest remainder is
+        // job 0 (0.3 vs 0.0) → grants [1, 1].
+        assert_eq!(out.grants, vec![1, 1]);
+        assert!((carry[0] - (-0.7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_only_loses_fractions() {
+        assert_eq!(floor_only(&[3.9, 0.5, 2.0]), vec![3, 0, 2]);
+    }
+
+    #[test]
+    fn single_job_gets_everything() {
+        let mut carry = vec![0.0];
+        let out = integerize(&[99.7], &mut carry, 100);
+        assert_eq!(out.grants, vec![100]);
+        assert!((carry[0] - (-0.3)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Full per-period diagnostics of one allocation run.
+//!
+//! Every intermediate quantity of Section III-C is recorded so that tests
+//! can check the algebra, figures can plot records and demand over time
+//! (Fig 7), and operators can answer "why did job X get N tokens?".
+
+use adaptbf_model::JobId;
+use serde::{Deserialize, Serialize};
+
+/// Everything the algorithm computed for one job in one period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobTrace {
+    /// The job.
+    pub job: JobId,
+    /// `n_x`: compute nodes (priority weight input).
+    pub nodes: u64,
+    /// `d_x`: observed RPC demand this period.
+    pub demand: u64,
+    /// `p_x` (Eq 1).
+    pub priority: f64,
+    /// `u_x` (Eq 3, capped per DESIGN.md §3.2).
+    pub utilization: f64,
+    /// `α_x` after integerization (Eq 2 + Eq 23).
+    pub initial: u64,
+    /// `T^x_s` (Eq 4).
+    pub surplus: u64,
+    /// `DF_x` (Eq 6).
+    pub distribution_factor: f64,
+    /// Tokens received back from the surplus pool (the `DF` share of Eq 7).
+    pub redistribution_gain: u64,
+    /// `α_{x,RD}` (Eq 7, integerized).
+    pub after_redistribution: u64,
+    /// `r_x` at period start.
+    pub record_before: i64,
+    /// `r_{x,RD}` (Eq 8).
+    pub record_after_redistribution: i64,
+    /// Membership in `J^Δt_+` (Eq 9).
+    pub lender: bool,
+    /// Membership in `J^Δt_−` (Eq 10).
+    pub borrower: bool,
+    /// `ū_x` (Eq 12); infinity when the job's post-redistribution
+    /// allocation is zero, and zero for non-lenders.
+    pub future_utilization: f64,
+    /// `T^x_R` (Eq 14) — tokens taken from this job (borrowers only).
+    pub reclaimed: u64,
+    /// The `RF` share of `T_R` granted to this job (Eq 19, lenders only).
+    pub compensation_gain: u64,
+    /// `α_{x,RC}`: the final allocation for the coming period.
+    pub after_recompensation: u64,
+    /// `r_{x,RC}`: the record after this period's exchanges.
+    pub record_after: i64,
+    /// `ρ_x` carried into the next period.
+    pub remainder_after: f64,
+}
+
+/// One period's complete allocation trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AllocationTrace {
+    /// Period index (0-based).
+    pub period: u64,
+    /// The integer token budget distributed this period
+    /// (`⌊T_i·Δt + carry⌋`).
+    pub budget: u64,
+    /// `T_s` (Eq 5).
+    pub total_surplus: u64,
+    /// `C` (Eq 13) after clamping to `[0, 1]`.
+    pub reclaim_coefficient: f64,
+    /// `C` exactly as Eq (13) produces it, before the clamp.
+    pub reclaim_coefficient_raw: f64,
+    /// `T_R` (Eq 17).
+    pub total_reclaimed: u64,
+    /// Per-job details, in job order.
+    pub jobs: Vec<JobTrace>,
+}
+
+impl AllocationTrace {
+    /// Trace for one job, if it was active this period.
+    pub fn job(&self, job: JobId) -> Option<&JobTrace> {
+        self.jobs.iter().find(|j| j.job == job)
+    }
+
+    /// Sum of final allocations (should equal `budget` when the remainder
+    /// machinery is enabled — property-tested).
+    pub fn total_allocated(&self) -> u64 {
+        self.jobs.iter().map(|j| j.after_recompensation).sum()
+    }
+
+    /// Sum of records after this period across active jobs.
+    pub fn record_delta_sum(&self) -> i64 {
+        self.jobs
+            .iter()
+            .map(|j| j.record_after - j.record_before)
+            .sum()
+    }
+
+    /// Whether any token exchange (lend/borrow/reclaim) happened.
+    pub fn exchanged(&self) -> bool {
+        self.total_surplus > 0 || self.total_reclaimed > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jt(job: u32, final_alloc: u64, before: i64, after: i64) -> JobTrace {
+        JobTrace {
+            job: JobId(job),
+            nodes: 1,
+            demand: 0,
+            priority: 0.0,
+            utilization: 0.0,
+            initial: 0,
+            surplus: 0,
+            distribution_factor: 0.0,
+            redistribution_gain: 0,
+            after_redistribution: 0,
+            record_before: before,
+            record_after_redistribution: 0,
+            lender: false,
+            borrower: false,
+            future_utilization: 0.0,
+            reclaimed: 0,
+            compensation_gain: 0,
+            after_recompensation: final_alloc,
+            record_after: after,
+            remainder_after: 0.0,
+        }
+    }
+
+    #[test]
+    fn lookup_and_totals() {
+        let trace = AllocationTrace {
+            jobs: vec![jt(1, 30, 0, 5), jt(2, 70, 0, -5)],
+            ..Default::default()
+        };
+        assert_eq!(trace.job(JobId(2)).unwrap().after_recompensation, 70);
+        assert!(trace.job(JobId(3)).is_none());
+        assert_eq!(trace.total_allocated(), 100);
+        assert_eq!(trace.record_delta_sum(), 0);
+    }
+
+    #[test]
+    fn exchanged_flags() {
+        let mut trace = AllocationTrace::default();
+        assert!(!trace.exchanged());
+        trace.total_surplus = 3;
+        assert!(trace.exchanged());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by the workspace crates.
+
+use std::fmt;
+
+/// Errors surfaced by configuration validation and the control plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A configuration field is out of its valid range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// An operation referenced an unknown entity (job, rule, OST, …).
+    NotFound {
+        /// The kind of entity.
+        kind: &'static str,
+        /// A printable identifier.
+        id: String,
+    },
+}
+
+impl ModelError {
+    /// Shorthand for an invalid-config error.
+    pub fn invalid(field: &'static str, reason: impl Into<String>) -> Self {
+        ModelError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a not-found error.
+    pub fn not_found(kind: &'static str, id: impl ToString) -> Self {
+        ModelError::NotFound {
+            kind,
+            id: id.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
+            ModelError::NotFound { kind, id } => write!(f, "{kind} not found: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::invalid("period", "must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: period: must be positive"
+        );
+        let e = ModelError::not_found("rule", 7);
+        assert_eq!(e.to_string(), "rule not found: 7");
+    }
+}

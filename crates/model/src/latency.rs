@@ -1,0 +1,153 @@
+//! Log-bucketed latency histograms for per-RPC end-to-end times.
+//!
+//! Burst responsiveness — how fast a high-priority burst drains — is the
+//! paper's qualitative story in Figures 5–6; the histogram makes it
+//! quantitative: percentiles of (service completion − client issue) per
+//! job, at HDR-style fidelity without per-sample storage.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 buckets: covers 1 µs … ~72 min.
+const BUCKETS: usize = 32;
+
+/// A log2-scale latency histogram (microsecond floor).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    fn bucket_for(latency: SimDuration) -> usize {
+        let us = (latency.as_nanos() / 1_000).max(1);
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Representative (upper-bound) latency of bucket `i`.
+    fn bucket_value(i: usize) -> SimDuration {
+        SimDuration::from_micros(1u64 << i)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.counts[Self::bucket_for(latency)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The latency at percentile `p` (0.0–1.0), as the upper bound of the
+    /// containing bucket (≤ 2× true value). Zero when empty.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = ((self.total as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        Self::bucket_value(BUCKETS - 1)
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> SimDuration {
+        self.percentile(0.5)
+    }
+
+    /// 99th percentile latency.
+    pub fn p99(&self) -> SimDuration {
+        self.percentile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_bound_true_values() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(ms(1));
+        }
+        h.record(ms(100));
+        // Median bucket must cover 1 ms within a factor of 2.
+        let median = h.median().as_secs_f64();
+        assert!((0.001..=0.002 + 1e-9).contains(&median), "median {median}");
+        // p995+ lands in the 100 ms bucket (≤ 128 ms upper bound).
+        let p999 = h.percentile(0.999).as_secs_f64();
+        assert!((0.1..=0.14).contains(&p999), "p99.9 {p999}");
+    }
+
+    #[test]
+    fn sub_microsecond_clamps_to_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration(5)); // 5 ns
+        assert_eq!(h.count(), 1);
+        assert!(h.median() <= SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(ms(1));
+        b.record(ms(1));
+        b.record(ms(8));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn monotone_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..200u64 {
+            h.record(SimDuration::from_micros(i * 37));
+        }
+        assert!(h.percentile(0.1) <= h.percentile(0.5));
+        assert!(h.percentile(0.5) <= h.percentile(0.99));
+        assert!(h.p99() <= h.percentile(1.0));
+    }
+}

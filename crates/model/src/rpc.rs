@@ -1,0 +1,97 @@
+//! The unit of work: a bulk I/O RPC.
+//!
+//! Lustre clients move data in bulk RPCs (1 MiB by default). The paper's
+//! accounting is `1 RPC = 1 token` (Section IV-F), so both the TBF substrate
+//! and the allocation algorithm count RPCs; byte sizes only matter to the
+//! disk service model.
+
+use crate::ids::{ClientId, JobId, ProcId, RpcId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Default Lustre bulk RPC size: 1 MiB.
+pub const DEFAULT_RPC_SIZE: u64 = 1 << 20;
+
+/// The operation an RPC performs against the OST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCode {
+    /// Bulk write (`OST_WRITE`); the paper's workloads are write-dominated.
+    Write,
+    /// Bulk read (`OST_READ`).
+    Read,
+}
+
+impl OpCode {
+    /// Lustre wire name for the opcode (used by opcode matchers).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpCode::Write => "ost_write",
+            OpCode::Read => "ost_read",
+        }
+    }
+}
+
+/// One bulk I/O request travelling client → OSS → OST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rpc {
+    /// Unique sequence number.
+    pub id: RpcId,
+    /// Owning job (Lustre JobID); the classification key for TBF queues.
+    pub job: JobId,
+    /// Issuing client node (the NID for NID-based matchers).
+    pub client: ClientId,
+    /// Issuing process within the job.
+    pub proc_id: ProcId,
+    /// Operation type.
+    pub op: OpCode,
+    /// Payload size in bytes.
+    pub size_bytes: u64,
+    /// When the client handed the RPC to the network.
+    pub issued_at: SimTime,
+}
+
+impl Rpc {
+    /// Convenience constructor with the default 1 MiB payload.
+    pub fn new(
+        id: RpcId,
+        job: JobId,
+        client: ClientId,
+        proc_id: ProcId,
+        issued_at: SimTime,
+    ) -> Self {
+        Rpc {
+            id,
+            job,
+            client,
+            proc_id,
+            op: OpCode::Write,
+            size_bytes: DEFAULT_RPC_SIZE,
+            issued_at,
+        }
+    }
+
+    /// Tokens this RPC consumes from its queue's bucket. The paper's model
+    /// is one token per RPC irrespective of size.
+    pub const fn token_cost(&self) -> u64 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rpc_is_one_mib_write() {
+        let r = Rpc::new(RpcId(1), JobId(1), ClientId(1), ProcId(1), SimTime::ZERO);
+        assert_eq!(r.size_bytes, 1 << 20);
+        assert_eq!(r.op, OpCode::Write);
+        assert_eq!(r.token_cost(), 1);
+    }
+
+    #[test]
+    fn opcode_names_match_lustre() {
+        assert_eq!(OpCode::Write.name(), "ost_write");
+        assert_eq!(OpCode::Read.name(), "ost_read");
+    }
+}

@@ -1,0 +1,174 @@
+//! Client processes as real threads: bounded-window issuance over
+//! channels, with open-loop chunks and closed-loop burst support.
+
+use crate::clock::WallClock;
+use crate::metrics::LiveMetrics;
+use crate::ost::LiveRpc;
+use adaptbf_model::{ClientId, JobId, OpCode, ProcId, Rpc, RpcId, SimTime};
+use adaptbf_workload::ProcessSpec;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-process final counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcFinal {
+    /// RPCs issued.
+    pub issued: u64,
+    /// Replies received.
+    pub completed: u64,
+}
+
+/// Spawn one client-process thread running `spec` until `deadline`.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_process(
+    job: JobId,
+    proc_id: ProcId,
+    client: ClientId,
+    spec: ProcessSpec,
+    horizon: SimTime,
+    ost_tx: Sender<LiveRpc>,
+    clock: WallClock,
+    rpc_ids: Arc<AtomicU64>,
+    payload: Bytes,
+    metrics: LiveMetrics,
+) -> JoinHandle<ProcFinal> {
+    std::thread::Builder::new()
+        .name(format!("{job}-{proc_id}"))
+        .spawn(move || {
+            run_process(
+                job, proc_id, client, spec, horizon, ost_tx, clock, rpc_ids, payload, metrics,
+            )
+        })
+        .expect("spawn client thread")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_process(
+    job: JobId,
+    proc_id: ProcId,
+    client: ClientId,
+    spec: ProcessSpec,
+    horizon: SimTime,
+    ost_tx: Sender<LiveRpc>,
+    clock: WallClock,
+    rpc_ids: Arc<AtomicU64>,
+    payload: Bytes,
+    metrics: LiveMetrics,
+) -> ProcFinal {
+    let (done_tx, done_rx) = bounded::<()>(spec.max_inflight.max(1));
+    let horizon_span = horizon - SimTime::ZERO;
+    let mut chunks = spec.pattern.arrivals(spec.file_rpcs, horizon_span);
+    chunks.sort_by_key(|c| c.at);
+    let think = spec.pattern.think_spec();
+    let statically_released: u64 = chunks.iter().map(|c| c.rpcs).sum();
+    let mut unreleased = if think.is_some() {
+        spec.file_rpcs.saturating_sub(statically_released)
+    } else {
+        0
+    };
+
+    let mut next_chunk = 0usize;
+    // A closed-loop burst waiting for its release instant.
+    let mut pending_burst: Option<(SimTime, u64)> = None;
+    let mut available = 0u64;
+    let mut inflight = 0usize;
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+
+    loop {
+        let now = clock.now();
+        if now >= horizon {
+            break;
+        }
+
+        // Release open-loop chunks that are due.
+        while next_chunk < chunks.len() && chunks[next_chunk].at <= now {
+            available += chunks[next_chunk].rpcs;
+            next_chunk += 1;
+        }
+        // Release a due closed-loop burst.
+        if let Some((at, rpcs)) = pending_burst {
+            if at <= now {
+                available += rpcs;
+                pending_burst = None;
+            }
+        }
+
+        // Issue while the window allows.
+        while available > 0 && inflight < spec.max_inflight {
+            let id = RpcId(rpc_ids.fetch_add(1, Ordering::Relaxed));
+            let rpc = Rpc {
+                id,
+                job,
+                client,
+                proc_id,
+                op: OpCode::Write,
+                size_bytes: payload.len() as u64,
+                issued_at: now,
+            };
+            metrics.on_issued(job);
+            if ost_tx
+                .send(LiveRpc {
+                    rpc,
+                    payload: payload.clone(),
+                    reply_to: done_tx.clone(),
+                })
+                .is_err()
+            {
+                // OST gone: nothing more to do.
+                return ProcFinal { issued, completed };
+            }
+            available -= 1;
+            inflight += 1;
+            issued += 1;
+        }
+
+        // Schedule the next closed-loop burst when fully drained.
+        if inflight == 0 && available == 0 && pending_burst.is_none() && unreleased > 0 {
+            if let Some((think_time, burst)) = think {
+                let rpcs = burst.min(unreleased);
+                unreleased -= rpcs;
+                pending_burst = Some((clock.now() + think_time, rpcs));
+            }
+        }
+
+        // Decide how long we can sleep.
+        let mut wake: Option<SimTime> = Some(horizon);
+        if next_chunk < chunks.len() {
+            wake = Some(wake.unwrap().min(chunks[next_chunk].at));
+        }
+        if let Some((at, _)) = pending_burst {
+            wake = Some(wake.unwrap().min(at));
+        }
+        let timeout = clock.until(wake.unwrap_or(horizon));
+
+        if inflight > 0 {
+            match done_rx.recv_timeout(timeout.min(Duration::from_millis(50))) {
+                Ok(()) => {
+                    inflight -= 1;
+                    completed += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else if available == 0 {
+            // Nothing outstanding and nothing to issue: sleep to next event.
+            std::thread::sleep(timeout.min(Duration::from_millis(50)));
+        }
+    }
+    // Drain outstanding replies briefly so OST sends don't error.
+    while inflight > 0 {
+        match done_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(()) => {
+                inflight -= 1;
+                completed += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    ProcFinal { issued, completed }
+}

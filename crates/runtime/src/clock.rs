@@ -1,0 +1,59 @@
+//! Wall-clock to [`SimTime`] mapping shared by every thread in a live
+//! cluster.
+
+use adaptbf_model::SimTime;
+use std::time::Instant;
+
+/// A shared epoch translating `Instant::now()` into the virtual time axis
+/// the TBF scheduler and controller speak.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// New clock starting its virtual axis now.
+    pub fn start() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Current instant on the virtual axis.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Convert a virtual instant back into a wall-clock deadline measured
+    /// from now (zero if already past).
+    pub fn until(&self, at: SimTime) -> std::time::Duration {
+        let now = self.now();
+        if at <= now {
+            std::time::Duration::ZERO
+        } else {
+            std::time::Duration::from_nanos((at - now).as_nanos())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let c = WallClock::start();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn until_past_is_zero() {
+        let c = WallClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(c.until(SimTime::ZERO), std::time::Duration::ZERO);
+        let future = c.now() + adaptbf_model::SimDuration::from_millis(50);
+        assert!(c.until(future) > std::time::Duration::from_millis(10));
+    }
+}

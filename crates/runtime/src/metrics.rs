@@ -1,0 +1,100 @@
+//! Shared counters for a live cluster run.
+
+use adaptbf_model::JobId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    served_by_job: BTreeMap<JobId, u64>,
+    issued_by_job: BTreeMap<JobId, u64>,
+    records: BTreeMap<JobId, i64>,
+    controller_ticks: u64,
+}
+
+/// Cheap-to-clone handle over the run's counters.
+#[derive(Debug, Clone, Default)]
+pub struct LiveMetrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl LiveMetrics {
+    /// New empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed (serviced) RPC.
+    pub fn on_served(&self, job: JobId) {
+        *self.inner.lock().served_by_job.entry(job).or_insert(0) += 1;
+    }
+
+    /// Record an issued RPC.
+    pub fn on_issued(&self, job: JobId) {
+        *self.inner.lock().issued_by_job.entry(job).or_insert(0) += 1;
+    }
+
+    /// Snapshot a job's lending/borrowing record after a controller tick.
+    pub fn on_record(&self, job: JobId, record: i64) {
+        self.inner.lock().records.insert(job, record);
+    }
+
+    /// Count one controller cycle.
+    pub fn on_tick(&self) {
+        self.inner.lock().controller_ticks += 1;
+    }
+
+    /// Served RPCs per job.
+    pub fn served(&self) -> BTreeMap<JobId, u64> {
+        self.inner.lock().served_by_job.clone()
+    }
+
+    /// Issued RPCs per job.
+    pub fn issued(&self) -> BTreeMap<JobId, u64> {
+        self.inner.lock().issued_by_job.clone()
+    }
+
+    /// Latest record snapshot per job.
+    pub fn records(&self) -> BTreeMap<JobId, i64> {
+        self.inner.lock().records.clone()
+    }
+
+    /// Controller cycles executed.
+    pub fn ticks(&self) -> u64 {
+        self.inner.lock().controller_ticks
+    }
+
+    /// Total served across jobs.
+    pub fn total_served(&self) -> u64 {
+        self.inner.lock().served_by_job.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = LiveMetrics::new();
+        m.on_served(JobId(1));
+        m.on_served(JobId(1));
+        m.on_issued(JobId(1));
+        m.on_record(JobId(1), -5);
+        m.on_tick();
+        assert_eq!(m.served()[&JobId(1)], 2);
+        assert_eq!(m.issued()[&JobId(1)], 1);
+        assert_eq!(m.records()[&JobId(1)], -5);
+        assert_eq!(m.ticks(), 1);
+        assert_eq!(m.total_served(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = LiveMetrics::new();
+        let m2 = m.clone();
+        m2.on_served(JobId(3));
+        assert_eq!(m.total_served(), 1);
+    }
+}

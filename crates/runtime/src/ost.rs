@@ -1,0 +1,296 @@
+//! One OST as a real OS thread: NRS/TBF scheduler, emulated I/O thread
+//! pool, local `job_stats`, and — under AdapTBF — its **own** controller.
+//!
+//! Decentralization is structural here: a [`LiveOst`] owns every piece of
+//! state it needs behind its channel; nothing is shared with other OSTs
+//! (paper Section II-B). Rule changes, stats collection and token
+//! allocation all happen inside the OST's own thread.
+
+use crate::clock::WallClock;
+use crate::metrics::LiveMetrics;
+use adaptbf_core::AllocationController;
+use adaptbf_model::{
+    AdapTbfConfig, JobId, JobObservation, OstConfig, Rpc, SimDuration, SimTime, TbfSchedulerConfig,
+};
+use adaptbf_tbf::{JobStatsTracker, NrsTbfScheduler, RpcMatcher, RuleDaemon, SchedDecision};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Bandwidth policy of one live OST.
+#[derive(Debug, Clone)]
+pub enum OstPolicy {
+    /// No rules: FCFS through the fallback path.
+    NoBw,
+    /// Fixed rules `(job, rate_tps, weight)` installed at start.
+    Static(Vec<(JobId, f64, u32)>),
+    /// The full AdapTBF loop with the given config and node counts.
+    AdapTbf {
+        /// Controller configuration (period, `T_i`, …).
+        config: AdapTbfConfig,
+        /// Compute nodes per job (priority weights).
+        nodes: BTreeMap<JobId, u64>,
+    },
+}
+
+/// An RPC on the wire: metadata + payload + completion notification path.
+#[derive(Debug)]
+pub struct LiveRpc {
+    /// RPC metadata (job, size, …).
+    pub rpc: Rpc,
+    /// Bulk payload (cheaply cloned slice of a shared buffer).
+    pub payload: Bytes,
+    /// Where to signal completion (the issuing process's window).
+    pub reply_to: Sender<()>,
+}
+
+/// Final state returned when a live OST shuts down.
+#[derive(Debug)]
+pub struct OstFinal {
+    /// RPCs fully serviced.
+    pub served: u64,
+    /// Final lending/borrowing records (AdapTBF only).
+    pub records: BTreeMap<JobId, i64>,
+    /// Controller cycles executed (AdapTBF only).
+    pub ticks: u64,
+}
+
+/// Handle to a spawned OST thread.
+pub struct LiveOstHandle {
+    tx: Option<Sender<LiveRpc>>,
+    join: Option<JoinHandle<OstFinal>>,
+}
+
+impl LiveOstHandle {
+    /// A sender clients use to submit RPCs.
+    pub fn sender(&self) -> Sender<LiveRpc> {
+        self.tx.as_ref().expect("OST running").clone()
+    }
+
+    /// Drop the ingest channel and join the thread, returning final state.
+    pub fn shutdown(mut self) -> OstFinal {
+        self.tx = None; // close our end; thread drains and exits
+        self.join
+            .take()
+            .expect("not yet joined")
+            .join()
+            .expect("OST thread panicked")
+    }
+}
+
+/// Spawner for live OST threads.
+pub struct LiveOst;
+
+impl LiveOst {
+    /// Spawn one OST thread.
+    pub fn spawn(
+        name: String,
+        ost_cfg: OstConfig,
+        tbf_cfg: TbfSchedulerConfig,
+        policy: OstPolicy,
+        clock: WallClock,
+        metrics: LiveMetrics,
+        seed: u64,
+    ) -> LiveOstHandle {
+        let (tx, rx) = bounded::<LiveRpc>(4096);
+        let join = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || run_ost(rx, ost_cfg, tbf_cfg, policy, clock, metrics, seed))
+            .expect("spawn OST thread");
+        LiveOstHandle {
+            tx: Some(tx),
+            join: Some(join),
+        }
+    }
+}
+
+struct InService {
+    finish: SimTime,
+    seq: u64,
+    rpc: Rpc,
+    reply_to: Sender<()>,
+}
+
+impl PartialEq for InService {
+    fn eq(&self, other: &Self) -> bool {
+        self.finish == other.finish && self.seq == other.seq
+    }
+}
+impl Eq for InService {}
+impl PartialOrd for InService {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InService {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.finish
+            .cmp(&other.finish)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+fn run_ost(
+    rx: Receiver<LiveRpc>,
+    ost_cfg: OstConfig,
+    tbf_cfg: TbfSchedulerConfig,
+    policy: OstPolicy,
+    clock: WallClock,
+    metrics: LiveMetrics,
+    seed: u64,
+) -> OstFinal {
+    let mut scheduler = NrsTbfScheduler::new(tbf_cfg);
+    let mut stats = JobStatsTracker::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut busy: BinaryHeap<Reverse<InService>> = BinaryHeap::new();
+    // reply channels for RPCs queued in the scheduler, keyed by RPC id.
+    let mut pending: std::collections::HashMap<u64, Sender<()>> = std::collections::HashMap::new();
+    let mut seq = 0u64;
+    let mut served = 0u64;
+    let mut ticks = 0u64;
+
+    // Per-policy control plane, fully local to this thread.
+    let mut controller: Option<(AllocationController, RuleDaemon, BTreeMap<JobId, u64>)> = None;
+    let mut next_tick: Option<SimTime> = None;
+    match &policy {
+        OstPolicy::NoBw => {}
+        OstPolicy::Static(rules) => {
+            let now = clock.now();
+            for (job, rate, weight) in rules {
+                scheduler.start_rule(job.label(), RpcMatcher::Job(*job), *rate, *weight, now);
+            }
+        }
+        OstPolicy::AdapTbf { config, nodes } => {
+            controller = Some((
+                AllocationController::new(*config),
+                RuleDaemon::new(),
+                nodes.clone(),
+            ));
+            next_tick = Some(clock.now() + config.period);
+        }
+    }
+
+    let mut disconnected = false;
+    loop {
+        let now = clock.now();
+
+        // 1. Complete services that are due.
+        while busy.peek().is_some_and(|Reverse(s)| s.finish <= now) {
+            let Reverse(s) = busy.pop().expect("peeked");
+            served += 1;
+            metrics.on_served(s.rpc.job);
+            let _ = s.reply_to.send(()); // issuer may be gone at deadline
+        }
+
+        // 2. Controller cycle (AdapTBF only).
+        if let (Some(tick_at), Some((controller_ref, daemon, nodes))) =
+            (next_tick, controller.as_mut())
+        {
+            if now >= tick_at {
+                let observations: Vec<JobObservation> = stats
+                    .collect()
+                    .into_iter()
+                    .map(|(job, demand)| {
+                        JobObservation::new(job, nodes.get(&job).copied().unwrap_or(1), demand)
+                    })
+                    .collect();
+                let outcome = controller_ref.step(&observations);
+                let weights: BTreeMap<JobId, u32> = observations
+                    .iter()
+                    .map(|o| (o.job, o.nodes.min(u32::MAX as u64) as u32))
+                    .collect();
+                daemon.apply(&mut scheduler, &outcome.allocations, &weights, now);
+                stats.clear();
+                for jt in &outcome.trace.jobs {
+                    metrics.on_record(jt.job, jt.record_after);
+                }
+                metrics.on_tick();
+                ticks += 1;
+                let period = match &policy {
+                    OstPolicy::AdapTbf { config, .. } => config.period,
+                    _ => unreachable!("controller implies AdapTbf"),
+                };
+                next_tick = Some(tick_at + period);
+            }
+        }
+
+        // 3. Dispatch onto idle emulated I/O threads.
+        let mut tbf_wait: Option<SimTime> = None;
+        while busy.len() < ost_cfg.n_io_threads {
+            match scheduler.next(now) {
+                SchedDecision::Serve(rpc) => {
+                    let mean = ost_cfg.mean_service_secs();
+                    let j = ost_cfg.service_jitter;
+                    let factor = if j > 0.0 {
+                        1.0 + rng.gen_range(-j..=j)
+                    } else {
+                        1.0
+                    };
+                    let service = SimDuration::from_secs_f64(mean * factor);
+                    let reply_to = pending
+                        .remove(&rpc.id.raw())
+                        .expect("every enqueued RPC has a reply channel");
+                    busy.push(Reverse(InService {
+                        finish: now + service,
+                        seq,
+                        rpc,
+                        reply_to,
+                    }));
+                    seq += 1;
+                }
+                SchedDecision::WaitUntil(deadline) => {
+                    tbf_wait = Some(deadline);
+                    break;
+                }
+                SchedDecision::Idle => break,
+            }
+        }
+
+        // 4. Work out how long to sleep.
+        let mut wake: Option<SimTime> = busy.peek().map(|Reverse(s)| s.finish);
+        for c in [tbf_wait, next_tick].into_iter().flatten() {
+            wake = Some(wake.map_or(c, |w| w.min(c)));
+        }
+
+        // 5. Exit when the world has hung up and all work is drained.
+        if disconnected && busy.is_empty() && scheduler.pending() == 0 {
+            break;
+        }
+
+        // 6. Wait for traffic or the next deadline.
+        let timeout = match wake {
+            Some(at) => clock.until(at),
+            None => {
+                if disconnected {
+                    break;
+                }
+                Duration::from_millis(50)
+            }
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(live) => {
+                stats.record_arrival(live.rpc.job);
+                debug_assert!(!live.payload.is_empty());
+                pending.insert(live.rpc.id.raw(), live.reply_to);
+                scheduler.enqueue(live.rpc, clock.now());
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+    }
+
+    let records = match controller {
+        Some((c, _, _)) => c.ledger().iter().map(|(j, e)| (j, e.record)).collect(),
+        None => BTreeMap::new(),
+    };
+    OstFinal {
+        served,
+        records,
+        ticks,
+    }
+}

@@ -1,0 +1,209 @@
+//! Client-side process model: bounded-window RPC issuance.
+//!
+//! Each workload process owns a work backlog (filled by its pattern's
+//! [`adaptbf_workload::WorkChunk`]s) and issues RPCs while it has both work
+//! and a free slot in its `max_rpcs_in_flight` window — exactly how a
+//! Lustre client behaves when the server throttles it: the window fills,
+//! issuance stops, and resumes one-for-one with replies.
+
+use adaptbf_model::{ClientId, JobId, OpCode, ProcId, Rpc, RpcId, SimTime};
+
+/// Mutable state of one workload process during a run.
+#[derive(Debug, Clone)]
+pub struct ProcessState {
+    /// Owning job.
+    pub job: JobId,
+    /// Globally unique process id.
+    pub proc_id: ProcId,
+    /// The client node this process runs on.
+    pub client: ClientId,
+    /// Index of the OST its file lives on.
+    pub ost: usize,
+    /// `max_rpcs_in_flight`.
+    pub max_inflight: usize,
+    /// RPC payload size in bytes.
+    pub rpc_size: u64,
+    /// Work released by the pattern but not yet issued.
+    pub available: u64,
+    /// RPCs currently outstanding (issued, no reply yet).
+    pub inflight: usize,
+    /// RPCs issued so far.
+    pub issued: u64,
+    /// Replies received so far.
+    pub completed: u64,
+    /// Closed-loop burst state: `(think_time, rpcs_per_burst)` if the
+    /// process releases its next burst after the current one completes.
+    pub think: Option<(adaptbf_model::SimDuration, u64)>,
+    /// File RPCs not yet released (closed-loop patterns only).
+    pub unreleased: u64,
+}
+
+impl ProcessState {
+    /// New idle process.
+    pub fn new(
+        job: JobId,
+        proc_id: ProcId,
+        client: ClientId,
+        ost: usize,
+        max_inflight: usize,
+        rpc_size: u64,
+    ) -> Self {
+        ProcessState {
+            job,
+            proc_id,
+            client,
+            ost,
+            max_inflight,
+            rpc_size,
+            available: 0,
+            inflight: 0,
+            issued: 0,
+            completed: 0,
+            think: None,
+            unreleased: 0,
+        }
+    }
+
+    /// If the process is a quiescent closed-loop burster with file left,
+    /// consume and return the next burst size (the caller schedules its
+    /// arrival after the think time).
+    pub fn take_next_burst(&mut self) -> Option<(adaptbf_model::SimDuration, u64)> {
+        if !self.is_quiescent() || self.unreleased == 0 {
+            return None;
+        }
+        let (think, burst) = self.think?;
+        let rpcs = burst.min(self.unreleased);
+        self.unreleased -= rpcs;
+        Some((think, rpcs))
+    }
+
+    /// More work became available (a pattern chunk arrived).
+    pub fn add_work(&mut self, rpcs: u64) {
+        self.available += rpcs;
+    }
+
+    /// A reply came back: free a window slot.
+    pub fn on_reply(&mut self) {
+        debug_assert!(self.inflight > 0, "reply without outstanding RPC");
+        self.inflight -= 1;
+        self.completed += 1;
+    }
+
+    /// Issue as many RPCs as the window allows right now. `next_rpc_id`
+    /// supplies globally unique ids; returns the RPCs to hand to the
+    /// network.
+    pub fn issue(&mut self, now: SimTime, next_rpc_id: &mut u64) -> Vec<Rpc> {
+        let mut out = Vec::new();
+        while self.available > 0 && self.inflight < self.max_inflight {
+            let id = RpcId(*next_rpc_id);
+            *next_rpc_id += 1;
+            out.push(Rpc {
+                id,
+                job: self.job,
+                client: self.client,
+                proc_id: self.proc_id,
+                op: OpCode::Write,
+                size_bytes: self.rpc_size,
+                issued_at: now,
+            });
+            self.available -= 1;
+            self.inflight += 1;
+            self.issued += 1;
+        }
+        out
+    }
+
+    /// Whether the process has neither queued work nor outstanding RPCs.
+    pub fn is_quiescent(&self) -> bool {
+        self.available == 0 && self.inflight == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc_state(window: usize) -> ProcessState {
+        ProcessState::new(JobId(1), ProcId(0), ClientId(0), 0, window, 1 << 20)
+    }
+
+    #[test]
+    fn issues_up_to_window() {
+        let mut p = proc_state(8);
+        p.add_work(20);
+        let mut ids = 0;
+        let rpcs = p.issue(SimTime::ZERO, &mut ids);
+        assert_eq!(rpcs.len(), 8);
+        assert_eq!(p.inflight, 8);
+        assert_eq!(p.available, 12);
+        // Window full: nothing more.
+        assert!(p.issue(SimTime::ZERO, &mut ids).is_empty());
+    }
+
+    #[test]
+    fn reply_opens_one_slot() {
+        let mut p = proc_state(2);
+        p.add_work(5);
+        let mut ids = 0;
+        assert_eq!(p.issue(SimTime::ZERO, &mut ids).len(), 2);
+        p.on_reply();
+        let more = p.issue(SimTime::from_millis(1), &mut ids);
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].id, RpcId(2), "ids are sequential");
+        assert_eq!(p.completed, 1);
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut p = proc_state(4);
+        assert!(p.is_quiescent());
+        p.add_work(1);
+        assert!(!p.is_quiescent());
+        let mut ids = 0;
+        p.issue(SimTime::ZERO, &mut ids);
+        assert!(!p.is_quiescent());
+        p.on_reply();
+        assert!(p.is_quiescent());
+    }
+
+    #[test]
+    fn closed_loop_burst_cycle() {
+        let mut p = proc_state(8);
+        p.think = Some((adaptbf_model::SimDuration::from_secs(3), 20));
+        p.unreleased = 30;
+        // Not quiescent? No burst.
+        p.add_work(1);
+        assert!(p.take_next_burst().is_none());
+        let mut ids = 0;
+        p.issue(SimTime::ZERO, &mut ids);
+        p.on_reply();
+        // Quiescent with file left: next burst (clipped by file on the
+        // second round).
+        assert_eq!(
+            p.take_next_burst(),
+            Some((adaptbf_model::SimDuration::from_secs(3), 20))
+        );
+        assert_eq!(p.unreleased, 10);
+        assert_eq!(
+            p.take_next_burst(),
+            Some((adaptbf_model::SimDuration::from_secs(3), 10))
+        );
+        assert_eq!(p.unreleased, 0);
+        assert!(p.take_next_burst().is_none(), "file exhausted");
+    }
+
+    #[test]
+    fn issued_rpcs_carry_identity() {
+        let mut p = ProcessState::new(JobId(9), ProcId(3), ClientId(2), 1, 1, 4096);
+        p.add_work(1);
+        let mut ids = 100;
+        let rpcs = p.issue(SimTime::from_secs(5), &mut ids);
+        let r = rpcs[0];
+        assert_eq!(r.job, JobId(9));
+        assert_eq!(r.proc_id, ProcId(3));
+        assert_eq!(r.client, ClientId(2));
+        assert_eq!(r.size_bytes, 4096);
+        assert_eq!(r.issued_at, SimTime::from_secs(5));
+        assert_eq!(r.id, RpcId(100));
+    }
+}

@@ -1,0 +1,454 @@
+//! The simulated cluster: wiring clients, network, OSS/OST and the control
+//! plane into one deterministic event loop.
+
+use crate::client::ProcessState;
+use crate::controller_driver::{ControllerDriver, ControllerOverhead};
+use crate::engine::EventQueue;
+use crate::faults::FaultPlan;
+use crate::metrics::Metrics;
+use crate::network::Network;
+use crate::ost::OstState;
+use crate::policy::Policy;
+use adaptbf_model::config::paper;
+use adaptbf_model::{
+    ClientId, JobId, NetworkConfig, OstConfig, ProcId, Rpc, SimDuration, SimTime,
+    TbfSchedulerConfig,
+};
+use adaptbf_tbf::{RpcMatcher, SchedDecision};
+use adaptbf_workload::Scenario;
+use std::collections::BTreeMap;
+
+/// Static wiring of the simulated testbed (defaults mirror Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// OST disk/thread model.
+    pub ost: OstConfig,
+    /// Interconnect latency model.
+    pub network: NetworkConfig,
+    /// NRS TBF parameters (bucket depth).
+    pub tbf: TbfSchedulerConfig,
+    /// Client nodes processes are spread over (paper: 4).
+    pub n_clients: usize,
+    /// OSTs in the cluster; each runs its own independent controller.
+    pub n_osts: usize,
+    /// `T_i` used by the Static BW baseline's fixed rules.
+    pub static_rate_total: f64,
+    /// Metrics bucket width (paper observes at 100 ms).
+    pub bucket: SimDuration,
+    /// Lustre-style file striping: each process's sequential RPCs
+    /// round-robin over this many OSTs (1 = file-per-OST, the default).
+    pub stripe_count: usize,
+    /// Deterministic failure injection (none by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            ost: paper::ost(),
+            network: paper::network(),
+            tbf: TbfSchedulerConfig::default(),
+            n_clients: 4,
+            n_osts: 1,
+            static_rate_total: paper::MAX_TOKEN_RATE,
+            bucket: SimDuration::from_millis(100),
+            stripe_count: 1,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// What one completed run hands back to the reporting layer.
+#[derive(Debug)]
+pub struct RawRunOutput {
+    /// All collected series and counters.
+    pub metrics: Metrics,
+    /// Per-OST control-plane overhead (empty under the baselines).
+    pub overheads: Vec<ControllerOverhead>,
+    /// The horizon the run covered.
+    pub end: SimTime,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    WorkArrival { proc: usize, rpcs: u64 },
+    ArriveAtOss { ost: usize, rpc: Rpc },
+    ServiceDone { ost: usize, rpc: Rpc },
+    ThreadWake { ost: usize, at: SimTime },
+    ReplyAtClient { proc: usize },
+    ControllerTick { ost: usize },
+}
+
+/// The assembled simulation, ready to [`Cluster::run`].
+pub struct Cluster {
+    policy: Policy,
+    end: SimTime,
+    queue: EventQueue<Event>,
+    procs: Vec<ProcessState>,
+    osts: Vec<OstState>,
+    drivers: Vec<Option<ControllerDriver>>,
+    network: Network,
+    metrics: Metrics,
+    rpc_counter: u64,
+    stripe_count: usize,
+    faults: FaultPlan,
+    /// Control cycles attempted per OST (including stalled ones).
+    cycles: Vec<u64>,
+}
+
+impl Cluster {
+    /// Build a cluster for `scenario` under `policy` with the default
+    /// testbed wiring.
+    pub fn build(scenario: &Scenario, policy: Policy, seed: u64) -> Self {
+        Self::build_with(scenario, policy, seed, ClusterConfig::default())
+    }
+
+    /// Build with explicit wiring.
+    pub fn build_with(scenario: &Scenario, policy: Policy, seed: u64, cfg: ClusterConfig) -> Self {
+        assert!(cfg.n_clients >= 1 && cfg.n_osts >= 1);
+        assert!(
+            cfg.stripe_count >= 1 && cfg.stripe_count <= cfg.n_osts,
+            "stripe_count must be in 1..=n_osts"
+        );
+        let end = SimTime::ZERO + scenario.duration;
+        let mut queue = EventQueue::new();
+        let mut metrics = Metrics::new(cfg.bucket);
+        let nodes: BTreeMap<JobId, u64> = scenario.jobs.iter().map(|j| (j.id, j.nodes)).collect();
+
+        // Clients & processes: file-per-process, striped over clients and
+        // OSTs exactly like the paper's 4-client testbed.
+        let mut procs = Vec::new();
+        let mut released: BTreeMap<JobId, u64> = BTreeMap::new();
+        for job in &scenario.jobs {
+            for spec in &job.processes {
+                let idx = procs.len();
+                let mut state = ProcessState::new(
+                    job.id,
+                    ProcId(idx as u32),
+                    ClientId((idx % cfg.n_clients) as u32),
+                    idx % cfg.n_osts,
+                    spec.max_inflight,
+                    cfg.ost.rpc_size,
+                );
+                let chunks = spec.pattern.arrivals(spec.file_rpcs, scenario.duration);
+                let statically_released: u64 = chunks.iter().map(|c| c.rpcs).sum();
+                for chunk in chunks {
+                    queue.push(
+                        chunk.at,
+                        Event::WorkArrival {
+                            proc: idx,
+                            rpcs: chunk.rpcs,
+                        },
+                    );
+                }
+                if let Some(think) = spec.pattern.think_spec() {
+                    // Closed-loop burster: follow-on bursts are released at
+                    // run time; the whole file counts as its target.
+                    state.think = Some(think);
+                    state.unreleased = spec.file_rpcs - statically_released;
+                    *released.entry(job.id).or_insert(0) += spec.file_rpcs;
+                } else {
+                    *released.entry(job.id).or_insert(0) += statically_released;
+                }
+                procs.push(state);
+            }
+        }
+        for (job, total) in &released {
+            metrics.set_released(*job, *total);
+        }
+
+        // OSTs and the control plane.
+        let mut osts: Vec<OstState> = (0..cfg.n_osts)
+            .map(|i| OstState::new(cfg.ost, cfg.tbf, seed ^ (0xD15C << 8) ^ i as u64))
+            .collect();
+        let mut drivers: Vec<Option<ControllerDriver>> = Vec::new();
+        match policy {
+            Policy::NoBw => drivers.resize_with(cfg.n_osts, || None),
+            Policy::StaticBw => {
+                // Fixed rules from the global static priorities, once.
+                for ost in &mut osts {
+                    for job in &scenario.jobs {
+                        let rate = cfg.static_rate_total * scenario.static_priority(job.id);
+                        ost.scheduler.start_rule(
+                            job.id.label(),
+                            RpcMatcher::Job(job.id),
+                            rate,
+                            job.nodes.min(u32::MAX as u64) as u32,
+                            SimTime::ZERO,
+                        );
+                    }
+                }
+                drivers.resize_with(cfg.n_osts, || None);
+            }
+            Policy::AdapTbf(acfg) => {
+                for i in 0..cfg.n_osts {
+                    drivers.push(Some(ControllerDriver::new(acfg, nodes.clone())));
+                    queue.push(
+                        SimTime::ZERO + acfg.period,
+                        Event::ControllerTick { ost: i },
+                    );
+                }
+            }
+        }
+
+        Cluster {
+            policy,
+            end,
+            queue,
+            procs,
+            osts,
+            drivers,
+            network: Network::new(cfg.network, seed ^ 0x2E70),
+            metrics,
+            rpc_counter: 0,
+            stripe_count: cfg.stripe_count,
+            faults: cfg.faults,
+            cycles: vec![0; cfg.n_osts],
+        }
+    }
+
+    /// Execute the run to its horizon and return the collected metrics.
+    pub fn run(mut self) -> RawRunOutput {
+        while let Some(at) = self.queue.peek_time() {
+            if at > self.end {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked");
+            self.handle(event, now);
+        }
+        self.metrics.finalize(self.end);
+        let overheads = self
+            .drivers
+            .iter()
+            .filter_map(|d| d.as_ref().map(|d| d.overhead()))
+            .collect();
+        RawRunOutput {
+            metrics: self.metrics,
+            overheads,
+            end: self.end,
+        }
+    }
+
+    fn handle(&mut self, event: Event, now: SimTime) {
+        match event {
+            Event::WorkArrival { proc, rpcs } => {
+                self.procs[proc].add_work(rpcs);
+                self.try_issue(proc, now);
+            }
+            Event::ArriveAtOss { ost, rpc } => {
+                self.metrics.on_arrival(rpc.job, now);
+                self.osts[ost].job_stats.record_arrival(rpc.job);
+                self.osts[ost].scheduler.enqueue(rpc, now);
+                self.dispatch(ost, now);
+            }
+            Event::ServiceDone { ost, rpc } => {
+                self.osts[ost].end_service(&rpc);
+                self.metrics.on_served_at(rpc.job, now, rpc.issued_at);
+                let latency = self.network.latency();
+                self.queue.push(
+                    now + latency,
+                    Event::ReplyAtClient {
+                        proc: rpc.proc_id.raw() as usize,
+                    },
+                );
+                self.dispatch(ost, now);
+            }
+            Event::ThreadWake { ost, at } => {
+                if self.osts[ost].pending_wake == Some(at) {
+                    self.osts[ost].pending_wake = None;
+                    self.dispatch(ost, now);
+                }
+                // Otherwise stale: a nearer wake superseded this one.
+            }
+            Event::ReplyAtClient { proc } => {
+                self.procs[proc].on_reply();
+                self.try_issue(proc, now);
+                // Closed-loop bursters release their next burst `think`
+                // after the current one fully completes.
+                if let Some((think, rpcs)) = self.procs[proc].take_next_burst() {
+                    self.queue
+                        .push(now + think, Event::WorkArrival { proc, rpcs });
+                }
+            }
+            Event::ControllerTick { ost } => {
+                self.controller_tick(ost, now);
+            }
+        }
+    }
+
+    /// Issue whatever the process's window allows and ship it northbound,
+    /// striping sequential RPCs over `stripe_count` OSTs.
+    fn try_issue(&mut self, proc: usize, now: SimTime) {
+        let state = &mut self.procs[proc];
+        let base_ost = state.ost;
+        let issued_before = state.issued;
+        let rpcs = state.issue(now, &mut self.rpc_counter);
+        let n_osts = self.osts.len();
+        for (k, rpc) in rpcs.into_iter().enumerate() {
+            let stripe = (issued_before as usize + k) % self.stripe_count;
+            let ost = (base_ost + stripe) % n_osts;
+            let latency = self.network.latency();
+            self.queue
+                .push(now + latency, Event::ArriveAtOss { ost, rpc });
+        }
+    }
+
+    /// Hand work to idle I/O threads until the pool is busy or the
+    /// scheduler has nothing servable.
+    fn dispatch(&mut self, ost: usize, now: SimTime) {
+        while self.osts[ost].has_idle_thread() {
+            match self.osts[ost].scheduler.next(now) {
+                SchedDecision::Serve(rpc) => {
+                    let health = self.faults.disk_factor(now);
+                    let service = self.osts[ost].begin_service_degraded(&rpc, health);
+                    self.queue
+                        .push(now + service, Event::ServiceDone { ost, rpc });
+                }
+                SchedDecision::WaitUntil(deadline) => {
+                    let state = &mut self.osts[ost];
+                    if state.pending_wake.is_none_or(|w| deadline < w) {
+                        state.pending_wake = Some(deadline);
+                        self.queue
+                            .push(deadline, Event::ThreadWake { ost, at: deadline });
+                    }
+                    break;
+                }
+                SchedDecision::Idle => break,
+            }
+        }
+    }
+
+    /// One AdapTBF control cycle on one OST (fault-aware).
+    fn controller_tick(&mut self, ost: usize, now: SimTime) {
+        let cycle = self.cycles[ost];
+        self.cycles[ost] += 1;
+        if self.faults.cycle_stalled(cycle) {
+            // Hung daemon: no collection, no allocation, no rule changes;
+            // stats keep accumulating for the next healthy cycle.
+            self.schedule_next_tick(ost, now);
+            return;
+        }
+        if self.faults.stats_lost(cycle) {
+            // Failed stats read: the controller sees an empty active set.
+            self.osts[ost].job_stats.clear();
+        }
+        let Some(driver) = self.drivers[ost].as_mut() else {
+            return;
+        };
+        let outcome = driver.tick(&mut self.osts[ost], now);
+        for jt in &outcome.trace.jobs {
+            self.metrics
+                .on_allocation(jt.job, now, jt.record_after, jt.after_recompensation);
+        }
+        // Records of idle jobs persist; keep their gauge lines continuous.
+        let ledger: Vec<(JobId, i64)> = driver
+            .controller
+            .ledger()
+            .iter()
+            .filter(|(job, _)| outcome.trace.job(*job).is_none())
+            .map(|(job, e)| (job, e.record))
+            .collect();
+        for (job, record) in ledger {
+            self.metrics.records.set(job, now, record as f64);
+        }
+        // Next cycle.
+        self.schedule_next_tick(ost, now);
+        // Rates changed: previously throttled queues may now be servable.
+        self.dispatch(ost, now);
+    }
+
+    fn schedule_next_tick(&mut self, ost: usize, now: SimTime) {
+        if let Policy::AdapTbf(acfg) = self.policy {
+            let next = now + acfg.period;
+            if next <= self.end {
+                self.queue.push(next, Event::ControllerTick { ost });
+            }
+        }
+    }
+
+    /// The policy governing this cluster.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_model::JobId;
+    use adaptbf_workload::{JobSpec, ProcessSpec};
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::new(
+            "tiny",
+            "two jobs, equal priority",
+            vec![
+                JobSpec::uniform(JobId(1), 1, 2, ProcessSpec::continuous(50)),
+                JobSpec::uniform(JobId(2), 1, 2, ProcessSpec::continuous(50)),
+            ],
+            SimDuration::from_secs(3),
+        )
+    }
+
+    #[test]
+    fn no_bw_serves_all_work() {
+        let out = Cluster::build(&tiny_scenario(), Policy::NoBw, 1).run();
+        assert_eq!(out.metrics.total_served(), 200, "all 200 RPCs served");
+        assert_eq!(out.metrics.completion_time.len(), 2);
+        assert!(out.metrics.completion_time[&JobId(1)].is_some());
+        assert!(out.overheads.is_empty());
+    }
+
+    #[test]
+    fn adaptbf_serves_all_work_and_reports_overhead() {
+        let out = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 1).run();
+        assert_eq!(out.metrics.total_served(), 200);
+        assert_eq!(out.overheads.len(), 1);
+        assert!(out.overheads[0].ticks > 10, "a tick every 100 ms");
+    }
+
+    #[test]
+    fn static_bw_respects_rates() {
+        // Job 1 alone at 50% → 500 tps static cap. 100 RPCs take ≥ 200 ms
+        // even though the disk could do them in ~100 ms.
+        let scenario = Scenario::new(
+            "static",
+            "",
+            vec![
+                JobSpec::uniform(JobId(1), 1, 4, ProcessSpec::continuous(25)),
+                JobSpec::uniform(JobId(2), 1, 1, ProcessSpec::continuous(1)),
+            ],
+            SimDuration::from_secs(2),
+        );
+        let out = Cluster::build(&scenario, Policy::StaticBw, 1).run();
+        let done = out.metrics.completion_time[&JobId(1)].expect("finishes");
+        assert!(
+            done >= SimTime::from_millis(190),
+            "static 500 tps cap must stretch 100 RPCs to ≈200 ms, got {done}"
+        );
+        assert_eq!(out.metrics.total_served(), 101);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 42).run();
+        let b = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 42).run();
+        assert_eq!(a.metrics.served_by_job, b.metrics.served_by_job);
+        assert_eq!(a.metrics.served, b.metrics.served);
+        let c = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 43).run();
+        // Different seed: still all served, timeline may differ.
+        assert_eq!(c.metrics.total_served(), 200);
+    }
+
+    #[test]
+    fn multi_ost_stripes_processes() {
+        let cfg = ClusterConfig {
+            n_osts: 2,
+            ..Default::default()
+        };
+        let out = Cluster::build_with(&tiny_scenario(), Policy::adaptbf_default(), 1, cfg).run();
+        assert_eq!(out.metrics.total_served(), 200);
+        assert_eq!(out.overheads.len(), 2, "one controller per OST");
+        assert!(out.overheads.iter().all(|o| o.ticks > 0));
+    }
+}

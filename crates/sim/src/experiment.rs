@@ -1,0 +1,310 @@
+//! Experiment runner and reports: one scenario × policy → [`RunReport`];
+//! all three policies → [`Comparison`] with the gain/loss tables of
+//! Figures 4/6/8.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::controller_driver::ControllerOverhead;
+use crate::metrics::Metrics;
+use crate::policy::Policy;
+use adaptbf_model::{JobId, SimDuration, SimTime};
+use adaptbf_workload::Scenario;
+use std::collections::BTreeMap;
+
+/// Per-job outcome of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobOutcome {
+    /// The job.
+    pub job: JobId,
+    /// RPCs served.
+    pub served: u64,
+    /// RPCs its patterns released within the horizon.
+    pub released: u64,
+    /// Whether all released work completed.
+    pub completed: bool,
+    /// Completion instant, if completed.
+    pub completion: Option<SimTime>,
+    /// Achieved throughput in tokens (RPCs) per second over the job's
+    /// makespan — completion time if it finished, the horizon otherwise.
+    pub throughput_tps: f64,
+}
+
+/// Everything measured in one run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy name.
+    pub policy: String,
+    /// Run horizon.
+    pub duration: SimDuration,
+    /// Full series (timelines for the figures).
+    pub metrics: Metrics,
+    /// Per-job outcomes.
+    pub per_job: BTreeMap<JobId, JobOutcome>,
+    /// Control-plane overhead per OST (empty under baselines).
+    pub overheads: Vec<ControllerOverhead>,
+}
+
+impl RunReport {
+    /// Aggregate throughput in RPC/s over the workload's makespan (the
+    /// instant of the last disk completion) — so a run that finishes all
+    /// its work early is not diluted by trailing idle time.
+    pub fn overall_throughput_tps(&self) -> f64 {
+        let served = self.metrics.total_served();
+        if served == 0 {
+            return 0.0;
+        }
+        let makespan = self.metrics.last_service.as_secs_f64();
+        served as f64 / makespan.max(self.metrics.bucket.as_secs_f64())
+    }
+
+    /// One job's makespan throughput (0 for unknown jobs).
+    pub fn job_throughput(&self, job: JobId) -> f64 {
+        self.per_job.get(&job).map_or(0.0, |o| o.throughput_tps)
+    }
+
+    /// Fraction of the configured token ceiling actually used.
+    pub fn utilization(&self, max_token_rate: f64) -> f64 {
+        self.overall_throughput_tps() / max_token_rate
+    }
+}
+
+/// One scenario × one policy × one seed.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    scenario: Scenario,
+    policy: Policy,
+    seed: u64,
+    cluster: ClusterConfig,
+}
+
+impl Experiment {
+    /// New experiment with the default testbed wiring and seed 0.
+    pub fn new(scenario: Scenario, policy: Policy) -> Self {
+        Experiment {
+            scenario,
+            policy,
+            seed: 0,
+            cluster: ClusterConfig::default(),
+        }
+    }
+
+    /// Set the RNG seed (runs are fully deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the testbed wiring.
+    pub fn cluster_config(mut self, cfg: ClusterConfig) -> Self {
+        self.cluster = cfg;
+        self
+    }
+
+    /// Inject a deterministic fault schedule (controller stalls, stats
+    /// loss, device degradation).
+    pub fn faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.cluster.faults = plan;
+        self
+    }
+
+    /// Run to the horizon.
+    pub fn run(self) -> RunReport {
+        let out = Cluster::build_with(&self.scenario, self.policy, self.seed, self.cluster).run();
+        let duration = self.scenario.duration;
+        let horizon_secs = duration.as_secs_f64();
+
+        let mut per_job = BTreeMap::new();
+        for job in self.scenario.job_ids() {
+            let served = out.metrics.served_by_job.get(&job).copied().unwrap_or(0);
+            let released = out.metrics.released_by_job.get(&job).copied().unwrap_or(0);
+            let completion = out.metrics.completion_time.get(&job).copied().flatten();
+            let makespan = completion.map_or(horizon_secs, |t| t.as_secs_f64());
+            per_job.insert(
+                job,
+                JobOutcome {
+                    job,
+                    served,
+                    released,
+                    completed: completion.is_some(),
+                    completion,
+                    throughput_tps: if makespan > 0.0 {
+                        served as f64 / makespan
+                    } else {
+                        0.0
+                    },
+                },
+            );
+        }
+
+        RunReport {
+            scenario: self.scenario.name.clone(),
+            policy: self.policy.name().to_string(),
+            duration,
+            metrics: out.metrics,
+            per_job,
+            overheads: out.overheads,
+        }
+    }
+}
+
+/// One row of the paper's per-job comparison bars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonRow {
+    /// The job (`None` = the "overall" bar).
+    pub job: Option<JobId>,
+    /// Throughput under No BW, RPC/s.
+    pub no_bw: f64,
+    /// Throughput under Static BW, RPC/s.
+    pub static_bw: f64,
+    /// Throughput under AdapTBF, RPC/s.
+    pub adaptbf: f64,
+}
+
+impl ComparisonRow {
+    /// AdapTBF gain (positive) or loss (negative) vs No BW, as a fraction
+    /// (the Figures 4(b)/6(b)/8(b) series).
+    pub fn gain_vs_no_bw(&self) -> f64 {
+        if self.no_bw <= 0.0 {
+            0.0
+        } else {
+            (self.adaptbf - self.no_bw) / self.no_bw
+        }
+    }
+
+    /// AdapTBF gain/loss vs Static BW.
+    pub fn gain_vs_static(&self) -> f64 {
+        if self.static_bw <= 0.0 {
+            0.0
+        } else {
+            (self.adaptbf - self.static_bw) / self.static_bw
+        }
+    }
+}
+
+/// The three policies run on one scenario with one seed.
+#[derive(Debug)]
+pub struct Comparison {
+    /// No BW baseline report.
+    pub no_bw: RunReport,
+    /// Static BW baseline report.
+    pub static_bw: RunReport,
+    /// AdapTBF report.
+    pub adaptbf: RunReport,
+}
+
+impl Comparison {
+    /// Run all three policies with the paper-default AdapTBF config.
+    pub fn run(scenario: &Scenario, seed: u64) -> Self {
+        Self::run_with(
+            scenario,
+            seed,
+            Policy::adaptbf_default(),
+            ClusterConfig::default(),
+        )
+    }
+
+    /// Run with an explicit AdapTBF policy and testbed wiring.
+    pub fn run_with(
+        scenario: &Scenario,
+        seed: u64,
+        adaptbf_policy: Policy,
+        cluster: ClusterConfig,
+    ) -> Self {
+        assert!(
+            matches!(adaptbf_policy, Policy::AdapTbf(_)),
+            "third policy must be AdapTBF"
+        );
+        let run = |policy| {
+            Experiment::new(scenario.clone(), policy)
+                .seed(seed)
+                .cluster_config(cluster)
+                .run()
+        };
+        Comparison {
+            no_bw: run(Policy::NoBw),
+            static_bw: run(Policy::StaticBw),
+            adaptbf: run(adaptbf_policy),
+        }
+    }
+
+    /// Per-job rows in job order (Figures 4(a)/6(a)/8(a)).
+    pub fn job_rows(&self) -> Vec<ComparisonRow> {
+        self.no_bw
+            .per_job
+            .keys()
+            .map(|job| ComparisonRow {
+                job: Some(*job),
+                no_bw: self.no_bw.job_throughput(*job),
+                static_bw: self.static_bw.job_throughput(*job),
+                adaptbf: self.adaptbf.job_throughput(*job),
+            })
+            .collect()
+    }
+
+    /// The "overall" row (aggregate throughput over the horizon).
+    pub fn overall_row(&self) -> ComparisonRow {
+        ComparisonRow {
+            job: None,
+            no_bw: self.no_bw.overall_throughput_tps(),
+            static_bw: self.static_bw.overall_throughput_tps(),
+            adaptbf: self.adaptbf.overall_throughput_tps(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_workload::scenarios;
+
+    #[test]
+    fn run_report_totals_are_consistent() {
+        let s = scenarios::token_allocation_scaled(1.0 / 64.0);
+        let r = Experiment::new(s, Policy::NoBw).seed(3).run();
+        let per_job_sum: u64 = r.per_job.values().map(|o| o.served).sum();
+        assert_eq!(per_job_sum, r.metrics.total_served());
+        assert!(r.overall_throughput_tps() > 0.0);
+        assert!(r.utilization(1000.0) <= 1.2);
+    }
+
+    #[test]
+    fn comparison_produces_rows_for_all_jobs() {
+        let s = scenarios::token_allocation_scaled(1.0 / 64.0);
+        let c = Comparison::run(&s, 5);
+        assert_eq!(c.job_rows().len(), 4);
+        let overall = c.overall_row();
+        assert!(overall.no_bw > 0.0 && overall.adaptbf > 0.0);
+    }
+
+    #[test]
+    fn gain_math() {
+        let row = ComparisonRow {
+            job: None,
+            no_bw: 100.0,
+            static_bw: 50.0,
+            adaptbf: 120.0,
+        };
+        assert!((row.gain_vs_no_bw() - 0.2).abs() < 1e-12);
+        assert!((row.gain_vs_static() - 1.4).abs() < 1e-12);
+        let zero = ComparisonRow {
+            job: None,
+            no_bw: 0.0,
+            static_bw: 0.0,
+            adaptbf: 1.0,
+        };
+        assert_eq!(zero.gain_vs_no_bw(), 0.0);
+    }
+
+    #[test]
+    fn completed_jobs_use_makespan_throughput() {
+        let s = scenarios::token_allocation_scaled(1.0 / 64.0);
+        let r = Experiment::new(s, Policy::NoBw).seed(3).run();
+        for outcome in r.per_job.values() {
+            assert!(outcome.completed, "tiny workload must finish");
+            let makespan = outcome.completion.unwrap().as_secs_f64();
+            let expect = outcome.served as f64 / makespan;
+            assert!((outcome.throughput_tps - expect).abs() < 1e-9);
+        }
+    }
+}

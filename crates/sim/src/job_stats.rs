@@ -1,0 +1,4 @@
+//! Re-export: the `job_stats` tracker lives in `adaptbf-tbf` so the
+//! simulator and the live runtime share one implementation.
+
+pub use adaptbf_tbf::job_stats::JobStatsTracker;

@@ -1,0 +1,48 @@
+//! # adaptbf-sim
+//!
+//! A deterministic discrete-event simulation of the full Lustre I/O path
+//! the paper evaluates on (Figure 2, left): client processes with bounded
+//! `max_rpcs_in_flight` windows → a latency-modelled network → an OSS whose
+//! NRS/TBF scheduler feeds a pool of I/O threads → an OST disk model —
+//! plus the AdapTBF control plane on top (job-stats tracker, System Stats
+//! Controller loop, allocation algorithm, Rule Management Daemon).
+//!
+//! Three bandwidth-control policies are available ([`Policy`]), exactly the
+//! paper's baselines (Section IV-C):
+//!
+//! * **No BW** — no TBF rules; every RPC goes through the unruled fallback
+//!   path and is served FCFS by idle I/O threads.
+//! * **Static BW** — one TBF rule per job installed at t=0 with rate
+//!   `T_i · p_x` from the *global* static priorities, never changed.
+//! * **AdapTBF** — the full adaptive controller re-allocating every `Δt`.
+//!
+//! Everything is deterministic given a seed: RNG use is confined to
+//! seeded [`rand::rngs::SmallRng`] instances (service-time and network
+//! jitter), and event ties break on insertion order.
+//!
+//! Entry point: [`Experiment`] (one scenario × one policy × one seed →
+//! [`RunReport`]), or [`Comparison`] to run all three policies and compute
+//! the gain/loss tables the paper's Figures 4/6/8 report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod controller_driver;
+pub mod engine;
+pub mod experiment;
+pub mod faults;
+pub mod job_stats;
+pub mod metrics;
+pub mod network;
+pub mod ost;
+pub mod policy;
+pub mod report;
+pub mod rule_daemon;
+
+pub use cluster::Cluster;
+pub use experiment::{Comparison, Experiment, JobOutcome, RunReport};
+pub use faults::{DegradeSpec, FaultPlan, StallSpec};
+pub use policy::Policy;
+pub use report::{frequency_sweep, FrequencyPoint};

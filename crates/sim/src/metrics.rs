@@ -1,0 +1,180 @@
+//! Run-time metrics collection: the 100 ms-bucketed timelines and counters
+//! behind every figure of the evaluation.
+
+use adaptbf_model::{JobId, LatencyHistogram, PerJobSeries, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// All series and counters collected during one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Metrics {
+    /// RPCs *served* (disk completions) per job per bucket — the
+    /// throughput timelines of Figures 3/5.
+    pub served: PerJobSeries,
+    /// RPCs *arriving* at the OSS per job per bucket — the demand lines of
+    /// Figure 7.
+    pub demand: PerJobSeries,
+    /// Lending/borrowing record per job per bucket (gauge; Figure 7).
+    pub records: PerJobSeries,
+    /// Token allocation per job per bucket (gauge; Figure 3 analysis).
+    pub allocations: PerJobSeries,
+    /// Total RPCs served per job.
+    pub served_by_job: BTreeMap<JobId, u64>,
+    /// Total RPCs released (made available) per job within the horizon.
+    pub released_by_job: BTreeMap<JobId, u64>,
+    /// When each job finished all released work, if it did.
+    pub completion_time: BTreeMap<JobId, Option<SimTime>>,
+    /// Instant of the last disk completion (the workload's makespan).
+    pub last_service: SimTime,
+    /// End-to-end RPC latency (client issue → disk completion) per job.
+    pub latency_by_job: BTreeMap<JobId, LatencyHistogram>,
+    /// Bucket width used by all series.
+    pub bucket: SimDuration,
+}
+
+impl Metrics {
+    /// New collector with the given bucket width (the paper observes at
+    /// 100 ms).
+    pub fn new(bucket: SimDuration) -> Self {
+        Metrics {
+            served: PerJobSeries::new(bucket),
+            demand: PerJobSeries::new(bucket),
+            records: PerJobSeries::new(bucket),
+            allocations: PerJobSeries::new(bucket),
+            served_by_job: BTreeMap::new(),
+            released_by_job: BTreeMap::new(),
+            completion_time: BTreeMap::new(),
+            last_service: SimTime::ZERO,
+            latency_by_job: BTreeMap::new(),
+            bucket,
+        }
+    }
+
+    /// Record a disk completion. `issued_at` is when the client put the
+    /// RPC on the wire (for end-to-end latency accounting).
+    pub fn on_served_at(&mut self, job: JobId, now: SimTime, issued_at: SimTime) {
+        self.latency_by_job
+            .entry(job)
+            .or_default()
+            .record(now.since(issued_at));
+        self.on_served(job, now);
+    }
+
+    /// Record a disk completion without latency attribution.
+    pub fn on_served(&mut self, job: JobId, now: SimTime) {
+        self.served.add(job, now, 1.0);
+        self.last_service = self.last_service.max(now);
+        let count = self.served_by_job.entry(job).or_insert(0);
+        *count += 1;
+        if let Some(total) = self.released_by_job.get(&job) {
+            if *count == *total {
+                self.completion_time.insert(job, Some(now));
+            }
+        }
+    }
+
+    /// Record an OSS arrival.
+    pub fn on_arrival(&mut self, job: JobId, now: SimTime) {
+        self.demand.add(job, now, 1.0);
+    }
+
+    /// Record the controller's view after a tick (records + allocations).
+    pub fn on_allocation(&mut self, job: JobId, now: SimTime, record: i64, tokens: u64) {
+        self.records.set(job, now, record as f64);
+        self.allocations.set(job, now, tokens as f64);
+    }
+
+    /// Declare how much work a job releases within the horizon (enables
+    /// completion detection).
+    pub fn set_released(&mut self, job: JobId, total: u64) {
+        self.released_by_job.insert(job, total);
+        self.completion_time.entry(job).or_insert(None);
+    }
+
+    /// Total RPCs served across jobs.
+    pub fn total_served(&self) -> u64 {
+        self.served_by_job.values().sum()
+    }
+
+    /// Latency histogram for one job (empty if never served).
+    pub fn latency(&self, job: JobId) -> LatencyHistogram {
+        self.latency_by_job.get(&job).cloned().unwrap_or_default()
+    }
+
+    /// Align all series to a common final length covering `until`.
+    pub fn finalize(&mut self, until: SimTime) {
+        self.served.add_padding(until);
+        self.demand.add_padding(until);
+        self.records.add_padding(until);
+        self.allocations.add_padding(until);
+    }
+}
+
+/// Extension trait: pad a whole [`PerJobSeries`] family to cover `until`.
+trait PadFamily {
+    fn add_padding(&mut self, until: SimTime);
+}
+
+impl PadFamily for PerJobSeries {
+    fn add_padding(&mut self, until: SimTime) {
+        let jobs = self.jobs();
+        for job in jobs {
+            // `set` of the current value at `until` would distort gauges;
+            // grow by adding zero (sums unaffected, gauges default 0).
+            self.add(job, until, 0.0);
+        }
+        self.align();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Metrics {
+        Metrics::new(SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn served_counts_and_completion() {
+        let mut metrics = m();
+        metrics.set_released(JobId(1), 2);
+        metrics.on_served(JobId(1), SimTime::from_millis(50));
+        assert_eq!(metrics.completion_time[&JobId(1)], None);
+        metrics.on_served(JobId(1), SimTime::from_millis(160));
+        assert_eq!(
+            metrics.completion_time[&JobId(1)],
+            Some(SimTime::from_millis(160))
+        );
+        assert_eq!(metrics.total_served(), 2);
+        assert_eq!(metrics.served.get(JobId(1)).unwrap().values, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn gauges_record_last_value_per_bucket() {
+        let mut metrics = m();
+        metrics.on_allocation(JobId(1), SimTime::from_millis(100), 5, 30);
+        metrics.on_allocation(JobId(1), SimTime::from_millis(200), -3, 40);
+        let records = metrics.records.get(JobId(1)).unwrap();
+        assert_eq!(records.get(1), 5.0);
+        assert_eq!(records.get(2), -3.0);
+        assert_eq!(metrics.allocations.get(JobId(1)).unwrap().get(2), 40.0);
+    }
+
+    #[test]
+    fn finalize_aligns_series() {
+        let mut metrics = m();
+        metrics.on_served(JobId(1), SimTime::from_millis(50));
+        metrics.on_arrival(JobId(2), SimTime::from_millis(950));
+        metrics.finalize(SimTime::from_millis(1000));
+        assert_eq!(metrics.served.get(JobId(1)).unwrap().len(), 11);
+        assert_eq!(metrics.demand.get(JobId(2)).unwrap().len(), 11);
+    }
+
+    #[test]
+    fn completion_without_release_info_stays_none() {
+        let mut metrics = m();
+        metrics.on_served(JobId(3), SimTime::ZERO);
+        assert!(!metrics.completion_time.contains_key(&JobId(3)));
+    }
+}

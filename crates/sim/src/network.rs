@@ -1,0 +1,76 @@
+//! The client ↔ OSS interconnect: constant base latency with seeded jitter.
+//!
+//! The paper's testbed uses 25 GbE, which is never the bottleneck for 1 MiB
+//! RPCs against SATA-SSD OSTs; a per-message latency model is sufficient.
+
+use adaptbf_model::{NetworkConfig, SimDuration};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded latency source for one simulation run.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    rng: SmallRng,
+}
+
+impl Network {
+    /// New network model with its own deterministic RNG stream.
+    pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        Network {
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One-way latency for the next message.
+    pub fn latency(&mut self) -> SimDuration {
+        let base = self.config.base_latency.as_secs_f64();
+        let j = self.config.jitter;
+        let factor = if j > 0.0 {
+            1.0 + self.rng.gen_range(-j..=j)
+        } else {
+            1.0
+        };
+        SimDuration::from_secs_f64(base * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_model::config::paper;
+
+    #[test]
+    fn latency_within_jitter_bounds() {
+        let cfg = paper::network();
+        let mut n = Network::new(cfg, 42);
+        let base = cfg.base_latency.as_secs_f64();
+        for _ in 0..1000 {
+            let l = n.latency().as_secs_f64();
+            assert!(l >= base * (1.0 - cfg.jitter) - 1e-12);
+            assert!(l <= base * (1.0 + cfg.jitter) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_constant() {
+        let cfg = NetworkConfig {
+            base_latency: SimDuration::from_micros(100),
+            jitter: 0.0,
+        };
+        let mut n = Network::new(cfg, 1);
+        assert_eq!(n.latency(), SimDuration::from_micros(100));
+        assert_eq!(n.latency(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let cfg = paper::network();
+        let mut a = Network::new(cfg, 7);
+        let mut b = Network::new(cfg, 7);
+        for _ in 0..100 {
+            assert_eq!(a.latency(), b.latency());
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! One Object Storage Target: NRS/TBF scheduler + I/O thread pool + disk
+//! service model.
+//!
+//! The disk model charges each RPC `size / (B/k)` seconds on one of `k`
+//! threads (so the pool sustains the device bandwidth `B`), with seeded
+//! jitter, plus a small *stream-interference* penalty that grows with the
+//! number of distinct jobs concurrently in service — the seek/FTL cost of
+//! interleaving independent sequential streams, which is what lets
+//! schedules that concentrate service (as priority control does) edge out
+//! pure FCFS on aggregate bandwidth, as the paper observes.
+
+use crate::job_stats::JobStatsTracker;
+use adaptbf_model::{JobId, OstConfig, Rpc, SimDuration, SimTime, TbfSchedulerConfig};
+use adaptbf_tbf::NrsTbfScheduler;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Per-extra-concurrent-job service-time penalty (fraction).
+pub const STREAM_INTERFERENCE: f64 = 0.02;
+/// Cap on the number of extra jobs that add interference.
+pub const INTERFERENCE_CAP: usize = 6;
+
+/// Mutable state of one OST during a run.
+#[derive(Debug)]
+pub struct OstState {
+    /// The NRS TBF scheduler in front of the I/O threads.
+    pub scheduler: NrsTbfScheduler,
+    /// The Lustre `job_stats` equivalent for this OST.
+    pub job_stats: JobStatsTracker,
+    config: OstConfig,
+    busy_threads: usize,
+    /// Distinct-job occupancy of the thread pool (for interference).
+    in_service_jobs: BTreeMap<JobId, usize>,
+    /// De-duplication of scheduled TBF-deadline wake-ups.
+    pub pending_wake: Option<SimTime>,
+    rng: SmallRng,
+    served_total: u64,
+}
+
+impl OstState {
+    /// New OST with an empty scheduler.
+    pub fn new(config: OstConfig, tbf: TbfSchedulerConfig, seed: u64) -> Self {
+        OstState {
+            scheduler: NrsTbfScheduler::new(tbf),
+            job_stats: JobStatsTracker::new(),
+            config,
+            busy_threads: 0,
+            in_service_jobs: BTreeMap::new(),
+            pending_wake: None,
+            rng: SmallRng::seed_from_u64(seed),
+            served_total: 0,
+        }
+    }
+
+    /// The OST configuration.
+    pub fn config(&self) -> &OstConfig {
+        &self.config
+    }
+
+    /// Whether a thread is free to pick up work.
+    pub fn has_idle_thread(&self) -> bool {
+        self.busy_threads < self.config.n_io_threads
+    }
+
+    /// Threads currently serving RPCs.
+    pub fn busy_threads(&self) -> usize {
+        self.busy_threads
+    }
+
+    /// RPCs fully serviced by this OST.
+    pub fn served_total(&self) -> u64 {
+        self.served_total
+    }
+
+    /// Begin servicing `rpc` on an idle thread; returns the service time.
+    /// `health_factor` > 1 models an injected device slowdown.
+    pub fn begin_service_degraded(&mut self, rpc: &Rpc, health_factor: f64) -> SimDuration {
+        debug_assert!(self.has_idle_thread(), "no idle thread");
+        debug_assert!(
+            health_factor >= 1.0,
+            "degrade factor must not speed the disk up"
+        );
+        self.busy_threads += 1;
+        *self.in_service_jobs.entry(rpc.job).or_insert(0) += 1;
+
+        let distinct = self.in_service_jobs.len();
+        let interference =
+            1.0 + STREAM_INTERFERENCE * distinct.saturating_sub(1).min(INTERFERENCE_CAP) as f64;
+        let per_thread_bw =
+            self.config.disk_bw_bytes_per_s as f64 / self.config.n_io_threads as f64;
+        let mean = rpc.size_bytes as f64 / per_thread_bw * interference * health_factor;
+        let j = self.config.service_jitter;
+        let factor = if j > 0.0 {
+            1.0 + self.rng.gen_range(-j..=j)
+        } else {
+            1.0
+        };
+        SimDuration::from_secs_f64(mean * factor)
+    }
+
+    /// [`Self::begin_service_degraded`] with a healthy device.
+    pub fn begin_service(&mut self, rpc: &Rpc) -> SimDuration {
+        self.begin_service_degraded(rpc, 1.0)
+    }
+
+    /// A service completed; frees the thread.
+    pub fn end_service(&mut self, rpc: &Rpc) {
+        debug_assert!(self.busy_threads > 0);
+        self.busy_threads -= 1;
+        self.served_total += 1;
+        match self.in_service_jobs.get_mut(&rpc.job) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.in_service_jobs.remove(&rpc.job);
+            }
+            None => debug_assert!(false, "end_service without begin_service"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_model::config::paper;
+    use adaptbf_model::{ClientId, ProcId, RpcId};
+
+    fn rpc(job: u32) -> Rpc {
+        Rpc::new(RpcId(0), JobId(job), ClientId(0), ProcId(0), SimTime::ZERO)
+    }
+
+    fn ost() -> OstState {
+        OstState::new(paper::ost(), TbfSchedulerConfig::default(), 7)
+    }
+
+    #[test]
+    fn thread_accounting() {
+        let mut o = ost();
+        assert!(o.has_idle_thread());
+        for _ in 0..16 {
+            let _ = o.begin_service(&rpc(1));
+        }
+        assert!(!o.has_idle_thread());
+        assert_eq!(o.busy_threads(), 16);
+        o.end_service(&rpc(1));
+        assert!(o.has_idle_thread());
+        assert_eq!(o.served_total(), 1);
+    }
+
+    #[test]
+    fn service_time_near_mean_single_stream() {
+        let mut o = ost();
+        let mean = paper::ost().mean_service_secs();
+        for _ in 0..50 {
+            let s = o.begin_service(&rpc(1)).as_secs_f64();
+            o.end_service(&rpc(1));
+            assert!(s >= mean * 0.94 && s <= mean * 1.06, "{s} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn interference_grows_with_distinct_jobs() {
+        let cfg = OstConfig {
+            service_jitter: 0.0,
+            ..paper::ost()
+        };
+        let mut o = OstState::new(cfg, TbfSchedulerConfig::default(), 7);
+        let s1 = o.begin_service(&rpc(1)).as_secs_f64();
+        let s2 = o.begin_service(&rpc(2)).as_secs_f64();
+        let s3 = o.begin_service(&rpc(3)).as_secs_f64();
+        assert!(s2 > s1, "second distinct job pays interference");
+        assert!(s3 > s2);
+        // Same job again adds no interference.
+        let s3b = o.begin_service(&rpc(3)).as_secs_f64();
+        assert_eq!(s3b, s3);
+    }
+
+    #[test]
+    fn interference_is_capped() {
+        let cfg = OstConfig {
+            service_jitter: 0.0,
+            n_io_threads: 32,
+            ..paper::ost()
+        };
+        let mut o = OstState::new(cfg, TbfSchedulerConfig::default(), 7);
+        let mut last = 0.0;
+        for j in 0..10 {
+            last = o.begin_service(&rpc(j)).as_secs_f64();
+        }
+        let uncapped = cfg.rpc_size as f64 / (cfg.disk_bw_bytes_per_s as f64 / 32.0)
+            * (1.0 + STREAM_INTERFERENCE * 9.0);
+        assert!(
+            last < uncapped,
+            "penalty must cap at {INTERFERENCE_CAP} extra jobs"
+        );
+    }
+}

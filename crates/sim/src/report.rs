@@ -1,0 +1,186 @@
+//! Report rendering: CSV timelines, ASCII tables, and the allocation-
+//! frequency sweep of Figure 9.
+
+use crate::cluster::ClusterConfig;
+use crate::experiment::{ComparisonRow, Experiment};
+use crate::policy::Policy;
+use adaptbf_model::{AdapTbfConfig, PerJobSeries, SimDuration};
+use adaptbf_workload::Scenario;
+
+/// One point of the Figure 9 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyPoint {
+    /// The observation period `Δt`.
+    pub period: SimDuration,
+    /// Aggregate throughput achieved, RPC/s.
+    pub throughput_tps: f64,
+}
+
+/// Figure 9: run the scenario under AdapTBF for each allocation period and
+/// report aggregate throughput.
+pub fn frequency_sweep(
+    scenario: &Scenario,
+    seed: u64,
+    base: AdapTbfConfig,
+    periods: &[SimDuration],
+) -> Vec<FrequencyPoint> {
+    periods
+        .iter()
+        .map(|period| {
+            let cfg = base.with_period(*period);
+            let report = Experiment::new(scenario.clone(), Policy::AdapTbf(cfg))
+                .seed(seed)
+                .cluster_config(ClusterConfig::default())
+                .run();
+            FrequencyPoint {
+                period: *period,
+                throughput_tps: report.overall_throughput_tps(),
+            }
+        })
+        .collect()
+}
+
+/// Render a per-job timeline family as CSV: `time_s,job1,job2,...,overall`,
+/// values in RPC/s per bucket.
+pub fn timeline_csv(series: &PerJobSeries) -> String {
+    let mut series = series.clone();
+    series.align();
+    let jobs = series.jobs();
+    let agg = series.aggregate();
+    let mut out = String::from("time_s");
+    for job in &jobs {
+        out.push_str(&format!(",{job}"));
+    }
+    out.push_str(",overall\n");
+    let scale = 1.0 / agg.bucket.as_secs_f64();
+    for i in 0..agg.len() {
+        let t = i as f64 * agg.bucket.as_secs_f64();
+        out.push_str(&format!("{t:.1}"));
+        for job in &jobs {
+            let v = series.get(*job).map_or(0.0, |s| s.get(i));
+            out.push_str(&format!(",{:.1}", v * scale));
+        }
+        out.push_str(&format!(",{:.1}\n", agg.get(i) * scale));
+    }
+    out
+}
+
+/// Render a gauge timeline family (records, allocations) as CSV with raw
+/// values (no rate conversion).
+pub fn gauge_csv(series: &PerJobSeries) -> String {
+    let mut series = series.clone();
+    series.align();
+    let jobs = series.jobs();
+    let n = series.max_len();
+    let bucket = jobs
+        .first()
+        .and_then(|j| series.get(*j))
+        .map_or(0.1, |s| s.bucket.as_secs_f64());
+    let mut out = String::from("time_s");
+    for job in &jobs {
+        out.push_str(&format!(",{job}"));
+    }
+    out.push('\n');
+    for i in 0..n {
+        out.push_str(&format!("{:.1}", i as f64 * bucket));
+        for job in &jobs {
+            out.push_str(&format!(
+                ",{:.1}",
+                series.get(*job).map_or(0.0, |s| s.get(i))
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the per-job comparison bars (Figures 4/6/8) as an ASCII table.
+pub fn comparison_table(rows: &[ComparisonRow], overall: ComparisonRow) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14}\n",
+        "job", "no_bw_tps", "static_tps", "adaptbf_tps", "gain_vs_nobw"
+    ));
+    for row in rows.iter().chain(std::iter::once(&overall)) {
+        let label = row
+            .job
+            .map_or_else(|| "overall".to_string(), |j| j.to_string());
+        out.push_str(&format!(
+            "{:<10} {:>12.1} {:>12.1} {:>12.1} {:>+13.1}%\n",
+            label,
+            row.no_bw,
+            row.static_bw,
+            row.adaptbf,
+            row.gain_vs_no_bw() * 100.0
+        ));
+    }
+    out
+}
+
+/// Render the Figure 9 sweep as CSV.
+pub fn frequency_csv(points: &[FrequencyPoint]) -> String {
+    let mut out = String::from("period_ms,throughput_tps\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:.0},{:.1}\n",
+            p.period.as_secs_f64() * 1e3,
+            p.throughput_tps
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_model::{JobId, SimTime};
+
+    #[test]
+    fn timeline_csv_shape() {
+        let mut fam = PerJobSeries::new(SimDuration::from_millis(100));
+        fam.add(JobId(1), SimTime::ZERO, 10.0);
+        fam.add(JobId(2), SimTime::from_millis(150), 5.0);
+        let csv = timeline_csv(&fam);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "time_s,job1,job2,overall");
+        assert_eq!(lines.next().unwrap(), "0.0,100.0,0.0,100.0");
+        assert_eq!(lines.next().unwrap(), "0.1,0.0,50.0,50.0");
+    }
+
+    #[test]
+    fn gauge_csv_keeps_raw_values() {
+        let mut fam = PerJobSeries::new(SimDuration::from_millis(100));
+        fam.set(JobId(1), SimTime::ZERO, -36.0);
+        let csv = gauge_csv(&fam);
+        assert!(csv.contains("0.0,-36.0"), "{csv}");
+    }
+
+    #[test]
+    fn comparison_table_includes_overall() {
+        let rows = vec![ComparisonRow {
+            job: Some(JobId(1)),
+            no_bw: 100.0,
+            static_bw: 80.0,
+            adaptbf: 110.0,
+        }];
+        let overall = ComparisonRow {
+            job: None,
+            no_bw: 400.0,
+            static_bw: 300.0,
+            adaptbf: 390.0,
+        };
+        let table = comparison_table(&rows, overall);
+        assert!(table.contains("job1"));
+        assert!(table.contains("overall"));
+        assert!(table.contains("+10.0%"));
+    }
+
+    #[test]
+    fn frequency_csv_format() {
+        let pts = vec![FrequencyPoint {
+            period: SimDuration::from_millis(100),
+            throughput_tps: 987.6,
+        }];
+        assert_eq!(frequency_csv(&pts), "period_ms,throughput_tps\n100,987.6\n");
+    }
+}

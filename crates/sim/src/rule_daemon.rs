@@ -1,0 +1,4 @@
+//! Re-export: the Rule Management Daemon lives in `adaptbf-tbf` so the
+//! simulator and the live runtime share one implementation.
+
+pub use adaptbf_tbf::daemon::RuleDaemon;

@@ -1,0 +1,117 @@
+//! Property-based tests for the whole simulator: randomized scenarios must
+//! uphold global invariants under every policy.
+
+use adaptbf_model::{JobId, SimDuration};
+use adaptbf_sim::cluster::{Cluster, ClusterConfig};
+use adaptbf_sim::Policy;
+use adaptbf_workload::{JobSpec, ProcessSpec, Scenario};
+use proptest::prelude::*;
+
+/// A small random scenario: up to 4 jobs, mixed patterns, short horizon.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let job = (1u64..8, 1usize..3, 10u64..200, 0u8..3)
+        .prop_map(|(nodes, procs, file, kind)| (nodes, procs, file, kind));
+    proptest::collection::vec(job, 1..4).prop_map(|jobs| {
+        let specs = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, procs, file, kind))| {
+                let spec = match kind {
+                    0 => ProcessSpec::continuous(file),
+                    1 => ProcessSpec::bursty(
+                        file,
+                        SimDuration::from_millis(200),
+                        SimDuration::from_millis(700),
+                        (file / 4).max(1),
+                    ),
+                    _ => ProcessSpec::delayed(file, SimDuration::from_millis(500)),
+                };
+                JobSpec::uniform(JobId(i as u32 + 1), nodes, procs, spec)
+            })
+            .collect();
+        Scenario::new("prop", "", specs, SimDuration::from_secs(4))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn served_never_exceeds_released(scenario in scenario_strategy(), seed in 0u64..64) {
+        for policy in [Policy::NoBw, Policy::StaticBw, Policy::adaptbf_default()] {
+            let out = Cluster::build(&scenario, policy, seed).run();
+            for (job, served) in &out.metrics.served_by_job {
+                let released = out.metrics.released_by_job.get(job).copied().unwrap_or(0);
+                prop_assert!(
+                    *served <= released,
+                    "{job} served {served} > released {released} under {}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptbf_ledger_always_balances(scenario in scenario_strategy(), seed in 0u64..64) {
+        let out = Cluster::build(&scenario, Policy::adaptbf_default(), seed).run();
+        // The records gauge of the last bucket must sum to zero.
+        let mut records = out.metrics.records.clone();
+        records.align();
+        let n = records.max_len();
+        if n > 0 {
+            let total: f64 = records
+                .jobs()
+                .iter()
+                .map(|j| records.get(*j).map_or(0.0, |s| s.get(n - 1)))
+                .sum();
+            prop_assert_eq!(total, 0.0, "ledger must balance");
+        }
+    }
+
+    #[test]
+    fn runs_are_bit_deterministic(scenario in scenario_strategy(), seed in 0u64..16) {
+        let a = Cluster::build(&scenario, Policy::adaptbf_default(), seed).run();
+        let b = Cluster::build(&scenario, Policy::adaptbf_default(), seed).run();
+        prop_assert_eq!(a.metrics.served, b.metrics.served);
+        prop_assert_eq!(a.metrics.demand, b.metrics.demand);
+        prop_assert_eq!(a.metrics.records, b.metrics.records);
+    }
+
+    #[test]
+    fn timeline_totals_match_counters(scenario in scenario_strategy(), seed in 0u64..32) {
+        let out = Cluster::build(&scenario, Policy::adaptbf_default(), seed).run();
+        for (job, count) in &out.metrics.served_by_job {
+            let series_total =
+                out.metrics.served.get(*job).map_or(0.0, |s| s.total());
+            prop_assert_eq!(series_total as u64, *count, "series vs counter for {}", job);
+        }
+        // Latency samples equal served counts.
+        for (job, count) in &out.metrics.served_by_job {
+            prop_assert_eq!(out.metrics.latency(*job).count(), *count);
+        }
+    }
+
+    #[test]
+    fn striping_preserves_work(
+        scenario in scenario_strategy(),
+        seed in 0u64..16,
+        stripes in 1usize..4,
+    ) {
+        let cfg = ClusterConfig {
+            n_osts: 4,
+            stripe_count: stripes.min(4),
+            ..ClusterConfig::default()
+        };
+        let out = Cluster::build_with(&scenario, Policy::adaptbf_default(), seed, cfg).run();
+        let plain = Cluster::build(&scenario, Policy::NoBw, seed).run();
+        // Striping changes placement, never the amount of achievable work:
+        // with 4 OSTs of capacity versus 1, everything released must be
+        // served at least as completely as the single-OST No BW run.
+        prop_assert!(
+            out.metrics.total_served() >= plain.metrics.total_served(),
+            "striped {} < single {}",
+            out.metrics.total_served(),
+            plain.metrics.total_served()
+        );
+    }
+}

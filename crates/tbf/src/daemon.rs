@@ -1,0 +1,180 @@
+//! The Rule Management Daemon (paper Section III-D): translates token
+//! allocations into TBF rule operations against one OST's scheduler.
+//!
+//! Each control cycle it (1) stops rules of jobs that are no longer
+//! active, (2) creates rules for newly active jobs, (3) applies the
+//! computed token rate to every active job's rule, and (4) sets the rule
+//! hierarchy weight from job priority so idle threads prefer high-priority
+//! queues. Jobs without rules are never starved — their RPCs ride the
+//! fallback queue.
+
+use crate::matcher::RpcMatcher;
+use crate::scheduler::NrsTbfScheduler;
+use adaptbf_model::{JobAllocation, JobId, RuleId, SimTime};
+use std::collections::BTreeMap;
+
+/// Rule bookkeeping for one OST.
+#[derive(Debug, Default)]
+pub struct RuleDaemon {
+    rules_by_job: BTreeMap<JobId, RuleId>,
+    ops_applied: u64,
+}
+
+impl RuleDaemon {
+    /// New daemon with no rules installed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one period's allocations. `weights` supplies the hierarchy
+    /// weight per job (the daemon derives it from job priority; callers
+    /// pass node counts).
+    pub fn apply(
+        &mut self,
+        scheduler: &mut NrsTbfScheduler,
+        allocations: &[JobAllocation],
+        weights: &BTreeMap<JobId, u32>,
+        now: SimTime,
+    ) {
+        // 1. Stop rules for jobs with no allocation this period.
+        let active: BTreeMap<JobId, &JobAllocation> =
+            allocations.iter().map(|a| (a.job, a)).collect();
+        let stale: Vec<JobId> = self
+            .rules_by_job
+            .keys()
+            .copied()
+            .filter(|j| !active.contains_key(j))
+            .collect();
+        for job in stale {
+            let id = self.rules_by_job.remove(&job).expect("listed job");
+            // The rule may already be gone if the scheduler was reset.
+            let _ = scheduler.stop_rule(id, now);
+            self.ops_applied += 1;
+        }
+
+        // 2/3. Create rules for newly active jobs; batch-update the rest
+        // (one queue re-classification for the whole cycle).
+        let mut updates: Vec<(RuleId, f64, u32)> = Vec::new();
+        for alloc in allocations {
+            let weight = weights.get(&alloc.job).copied().unwrap_or(1);
+            match self.rules_by_job.get(&alloc.job) {
+                Some(id) => {
+                    updates.push((*id, alloc.rate_tps, weight));
+                    self.ops_applied += 2;
+                }
+                None => {
+                    let id = scheduler.start_rule(
+                        alloc.job.label(),
+                        RpcMatcher::Job(alloc.job),
+                        alloc.rate_tps,
+                        weight,
+                        now,
+                    );
+                    self.rules_by_job.insert(alloc.job, id);
+                    self.ops_applied += 1;
+                }
+            }
+        }
+        scheduler
+            .apply_updates(&updates, now)
+            .expect("rules tracked by daemon must exist");
+    }
+
+    /// Jobs that currently have a rule installed.
+    pub fn ruled_jobs(&self) -> Vec<JobId> {
+        self.rules_by_job.keys().copied().collect()
+    }
+
+    /// Total rule operations performed (overhead accounting).
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_model::TbfSchedulerConfig;
+
+    fn alloc(job: u32, tokens: u64) -> JobAllocation {
+        JobAllocation {
+            job: JobId(job),
+            tokens,
+            rate_tps: tokens as f64 * 10.0,
+        }
+    }
+
+    fn weights(pairs: &[(u32, u32)]) -> BTreeMap<JobId, u32> {
+        pairs.iter().map(|(j, w)| (JobId(*j), *w)).collect()
+    }
+
+    #[test]
+    fn creates_rules_for_new_jobs() {
+        let mut s = NrsTbfScheduler::new(TbfSchedulerConfig::default());
+        let mut d = RuleDaemon::new();
+        d.apply(
+            &mut s,
+            &[alloc(1, 30), alloc(2, 70)],
+            &weights(&[(1, 1), (2, 5)]),
+            SimTime::ZERO,
+        );
+        assert_eq!(d.ruled_jobs(), vec![JobId(1), JobId(2)]);
+        assert_eq!(s.rules().len(), 2);
+        let r = s.rules().get_by_name("app2.node2").unwrap();
+        assert_eq!(r.rate_tps, 700.0);
+        assert_eq!(r.weight, 5);
+    }
+
+    #[test]
+    fn updates_existing_rules_in_place() {
+        let mut s = NrsTbfScheduler::new(TbfSchedulerConfig::default());
+        let mut d = RuleDaemon::new();
+        let w = weights(&[(1, 1)]);
+        d.apply(&mut s, &[alloc(1, 30)], &w, SimTime::ZERO);
+        let id_before = *d.rules_by_job.get(&JobId(1)).unwrap();
+        d.apply(&mut s, &[alloc(1, 90)], &w, SimTime::from_millis(100));
+        assert_eq!(
+            *d.rules_by_job.get(&JobId(1)).unwrap(),
+            id_before,
+            "no churn"
+        );
+        assert_eq!(s.rules().get(id_before).unwrap().rate_tps, 900.0);
+    }
+
+    #[test]
+    fn stops_rules_for_inactive_jobs() {
+        let mut s = NrsTbfScheduler::new(TbfSchedulerConfig::default());
+        let mut d = RuleDaemon::new();
+        d.apply(
+            &mut s,
+            &[alloc(1, 50), alloc(2, 50)],
+            &weights(&[(1, 1), (2, 1)]),
+            SimTime::ZERO,
+        );
+        d.apply(
+            &mut s,
+            &[alloc(2, 100)],
+            &weights(&[(2, 1)]),
+            SimTime::from_millis(100),
+        );
+        assert_eq!(d.ruled_jobs(), vec![JobId(2)]);
+        assert_eq!(s.rules().len(), 1);
+    }
+
+    #[test]
+    fn counts_operations() {
+        let mut s = NrsTbfScheduler::new(TbfSchedulerConfig::default());
+        let mut d = RuleDaemon::new();
+        d.apply(&mut s, &[alloc(1, 50)], &weights(&[(1, 1)]), SimTime::ZERO);
+        assert_eq!(d.ops_applied(), 1); // one start
+        d.apply(
+            &mut s,
+            &[alloc(1, 60)],
+            &weights(&[(1, 1)]),
+            SimTime::from_millis(100),
+        );
+        assert_eq!(d.ops_applied(), 3); // + rate & weight change
+        d.apply(&mut s, &[], &weights(&[]), SimTime::from_millis(200));
+        assert_eq!(d.ops_applied(), 4); // + stop
+    }
+}

@@ -1,0 +1,211 @@
+//! The deadline heap: queues ordered by the time they next hold a token.
+//!
+//! Lustre keeps TBF queues in a binary heap keyed by deadline so the
+//! scheduler always serves the queue whose token arrives soonest (paper
+//! Section II-A). Entries here use *lazy invalidation*: each queue carries a
+//! monotone stamp, entries remember the stamp they were pushed with, and
+//! stale entries are discarded on pop. Ties on deadline are broken by the
+//! rule hierarchy weight (higher first), then by insertion sequence for
+//! determinism.
+
+use adaptbf_model::{JobId, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One heap entry describing a queue's scheduled deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    deadline: SimTime,
+    /// Higher weight wins ties (hierarchy from job priority).
+    weight: u32,
+    /// Push sequence for a stable, deterministic total order.
+    seq: u64,
+    job: JobId,
+    stamp: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert deadline so the earliest pops
+        // first, then prefer higher weight, then earlier sequence.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then_with(|| self.weight.cmp(&other.weight))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deadline-ordered heap of TBF queues with lazy invalidation.
+#[derive(Debug, Default)]
+pub struct DeadlineHeap {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl DeadlineHeap {
+    /// New empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule (or re-schedule) `job`'s queue at `deadline`. The `stamp`
+    /// must be the queue's current stamp; any later queue mutation makes
+    /// this entry stale.
+    pub fn push(&mut self, job: JobId, deadline: SimTime, weight: u32, stamp: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            deadline,
+            weight,
+            seq,
+            job,
+            stamp,
+        });
+    }
+
+    /// Pop the earliest-deadline entry whose stamp still matches the
+    /// queue's current stamp (as reported by `current_stamp`). Stale
+    /// entries are discarded along the way.
+    pub fn pop_valid(
+        &mut self,
+        mut current_stamp: impl FnMut(JobId) -> Option<u64>,
+    ) -> Option<(JobId, SimTime)> {
+        while let Some(e) = self.heap.pop() {
+            if current_stamp(e.job) == Some(e.stamp) {
+                return Some((e.job, e.deadline));
+            }
+        }
+        None
+    }
+
+    /// Peek the earliest valid entry without removing it.
+    pub fn peek_valid(
+        &mut self,
+        mut current_stamp: impl FnMut(JobId) -> Option<u64>,
+    ) -> Option<(JobId, SimTime)> {
+        while let Some(e) = self.heap.peek().copied() {
+            if current_stamp(e.job) == Some(e.stamp) {
+                return Some((e.job, e.deadline));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of entries currently stored (including stale ones).
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are stored at all.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every entry (used when re-building after bulk rule changes).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn earliest_deadline_pops_first() {
+        let mut h = DeadlineHeap::new();
+        let stamps: HashMap<JobId, u64> = [(JobId(1), 0), (JobId(2), 0), (JobId(3), 0)]
+            .into_iter()
+            .collect();
+        h.push(JobId(1), t(300), 1, 0);
+        h.push(JobId(2), t(100), 1, 0);
+        h.push(JobId(3), t(200), 1, 0);
+        let look = |j: JobId| stamps.get(&j).copied();
+        assert_eq!(h.pop_valid(look).unwrap().0, JobId(2));
+        assert_eq!(h.pop_valid(look).unwrap().0, JobId(3));
+        assert_eq!(h.pop_valid(look).unwrap().0, JobId(1));
+        assert!(h.pop_valid(look).is_none());
+    }
+
+    #[test]
+    fn weight_breaks_deadline_ties() {
+        let mut h = DeadlineHeap::new();
+        let stamps: HashMap<JobId, u64> = [(JobId(1), 0), (JobId(2), 0)].into_iter().collect();
+        h.push(JobId(1), t(100), 1, 0);
+        h.push(JobId(2), t(100), 5, 0);
+        let look = |j: JobId| stamps.get(&j).copied();
+        assert_eq!(
+            h.pop_valid(look).unwrap().0,
+            JobId(2),
+            "higher weight first"
+        );
+    }
+
+    #[test]
+    fn seq_breaks_full_ties_deterministically() {
+        let mut h = DeadlineHeap::new();
+        let stamps: HashMap<JobId, u64> = [(JobId(1), 0), (JobId(2), 0)].into_iter().collect();
+        h.push(JobId(1), t(100), 1, 0);
+        h.push(JobId(2), t(100), 1, 0);
+        let look = |j: JobId| stamps.get(&j).copied();
+        assert_eq!(h.pop_valid(look).unwrap().0, JobId(1), "earlier push first");
+    }
+
+    #[test]
+    fn stale_entries_are_skipped() {
+        let mut h = DeadlineHeap::new();
+        let mut stamps: HashMap<JobId, u64> = [(JobId(1), 0), (JobId(2), 0)].into_iter().collect();
+        h.push(JobId(1), t(50), 1, 0);
+        h.push(JobId(2), t(100), 1, 0);
+        // Queue 1 mutated; its entry is now stale.
+        stamps.insert(JobId(1), 1);
+        let look = |j: JobId| stamps.get(&j).copied();
+        assert_eq!(h.pop_valid(look).unwrap().0, JobId(2));
+    }
+
+    #[test]
+    fn removed_queue_entries_are_skipped() {
+        let mut h = DeadlineHeap::new();
+        let stamps: HashMap<JobId, u64> = [(JobId(2), 0)].into_iter().collect();
+        h.push(JobId(1), t(50), 1, 0); // queue 1 no longer exists
+        h.push(JobId(2), t(100), 1, 0);
+        let look = |j: JobId| stamps.get(&j).copied();
+        assert_eq!(h.pop_valid(look).unwrap().0, JobId(2));
+    }
+
+    #[test]
+    fn peek_discards_stale_but_keeps_valid() {
+        let mut h = DeadlineHeap::new();
+        let mut stamps: HashMap<JobId, u64> = [(JobId(1), 0), (JobId(2), 0)].into_iter().collect();
+        h.push(JobId(1), t(50), 1, 0);
+        stamps.insert(JobId(1), 3);
+        h.push(JobId(2), t(100), 1, 0);
+        {
+            let look = |j: JobId| stamps.get(&j).copied();
+            assert_eq!(h.peek_valid(look).unwrap(), (JobId(2), t(100)));
+        }
+        // Stale entry was dropped by the peek, valid one remains.
+        assert_eq!(h.raw_len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_heap() {
+        let mut h = DeadlineHeap::new();
+        h.push(JobId(1), t(50), 1, 0);
+        h.clear();
+        assert!(h.is_empty());
+    }
+}

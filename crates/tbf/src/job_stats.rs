@@ -1,0 +1,73 @@
+//! The Lustre `job_stats` equivalent: per-job RPC arrival counters on one
+//! OST, collected and cleared by the System Stats Controller each period
+//! (paper Figure 2, steps 1 and 9).
+
+use adaptbf_model::JobId;
+use std::collections::BTreeMap;
+
+/// Per-job arrival counters since the last clear.
+#[derive(Debug, Clone, Default)]
+pub struct JobStatsTracker {
+    counts: BTreeMap<JobId, u64>,
+    total_ever: u64,
+}
+
+impl JobStatsTracker {
+    /// New empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one RPC arriving from `job`.
+    pub fn record_arrival(&mut self, job: JobId) {
+        *self.counts.entry(job).or_insert(0) += 1;
+        self.total_ever += 1;
+    }
+
+    /// Snapshot the counters (job order) — the `d_x` inputs of Eq (3).
+    pub fn collect(&self) -> Vec<(JobId, u64)> {
+        self.counts.iter().map(|(j, c)| (*j, *c)).collect()
+    }
+
+    /// Clear the period's counters (Figure 2, step 9).
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+
+    /// RPCs recorded since the last clear.
+    pub fn period_total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// RPCs recorded over the tracker's lifetime (never cleared).
+    pub fn lifetime_total(&self) -> u64 {
+        self.total_ever
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_clears() {
+        let mut t = JobStatsTracker::new();
+        t.record_arrival(JobId(1));
+        t.record_arrival(JobId(1));
+        t.record_arrival(JobId(2));
+        assert_eq!(t.collect(), vec![(JobId(1), 2), (JobId(2), 1)]);
+        assert_eq!(t.period_total(), 3);
+        t.clear();
+        assert!(t.collect().is_empty());
+        assert_eq!(t.lifetime_total(), 3, "lifetime total survives clear");
+    }
+
+    #[test]
+    fn collect_is_job_ordered() {
+        let mut t = JobStatsTracker::new();
+        t.record_arrival(JobId(5));
+        t.record_arrival(JobId(1));
+        let jobs: Vec<JobId> = t.collect().into_iter().map(|(j, _)| j).collect();
+        assert_eq!(jobs, vec![JobId(1), JobId(5)]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # adaptbf-tbf
+//!
+//! A faithful Rust model of the Lustre Network Request Scheduler's **Token
+//! Bucket Filter (TBF)** policy — the substrate AdapTBF drives (paper
+//! Section II-A, Figure 1).
+//!
+//! The pieces, mirroring Lustre:
+//!
+//! * [`TokenBucket`] — per-queue bucket refilled at a rule's rate, capped at
+//!   a small depth (default 3) so a queue cannot inject an unbounded burst.
+//! * [`RpcMatcher`] / [`TbfRule`] / [`RuleTable`] — an ordered, dynamically
+//!   editable rule list classifying RPCs by JobID, NID or opcode; first
+//!   match wins; rules can be started, stopped and re-rated at runtime
+//!   (this is the knob AdapTBF's Rule Management Daemon turns).
+//! * [`TbfQueue`] — one FIFO of RPCs per (rule, class) pair with its bucket.
+//! * [`DeadlineHeap`] — the binary heap ordering queues by the time they
+//!   will next hold enough tokens to dispatch ("deadline").
+//! * [`NrsTbfScheduler`] — ties it together: classify on enqueue, serve the
+//!   earliest-deadline token-ready queue (ties broken by rule weight, i.e.
+//!   the hierarchy the daemon sets from job priority), fall back to the
+//!   unruled FCFS queue which is served opportunistically without any rate
+//!   limit — exactly Lustre's starvation-freedom story.
+//!
+//! The scheduler is clock-agnostic: every method takes `now: SimTime`, so
+//! the same code runs under the discrete-event simulator (`adaptbf-sim`)
+//! and the live threaded runtime (`adaptbf-runtime`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod daemon;
+pub mod heap;
+pub mod job_stats;
+pub mod matcher;
+pub mod queue;
+pub mod rule;
+pub mod scheduler;
+
+pub use bucket::TokenBucket;
+pub use daemon::RuleDaemon;
+pub use heap::DeadlineHeap;
+pub use job_stats::JobStatsTracker;
+pub use matcher::RpcMatcher;
+pub use queue::TbfQueue;
+pub use rule::{RuleTable, TbfRule};
+pub use scheduler::{NrsTbfScheduler, SchedDecision, SchedulerStats};

@@ -1,0 +1,257 @@
+//! TBF rules and the ordered, runtime-editable rule table.
+//!
+//! Rules are kept in an ordered list independent of the queues (paper
+//! Section II-A): classification walks the list top-down and the first
+//! matching rule wins. Rules can be started, stopped, re-rated and
+//! re-weighted at runtime — the operations AdapTBF's Rule Management Daemon
+//! performs every observation period.
+
+use crate::matcher::RpcMatcher;
+use adaptbf_model::{ModelError, Rpc, RuleId};
+use serde::{Deserialize, Serialize};
+
+/// One TBF rule: a matcher plus its enforcement parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TbfRule {
+    /// Stable identifier assigned by the table at start time.
+    pub id: RuleId,
+    /// Human-readable rule name (Lustre rules are named; the daemon names
+    /// them after the job label).
+    pub name: String,
+    /// The classification predicate.
+    pub matcher: RpcMatcher,
+    /// Token refill rate in tokens/second.
+    pub rate_tps: f64,
+    /// Hierarchy weight: when several queues are token-ready at the same
+    /// deadline, higher weight is served first. The daemon derives this
+    /// from job priority (paper Section III-D).
+    pub weight: u32,
+}
+
+/// The ordered rule list of one OST's NRS TBF policy (runtime state; not
+/// serializable — rebuild from configuration instead).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleTable {
+    rules: Vec<TbfRule>,
+    /// `id → position in rules`, kept in sync so per-rule updates are O(1)
+    /// (the daemon re-rates every active job's rule each period).
+    index: std::collections::HashMap<RuleId, usize>,
+    next_id: u64,
+    /// Bumped on every mutation so schedulers know to re-classify queues.
+    generation: u64,
+}
+
+impl RuleTable {
+    /// New empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start (install) a rule at the end of the list. Returns its id.
+    pub fn start_rule(
+        &mut self,
+        name: impl Into<String>,
+        matcher: RpcMatcher,
+        rate_tps: f64,
+        weight: u32,
+    ) -> RuleId {
+        assert!(
+            rate_tps >= 0.0 && rate_tps.is_finite(),
+            "invalid rate {rate_tps}"
+        );
+        let id = RuleId(self.next_id);
+        self.next_id += 1;
+        self.index.insert(id, self.rules.len());
+        self.rules.push(TbfRule {
+            id,
+            name: name.into(),
+            matcher,
+            rate_tps,
+            weight,
+        });
+        self.generation += 1;
+        id
+    }
+
+    /// Stop (remove) a rule. RPCs previously classified to it fall back to
+    /// later rules or the unruled fallback queue.
+    pub fn stop_rule(&mut self, id: RuleId) -> Result<TbfRule, ModelError> {
+        match self.index.remove(&id) {
+            Some(idx) => {
+                self.generation += 1;
+                let rule = self.rules.remove(idx);
+                self.rebuild_index();
+                Ok(rule)
+            }
+            None => Err(ModelError::not_found("rule", id)),
+        }
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index = self
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id, i))
+            .collect();
+    }
+
+    /// Change a rule's token rate (Lustre `rule change rate=`).
+    pub fn change_rate(&mut self, id: RuleId, rate_tps: f64) -> Result<(), ModelError> {
+        assert!(
+            rate_tps >= 0.0 && rate_tps.is_finite(),
+            "invalid rate {rate_tps}"
+        );
+        let idx = *self
+            .index
+            .get(&id)
+            .ok_or_else(|| ModelError::not_found("rule", id))?;
+        self.rules[idx].rate_tps = rate_tps;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Change a rule's hierarchy weight.
+    pub fn change_weight(&mut self, id: RuleId, weight: u32) -> Result<(), ModelError> {
+        let idx = *self
+            .index
+            .get(&id)
+            .ok_or_else(|| ModelError::not_found("rule", id))?;
+        self.rules[idx].weight = weight;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Move a rule to a new position in the ordered list (Lustre supports
+    /// reordering; earlier rules match first).
+    pub fn reorder(&mut self, id: RuleId, new_index: usize) -> Result<(), ModelError> {
+        let idx = *self
+            .index
+            .get(&id)
+            .ok_or_else(|| ModelError::not_found("rule", id))?;
+        let rule = self.rules.remove(idx);
+        let new_index = new_index.min(self.rules.len());
+        self.rules.insert(new_index, rule);
+        self.rebuild_index();
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// First rule matching `rpc`, walking the list in order.
+    pub fn classify(&self, rpc: &Rpc) -> Option<&TbfRule> {
+        self.rules.iter().find(|r| r.matcher.matches(rpc))
+    }
+
+    /// Rule by id (O(1) via the id index).
+    pub fn get(&self, id: RuleId) -> Option<&TbfRule> {
+        self.index.get(&id).map(|i| &self.rules[*i])
+    }
+
+    /// Rule by name (the daemon addresses rules by job label).
+    pub fn get_by_name(&self, name: &str) -> Option<&TbfRule> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    /// All rules in match order.
+    pub fn rules(&self) -> &[TbfRule] {
+        &self.rules
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Monotone mutation counter; schedulers compare it to decide when to
+    /// re-classify their queues.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_model::{ClientId, JobId, ProcId, RpcId, SimTime};
+
+    fn rpc(job: u32) -> Rpc {
+        Rpc::new(RpcId(0), JobId(job), ClientId(0), ProcId(0), SimTime::ZERO)
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut t = RuleTable::new();
+        let a = t.start_rule("a", RpcMatcher::Job(JobId(1)), 10.0, 1);
+        let _b = t.start_rule("b", RpcMatcher::Any, 99.0, 1);
+        assert_eq!(t.classify(&rpc(1)).unwrap().id, a);
+        assert_eq!(t.classify(&rpc(2)).unwrap().name, "b");
+    }
+
+    #[test]
+    fn stop_rule_removes_and_errors_on_missing() {
+        let mut t = RuleTable::new();
+        let a = t.start_rule("a", RpcMatcher::Job(JobId(1)), 10.0, 1);
+        assert_eq!(t.stop_rule(a).unwrap().name, "a");
+        assert!(t.classify(&rpc(1)).is_none());
+        assert!(t.stop_rule(a).is_err());
+    }
+
+    #[test]
+    fn change_rate_and_weight() {
+        let mut t = RuleTable::new();
+        let a = t.start_rule("a", RpcMatcher::Job(JobId(1)), 10.0, 1);
+        t.change_rate(a, 50.0).unwrap();
+        t.change_weight(a, 9).unwrap();
+        let r = t.get(a).unwrap();
+        assert_eq!(r.rate_tps, 50.0);
+        assert_eq!(r.weight, 9);
+        assert!(t.change_rate(RuleId(999), 1.0).is_err());
+    }
+
+    #[test]
+    fn reorder_changes_match_priority() {
+        let mut t = RuleTable::new();
+        let _any = t.start_rule("any", RpcMatcher::Any, 1.0, 1);
+        let spec = t.start_rule("spec", RpcMatcher::Job(JobId(1)), 10.0, 1);
+        // "any" currently shadows "spec".
+        assert_eq!(t.classify(&rpc(1)).unwrap().name, "any");
+        t.reorder(spec, 0).unwrap();
+        assert_eq!(t.classify(&rpc(1)).unwrap().name, "spec");
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut t = RuleTable::new();
+        let g0 = t.generation();
+        let a = t.start_rule("a", RpcMatcher::Any, 1.0, 1);
+        assert!(t.generation() > g0);
+        let g1 = t.generation();
+        t.change_rate(a, 2.0).unwrap();
+        assert!(t.generation() > g1);
+        let g2 = t.generation();
+        t.stop_rule(a).unwrap();
+        assert!(t.generation() > g2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut t = RuleTable::new();
+        t.start_rule("app1.node1", RpcMatcher::Job(JobId(1)), 10.0, 1);
+        assert!(t.get_by_name("app1.node1").is_some());
+        assert!(t.get_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut t = RuleTable::new();
+        let a = t.start_rule("a", RpcMatcher::Any, 1.0, 1);
+        t.stop_rule(a).unwrap();
+        let b = t.start_rule("b", RpcMatcher::Any, 1.0, 1);
+        assert_ne!(a, b);
+    }
+}

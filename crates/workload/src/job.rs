@@ -1,0 +1,182 @@
+//! Job and process specifications: the paper's Filebench configurations.
+
+use crate::pattern::IoPattern;
+use adaptbf_model::{JobId, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Lustre's default `max_rpcs_in_flight` per client process.
+pub const DEFAULT_MAX_INFLIGHT: usize = 8;
+
+/// RPCs in a 1 GiB file written in 1 MiB bulk RPCs.
+pub const RPCS_PER_GIB: u64 = 1024;
+
+/// One file-per-process I/O stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessSpec {
+    /// When the process's work becomes available.
+    pub pattern: IoPattern,
+    /// File size in RPCs (the paper uses 1 GiB = 1024 × 1 MiB).
+    pub file_rpcs: u64,
+    /// Client-side outstanding-RPC window (`max_rpcs_in_flight`).
+    pub max_inflight: usize,
+}
+
+impl ProcessSpec {
+    /// A continuous sequential writer of `file_rpcs` RPCs.
+    pub fn continuous(file_rpcs: u64) -> Self {
+        ProcessSpec {
+            pattern: IoPattern::Continuous,
+            file_rpcs,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+        }
+    }
+
+    /// A writer whose stream switches on at `delay`.
+    pub fn delayed(file_rpcs: u64, delay: SimDuration) -> Self {
+        ProcessSpec {
+            pattern: IoPattern::DelayedContinuous {
+                delay: adaptbf_model::SimTime::ZERO + delay,
+            },
+            file_rpcs,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+        }
+    }
+
+    /// A periodic burster: `rpcs_per_burst` RPCs every `interval`, first
+    /// burst at `start_offset`.
+    pub fn bursty(
+        file_rpcs: u64,
+        start_offset: SimDuration,
+        interval: SimDuration,
+        rpcs_per_burst: u64,
+    ) -> Self {
+        ProcessSpec {
+            pattern: IoPattern::PeriodicBurst {
+                start: adaptbf_model::SimTime::ZERO + start_offset,
+                interval,
+                rpcs_per_burst,
+            },
+            file_rpcs,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+        }
+    }
+
+    /// A closed-loop burster (Filebench `write N; sleep T` loop): bursts of
+    /// `rpcs_per_burst`, thinking `think` after each burst *completes*.
+    pub fn bursty_think(
+        file_rpcs: u64,
+        start_offset: SimDuration,
+        think: SimDuration,
+        rpcs_per_burst: u64,
+    ) -> Self {
+        ProcessSpec {
+            pattern: IoPattern::BurstThenThink {
+                start: adaptbf_model::SimTime::ZERO + start_offset,
+                think,
+                rpcs_per_burst,
+            },
+            file_rpcs,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+        }
+    }
+
+    /// Builder-style: override the in-flight window.
+    pub fn with_max_inflight(mut self, window: usize) -> Self {
+        assert!(window >= 1, "in-flight window must be at least 1");
+        self.max_inflight = window;
+        self
+    }
+}
+
+/// A job: the unit bandwidth is controlled for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The JobID all of this job's RPCs carry.
+    pub id: JobId,
+    /// Compute nodes allocated to the job — the priority weight `n_x`.
+    pub nodes: u64,
+    /// The job's I/O processes (file-per-process).
+    pub processes: Vec<ProcessSpec>,
+}
+
+impl JobSpec {
+    /// A job whose processes all share one spec (the paper's common case:
+    /// "each job runs N processes performing sequential I/O …").
+    pub fn uniform(id: JobId, nodes: u64, n_processes: usize, spec: ProcessSpec) -> Self {
+        JobSpec {
+            id,
+            nodes,
+            processes: vec![spec; n_processes],
+        }
+    }
+
+    /// A job with explicitly distinct processes (Section IV-F mixes a
+    /// bursty and a delayed-continuous process in one job).
+    pub fn mixed(id: JobId, nodes: u64, processes: Vec<ProcessSpec>) -> Self {
+        JobSpec {
+            id,
+            nodes,
+            processes,
+        }
+    }
+
+    /// Total RPCs the job would issue given unlimited time.
+    pub fn total_rpcs(&self) -> u64 {
+        self.processes.iter().map(|p| p.file_rpcs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_job_replicates_spec() {
+        let j = JobSpec::uniform(JobId(1), 5, 16, ProcessSpec::continuous(1024));
+        assert_eq!(j.processes.len(), 16);
+        assert_eq!(j.total_rpcs(), 16 * 1024);
+        assert_eq!(j.processes[0].max_inflight, DEFAULT_MAX_INFLIGHT);
+    }
+
+    #[test]
+    fn builders_set_patterns() {
+        let d = ProcessSpec::delayed(100, SimDuration::from_secs(20));
+        assert!(matches!(d.pattern, IoPattern::DelayedContinuous { .. }));
+        let b = ProcessSpec::bursty(
+            100,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            30,
+        );
+        match b.pattern {
+            IoPattern::PeriodicBurst { rpcs_per_burst, .. } => assert_eq!(rpcs_per_burst, 30),
+            _ => panic!("wrong pattern"),
+        }
+    }
+
+    #[test]
+    fn inflight_override() {
+        let p = ProcessSpec::continuous(10).with_max_inflight(2);
+        assert_eq!(p.max_inflight, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight")]
+    fn zero_inflight_rejected() {
+        let _ = ProcessSpec::continuous(10).with_max_inflight(0);
+    }
+
+    #[test]
+    fn mixed_job_keeps_distinct_processes() {
+        let j = JobSpec::mixed(
+            JobId(2),
+            1,
+            vec![
+                ProcessSpec::bursty(100, SimDuration::ZERO, SimDuration::from_secs(2), 20),
+                ProcessSpec::delayed(1024, SimDuration::from_secs(50)),
+            ],
+        );
+        assert_eq!(j.processes.len(), 2);
+        assert_eq!(j.total_rpcs(), 1124);
+    }
+}

@@ -1,0 +1,32 @@
+//! # adaptbf-workload
+//!
+//! Filebench-style synthetic HPC I/O workloads (paper Section IV).
+//!
+//! The paper drives every experiment with Filebench jobs of three shapes:
+//! file-per-process **continuous sequential** streams, **periodic short
+//! bursts** with varying magnitude and interval, and **delayed continuous**
+//! streams that switch on partway through a run. This crate models exactly
+//! those knobs:
+//!
+//! * [`IoPattern`] — *when* a process's work becomes available (its RPC
+//!   arrival chunks);
+//! * [`ProcessSpec`] — one file-per-process I/O stream: pattern, file size
+//!   in RPCs, and the client's `max_rpcs_in_flight` window;
+//! * [`JobSpec`] — a job: its compute-node count (the priority weight) and
+//!   its processes;
+//! * [`Scenario`] — a full experiment: jobs + duration;
+//! * [`scenarios`] — ready-made builders reproducing the job mixes of
+//!   Sections IV-D (token allocation), IV-E (redistribution) and IV-F
+//!   (re-compensation), each with a `_scaled` variant for fast tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod pattern;
+pub mod scenario;
+pub mod scenarios;
+
+pub use job::{JobSpec, ProcessSpec};
+pub use pattern::{IoPattern, WorkChunk};
+pub use scenario::Scenario;

@@ -1,0 +1,257 @@
+//! When a process's I/O work becomes available: the arrival side of the
+//! workload model.
+//!
+//! A pattern expands to a list of [`WorkChunk`]s — "at time `t`, `n` more
+//! RPCs' worth of file data is ready to write". The client model issues
+//! available work subject to its in-flight window, so a chunk larger than
+//! the window drains over time exactly like a real burst hitting
+//! `max_rpcs_in_flight`.
+
+use adaptbf_model::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A tranche of work becoming available to one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkChunk {
+    /// When the work becomes available.
+    pub at: SimTime,
+    /// How many RPCs it amounts to.
+    pub rpcs: u64,
+}
+
+/// The paper's three workload shapes (Section IV-D/E/F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoPattern {
+    /// The whole file is ready at t=0: a continuous sequential stream
+    /// (bounded only by the in-flight window and server throughput).
+    Continuous,
+    /// The whole file becomes ready after a delay (Section IV-F: the
+    /// lending jobs' second process starts at 20/50/80 s).
+    DelayedContinuous {
+        /// When the stream switches on.
+        delay: SimTime,
+    },
+    /// Short bursts at a fixed cadence (Sections IV-E/IV-F), each making
+    /// `rpcs_per_burst` RPCs available, until the file is exhausted.
+    /// *Open-loop*: burst instants are fixed wall-clock times regardless of
+    /// how fast the server drains them.
+    PeriodicBurst {
+        /// First burst instant.
+        start: SimTime,
+        /// Gap between burst starts.
+        interval: SimDuration,
+        /// Burst magnitude in RPCs.
+        rpcs_per_burst: u64,
+    },
+    /// *Closed-loop* bursts, Filebench-style: write a burst, think for
+    /// `think` after the burst *completes*, write the next. Server-side
+    /// starvation therefore stretches every cycle and compounds — which is
+    /// what lets a bandwidth hog visibly hurt bursty jobs (Section IV-E).
+    BurstThenThink {
+        /// First burst instant.
+        start: SimTime,
+        /// Think time between burst completion and the next burst.
+        think: SimDuration,
+        /// Burst magnitude in RPCs.
+        rpcs_per_burst: u64,
+    },
+}
+
+impl IoPattern {
+    /// Expand the pattern into work chunks totalling at most `total_rpcs`,
+    /// with no chunk arriving at or after `horizon`.
+    pub fn arrivals(&self, total_rpcs: u64, horizon: SimDuration) -> Vec<WorkChunk> {
+        let end = SimTime::ZERO + horizon;
+        match *self {
+            IoPattern::Continuous => {
+                if total_rpcs == 0 {
+                    Vec::new()
+                } else {
+                    vec![WorkChunk {
+                        at: SimTime::ZERO,
+                        rpcs: total_rpcs,
+                    }]
+                }
+            }
+            IoPattern::DelayedContinuous { delay } => {
+                if total_rpcs == 0 || delay >= end {
+                    Vec::new()
+                } else {
+                    vec![WorkChunk {
+                        at: delay,
+                        rpcs: total_rpcs,
+                    }]
+                }
+            }
+            IoPattern::PeriodicBurst {
+                start,
+                interval,
+                rpcs_per_burst,
+            } => {
+                assert!(!interval.is_zero(), "burst interval must be positive");
+                assert!(rpcs_per_burst > 0, "burst magnitude must be positive");
+                let mut chunks = Vec::new();
+                let mut remaining = total_rpcs;
+                let mut at = start;
+                while remaining > 0 && at < end {
+                    let rpcs = rpcs_per_burst.min(remaining);
+                    chunks.push(WorkChunk { at, rpcs });
+                    remaining -= rpcs;
+                    at += interval;
+                }
+                chunks
+            }
+            IoPattern::BurstThenThink {
+                start,
+                rpcs_per_burst,
+                ..
+            } => {
+                // Only the first burst has a static instant; the rest are
+                // released by the client when the previous burst completes
+                // (see `think_spec`).
+                assert!(rpcs_per_burst > 0, "burst magnitude must be positive");
+                if total_rpcs == 0 || start >= end {
+                    Vec::new()
+                } else {
+                    vec![WorkChunk {
+                        at: start,
+                        rpcs: rpcs_per_burst.min(total_rpcs),
+                    }]
+                }
+            }
+        }
+    }
+
+    /// For closed-loop patterns: `(think_time, rpcs_per_burst)` the client
+    /// uses to release follow-on bursts after each completion.
+    pub fn think_spec(&self) -> Option<(SimDuration, u64)> {
+        match *self {
+            IoPattern::BurstThenThink {
+                think,
+                rpcs_per_burst,
+                ..
+            } => Some((think, rpcs_per_burst)),
+            _ => None,
+        }
+    }
+
+    /// Total RPCs the pattern releases within `horizon` given a file of
+    /// `total_rpcs`.
+    pub fn total_within(&self, total_rpcs: u64, horizon: SimDuration) -> u64 {
+        self.arrivals(total_rpcs, horizon)
+            .iter()
+            .map(|c| c.rpcs)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn continuous_is_one_chunk_at_zero() {
+        let chunks = IoPattern::Continuous.arrivals(1024, ms(60_000));
+        assert_eq!(
+            chunks,
+            vec![WorkChunk {
+                at: SimTime::ZERO,
+                rpcs: 1024
+            }]
+        );
+        assert!(IoPattern::Continuous.arrivals(0, ms(1000)).is_empty());
+    }
+
+    #[test]
+    fn delayed_continuous_respects_horizon() {
+        let p = IoPattern::DelayedContinuous {
+            delay: SimTime::from_secs(20),
+        };
+        let chunks = p.arrivals(100, SimDuration::from_secs(60));
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].at, SimTime::from_secs(20));
+        // Delay beyond the horizon yields nothing.
+        assert!(p.arrivals(100, SimDuration::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn periodic_bursts_until_file_exhausted() {
+        let p = IoPattern::PeriodicBurst {
+            start: SimTime::from_millis(500),
+            interval: ms(2000),
+            rpcs_per_burst: 40,
+        };
+        let chunks = p.arrivals(100, SimDuration::from_secs(60));
+        // 40 + 40 + 20 = 100.
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(
+            chunks[0],
+            WorkChunk {
+                at: SimTime::from_millis(500),
+                rpcs: 40
+            }
+        );
+        assert_eq!(
+            chunks[1],
+            WorkChunk {
+                at: SimTime::from_millis(2500),
+                rpcs: 40
+            }
+        );
+        assert_eq!(
+            chunks[2],
+            WorkChunk {
+                at: SimTime::from_millis(4500),
+                rpcs: 20
+            }
+        );
+    }
+
+    #[test]
+    fn periodic_bursts_clipped_by_horizon() {
+        let p = IoPattern::PeriodicBurst {
+            start: SimTime::ZERO,
+            interval: ms(1000),
+            rpcs_per_burst: 10,
+        };
+        let chunks = p.arrivals(1_000_000, SimDuration::from_secs(3));
+        assert_eq!(chunks.len(), 3, "bursts at 0, 1, 2 s only");
+        assert_eq!(p.total_within(1_000_000, SimDuration::from_secs(3)), 30);
+    }
+
+    #[test]
+    fn burst_then_think_releases_first_burst_only() {
+        let p = IoPattern::BurstThenThink {
+            start: SimTime::from_secs(1),
+            think: SimDuration::from_secs(3),
+            rpcs_per_burst: 120,
+        };
+        let chunks = p.arrivals(1024, SimDuration::from_secs(60));
+        assert_eq!(
+            chunks,
+            vec![WorkChunk {
+                at: SimTime::from_secs(1),
+                rpcs: 120
+            }]
+        );
+        assert_eq!(p.think_spec(), Some((SimDuration::from_secs(3), 120)));
+        assert_eq!(IoPattern::Continuous.think_spec(), None);
+        // Tiny file: first burst clipped to the file.
+        assert_eq!(p.arrivals(50, SimDuration::from_secs(60))[0].rpcs, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        let p = IoPattern::PeriodicBurst {
+            start: SimTime::ZERO,
+            interval: SimDuration::ZERO,
+            rpcs_per_burst: 1,
+        };
+        let _ = p.arrivals(10, ms(1000));
+    }
+}

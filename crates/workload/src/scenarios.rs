@@ -1,0 +1,334 @@
+//! Ready-made scenarios reproducing the paper's evaluation job mixes.
+//!
+//! Each builder returns the full-size workload used by the corresponding
+//! figure; the `_scaled` variants shrink file sizes and duration by a
+//! factor for fast unit tests and doc tests while preserving the mix's
+//! shape (priorities, burst cadence, process counts).
+
+use crate::job::{JobSpec, ProcessSpec, RPCS_PER_GIB};
+use crate::scenario::Scenario;
+use adaptbf_model::{JobId, SimDuration};
+
+fn scale_rpcs(rpcs: u64, f: f64) -> u64 {
+    ((rpcs as f64 * f).round() as u64).max(1)
+}
+
+fn scale_duration(secs: f64, f: f64) -> SimDuration {
+    SimDuration::from_secs_f64((secs * f).clamp(3.0, secs))
+}
+
+/// Section IV-D (Figures 3–4): four jobs with identical continuous
+/// file-per-process I/O but different priorities (10/10/30/50 %). Higher
+/// priority jobs finish earlier under priority-proportional control,
+/// exercising adaptation to a shrinking active set.
+pub fn token_allocation() -> Scenario {
+    token_allocation_scaled(1.0)
+}
+
+/// [`token_allocation`] with file sizes and duration scaled by `f`.
+pub fn token_allocation_scaled(f: f64) -> Scenario {
+    let file = scale_rpcs(RPCS_PER_GIB, f);
+    let job =
+        |id: u32, nodes: u64| JobSpec::uniform(JobId(id), nodes, 16, ProcessSpec::continuous(file));
+    Scenario::new(
+        "token_allocation",
+        "IV-D: priority-proportional allocation under a dynamic active set \
+         (priorities 10/10/30/50%)",
+        vec![job(1, 1), job(2, 1), job(3, 3), job(4, 5)],
+        scale_duration(100.0, f),
+    )
+}
+
+/// Section IV-E (Figures 5–6): three high-priority jobs (30 % each)
+/// issuing interleaved periodic bursts, against one low-priority (10 %)
+/// job with continuous high demand — the redistribution stress test.
+pub fn token_redistribution() -> Scenario {
+    token_redistribution_scaled(1.0)
+}
+
+/// [`token_redistribution`] with file sizes and duration scaled by `f`.
+///
+/// The bursty jobs are *closed-loop* (Filebench `write burst; sleep`
+/// semantics): server-side starvation stretches every burst cycle, which
+/// is exactly how the paper's No BW baseline hurts them.
+pub fn token_redistribution_scaled(f: f64) -> Scenario {
+    let file = scale_rpcs(RPCS_PER_GIB, f);
+    let secs = SimDuration::from_secs_f64;
+    let bursty = |id: u32, start: f64, think: f64, burst: u64| {
+        JobSpec::uniform(
+            JobId(id),
+            3,
+            2,
+            ProcessSpec::bursty_think(file * 2, secs(start), secs(think), burst),
+        )
+    };
+    Scenario::new(
+        "token_redistribution",
+        "IV-E: bursty high-priority jobs (30% each) vs continuous \
+         low-priority job (10%)",
+        vec![
+            // 2 GiB per bursty process so the burst cadence covers the run.
+            bursty(1, 1.0, 3.0, 120),
+            bursty(2, 2.0, 4.0, 160),
+            bursty(3, 3.0, 5.0, 200),
+            // 4 GiB per continuous process: job 4's demand must outlast the
+            // horizon (the paper's job 4 is continuous *throughout*).
+            JobSpec::uniform(JobId(4), 1, 16, ProcessSpec::continuous(file * 4)),
+        ],
+        scale_duration(60.0, f),
+    )
+}
+
+/// Section IV-F (Figures 7–8): four equal-priority jobs. Jobs 1–3 pair a
+/// small constant-cadence burster with a continuous stream that switches
+/// on at 20/50/80 s; job 4 is continuous from the start. Exercises
+/// lending early and re-compensation when the lenders' demand rises.
+pub fn token_recompensation() -> Scenario {
+    token_recompensation_scaled(1.0)
+}
+
+/// [`token_recompensation`] with file sizes and duration scaled by `f`.
+/// Delays scale with `f` as well so the lend→reclaim phases survive
+/// scaling.
+pub fn token_recompensation_scaled(f: f64) -> Scenario {
+    let file = scale_rpcs(RPCS_PER_GIB, f);
+    let secs = SimDuration::from_secs_f64;
+    let lender = |id: u32, start: f64, interval: f64, burst: u64, delay: f64| {
+        JobSpec::mixed(
+            JobId(id),
+            1,
+            vec![
+                // Small open-loop bursts at a constant cadence: the demand
+                // signal that keeps the job active while it lends.
+                ProcessSpec::bursty(file, secs(start), secs(interval), burst),
+                // The continuous stream that switches on later and triggers
+                // re-compensation; sized to outlast the horizon.
+                ProcessSpec::delayed(file * 8, secs((delay * f).max(1.0))),
+            ],
+        )
+    };
+    Scenario::new(
+        "token_recompensation",
+        "IV-F: equal priorities; jobs 1-3 lend while quiet (bursts only), \
+         their continuous streams start at 20/50/80s and reclaim",
+        vec![
+            lender(1, 0.5, 2.0, 20, 20.0),
+            lender(2, 1.0, 3.0, 30, 50.0),
+            lender(3, 1.5, 2.5, 15, 80.0),
+            // 8 GiB per process: continuous demand through the whole run.
+            JobSpec::uniform(JobId(4), 1, 16, ProcessSpec::continuous(file * 8)),
+        ],
+        scale_duration(120.0, f),
+    )
+}
+
+/// The introduction's motivating case: a one-node job hogging the OST with
+/// continuous I/O while a 15-node job bursts — not an evaluation figure,
+/// but the scenario the paper opens with; used by examples.
+pub fn hog_and_victim() -> Scenario {
+    hog_and_victim_scaled(1.0)
+}
+
+/// [`hog_and_victim`] with file sizes and duration scaled by `f`.
+pub fn hog_and_victim_scaled(f: f64) -> Scenario {
+    let file = scale_rpcs(RPCS_PER_GIB, f);
+    let secs = SimDuration::from_secs_f64;
+    Scenario::new(
+        "hog_and_victim",
+        "Intro: a 1-node job floods the OST; a 15-node job's bursts must \
+         not be starved",
+        vec![
+            // The hog: modest allocation (1 node), relentless writes.
+            JobSpec::uniform(JobId(1), 1, 8, ProcessSpec::continuous(file * 4)),
+            // The victim: 15 nodes, closed-loop bursts whose cycles stretch
+            // when the hog monopolizes the OST.
+            JobSpec::uniform(
+                JobId(2),
+                15,
+                4,
+                ProcessSpec::bursty_think(file * 2, secs(1.0), secs(2.0), 160),
+            ),
+        ],
+        scale_duration(45.0, f),
+    )
+}
+
+/// A scalability stress: `n` jobs with varied node counts and a rotating
+/// mix of continuous / bursty / delayed patterns (not a paper figure;
+/// feeds the Section IV-G scaling analysis and the fairness tests).
+pub fn many_jobs(n: usize, duration_secs: u64) -> Scenario {
+    assert!(n >= 1, "need at least one job");
+    let secs = SimDuration::from_secs_f64;
+    let jobs = (0..n)
+        .map(|i| {
+            let id = JobId(i as u32 + 1);
+            let nodes = 1 + (i as u64 * 7) % 16;
+            match i % 3 {
+                0 => JobSpec::uniform(id, nodes, 2, ProcessSpec::continuous(RPCS_PER_GIB * 4)),
+                1 => JobSpec::uniform(
+                    id,
+                    nodes,
+                    1,
+                    ProcessSpec::bursty(
+                        RPCS_PER_GIB,
+                        secs(0.5 + (i % 5) as f64),
+                        secs(2.0 + (i % 4) as f64),
+                        20 + (i as u64 % 6) * 10,
+                    ),
+                ),
+                _ => JobSpec::uniform(
+                    id,
+                    nodes,
+                    1,
+                    ProcessSpec::delayed(RPCS_PER_GIB * 2, secs((i % 10) as f64 + 1.0)),
+                ),
+            }
+        })
+        .collect();
+    Scenario::new(
+        format!("many_jobs_{n}"),
+        format!("scalability mix: {n} jobs, rotating continuous/bursty/delayed patterns"),
+        jobs,
+        SimDuration::from_secs(duration_secs),
+    )
+}
+
+/// Job churn: five jobs whose lifetimes tile the horizon (staggered
+/// delayed starts, finite files), exercising rule creation/stopping and
+/// active-set renormalization continuously.
+pub fn job_churn() -> Scenario {
+    job_churn_scaled(1.0)
+}
+
+/// [`job_churn`] with file sizes and duration scaled by `f`.
+pub fn job_churn_scaled(f: f64) -> Scenario {
+    let file = scale_rpcs(RPCS_PER_GIB * 2, f);
+    let secs = SimDuration::from_secs_f64;
+    let phased = |id: u32, nodes: u64, start: f64| {
+        JobSpec::uniform(
+            JobId(id),
+            nodes,
+            4,
+            ProcessSpec::delayed(file, secs((start * f).max(0.5))),
+        )
+    };
+    Scenario::new(
+        "job_churn",
+        "five jobs with staggered lifetimes; the active set changes every \
+         few seconds",
+        vec![
+            phased(1, 2, 0.0),
+            phased(2, 6, 8.0),
+            phased(3, 1, 16.0),
+            phased(4, 4, 24.0),
+            phased(5, 3, 32.0),
+        ],
+        scale_duration(60.0, f),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::IoPattern;
+
+    #[test]
+    fn token_allocation_matches_paper_priorities() {
+        let s = token_allocation();
+        assert_eq!(s.jobs.len(), 4);
+        assert!((s.static_priority(JobId(1)) - 0.1).abs() < 1e-9);
+        assert!((s.static_priority(JobId(3)) - 0.3).abs() < 1e-9);
+        assert!((s.static_priority(JobId(4)) - 0.5).abs() < 1e-9);
+        for j in &s.jobs {
+            assert_eq!(j.processes.len(), 16);
+            assert_eq!(j.processes[0].file_rpcs, RPCS_PER_GIB);
+        }
+    }
+
+    #[test]
+    fn token_redistribution_mixes_bursty_and_continuous() {
+        let s = token_redistribution();
+        assert!((s.static_priority(JobId(1)) - 0.3).abs() < 1e-9);
+        assert!((s.static_priority(JobId(4)) - 0.1).abs() < 1e-9);
+        assert!(matches!(
+            s.jobs[0].processes[0].pattern,
+            IoPattern::BurstThenThink { .. }
+        ));
+        assert!(matches!(
+            s.jobs[3].processes[0].pattern,
+            IoPattern::Continuous
+        ));
+        assert_eq!(s.jobs[3].processes.len(), 16);
+        // Continuous demand sized to outlast the horizon.
+        assert!(s.jobs[3].processes[0].file_rpcs >= 4 * s.jobs[0].processes[0].file_rpcs / 2);
+    }
+
+    #[test]
+    fn token_recompensation_has_staggered_delays() {
+        let s = token_recompensation();
+        for j in &s.jobs {
+            assert!((s.static_priority(j.id) - 0.25).abs() < 1e-9);
+        }
+        let delays: Vec<u64> = s.jobs[..3]
+            .iter()
+            .map(|j| match j.processes[1].pattern {
+                IoPattern::DelayedContinuous { delay } => delay.as_nanos() / 1_000_000_000,
+                _ => panic!("expected delayed stream"),
+            })
+            .collect();
+        assert_eq!(delays, vec![20, 50, 80]);
+    }
+
+    #[test]
+    fn scaling_shrinks_files_and_duration() {
+        let s = token_allocation_scaled(1.0 / 64.0);
+        assert_eq!(s.jobs[0].processes[0].file_rpcs, 16);
+        assert!(s.duration <= SimDuration::from_secs(4));
+        // Never below one RPC.
+        let tiny = token_allocation_scaled(1e-9);
+        assert_eq!(tiny.jobs[0].processes[0].file_rpcs, 1);
+    }
+
+    #[test]
+    fn hog_and_victim_shape() {
+        let s = hog_and_victim();
+        assert!(s.static_priority(JobId(2)) > 0.9);
+        assert_eq!(s.jobs[0].processes.len(), 8);
+    }
+
+    #[test]
+    fn many_jobs_builds_requested_count() {
+        let s = many_jobs(50, 30);
+        assert_eq!(s.jobs.len(), 50);
+        assert!(s.jobs.iter().all(|j| j.nodes >= 1 && j.nodes <= 16));
+        // All three pattern kinds appear.
+        let kinds: std::collections::BTreeSet<u8> = s
+            .jobs
+            .iter()
+            .map(|j| match j.processes[0].pattern {
+                IoPattern::Continuous => 0,
+                IoPattern::PeriodicBurst { .. } => 1,
+                IoPattern::DelayedContinuous { .. } => 2,
+                IoPattern::BurstThenThink { .. } => 3,
+            })
+            .collect();
+        assert!(kinds.len() >= 3, "pattern variety: {kinds:?}");
+    }
+
+    #[test]
+    fn job_churn_staggers_starts() {
+        let s = job_churn();
+        let starts: Vec<u64> = s
+            .jobs
+            .iter()
+            .map(|j| match j.processes[0].pattern {
+                IoPattern::DelayedContinuous { delay } => delay.as_nanos(),
+                _ => panic!("churn jobs are delayed-continuous"),
+            })
+            .collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "start times must stagger upward");
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

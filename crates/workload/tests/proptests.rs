@@ -1,0 +1,92 @@
+//! Property-based tests for workload patterns and scenario builders.
+
+use adaptbf_model::{SimDuration, SimTime};
+use adaptbf_workload::{scenarios, IoPattern};
+use proptest::prelude::*;
+
+fn pattern_strategy() -> impl Strategy<Value = IoPattern> {
+    prop_oneof![
+        Just(IoPattern::Continuous),
+        (0u64..60_000).prop_map(|ms| IoPattern::DelayedContinuous {
+            delay: SimTime::from_millis(ms)
+        }),
+        (0u64..10_000, 100u64..10_000, 1u64..500).prop_map(|(start, interval, burst)| {
+            IoPattern::PeriodicBurst {
+                start: SimTime::from_millis(start),
+                interval: SimDuration::from_millis(interval),
+                rpcs_per_burst: burst,
+            }
+        }),
+        (0u64..10_000, 100u64..10_000, 1u64..500).prop_map(|(start, think, burst)| {
+            IoPattern::BurstThenThink {
+                start: SimTime::from_millis(start),
+                think: SimDuration::from_millis(think),
+                rpcs_per_burst: burst,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arrivals_respect_horizon_and_file(
+        pattern in pattern_strategy(),
+        file in 0u64..5_000,
+        horizon_ms in 1u64..120_000,
+    ) {
+        let horizon = SimDuration::from_millis(horizon_ms);
+        let chunks = pattern.arrivals(file, horizon);
+        let total: u64 = chunks.iter().map(|c| c.rpcs).sum();
+        prop_assert!(total <= file, "released {total} > file {file}");
+        for c in &chunks {
+            prop_assert!(c.at < SimTime::ZERO + horizon, "chunk at {:?} beyond horizon", c.at);
+            prop_assert!(c.rpcs > 0, "empty chunk");
+        }
+        // Chunks arrive in non-decreasing time order.
+        for w in chunks.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // total_within agrees with arrivals.
+        prop_assert_eq!(pattern.total_within(file, horizon), total);
+    }
+
+    #[test]
+    fn open_loop_patterns_release_everything_given_time(
+        file in 1u64..2_000,
+        interval in 10u64..1_000,
+        burst in 1u64..300,
+    ) {
+        // With an effectively unbounded horizon, periodic bursts release
+        // the whole file.
+        let p = IoPattern::PeriodicBurst {
+            start: SimTime::ZERO,
+            interval: SimDuration::from_millis(interval),
+            rpcs_per_burst: burst,
+        };
+        let horizon = SimDuration::from_secs(1_000_000);
+        prop_assert_eq!(p.total_within(file, horizon), file);
+    }
+
+    #[test]
+    fn scaled_scenarios_stay_valid(scale_milli in 1u64..2_000) {
+        let f = scale_milli as f64 / 1_000.0;
+        for scenario in [
+            scenarios::token_allocation_scaled(f),
+            scenarios::token_redistribution_scaled(f),
+            scenarios::token_recompensation_scaled(f),
+            scenarios::hog_and_victim_scaled(f),
+            scenarios::job_churn_scaled(f),
+        ] {
+            prop_assert!(!scenario.duration.is_zero());
+            prop_assert!(scenario.total_rpcs() > 0);
+            let total_prio: f64 = scenario
+                .job_ids()
+                .iter()
+                .map(|j| scenario.static_priority(*j))
+                .sum();
+            prop_assert!((total_prio - 1.0).abs() < 1e-9, "priorities sum to 1");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Failure drill: watch AdapTBF degrade gracefully under injected faults.
+//!
+//! Runs the Section IV-D workload three times — healthy, with a hung
+//! controller daemon, and with a mid-run device slowdown — and compares
+//! throughput and completion.
+//!
+//! ```sh
+//! cargo run --release --example failure_drill
+//! ```
+
+use adaptbf::model::{SimDuration, SimTime};
+use adaptbf::sim::{DegradeSpec, Experiment, FaultPlan, Policy, StallSpec};
+use adaptbf::workload::scenarios;
+
+fn main() {
+    let scenario = scenarios::token_allocation_scaled(0.25);
+    println!(
+        "scenario: {} ({} horizon)\n",
+        scenario.name, scenario.duration
+    );
+
+    let drills: Vec<(&str, FaultPlan)> = vec![
+        ("healthy", FaultPlan::none()),
+        (
+            "controller hangs 3/10 cycles",
+            FaultPlan {
+                controller_stall: Some(StallSpec {
+                    every: 10,
+                    duration: 3,
+                }),
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "stats reads fail every 4th cycle",
+            FaultPlan {
+                stats_loss_every: Some(4),
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "disk 3x slower from 5s to 10s",
+            FaultPlan {
+                disk_degrade: Some(DegradeSpec {
+                    from: SimTime::from_secs(5),
+                    for_: SimDuration::from_secs(5),
+                    factor: 3.0,
+                }),
+                ..FaultPlan::none()
+            },
+        ),
+    ];
+
+    println!("{:<36} {:>12} {:>10}", "drill", "tput RPC/s", "completed");
+    for (name, plan) in drills {
+        let report = Experiment::new(scenario.clone(), Policy::adaptbf_default())
+            .seed(42)
+            .faults(plan)
+            .run();
+        let completed = report.per_job.values().filter(|o| o.completed).count();
+        println!(
+            "{:<36} {:>12.1} {:>7}/{}",
+            name,
+            report.overall_throughput_tps(),
+            completed,
+            report.per_job.len()
+        );
+    }
+    println!(
+        "\nevery drill finishes all jobs: stale rules and lost stats degrade\n\
+         adaptation speed, never correctness — traffic falls back to the\n\
+         unruled FCFS path until the next healthy control cycle."
+    );
+}

@@ -1,0 +1,45 @@
+//! Tune the observation period Δt (paper Section IV-H, Figure 9).
+//!
+//! Sweeps the controller frequency over the re-compensation workload and
+//! prints the throughput curve — the trade-off between adaptation speed
+//! and control overhead.
+//!
+//! ```sh
+//! cargo run --release --example frequency_tuning
+//! ```
+
+use adaptbf::model::{AdapTbfConfig, SimDuration};
+use adaptbf::sim::frequency_sweep;
+use adaptbf::workload::scenarios;
+
+fn main() {
+    let scenario = scenarios::token_recompensation_scaled(0.5);
+    let periods: Vec<SimDuration> = [100u64, 200, 500, 1000, 2000]
+        .map(SimDuration::from_millis)
+        .to_vec();
+
+    println!(
+        "sweeping Δt over {} ({} horizon)...\n",
+        scenario.name, scenario.duration
+    );
+    let points = frequency_sweep(&scenario, 42, AdapTbfConfig::default(), &periods);
+
+    let best = points
+        .iter()
+        .max_by(|a, b| a.throughput_tps.partial_cmp(&b.throughput_tps).unwrap())
+        .unwrap();
+    println!("{:>10}  {:>12}  ", "Δt", "RPC/s");
+    for p in &points {
+        let bar_len = (p.throughput_tps / best.throughput_tps * 40.0) as usize;
+        println!(
+            "{:>10}  {:>12.1}  {}",
+            p.period.to_string(),
+            p.throughput_tps,
+            "█".repeat(bar_len)
+        );
+    }
+    println!(
+        "\nshorter periods adapt to bursts faster (the paper selects {}).",
+        best.period
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: protect a large job from a bandwidth hog.
+//!
+//! The paper's motivating case (Section I): a job on a *single* compute
+//! node floods a storage target with continuous writes, starving a much
+//! larger job's bursts. We run the same workload under no control and
+//! under AdapTBF and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use adaptbf::model::JobId;
+use adaptbf::sim;
+use adaptbf::workload::scenarios;
+
+fn main() {
+    // 1. A ready-made scenario: 1-node hog (job1) vs 15-node burster (job2),
+    //    scaled to run in a blink.
+    let scenario = scenarios::hog_and_victim_scaled(0.25);
+    println!("scenario: {}\n  {}\n", scenario.name, scenario.description);
+
+    // 2. Run both baselines and AdapTBF on identical seeds.
+    let comparison = sim::Comparison::run(&scenario, 7);
+
+    // 3. Report.
+    println!(
+        "{}",
+        sim::report::comparison_table(&comparison.job_rows(), comparison.overall_row())
+    );
+    let hog = JobId(1);
+    let victim = JobId(2);
+    println!(
+        "victim (15 nodes) throughput: {:.0} → {:.0} RPC/s ({:+.0}%)",
+        comparison.no_bw.job_throughput(victim),
+        comparison.adaptbf.job_throughput(victim),
+        100.0
+            * (comparison.adaptbf.job_throughput(victim) / comparison.no_bw.job_throughput(victim)
+                - 1.0),
+    );
+    println!(
+        "hog    (1 node)   throughput: {:.0} → {:.0} RPC/s",
+        comparison.no_bw.job_throughput(hog),
+        comparison.adaptbf.job_throughput(hog),
+    );
+}

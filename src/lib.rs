@@ -1,0 +1,39 @@
+//! # adaptbf — facade crate
+//!
+//! Reproduction of *AdapTBF: Decentralized Bandwidth Control via Adaptive
+//! Token Borrowing for HPC Storage* (IPPS 2025). This crate re-exports the
+//! whole workspace behind one dependency:
+//!
+//! * [`model`] — shared ids, virtual time, RPCs, configuration, metrics.
+//! * [`tbf`] — the Lustre-style NRS Token Bucket Filter substrate.
+//! * [`core`] — the paper's three-step token allocation algorithm.
+//! * [`workload`] — Filebench-style synthetic HPC I/O workloads.
+//! * [`sim`] — a deterministic discrete-event simulation of the full I/O
+//!   path (clients → network → OSS/NRS → OST) hosting AdapTBF and the
+//!   paper's two baselines.
+//! * [`runtime`] — a live, multi-threaded decentralized deployment of the
+//!   same controller (one independent controller per OST).
+//! * [`analysis`] — fairness indices, proportionality error, and latency
+//!   comparisons over completed runs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaptbf::sim::{Experiment, Policy};
+//! use adaptbf::workload::scenarios;
+//!
+//! // The paper's Section IV-D scenario, scaled down for doc-test speed.
+//! let scenario = scenarios::token_allocation_scaled(1.0 / 64.0);
+//! let report = Experiment::new(scenario, Policy::AdapTbf(Default::default()))
+//!     .seed(7)
+//!     .run();
+//! assert!(report.overall_throughput_tps() > 0.0);
+//! ```
+
+pub use adaptbf_analysis as analysis;
+pub use adaptbf_core as core;
+pub use adaptbf_model as model;
+pub use adaptbf_runtime as runtime;
+pub use adaptbf_sim as sim;
+pub use adaptbf_tbf as tbf;
+pub use adaptbf_workload as workload;

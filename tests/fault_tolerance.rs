@@ -1,0 +1,138 @@
+//! Failure injection: the control plane must degrade gracefully, never
+//! wedging the data path (DESIGN.md §7).
+//!
+//! Faults are deterministic, so every degraded run is exactly
+//! reproducible.
+
+use adaptbf::model::JobId;
+use adaptbf::sim::{DegradeSpec, Experiment, FaultPlan, Policy, StallSpec};
+use adaptbf::workload::scenarios;
+
+fn scenario() -> adaptbf::workload::Scenario {
+    scenarios::token_allocation_scaled(0.125)
+}
+
+#[test]
+fn controller_stalls_do_not_lose_work() {
+    // The daemon hangs for 3 of every 10 cycles: rules go stale but the
+    // data path keeps flowing and every RPC is eventually served.
+    let plan = FaultPlan {
+        controller_stall: Some(StallSpec {
+            every: 10,
+            duration: 3,
+        }),
+        ..FaultPlan::none()
+    };
+    let healthy = Experiment::new(scenario(), Policy::adaptbf_default())
+        .seed(3)
+        .run();
+    let stalled = Experiment::new(scenario(), Policy::adaptbf_default())
+        .seed(3)
+        .faults(plan)
+        .run();
+    for (job, outcome) in &stalled.per_job {
+        assert!(outcome.completed, "{job} must still finish under stalls");
+    }
+    // Stale rules mean slower adaptation, not collapse.
+    assert!(
+        stalled.overall_throughput_tps() > 0.85 * healthy.overall_throughput_tps(),
+        "stalls cost {:.0} vs {:.0}",
+        stalled.overall_throughput_tps(),
+        healthy.overall_throughput_tps()
+    );
+}
+
+#[test]
+fn stats_loss_falls_back_to_unruled_service() {
+    // Every 4th cycle the stats read fails: the controller sees an empty
+    // active set and stops all rules; traffic must ride the fallback
+    // queue (no starvation, no deadlock) until the next healthy cycle.
+    let plan = FaultPlan {
+        stats_loss_every: Some(4),
+        ..FaultPlan::none()
+    };
+    let report = Experiment::new(scenario(), Policy::adaptbf_default())
+        .seed(3)
+        .faults(plan)
+        .run();
+    for (job, outcome) in &report.per_job {
+        assert!(outcome.completed, "{job} must finish despite stats loss");
+    }
+    assert!(report.overall_throughput_tps() > 0.0);
+}
+
+#[test]
+fn device_degradation_window_slows_but_recovers() {
+    // The disk runs 3× slower between 2 s and 4 s (e.g. SSD GC); the run
+    // must finish and throughput in the window must visibly dip.
+    let plan = FaultPlan {
+        disk_degrade: Some(DegradeSpec {
+            from: adaptbf::model::SimTime::from_secs(2),
+            for_: adaptbf::model::SimDuration::from_secs(2),
+            factor: 3.0,
+        }),
+        ..FaultPlan::none()
+    };
+    let report = Experiment::new(scenario(), Policy::adaptbf_default())
+        .seed(3)
+        .faults(plan)
+        .run();
+    let agg = report.metrics.served.aggregate();
+    // Mean served per 100 ms bucket inside vs outside the window.
+    let in_window: f64 = (20..40).map(|i| agg.get(i)).sum::<f64>() / 20.0;
+    let before: f64 = (5..20).map(|i| agg.get(i)).sum::<f64>() / 15.0;
+    assert!(
+        in_window < 0.6 * before,
+        "degradation must show: {in_window:.1}/bucket inside vs {before:.1} before"
+    );
+    for (job, outcome) in &report.per_job {
+        assert!(
+            outcome.completed,
+            "{job} must finish after the device recovers"
+        );
+    }
+}
+
+#[test]
+fn faulty_runs_are_deterministic_too() {
+    let plan = FaultPlan {
+        controller_stall: Some(StallSpec {
+            every: 7,
+            duration: 2,
+        }),
+        stats_loss_every: Some(11),
+        ..FaultPlan::none()
+    };
+    let run = || {
+        Experiment::new(scenario(), Policy::adaptbf_default())
+            .seed(9)
+            .faults(plan)
+            .run()
+            .metrics
+            .served_by_job
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn ledger_invariant_survives_faults() {
+    // Even with stalls and stats loss, lending bookkeeping must balance.
+    let plan = FaultPlan {
+        controller_stall: Some(StallSpec {
+            every: 5,
+            duration: 1,
+        }),
+        stats_loss_every: Some(3),
+        ..FaultPlan::none()
+    };
+    let scenario = scenarios::token_recompensation_scaled(0.25);
+    let report = Experiment::new(scenario, Policy::adaptbf_default())
+        .seed(3)
+        .faults(plan)
+        .run();
+    let final_records: f64 = (1..=4u32)
+        .filter_map(|j| report.metrics.records.get(JobId(j)))
+        .map(|s| s.values.last().copied().unwrap_or(0.0))
+        .sum();
+    assert_eq!(final_records, 0.0, "Σ records must stay zero under faults");
+}

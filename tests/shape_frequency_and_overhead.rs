@@ -1,0 +1,98 @@
+//! Figure 9 and Section IV-G shape assertions.
+//!
+//! Faster control loops must win (throughput decreases with the
+//! observation period), and the allocation algorithm must stay far under
+//! the paper's 30 µs/job budget with linear-ish scaling.
+
+use adaptbf::core::AllocationController;
+use adaptbf::model::config::paper;
+use adaptbf::model::{AdapTbfConfig, JobId, JobObservation, SimDuration};
+use adaptbf::sim::frequency_sweep;
+use adaptbf::workload::scenarios;
+
+#[test]
+fn throughput_decreases_with_allocation_period() {
+    let scenario = scenarios::token_recompensation_scaled(0.25);
+    let periods: Vec<SimDuration> = [100u64, 500, 2000].map(SimDuration::from_millis).to_vec();
+    let points = frequency_sweep(&scenario, 42, AdapTbfConfig::default(), &periods);
+    assert!(
+        points[0].throughput_tps > points[1].throughput_tps,
+        "100 ms must beat 500 ms: {points:?}"
+    );
+    assert!(
+        points[1].throughput_tps > points[2].throughput_tps,
+        "500 ms must beat 2 s: {points:?}"
+    );
+    // And the spread must be substantial (the paper's Figure 9 shows a
+    // clear slope, not noise).
+    assert!(
+        points[0].throughput_tps > 1.2 * points[2].throughput_tps,
+        "slope too shallow: {points:?}"
+    );
+}
+
+#[test]
+fn allocation_cost_stays_under_paper_budget() {
+    // Paper IV-G: < 30 µs per job. Measure 1000-job steps in a debug-safe
+    // way (few iterations, generous bound).
+    let n = 1000;
+    let obs: Vec<JobObservation> = (0..n)
+        .map(|i| {
+            JobObservation::new(
+                JobId(i as u32 + 1),
+                (i as u64 % 16) + 1,
+                30 + i as u64 % 200,
+            )
+        })
+        .collect();
+    let mut controller = AllocationController::new(paper::adaptbf());
+    for _ in 0..3 {
+        controller.step(&obs);
+    }
+    let iters = 20;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        controller.step(&obs);
+    }
+    let per_job_us = t0.elapsed().as_micros() as f64 / iters as f64 / n as f64;
+    assert!(
+        per_job_us < 30.0,
+        "allocation cost {per_job_us:.2} µs/job exceeds paper budget"
+    );
+}
+
+#[test]
+fn allocation_scales_linearly_enough() {
+    // Doubling the job count must not quadruple the step time (guards the
+    // O(n)-ish contract; generous factor for debug builds and CI noise).
+    // Min-of-batches: test binaries run in parallel, so a single timing
+    // sample is contention noise; the minimum over several batches is a
+    // stable proxy for the true cost.
+    let step_time = |n: usize| {
+        let obs: Vec<JobObservation> = (0..n)
+            .map(|i| {
+                JobObservation::new(JobId(i as u32 + 1), 1 + (i as u64 % 8), 25 + i as u64 % 100)
+            })
+            .collect();
+        let mut controller = AllocationController::new(paper::adaptbf());
+        for _ in 0..3 {
+            controller.step(&obs);
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let iters = 30;
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                controller.step(&obs);
+            }
+            best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        best
+    };
+    let t250 = step_time(250);
+    let t500 = step_time(500);
+    assert!(
+        t500 / t250 < 5.0,
+        "super-linear blow-up: 250 jobs {t250:.2e}s vs 500 jobs {t500:.2e}s"
+    );
+}

@@ -1,0 +1,131 @@
+//! Figure 3/4 shape assertions (paper Section IV-D).
+//!
+//! The reproduction contract: under AdapTBF, steady-state bandwidth is
+//! proportional to priority (10/10/30/50 %), allocation adapts within one
+//! period as jobs complete, aggregate utilization matches No BW, and the
+//! gains concentrate on the high-priority jobs.
+
+use adaptbf::model::JobId;
+use adaptbf::sim::Comparison;
+use adaptbf::workload::scenarios;
+
+const SEED: u64 = 42;
+
+fn comparison() -> Comparison {
+    Comparison::run(&scenarios::token_allocation_scaled(0.25), SEED)
+}
+
+/// Served RPCs for `job` in the window `[from_s, to_s)` of the AdapTBF run.
+fn served_in_window(c: &Comparison, job: u32, from_s: f64, to_s: f64) -> f64 {
+    let series = c
+        .adaptbf
+        .metrics
+        .served
+        .get(JobId(job))
+        .expect("job served");
+    let bucket = c.adaptbf.metrics.bucket.as_secs_f64();
+    let a = (from_s / bucket) as usize;
+    let b = (to_s / bucket) as usize;
+    (a..b.min(series.len())).map(|i| series.get(i)).sum()
+}
+
+#[test]
+fn steady_state_bandwidth_is_priority_proportional() {
+    let c = comparison();
+    // While all four jobs are active (1 s..6 s), shares must approximate
+    // 10/10/30/50 %.
+    let j1 = served_in_window(&c, 1, 1.0, 6.0);
+    let j2 = served_in_window(&c, 2, 1.0, 6.0);
+    let j3 = served_in_window(&c, 3, 1.0, 6.0);
+    let j4 = served_in_window(&c, 4, 1.0, 6.0);
+    let ratio43 = j4 / j3;
+    let ratio31 = j3 / j1;
+    assert!(
+        (1.4..2.2).contains(&ratio43),
+        "j4/j3 = {ratio43:.2}, want ≈ 5/3"
+    );
+    assert!(
+        (2.3..3.8).contains(&ratio31),
+        "j3/j1 = {ratio31:.2}, want ≈ 3"
+    );
+    assert!(
+        (j1 / j2 - 1.0).abs() < 0.25,
+        "equal-priority jobs near-equal"
+    );
+}
+
+#[test]
+fn no_bw_ignores_priority() {
+    let c = comparison();
+    let throughputs: Vec<f64> = (1..=4).map(|j| c.no_bw.job_throughput(JobId(j))).collect();
+    let max = throughputs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = throughputs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 1.1,
+        "FCFS must serve equal washes: {throughputs:?}"
+    );
+}
+
+#[test]
+fn adaptbf_reallocates_as_jobs_complete() {
+    let c = comparison();
+    let done = |j: u32| {
+        c.adaptbf.metrics.completion_time[&JobId(j)]
+            .expect("completes")
+            .as_secs_f64()
+    };
+    // Priority order ⇒ completion order.
+    assert!(done(4) < done(3), "job4 (50%) before job3 (30%)");
+    assert!(done(3) < done(1).min(done(2)), "job3 before the 10% jobs");
+    // After job4 completes, job3's rate must rise well above its 300 tps
+    // steady state (it inherits the freed share: 3/5 of the budget).
+    let before = served_in_window(&c, 3, 1.0, 6.0) / 5.0;
+    let t4 = done(4);
+    let after = served_in_window(&c, 3, t4 + 0.5, t4 + 2.5) / 2.0;
+    assert!(
+        after > before * 1.5,
+        "job3 rate must jump after job4 completes: {before:.1} → {after:.1} RPC/100ms"
+    );
+}
+
+#[test]
+fn work_conserving_aggregate() {
+    let c = comparison();
+    let adapt = c.adaptbf.overall_throughput_tps();
+    let nobw = c.no_bw.overall_throughput_tps();
+    assert!(
+        adapt > 0.95 * nobw,
+        "AdapTBF must stay work-conserving: {adapt:.0} vs No BW {nobw:.0}"
+    );
+    // Static BW strands bandwidth after early finishers.
+    let stat = c.static_bw.overall_throughput_tps();
+    assert!(
+        stat < 0.65 * nobw,
+        "Static BW must waste capacity: {stat:.0}"
+    );
+}
+
+#[test]
+fn gains_concentrate_on_high_priority_jobs() {
+    let c = comparison();
+    let rows = c.job_rows();
+    let gain = |j: u32| {
+        rows.iter()
+            .find(|r| r.job == Some(JobId(j)))
+            .expect("row")
+            .gain_vs_no_bw()
+    };
+    assert!(gain(4) > 0.5, "job4 gains big: {:.2}", gain(4));
+    assert!(gain(3) > 0.2, "job3 gains: {:.2}", gain(3));
+    assert!(gain(1) > -0.10, "job1 loses little: {:.2}", gain(1));
+    assert!(gain(2) > -0.10, "job2 loses little: {:.2}", gain(2));
+}
+
+#[test]
+fn all_released_work_is_served_under_adaptbf() {
+    let c = comparison();
+    for (job, outcome) in &c.adaptbf.per_job {
+        assert!(outcome.completed, "{job} must finish");
+        assert_eq!(outcome.served, outcome.released, "{job} served == released");
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 7/8 shape assertions (paper Section IV-F).
+//!
+//! Equal-priority jobs where three lend tokens while quiet and reclaim
+//! them when their continuous streams switch on: the records timeline must
+//! show the lend → re-compensate cycle, the ledger must balance, and the
+//! summary bars must match the paper's ordering.
+
+use adaptbf::model::JobId;
+use adaptbf::sim::Comparison;
+use adaptbf::workload::scenarios;
+
+const SEED: u64 = 42;
+
+fn comparison() -> Comparison {
+    Comparison::run(&scenarios::token_recompensation_scaled(0.5), SEED)
+}
+
+fn record_series(c: &Comparison, j: u32) -> &adaptbf::model::BucketSeries {
+    c.adaptbf
+        .metrics
+        .records
+        .get(JobId(j))
+        .expect("records recorded")
+}
+
+#[test]
+fn quiet_jobs_lend_then_get_repaid() {
+    let c = comparison();
+    for j in 1..=3u32 {
+        let series = record_series(&c, j);
+        let max = series.values.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            max > 15.0,
+            "job{j} must accumulate a positive (lending) record, max {max}"
+        );
+    }
+}
+
+#[test]
+fn continuous_hog_borrows_and_repays() {
+    let c = comparison();
+    let series = record_series(&c, 4);
+    let min = series.values.iter().cloned().fold(f64::MAX, f64::min);
+    let last = *series.values.last().unwrap();
+    assert!(min < -40.0, "job4 must borrow heavily, min {min}");
+    assert!(
+        last.abs() <= 10.0,
+        "job4's debt must be repaid by the end, final {last}"
+    );
+}
+
+#[test]
+fn lenders_hold_credit_until_their_streams_arrive() {
+    // At 0.5 scale the continuous streams start at 10/25/40 s. Just
+    // before each lender's own stream switches on, it must hold a
+    // positive record (it lent while quiet), and job 4 — the continuous
+    // borrower — must be in debt at each of those instants.
+    let c = comparison();
+    let record_at = |j: u32, bucket: usize| record_series(&c, j).get(bucket);
+    for (job, stream_start_bucket) in [(1u32, 100usize), (2, 250), (3, 400)] {
+        let just_before = stream_start_bucket - 10;
+        assert!(
+            record_at(job, just_before) > 5.0,
+            "job{job} must be a net lender just before its stream: {}",
+            record_at(job, just_before)
+        );
+        assert!(
+            record_at(4, just_before) < -20.0,
+            "job4 must be in debt at {just_before}: {}",
+            record_at(4, just_before)
+        );
+    }
+}
+
+#[test]
+fn ledger_balances_at_every_snapshot_end() {
+    let c = comparison();
+    let total: f64 = (1..=4u32)
+        .map(|j| *record_series(&c, j).values.last().unwrap())
+        .sum();
+    assert_eq!(total, 0.0, "Σ records must be exactly zero");
+}
+
+#[test]
+fn aggregate_on_par_with_no_bw_static_degraded() {
+    let c = comparison();
+    let nobw = c.no_bw.overall_throughput_tps();
+    let stat = c.static_bw.overall_throughput_tps();
+    let adapt = c.adaptbf.overall_throughput_tps();
+    assert!(
+        adapt > 0.85 * nobw,
+        "on par with No BW: {adapt:.0} vs {nobw:.0}"
+    );
+    assert!(
+        stat < 0.55 * nobw,
+        "Static BW significantly degraded: {stat:.0}"
+    );
+}
+
+#[test]
+fn lenders_gain_over_both_baselines() {
+    let c = comparison();
+    for j in 1..=3u32 {
+        let nobw = c.no_bw.job_throughput(JobId(j));
+        let stat = c.static_bw.job_throughput(JobId(j));
+        let adapt = c.adaptbf.job_throughput(JobId(j));
+        assert!(
+            adapt > 1.3 * nobw,
+            "job{j} vs No BW: {adapt:.1} vs {nobw:.1}"
+        );
+        assert!(
+            adapt > 0.95 * stat,
+            "job{j} vs Static: {adapt:.1} vs {stat:.1}"
+        );
+    }
+    // Job 4 keeps most of its No BW throughput (minimal loss).
+    let loss = 1.0 - c.adaptbf.job_throughput(JobId(4)) / c.no_bw.job_throughput(JobId(4));
+    assert!(loss < 0.35, "job4 loss bounded: {loss:.2}");
+}
