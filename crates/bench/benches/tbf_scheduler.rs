@@ -2,39 +2,23 @@
 //! enqueue, deadline-heap dispatch, and rule churn — the operations every
 //! RPC and every control cycle pay for.
 
-use adaptbf_model::{ClientId, JobId, ProcId, Rpc, RpcId, SimTime, TbfSchedulerConfig};
-use adaptbf_tbf::{NrsTbfScheduler, RpcMatcher, SchedDecision};
+use adaptbf_bench::hotpath_fixture::{rpc, scheduler_with_rules};
+use adaptbf_model::SimTime;
+use adaptbf_tbf::SchedDecision;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn rpc(id: u64, job: u32) -> Rpc {
-    Rpc::new(RpcId(id), JobId(job), ClientId(0), ProcId(0), SimTime::ZERO)
-}
-
-fn scheduler_with_rules(n_jobs: u32) -> NrsTbfScheduler {
-    let mut s = NrsTbfScheduler::new(TbfSchedulerConfig::default());
-    for j in 1..=n_jobs {
-        s.start_rule(
-            format!("job{j}"),
-            RpcMatcher::Job(JobId(j)),
-            1_000_000.0, // effectively unthrottled: measures mechanism cost
-            j,
-            SimTime::ZERO,
-        );
-    }
-    s
-}
-
-fn bench_enqueue_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("enqueue_dispatch");
-    for n_jobs in [1u32, 16, 128] {
+/// One enqueue+dispatch group over the given rule-table sizes. Virtual
+/// time advances 10 µs per iteration so buckets refill (10 tokens at the
+/// 1M tps rule rate) and the bench measures mechanism cost, not
+/// throttling; arrivals cycle over every job so the whole table is live.
+fn enqueue_dispatch_group(c: &mut Criterion, name: &str, sizes: &[u32]) {
+    let mut group = c.benchmark_group(name);
+    for &n_jobs in sizes {
         group.throughput(Throughput::Elements(1));
         group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &n_jobs, |b, &n| {
             let mut s = scheduler_with_rules(n);
             let mut id = 0u64;
             b.iter(|| {
-                // Advance virtual time 10 µs per iteration so buckets
-                // refill (10 tokens at the 1M tps rule rate) and the
-                // bench measures mechanism cost, not throttling.
                 let now = SimTime::from_micros(id * 10);
                 let job = (id % n as u64) as u32 + 1;
                 s.enqueue(rpc(id, job), now);
@@ -47,6 +31,17 @@ fn bench_enqueue_dispatch(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_enqueue_dispatch(c: &mut Criterion) {
+    enqueue_dispatch_group(c, "enqueue_dispatch", &[1, 16, 128]);
+}
+
+fn bench_classification_scaling(c: &mut Criterion) {
+    // The data-path claim: enqueue+dispatch cost must be flat in the rule
+    // count (O(1) shortcut map), not linear (the naive first-match scan).
+    // 1024 rules must land within ~2× of the 1-rule cost.
+    enqueue_dispatch_group(c, "classification_scaling", &[1, 64, 1024]);
 }
 
 fn bench_rule_churn(c: &mut Criterion) {
@@ -69,5 +64,10 @@ fn bench_rule_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_enqueue_dispatch, bench_rule_churn);
+criterion_group!(
+    benches,
+    bench_enqueue_dispatch,
+    bench_classification_scaling,
+    bench_rule_churn
+);
 criterion_main!(benches);

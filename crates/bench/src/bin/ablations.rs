@@ -7,7 +7,7 @@
 use adaptbf_bench::{write_artifact, Options};
 use adaptbf_model::config::paper;
 use adaptbf_model::{AdapTbfConfig, ForecastMode, JobId};
-use adaptbf_sim::{Experiment, Policy};
+use adaptbf_sim::{Experiment, Policy, RunGrid};
 use adaptbf_workload::scenarios;
 
 struct Variant {
@@ -73,10 +73,15 @@ fn main() {
         "variant", "overall", "job1", "job2", "job3", "job4"
     );
     let mut csv = String::from("variant,overall_tps,job1_tps,job2_tps,job3_tps,job4_tps\n");
-    for v in variants() {
-        let report = Experiment::new(scenario.clone(), Policy::AdapTbf(v.config))
+    // Every variant run is independent: fan the grid out over worker
+    // threads; results come back in variant order.
+    let variants = variants();
+    let reports = RunGrid::new().run(variants.iter().map(|v| v.config).collect(), |config| {
+        Experiment::new(scenario.clone(), Policy::AdapTbf(config))
             .seed(opts.seed)
-            .run();
+            .run()
+    });
+    for (v, report) in variants.iter().zip(&reports) {
         let t = |j: u32| report.job_throughput(JobId(j));
         println!(
             "{:<22} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",

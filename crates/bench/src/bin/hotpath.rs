@@ -1,0 +1,217 @@
+//! Hot-path throughput tracker: measures the three overhauled paths —
+//! O(1) classification, incremental reconcile, and the parallel experiment
+//! grid — and writes a machine-readable baseline to `BENCH_hotpath.json`
+//! at the workspace root so the perf trajectory is tracked commit over
+//! commit.
+//!
+//! The headline invariants this guards:
+//!
+//! * enqueue+dispatch throughput at 1024 rules within 2× of the 1-rule
+//!   case (the naive linear scan is ~1000× off);
+//! * a full control cycle's rule churn (`apply_updates` over every rule)
+//!   in microseconds, not milliseconds, at 1024 rules;
+//! * the figure/ablation grid speeding up superlinearly vs a single
+//!   worker on multi-core machines, with byte-identical output.
+
+use adaptbf_bench::hotpath_fixture::{rpc, scheduler_with_rules};
+use adaptbf_model::{RuleId, SimTime};
+use adaptbf_sim::{Experiment, Policy, RunGrid};
+use adaptbf_tbf::SchedDecision;
+use adaptbf_workload::scenarios;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Enqueue+dispatch throughput (RPCs/s) with `n_rules` installed.
+fn enqueue_dispatch_per_sec(n_rules: u32, iters: u64) -> f64 {
+    let mut s = scheduler_with_rules(n_rules);
+    let t0 = Instant::now();
+    for id in 0..iters {
+        let now = SimTime::from_micros(id * 10);
+        let job = (id % n_rules as u64) as u32 + 1;
+        s.enqueue(rpc(id, job), now);
+        match s.next(now) {
+            SchedDecision::Serve(r) => {
+                std::hint::black_box(r);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Dispatch-only throughput (RPCs/s): pre-filled queues, `next` in a loop.
+fn dispatch_per_sec(n_rules: u32, iters: u64) -> f64 {
+    let mut s = scheduler_with_rules(n_rules);
+    for id in 0..iters {
+        let job = (id % n_rules as u64) as u32 + 1;
+        s.enqueue(rpc(id, job), SimTime::ZERO);
+    }
+    let t0 = Instant::now();
+    let mut served = 0u64;
+    let mut id = 0u64;
+    while served < iters {
+        let now = SimTime::from_micros(id * 10);
+        id += 1;
+        match s.next(now) {
+            SchedDecision::Serve(r) => {
+                std::hint::black_box(r);
+                served += 1;
+            }
+            SchedDecision::WaitUntil(_) => {}
+            SchedDecision::Idle => panic!("work remains"),
+        }
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// One control cycle's rule churn (µs): `apply_updates` re-rating every
+/// rule, with live queues bound to each.
+fn reconcile_micros(n_rules: u32, cycles: u32) -> f64 {
+    let mut s = scheduler_with_rules(n_rules);
+    for id in 0..n_rules as u64 * 2 {
+        let job = (id % n_rules as u64) as u32 + 1;
+        s.enqueue(rpc(id, job), SimTime::ZERO);
+    }
+    let ids: Vec<RuleId> = s.rules().rules().iter().map(|r| r.id).collect();
+    let t0 = Instant::now();
+    let mut rate = 100.0;
+    for cycle in 0..cycles {
+        rate += 1.0;
+        let updates: Vec<(RuleId, f64, u32)> =
+            ids.iter().map(|id| (*id, rate, cycle % 9 + 1)).collect();
+        s.apply_updates(&updates, SimTime::from_millis(cycle as u64 * 100))
+            .expect("rules exist");
+    }
+    t0.elapsed().as_micros() as f64 / cycles as f64
+}
+
+/// Wall time (s) of a small figure grid at the given worker count, plus a
+/// digest of its output for the byte-identical check.
+fn grid_wall_time(threads: usize) -> (f64, String) {
+    let grid = RunGrid::with_threads(threads);
+    let scenario = scenarios::token_redistribution_scaled(0.5);
+    let runs: Vec<(Policy, u64)> = (0..4u64)
+        .flat_map(|seed| {
+            [
+                (Policy::NoBw, seed),
+                (Policy::StaticBw, seed),
+                (Policy::adaptbf_default(), seed),
+            ]
+        })
+        .collect();
+    let t0 = Instant::now();
+    let reports = grid.run(runs, |(policy, seed)| {
+        Experiment::new(scenario.clone(), policy).seed(seed).run()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut digest = String::new();
+    for r in &reports {
+        let _ = write!(digest, "{}:{:.6};", r.policy, r.overall_throughput_tps());
+        for (job, served) in &r.metrics.served_by_job {
+            let _ = write!(digest, "{job}={served},");
+        }
+    }
+    (wall, digest)
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| Path::new(&d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() {
+    println!("== Hot-path baseline (release: run with --release) ==\n");
+
+    let iters = if cfg!(debug_assertions) {
+        200_000
+    } else {
+        2_000_000
+    };
+    let mut enqueue = Vec::new();
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "rules", "enqueue+next/s", "next-only/s"
+    );
+    for n in [1u32, 64, 1024] {
+        let e = enqueue_dispatch_per_sec(n, iters);
+        let d = dispatch_per_sec(n, iters.min(500_000));
+        println!("{n:>8} {e:>16.0} {d:>16.0}");
+        enqueue.push((n, e, d));
+    }
+    let flatness = enqueue[0].1 / enqueue[2].1;
+    println!("\n1-rule / 1024-rule enqueue cost ratio: {flatness:.2}x (target ≤ 2x)");
+
+    let cycles = if cfg!(debug_assertions) { 200 } else { 1000 };
+    let mut reconcile = Vec::new();
+    println!("\n{:>8} {:>20}", "rules", "reconcile µs/cycle");
+    for n in [64u32, 256, 1024] {
+        let us = reconcile_micros(n, cycles);
+        println!("{n:>8} {us:>20.1}");
+        reconcile.push((n, us));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Use at least 4 workers so the threaded path is exercised (and its
+    // output verified) even on small machines; the speedup itself only
+    // materializes when cores back the workers.
+    let workers = cores.max(4);
+    let (seq_wall, seq_digest) = grid_wall_time(1);
+    let (par_wall, par_digest) = grid_wall_time(workers);
+    assert_eq!(
+        seq_digest, par_digest,
+        "parallel grid output must be byte-identical to sequential"
+    );
+    let speedup = seq_wall / par_wall;
+    println!(
+        "\nfigure grid (12 runs): sequential {seq_wall:.2}s, {workers} workers \
+         on {cores} cores {par_wall:.2}s → {speedup:.2}x speedup \
+         (byte-identical output)"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"build\": \"{}\",",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    );
+    let _ = writeln!(json, "  \"enqueue_per_sec\": {{");
+    for (i, (n, e, _)) in enqueue.iter().enumerate() {
+        let comma = if i + 1 < enqueue.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{n}\": {e:.0}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"next_per_sec\": {{");
+    for (i, (n, _, d)) in enqueue.iter().enumerate() {
+        let comma = if i + 1 < enqueue.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{n}\": {d:.0}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"enqueue_1024_vs_1_ratio\": {:.3},",
+        enqueue[2].1 / enqueue[0].1
+    );
+    let _ = writeln!(json, "  \"reconcile_us_per_cycle\": {{");
+    for (i, (n, us)) in reconcile.iter().enumerate() {
+        let comma = if i + 1 < reconcile.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{n}\": {us:.1}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"grid_wall_s_sequential\": {seq_wall:.3},");
+    let _ = writeln!(json, "  \"grid_wall_s_parallel\": {par_wall:.3},");
+    let _ = writeln!(json, "  \"grid_workers\": {workers},");
+    let _ = writeln!(json, "  \"grid_cores\": {cores},");
+    let _ = writeln!(json, "  \"grid_speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"grid_output_identical\": true");
+    json.push_str("}\n");
+
+    let path = workspace_root().join("BENCH_hotpath.json");
+    std::fs::write(&path, &json).expect("write BENCH_hotpath.json");
+    println!("\nwrote {}", path.display());
+}

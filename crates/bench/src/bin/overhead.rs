@@ -13,6 +13,7 @@ use adaptbf_model::config::paper;
 use adaptbf_model::{JobId, JobObservation, SimTime, TbfSchedulerConfig};
 use adaptbf_sim::controller_driver::ControllerDriver;
 use adaptbf_sim::ost::OstState;
+use adaptbf_sim::RunGrid;
 use std::time::Instant;
 
 fn observations(n: usize) -> Vec<JobObservation> {
@@ -79,12 +80,21 @@ fn main() {
     );
     println!("  bulk RPC size        : {} MiB\n", ost.rpc_size >> 20);
 
+    // These are wall-clock microbenchmarks: they run through the shared
+    // RunGrid executor like every other grid binary, but pinned to one
+    // worker — concurrent timing samples on shared cores would corrupt
+    // the measurement. (The grid still guarantees result order.)
+    let timing_grid = RunGrid::with_threads(1);
+
     println!("Token allocation algorithm scaling (paper: O(n), <30 us/job):");
     println!("{:>8} {:>14} {:>14}", "jobs", "ns/step", "ns/job");
     let mut csv = String::from("jobs,ns_per_step,ns_per_job\n");
-    for n in [1usize, 10, 50, 100, 250, 500, 1000] {
+    let sizes = vec![1usize, 10, 50, 100, 250, 500, 1000];
+    let rows = timing_grid.run(sizes, |n| {
         let iters = if n >= 500 { 200 } else { 1000 };
-        let ns = bench_allocation(n, iters);
+        (n, bench_allocation(n, iters))
+    });
+    for (n, ns) in rows {
         println!("{n:>8} {ns:>14.0} {:>14.1}", ns / n as f64);
         csv.push_str(&format!("{n},{ns:.0},{:.1}\n", ns / n as f64));
     }
@@ -93,9 +103,12 @@ fn main() {
     println!("\nFull framework cycle (collect + allocate + rules + clear):");
     println!("{:>8} {:>14}", "jobs", "us/cycle");
     let mut csv = String::from("jobs,us_per_cycle\n");
-    for n in [4usize, 16, 64, 256, 1000] {
+    let sizes = vec![4usize, 16, 64, 256, 1000];
+    let rows = timing_grid.run(sizes, |n| {
         let iters = if n >= 256 { 50 } else { 300 };
-        let us = bench_full_cycle(n, iters) / 1e3;
+        (n, bench_full_cycle(n, iters) / 1e3)
+    });
+    for (n, us) in rows {
         println!("{n:>8} {us:>14.1}");
         csv.push_str(&format!("{n},{us:.1}\n"));
     }

@@ -15,11 +15,18 @@
 //! | `fig8` | Fig. 8 — re-compensation bars + gains |
 //! | `fig9` | Fig. 9 — throughput vs allocation frequency |
 //! | `overhead` | §IV-G — allocation cost scaling, framework overhead, Table II config |
-//! | `all` | everything above |
+//! | `hotpath` | hot-path baseline → `BENCH_hotpath.json` (classify, reconcile, grid) |
+//! | `all` | everything above except `hotpath` |
 //!
-//! Absolute numbers come from the simulated substrate (see DESIGN.md §4);
-//! the *shapes* — who wins, by what factor, where crossovers sit — are the
-//! reproduction targets, asserted by the integration tests in `tests/`.
+//! Absolute numbers come from the simulated substrate (a calibrated model
+//! of the paper's CloudLab testbed — see the "Reproduction scope" section
+//! of the top-level README); the *shapes* — who wins, by what factor,
+//! where crossovers sit — are the reproduction targets, asserted by the
+//! integration tests in `tests/`.
+//!
+//! Comparison and sweep grids fan out over [`adaptbf_sim::RunGrid`]
+//! worker threads; results are deterministic and identical to sequential
+//! runs (see README "Hot paths & scaling").
 
 use adaptbf_model::{AdapTbfConfig, SimDuration};
 use adaptbf_sim::report::{frequency_csv, gauge_csv, timeline_csv};
@@ -30,6 +37,35 @@ use std::path::{Path, PathBuf};
 
 /// Default seed used by all figure binaries (override with `--seed N`).
 pub const DEFAULT_SEED: u64 = 42;
+
+/// Hot-path fixture helpers shared by the criterion benches and the
+/// `hotpath` baseline binary, so the measured setup cannot silently
+/// drift between them.
+pub mod hotpath_fixture {
+    use adaptbf_model::{ClientId, JobId, ProcId, Rpc, RpcId, SimTime, TbfSchedulerConfig};
+    use adaptbf_tbf::{NrsTbfScheduler, RpcMatcher};
+
+    /// A bench RPC for `job` (client/proc pinned to 0).
+    pub fn rpc(id: u64, job: u32) -> Rpc {
+        Rpc::new(RpcId(id), JobId(job), ClientId(0), ProcId(0), SimTime::ZERO)
+    }
+
+    /// A scheduler with one effectively-unthrottled Job rule per job, so
+    /// benches measure mechanism cost rather than throttling.
+    pub fn scheduler_with_rules(n_jobs: u32) -> NrsTbfScheduler {
+        let mut s = NrsTbfScheduler::new(TbfSchedulerConfig::default());
+        for j in 1..=n_jobs {
+            s.start_rule(
+                format!("job{j}"),
+                RpcMatcher::Job(JobId(j)),
+                1_000_000.0,
+                j,
+                SimTime::ZERO,
+            );
+        }
+        s
+    }
+}
 
 /// Simple CLI options shared by the figure binaries.
 #[derive(Debug, Clone, Copy)]

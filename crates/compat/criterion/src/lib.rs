@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group/bench-with-input API this workspace's benches use.
+//! Measurement is deliberately simple: a warm-up phase sizes the batch so
+//! one sample takes ~20 ms, then the median of several timed batches is
+//! reported as ns/iteration (plus throughput when declared). No plots, no
+//! statistics beyond the median — good enough to track relative hot-path
+//! cost across commits in an offline environment.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a single parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Drives timed closures and records per-iteration cost.
+pub struct Bencher {
+    batch: u64,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median ns/iteration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: find a batch size taking roughly 20 ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(20) || batch >= 1 << 24 {
+                self.batch = batch;
+                break;
+            }
+            batch = (batch * 4).max(2);
+        }
+        // Measure: median of 5 batches.
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / self.batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed by one iteration of subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            batch: 1,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Run one unparameterized benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            batch: 1,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  [{:.0} elem/s]", n as f64 * 1e9 / b.ns_per_iter)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  [{:.0} MiB/s]",
+                    n as f64 * 1e9 / b.ns_per_iter / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<24} {:>14.1} ns/iter{}",
+            self.name, id, b.ns_per_iter, rate
+        );
+    }
+
+    /// End the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            batch: 1,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        println!("{:<32} {:>14.1} ns/iter", id.to_string(), b.ns_per_iter);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

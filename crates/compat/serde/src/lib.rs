@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Deserialize, Serialize};` — no code path actually
+//! serializes anything (reports are hand-rendered CSV). These derives
+//! therefore expand to nothing; they exist so the annotations compile in
+//! an environment that cannot fetch the real serde from crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

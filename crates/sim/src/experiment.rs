@@ -204,7 +204,10 @@ impl Comparison {
         )
     }
 
-    /// Run with an explicit AdapTBF policy and testbed wiring.
+    /// Run with an explicit AdapTBF policy and testbed wiring. The three
+    /// policy runs are independent and seed-deterministic, so they fan out
+    /// over [`crate::RunGrid`] workers; results are identical to running
+    /// them sequentially.
     pub fn run_with(
         scenario: &Scenario,
         seed: u64,
@@ -215,16 +218,21 @@ impl Comparison {
             matches!(adaptbf_policy, Policy::AdapTbf(_)),
             "third policy must be AdapTBF"
         );
-        let run = |policy| {
-            Experiment::new(scenario.clone(), policy)
-                .seed(seed)
-                .cluster_config(cluster)
-                .run()
-        };
+        let mut reports = crate::RunGrid::new()
+            .run(
+                vec![Policy::NoBw, Policy::StaticBw, adaptbf_policy],
+                |policy| {
+                    Experiment::new(scenario.clone(), policy)
+                        .seed(seed)
+                        .cluster_config(cluster)
+                        .run()
+                },
+            )
+            .into_iter();
         Comparison {
-            no_bw: run(Policy::NoBw),
-            static_bw: run(Policy::StaticBw),
-            adaptbf: run(adaptbf_policy),
+            no_bw: reports.next().expect("three reports"),
+            static_bw: reports.next().expect("three reports"),
+            adaptbf: reports.next().expect("three reports"),
         }
     }
 

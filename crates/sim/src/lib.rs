@@ -40,9 +40,11 @@ pub mod ost;
 pub mod policy;
 pub mod report;
 pub mod rule_daemon;
+pub mod run_grid;
 
 pub use cluster::Cluster;
 pub use experiment::{Comparison, Experiment, JobOutcome, RunReport};
 pub use faults::{DegradeSpec, FaultPlan, StallSpec};
 pub use policy::Policy;
 pub use report::{frequency_sweep, FrequencyPoint};
+pub use run_grid::RunGrid;

@@ -17,27 +17,26 @@ pub struct FrequencyPoint {
 }
 
 /// Figure 9: run the scenario under AdapTBF for each allocation period and
-/// report aggregate throughput.
+/// report aggregate throughput. The per-period runs are independent, so
+/// they fan out over [`crate::RunGrid`] workers; points come back in
+/// period order regardless of thread count.
 pub fn frequency_sweep(
     scenario: &Scenario,
     seed: u64,
     base: AdapTbfConfig,
     periods: &[SimDuration],
 ) -> Vec<FrequencyPoint> {
-    periods
-        .iter()
-        .map(|period| {
-            let cfg = base.with_period(*period);
-            let report = Experiment::new(scenario.clone(), Policy::AdapTbf(cfg))
-                .seed(seed)
-                .cluster_config(ClusterConfig::default())
-                .run();
-            FrequencyPoint {
-                period: *period,
-                throughput_tps: report.overall_throughput_tps(),
-            }
-        })
-        .collect()
+    crate::RunGrid::new().run(periods.to_vec(), |period| {
+        let cfg = base.with_period(period);
+        let report = Experiment::new(scenario.clone(), Policy::AdapTbf(cfg))
+            .seed(seed)
+            .cluster_config(ClusterConfig::default())
+            .run();
+        FrequencyPoint {
+            period,
+            throughput_tps: report.overall_throughput_tps(),
+        }
+    })
 }
 
 /// Render a per-job timeline family as CSV: `time_s,job1,job2,...,overall`,

@@ -1,0 +1,138 @@
+//! Deterministic parallel fan-out for independent simulation runs.
+//!
+//! Every `Cluster` run is a pure function of (scenario, policy, seed,
+//! wiring) — no shared state, no wall clock. The experiment grids the
+//! figures and sweeps run (scenario × policy × seed × period) are
+//! therefore embarrassingly parallel, and [`RunGrid`] fans them out over
+//! scoped worker threads while keeping results in **submission order**:
+//! output `i` is always the result of input `i`, regardless of thread
+//! count or completion order. Combined with per-run seed determinism this
+//! makes the parallel grid byte-identical to a sequential run — a
+//! property regression-tested in `tests/scalability_and_churn.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Executor fanning independent runs over `std::thread::scope` workers.
+#[derive(Debug, Clone, Copy)]
+pub struct RunGrid {
+    threads: usize,
+}
+
+impl Default for RunGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunGrid {
+    /// Executor sized to the machine: `ADAPTBF_THREADS` if set, otherwise
+    /// the available parallelism.
+    pub fn new() -> Self {
+        let threads = std::env::var("ADAPTBF_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        RunGrid { threads }
+    }
+
+    /// Executor with an explicit worker count (1 = run inline, no threads
+    /// spawned — used by the determinism regression tests).
+    pub fn with_threads(threads: usize) -> Self {
+        RunGrid {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` over every item, returning results in submission order.
+    ///
+    /// Work is claimed through an atomic cursor, so threads stay busy
+    /// regardless of per-item cost skew. A panic in any worker propagates
+    /// once the scope joins.
+    pub fn run<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = work[idx]
+                        .lock()
+                        .expect("work slot")
+                        .take()
+                        .expect("each index claimed once");
+                    let out = f(item);
+                    *slots[idx].lock().expect("result slot") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("scope joined every worker")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order() {
+        let grid = RunGrid::with_threads(8);
+        // Uneven per-item cost: later items finish first without the
+        // ordering guarantee.
+        let out = grid.run((0..100u64).collect(), |i| {
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            i * 2
+        });
+        assert_eq!(out, (0..100u64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let grid = RunGrid::with_threads(1);
+        assert_eq!(grid.threads(), 1);
+        assert_eq!(grid.run(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let items: Vec<u64> = (0..64).collect();
+        let seq = RunGrid::with_threads(1).run(items.clone(), |x| x.wrapping_mul(x));
+        let par = RunGrid::with_threads(6).run(items, |x| x.wrapping_mul(x));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = RunGrid::new().run(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -109,7 +109,9 @@ impl DeadlineHeap {
         self.heap.is_empty()
     }
 
-    /// Drop every entry (used when re-building after bulk rule changes).
+    /// Drop every entry. The scheduler itself never rebuilds the heap —
+    /// stale entries are discarded lazily via stamps — so this is only
+    /// for wholesale resets by embedders (and tests).
     pub fn clear(&mut self) {
         self.heap.clear();
     }

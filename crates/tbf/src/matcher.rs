@@ -27,6 +27,20 @@ pub enum RpcMatcher {
 }
 
 impl RpcMatcher {
+    /// The JobIDs this matcher selects on, when it is *purely* job-based
+    /// (`Job` / `JobSet`) — the matchers AdapTBF's daemon installs. Such a
+    /// matcher's verdict depends only on `rpc.job`, which is what lets
+    /// [`crate::RuleTable`] classify them through an O(1) shortcut map.
+    /// `None` for every other matcher kind (including `All` conjunctions,
+    /// even job-only ones: they stay on the exact linear path).
+    pub fn jobs(&self) -> Option<&[JobId]> {
+        match self {
+            RpcMatcher::Job(j) => Some(std::slice::from_ref(j)),
+            RpcMatcher::JobSet(set) => Some(set),
+            _ => None,
+        }
+    }
+
     /// Does this matcher select `rpc`?
     pub fn matches(&self, rpc: &Rpc) -> bool {
         match self {

@@ -78,6 +78,15 @@ impl TbfQueue {
         self.stamp
     }
 
+    /// Fast-forward the stamp to at least `stamp`. Schedulers use this
+    /// when re-creating a queue for a job whose earlier queue may still
+    /// have entries in the deadline heap: per-job stamps must stay
+    /// monotone across queue generations or a leftover entry could alias
+    /// the reborn queue once its stamp catches up.
+    pub fn advance_stamp(&mut self, stamp: u64) {
+        self.stamp = self.stamp.max(stamp);
+    }
+
     /// The queue's deadline: earliest time the head RPC could be served.
     /// `None` when the queue is empty or can never afford its head
     /// (zero-rate rule with an empty bucket).

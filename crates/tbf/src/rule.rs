@@ -7,8 +7,9 @@
 //! performs every observation period.
 
 use crate::matcher::RpcMatcher;
-use adaptbf_model::{ModelError, Rpc, RuleId};
+use adaptbf_model::{JobId, ModelError, Rpc, RuleId};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// One TBF rule: a matcher plus its enforcement parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,12 +31,31 @@ pub struct TbfRule {
 
 /// The ordered rule list of one OST's NRS TBF policy (runtime state; not
 /// serializable — rebuild from configuration instead).
+///
+/// ## Classification fast path
+///
+/// AdapTBF's Rule Management Daemon only ever installs `Job`/`JobSet`
+/// matchers, whose verdict depends solely on `rpc.job`. The table exploits
+/// that: [`RuleTable::classify`] first consults a `JobId → first matching
+/// rule index` shortcut map and only walks the (usually empty) list of
+/// non-job rules that sit *earlier* than the shortcut hit — preserving
+/// exact first-match-wins semantics while making the data-path lookup O(1)
+/// in the rule count for pure-job tables. The equivalence with a full
+/// linear scan is property-tested against random start/stop/reorder
+/// sequences (`tests/proptests.rs`).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuleTable {
     rules: Vec<TbfRule>,
     /// `id → position in rules`, kept in sync so per-rule updates are O(1)
     /// (the daemon re-rates every active job's rule each period).
-    index: std::collections::HashMap<RuleId, usize>,
+    index: HashMap<RuleId, usize>,
+    /// `job → position of the first Job/JobSet rule selecting it` — the
+    /// data-path shortcut. Maintained on start (incrementally) and
+    /// stop/reorder (rebuild).
+    job_fast_path: HashMap<JobId, usize>,
+    /// Positions of rules whose matcher is *not* purely job-based
+    /// (Client / Opcode / All / Any), ascending. Empty under AdapTBF.
+    non_job_rules: Vec<usize>,
     next_id: u64,
     /// Bumped on every mutation so schedulers know to re-classify queues.
     generation: u64,
@@ -61,7 +81,18 @@ impl RuleTable {
         );
         let id = RuleId(self.next_id);
         self.next_id += 1;
-        self.index.insert(id, self.rules.len());
+        let pos = self.rules.len();
+        self.index.insert(id, pos);
+        // Appending never shadows an existing rule (first match wins), so
+        // the fast-path structures update incrementally.
+        match matcher.jobs() {
+            Some(jobs) => {
+                for job in jobs {
+                    self.job_fast_path.entry(*job).or_insert(pos);
+                }
+            }
+            None => self.non_job_rules.push(pos),
+        }
         self.rules.push(TbfRule {
             id,
             name: name.into(),
@@ -94,6 +125,18 @@ impl RuleTable {
             .enumerate()
             .map(|(i, r)| (r.id, i))
             .collect();
+        self.job_fast_path.clear();
+        self.non_job_rules.clear();
+        for (pos, rule) in self.rules.iter().enumerate() {
+            match rule.matcher.jobs() {
+                Some(jobs) => {
+                    for job in jobs {
+                        self.job_fast_path.entry(*job).or_insert(pos);
+                    }
+                }
+                None => self.non_job_rules.push(pos),
+            }
+        }
     }
 
     /// Change a rule's token rate (Lustre `rule change rate=`).
@@ -137,8 +180,30 @@ impl RuleTable {
         Ok(())
     }
 
-    /// First rule matching `rpc`, walking the list in order.
+    /// First rule matching `rpc` — identical result to
+    /// [`RuleTable::classify_linear`], but O(1) in the rule count when the
+    /// table holds only job rules (AdapTBF's steady state): one hash
+    /// lookup, then a walk of the non-job rules installed *before* the
+    /// shortcut hit (none, for a pure-job table).
     pub fn classify(&self, rpc: &Rpc) -> Option<&TbfRule> {
+        let job_hit = self.job_fast_path.get(&rpc.job).copied();
+        for &pos in &self.non_job_rules {
+            if let Some(hit) = job_hit {
+                if pos > hit {
+                    break;
+                }
+            }
+            if self.rules[pos].matcher.matches(rpc) {
+                return Some(&self.rules[pos]);
+            }
+        }
+        job_hit.map(|hit| &self.rules[hit])
+    }
+
+    /// Reference implementation of [`RuleTable::classify`]: walk the whole
+    /// ordered list, first match wins. Kept as the semantic ground truth
+    /// the fast path is property-tested against; never on the data path.
+    pub fn classify_linear(&self, rpc: &Rpc) -> Option<&TbfRule> {
         self.rules.iter().find(|r| r.matcher.matches(rpc))
     }
 

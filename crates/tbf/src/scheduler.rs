@@ -16,13 +16,28 @@
 //! 3. otherwise, if some ruled queue is waiting on tokens, tell the caller
 //!    when to come back ([`SchedDecision::WaitUntil`]);
 //! 4. otherwise [`SchedDecision::Idle`].
+//!
+//! ## Hot-path design
+//!
+//! Rule mutations are **incremental**: instead of draining and rebuilding
+//! every queue and the whole deadline heap on each change (the daemon
+//! mutates every active job's rule once per observation period), the
+//! scheduler keeps a `rule → bound queues` reverse index and touches only
+//! the queues a mutation affects. Heap entries of rebound queues go stale
+//! via the queues' monotone stamps and are discarded lazily on pop — the
+//! heap is never rebuilt wholesale. Starting a rule re-scans only the
+//! fallback queue (an appended rule can never re-classify already-ruled
+//! traffic); stopping one touches only its own queues. Per-job service
+//! counters live on the queues themselves and are folded into
+//! [`SchedulerStats`] only when [`NrsTbfScheduler::stats`] is read, so the
+//! per-serve path performs no map updates.
 
 use crate::heap::DeadlineHeap;
 use crate::matcher::RpcMatcher;
 use crate::queue::TbfQueue;
 use crate::rule::{RuleTable, TbfRule};
 use adaptbf_model::{JobId, ModelError, Rpc, RuleId, SimTime, TbfSchedulerConfig};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// What the scheduler tells an idle I/O thread to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +50,8 @@ pub enum SchedDecision {
     Idle,
 }
 
-/// Service counters kept by the scheduler.
+/// Service counters kept by the scheduler (a snapshot — see
+/// [`NrsTbfScheduler::stats`]).
 #[derive(Debug, Clone, Default)]
 pub struct SchedulerStats {
     /// RPCs served from ruled (token-limited) queues.
@@ -53,17 +69,53 @@ impl SchedulerStats {
     }
 }
 
+/// The three rule parameters a queue actually binds to — a `Copy` view of
+/// a [`TbfRule`] so the per-RPC data path never clones the rule's name
+/// `String` or matcher just to end a borrow of the rule table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RuleBinding {
+    id: RuleId,
+    weight: u32,
+    rate_tps: f64,
+}
+
+impl From<&TbfRule> for RuleBinding {
+    fn from(rule: &TbfRule) -> Self {
+        RuleBinding {
+            id: rule.id,
+            weight: rule.weight,
+            rate_tps: rule.rate_tps,
+        }
+    }
+}
+
 /// The Lustre-style NRS TBF scheduler for one OST.
 #[derive(Debug)]
 pub struct NrsTbfScheduler {
     config: TbfSchedulerConfig,
     rules: RuleTable,
     queues: HashMap<JobId, TbfQueue>,
+    /// Reverse index: which jobs' queues are bound to each rule. Lets rule
+    /// mutations touch only affected queues. `BTreeSet` so affected queues
+    /// are always visited in deterministic JobId order.
+    bound: HashMap<RuleId, BTreeSet<JobId>>,
     heap: DeadlineHeap,
     fallback: VecDeque<Rpc>,
-    stats: SchedulerStats,
     /// RPCs sitting in ruled queues (cheap pending() accounting).
     ruled_backlog: usize,
+    // -- cold stats state: folded into `SchedulerStats` on read ----------
+    served_ruled: u64,
+    served_fallback: u64,
+    /// Per-job counts of queues that have since been removed.
+    folded_served: BTreeMap<JobId, u64>,
+    /// Stamp floor for re-created queues: a removed queue's heap entries
+    /// are never purged (lazy invalidation), so the next queue for the
+    /// same job must start its stamp *above* them or a leftover entry
+    /// would read as valid once the new stamp caught up.
+    retired_stamps: HashMap<JobId, u64>,
+    /// Per-job fallback serve counts (HashMap: off the BTreeMap rebalance
+    /// cost on the serve path).
+    fallback_served: HashMap<JobId, u64>,
 }
 
 impl NrsTbfScheduler {
@@ -73,16 +125,25 @@ impl NrsTbfScheduler {
             config,
             rules: RuleTable::new(),
             queues: HashMap::new(),
+            bound: HashMap::new(),
             heap: DeadlineHeap::new(),
             fallback: VecDeque::new(),
-            stats: SchedulerStats::default(),
             ruled_backlog: 0,
+            served_ruled: 0,
+            served_fallback: 0,
+            folded_served: BTreeMap::new(),
+            retired_stamps: HashMap::new(),
+            fallback_served: HashMap::new(),
         }
     }
 
     // ---- rule management (the daemon's interface) -----------------------
 
     /// Install a rule; queued traffic is re-classified immediately.
+    ///
+    /// Incremental: an appended rule matches *after* every existing rule,
+    /// so already-ruled queues keep their bindings — only the fallback
+    /// queue can hold RPCs the new rule captures.
     pub fn start_rule(
         &mut self,
         name: impl Into<String>,
@@ -92,15 +153,47 @@ impl NrsTbfScheduler {
         now: SimTime,
     ) -> RuleId {
         let id = self.rules.start_rule(name, matcher, rate_tps, weight);
-        self.reconcile(now);
+        self.recapture_fallback(now);
         id
     }
 
     /// Remove a rule; its queues' backlogs move to later-matching rules or
-    /// the fallback queue.
+    /// the fallback queue. Only queues bound to `id` are touched.
     pub fn stop_rule(&mut self, id: RuleId, now: SimTime) -> Result<(), ModelError> {
         self.rules.stop_rule(id)?;
-        self.reconcile(now);
+        let jobs = self.bound.remove(&id).unwrap_or_default();
+        for job in jobs {
+            let queue = self.queues.get_mut(&job).expect("bound queue exists");
+            if queue.is_empty() {
+                // Lustre drops idle queues when their rule goes away; a
+                // later RPC re-creates one under whatever rule then matches.
+                self.remove_queue(job);
+                continue;
+            }
+            let head = *queue.head().expect("non-empty queue");
+            match self.rules.classify(&head).map(RuleBinding::from) {
+                Some(binding) => self.rebind_queue(job, binding, now),
+                None => {
+                    // The head is orphaned — but when non-job matchers
+                    // split a job's traffic, later RPCs in the same queue
+                    // can still match a live rule, so each drained RPC is
+                    // re-classified individually: matches re-enter ruled
+                    // queues (keeping their rate limits), the rest ride
+                    // the fallback queue. This is exactly what the old
+                    // full reconcile achieved via its fallback re-scan.
+                    let queue = self.queues.get_mut(&job).expect("bound queue exists");
+                    let drained: Vec<Rpc> = queue.drain().collect();
+                    self.ruled_backlog -= drained.len();
+                    self.remove_queue(job);
+                    for rpc in drained {
+                        match self.rules.classify(&rpc).map(RuleBinding::from) {
+                            Some(binding) => self.enqueue_ruled(rpc, binding, now),
+                            None => self.fallback.push_back(rpc),
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -112,7 +205,7 @@ impl NrsTbfScheduler {
         now: SimTime,
     ) -> Result<(), ModelError> {
         self.rules.change_rate(id, rate_tps)?;
-        self.reconcile(now);
+        self.refresh_bound_queues(id, now);
         Ok(())
     }
 
@@ -124,24 +217,33 @@ impl NrsTbfScheduler {
         now: SimTime,
     ) -> Result<(), ModelError> {
         self.rules.change_weight(id, weight)?;
-        self.reconcile(now);
+        self.refresh_bound_queues(id, now);
         Ok(())
     }
 
-    /// Apply a batch of `(rule, rate, weight)` updates with a single
-    /// queue re-classification at the end — what the Rule Management
-    /// Daemon does once per observation period for every active job.
+    /// Apply a batch of `(rule, rate, weight)` updates — what the Rule
+    /// Management Daemon does once per observation period for every active
+    /// job. The whole batch is validated up front: a bad `RuleId` anywhere
+    /// in it leaves the scheduler completely untouched, never with half the
+    /// rates applied but queues unreconciled.
     pub fn apply_updates(
         &mut self,
         updates: &[(RuleId, f64, u32)],
         now: SimTime,
     ) -> Result<(), ModelError> {
-        for (id, rate, weight) in updates {
-            self.rules.change_rate(*id, *rate)?;
-            self.rules.change_weight(*id, *weight)?;
+        for (id, _, _) in updates {
+            if self.rules.get(*id).is_none() {
+                return Err(ModelError::not_found("rule", *id));
+            }
         }
-        if !updates.is_empty() {
-            self.reconcile(now);
+        for (id, rate, weight) in updates {
+            self.rules
+                .change_rate(*id, *rate)
+                .expect("batch validated above");
+            self.rules
+                .change_weight(*id, *weight)
+                .expect("batch validated above");
+            self.refresh_bound_queues(*id, now);
         }
         Ok(())
     }
@@ -153,28 +255,39 @@ impl NrsTbfScheduler {
 
     // ---- data path -------------------------------------------------------
 
-    /// Accept an RPC from the network and classify it.
+    /// Accept an RPC from the network and classify it (O(1) in the rule
+    /// count for job-rule tables — see [`RuleTable::classify`]).
     pub fn enqueue(&mut self, rpc: Rpc, now: SimTime) {
-        match self.rules.classify(&rpc) {
-            Some(rule) => {
-                let rule = rule.clone();
-                self.enqueue_ruled(rpc, &rule, now);
-            }
+        match self.rules.classify(&rpc).map(RuleBinding::from) {
+            Some(binding) => self.enqueue_ruled(rpc, binding, now),
             None => self.fallback.push_back(rpc),
         }
     }
 
-    fn enqueue_ruled(&mut self, rpc: Rpc, rule: &TbfRule, now: SimTime) {
-        let depth = self.config.bucket_depth;
-        let queue = self.queues.entry(rpc.job).or_insert_with(|| {
-            TbfQueue::new(rpc.job, rule.id, rule.weight, rule.rate_tps, depth, now)
-        });
-        if queue.rule != rule.id
-            || queue.weight != rule.weight
-            || queue.bucket().rate_tps() != rule.rate_tps
-        {
-            queue.rebind(rule.id, rule.weight, rule.rate_tps, now);
+    fn enqueue_ruled(&mut self, rpc: Rpc, binding: RuleBinding, now: SimTime) {
+        let job = rpc.job;
+        if self.queues.contains_key(&job) {
+            // Existing queue: re-binds if the governing rule changed (non-
+            // job matchers can split one job's traffic across rules),
+            // including the fresh heap entry the stamp bump requires.
+            self.rebind_queue(job, binding, now);
+        } else {
+            let depth = self.config.bucket_depth;
+            let mut queue = TbfQueue::new(
+                job,
+                binding.id,
+                binding.weight,
+                binding.rate_tps,
+                depth,
+                now,
+            );
+            if let Some(&floor) = self.retired_stamps.get(&job) {
+                queue.advance_stamp(floor);
+            }
+            self.queues.insert(job, queue);
+            self.bound.entry(binding.id).or_default().insert(job);
         }
+        let queue = self.queues.get_mut(&job).expect("just ensured");
         let was_empty = queue.is_empty();
         queue.push(rpc);
         self.ruled_backlog += 1;
@@ -182,7 +295,7 @@ impl NrsTbfScheduler {
             let weight = queue.weight;
             let stamp = queue.stamp();
             if let Some(deadline) = queue.deadline(now) {
-                self.heap.push(rpc.job, deadline, weight, stamp);
+                self.heap.push(job, deadline, weight, stamp);
             }
             // deadline == None (zero-rate rule): queue is parked until a
             // rate change reconciles it back into the heap.
@@ -209,92 +322,102 @@ impl NrsTbfScheduler {
                         self.heap.push(job, next_deadline, weight, stamp);
                     }
                 }
-                self.stats.served_ruled += 1;
-                *self.stats.served_by_job.entry(rpc.job).or_insert(0) += 1;
+                // Per-job accounting already happened inside try_serve
+                // (the queue's own counter) — nothing else to update here.
+                self.served_ruled += 1;
                 return SchedDecision::Serve(rpc);
             }
             // 2. a ruled queue exists but is throttled: fallback is served
             // opportunistically in the meantime.
             if let Some(rpc) = self.fallback.pop_front() {
-                self.stats.served_fallback += 1;
-                *self.stats.served_by_job.entry(rpc.job).or_insert(0) += 1;
+                self.served_fallback += 1;
+                *self.fallback_served.entry(rpc.job).or_insert(0) += 1;
                 return SchedDecision::Serve(rpc);
             }
             return SchedDecision::WaitUntil(deadline);
         }
         // 3. no ruled work at all: serve fallback.
         if let Some(rpc) = self.fallback.pop_front() {
-            self.stats.served_fallback += 1;
-            *self.stats.served_by_job.entry(rpc.job).or_insert(0) += 1;
+            self.served_fallback += 1;
+            *self.fallback_served.entry(rpc.job).or_insert(0) += 1;
             return SchedDecision::Serve(rpc);
         }
         SchedDecision::Idle
     }
 
-    /// Re-classify every queue against the current rule table. Called after
-    /// any rule mutation: bindings are refreshed, orphaned backlogs move to
-    /// the fallback queue, and the deadline heap is rebuilt.
-    fn reconcile(&mut self, now: SimTime) {
-        let mut orphans: Vec<JobId> = Vec::new();
-        for (job, queue) in self.queues.iter_mut() {
-            let representative = match queue.head() {
-                Some(rpc) => *rpc,
-                None => {
-                    // Empty queue: keep its bucket only if some rule still
-                    // claims this job; otherwise drop it.
-                    orphans.push(*job);
-                    continue;
+    // ---- incremental reconciliation helpers ------------------------------
+
+    /// Re-bind the queues bound to `id` after its rate/weight changed.
+    fn refresh_bound_queues(&mut self, id: RuleId, now: SimTime) {
+        let Some(jobs) = self.bound.get(&id) else {
+            return;
+        };
+        let binding = RuleBinding::from(self.rules.get(id).expect("refreshed rule exists"));
+        // Small copy: rule mutations are rare (once per observation
+        // period) and `rebind_queue` needs `&mut self`.
+        for job in jobs.iter().copied().collect::<Vec<_>>() {
+            self.rebind_queue(job, binding, now);
+        }
+    }
+
+    /// The single re-binding primitive: move `job`'s queue under `binding`
+    /// (which must match its traffic) iff anything actually changed.
+    /// Rebinding bumps the queue's stamp — lazily invalidating its heap
+    /// entries — so a fresh entry is pushed for a non-empty queue; an
+    /// untouched queue keeps its still-valid entry.
+    fn rebind_queue(&mut self, job: JobId, binding: RuleBinding, now: SimTime) {
+        let queue = self.queues.get_mut(&job).expect("queue exists");
+        let old = queue.rule;
+        let changed = old != binding.id
+            || queue.weight != binding.weight
+            || queue.bucket().rate_tps() != binding.rate_tps;
+        if changed {
+            queue.rebind(binding.id, binding.weight, binding.rate_tps, now);
+            if !queue.is_empty() {
+                let weight = queue.weight;
+                let stamp = queue.stamp();
+                if let Some(deadline) = queue.deadline(now) {
+                    self.heap.push(job, deadline, weight, stamp);
                 }
-            };
-            match self.rules.classify(&representative) {
-                Some(rule) => {
-                    if queue.rule != rule.id
-                        || queue.weight != rule.weight
-                        || queue.bucket().rate_tps() != rule.rate_tps
-                    {
-                        queue.rebind(rule.id, rule.weight, rule.rate_tps, now);
-                    }
-                }
-                None => orphans.push(*job),
+                // deadline == None (zero-rate rule): parked until a rate
+                // change re-binds it back into the heap.
             }
         }
-        // Deterministic order for fallback migration.
-        orphans.sort_unstable();
-        for job in orphans {
-            let mut queue = self.queues.remove(&job).expect("listed orphan");
-            let drained: Vec<Rpc> = queue.drain().collect();
-            self.ruled_backlog -= drained.len();
-            self.fallback.extend(drained);
+        if old != binding.id {
+            if let Some(set) = self.bound.get_mut(&old) {
+                set.remove(&job);
+            }
+            self.bound.entry(binding.id).or_default().insert(job);
         }
-        // Lustre relinks queues when rules change: RPCs waiting in the
-        // fallback queue whose job now has a matching rule move under it
-        // (otherwise a newly ruled job's early RPCs could starve behind
-        // saturated ruled queues forever).
+    }
+
+    /// Drop `job`'s queue, folding its service counter into the stats
+    /// base so `stats()` stays exact across queue churn, and recording
+    /// the stamp floor a future queue for this job must start above
+    /// (its heap entries stay behind, invalidated only lazily).
+    fn remove_queue(&mut self, job: JobId) {
+        if let Some(queue) = self.queues.remove(&job) {
+            if queue.served() > 0 {
+                *self.folded_served.entry(job).or_insert(0) += queue.served();
+            }
+            self.retired_stamps.insert(job, queue.stamp() + 1);
+            if let Some(set) = self.bound.get_mut(&queue.rule) {
+                set.remove(&job);
+            }
+        }
+    }
+
+    /// Lustre relinks queues when rules change: RPCs waiting in the
+    /// fallback queue whose job now has a matching rule move under it
+    /// (otherwise a newly ruled job's early RPCs could starve behind
+    /// saturated ruled queues forever). Only called after `start_rule` —
+    /// stopping or re-rating a rule can never make an unmatched RPC match.
+    fn recapture_fallback(&mut self, now: SimTime) {
         let parked = std::mem::take(&mut self.fallback);
         for rpc in parked {
-            match self.rules.classify(&rpc) {
-                Some(rule) => {
-                    let rule = rule.clone();
-                    self.enqueue_ruled(rpc, &rule, now);
-                }
+            match self.rules.classify(&rpc).map(RuleBinding::from) {
+                Some(binding) => self.enqueue_ruled(rpc, binding, now),
                 None => self.fallback.push_back(rpc),
-            }
-        }
-        // Rebuild the heap: stamps may be unchanged for untouched queues,
-        // but a full rebuild is simplest and rule changes are rare (once
-        // per observation period).
-        self.heap.clear();
-        let mut jobs: Vec<JobId> = self.queues.keys().copied().collect();
-        jobs.sort_unstable();
-        for job in jobs {
-            let queue = self.queues.get_mut(&job).expect("known job");
-            if queue.is_empty() {
-                continue;
-            }
-            let weight = queue.weight;
-            let stamp = queue.stamp();
-            if let Some(deadline) = queue.deadline(now) {
-                self.heap.push(job, deadline, weight, stamp);
             }
         }
     }
@@ -321,9 +444,26 @@ impl NrsTbfScheduler {
         self.queues.get(&job).map_or(0, |q| q.len())
     }
 
-    /// Service counters.
-    pub fn stats(&self) -> &SchedulerStats {
-        &self.stats
+    /// Service counters, folded from the per-queue counters on demand —
+    /// the serve path never touches a map, so reading stats does the
+    /// (cold) aggregation work instead.
+    pub fn stats(&self) -> SchedulerStats {
+        let mut served_by_job = self.folded_served.clone();
+        for (job, queue) in &self.queues {
+            if queue.served() > 0 {
+                *served_by_job.entry(*job).or_insert(0) += queue.served();
+            }
+        }
+        for (job, count) in &self.fallback_served {
+            if *count > 0 {
+                *served_by_job.entry(*job).or_insert(0) += count;
+            }
+        }
+        SchedulerStats {
+            served_ruled: self.served_ruled,
+            served_fallback: self.served_fallback,
+            served_by_job,
+        }
     }
 }
 
@@ -338,6 +478,10 @@ mod tests {
 
     fn rpc(id: u64, job: u32) -> Rpc {
         Rpc::new(RpcId(id), JobId(job), ClientId(0), ProcId(0), t(0))
+    }
+
+    fn rpc_from(id: u64, job: u32, client: u32) -> Rpc {
+        Rpc::new(RpcId(id), JobId(job), ClientId(client), ProcId(0), t(0))
     }
 
     fn sched() -> NrsTbfScheduler {
@@ -504,6 +648,27 @@ mod tests {
     }
 
     #[test]
+    fn stats_survive_queue_removal() {
+        // Serve under a rule, stop the rule (queue dropped), then serve
+        // more via fallback: the folded per-job counts must stay exact.
+        let mut s = sched();
+        let id = s.start_rule("j1", RpcMatcher::Job(JobId(1)), 1000.0, 1, t(0));
+        for i in 0..3 {
+            s.enqueue(rpc(i, 1), t(0));
+        }
+        for _ in 0..3 {
+            assert!(matches!(s.next(t(0)), SchedDecision::Serve(_)));
+        }
+        s.stop_rule(id, t(0)).unwrap();
+        s.enqueue(rpc(10, 1), t(0));
+        assert!(matches!(s.next(t(0)), SchedDecision::Serve(_)));
+        let stats = s.stats();
+        assert_eq!(stats.served_by_job[&JobId(1)], 4);
+        assert_eq!(stats.served_ruled, 3);
+        assert_eq!(stats.served_fallback, 1);
+    }
+
+    #[test]
     fn fcfs_within_job_across_throttling() {
         let mut s = sched();
         s.start_rule("j1", RpcMatcher::Job(JobId(1)), 50.0, 1, t(0));
@@ -542,5 +707,140 @@ mod tests {
             SchedDecision::Serve(r) => assert_eq!(r.id, RpcId(1)),
             other => panic!("expected serve, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stop_rebinds_to_later_matching_rule() {
+        // Two rules match job 1 (a specific one and a catch-all behind
+        // it): stopping the first must re-bind the queue to the second,
+        // not orphan it.
+        let mut s = sched();
+        let first = s.start_rule("j1", RpcMatcher::Job(JobId(1)), 10.0, 1, t(0));
+        s.start_rule("any", RpcMatcher::Any, 1000.0, 2, t(0));
+        for i in 0..6 {
+            s.enqueue(rpc(i, 1), t(0));
+        }
+        for _ in 0..3 {
+            assert!(matches!(s.next(t(0)), SchedDecision::Serve(_)));
+        }
+        expect_wait(s.next(t(0)), 100);
+        s.stop_rule(first, t(0)).unwrap();
+        assert_eq!(
+            s.pending_ruled(),
+            3,
+            "queue stays ruled under the catch-all"
+        );
+        assert_eq!(s.pending_fallback(), 0);
+        // The catch-all's 1000 tps rate applies going forward.
+        assert!(matches!(s.next(t(2)), SchedDecision::Serve(_)));
+    }
+
+    #[test]
+    fn rebind_on_enqueue_keeps_queue_dispatchable() {
+        // Non-job matchers can split one job's traffic across rules: the
+        // first RPC binds the queue to the Job rule, the second (from
+        // client 0) re-binds it to the earlier Client rule. The rebind
+        // stales the queue's heap entry — a fresh one must be pushed or
+        // the backlog livelocks (next() reporting Idle with work pending).
+        let mut s = sched();
+        s.start_rule("c0", RpcMatcher::Client(ClientId(0)), 1000.0, 1, t(0));
+        s.start_rule("j1", RpcMatcher::Job(JobId(1)), 1000.0, 1, t(0));
+        s.enqueue(rpc_from(1, 1, 1), t(0)); // Job rule
+        s.enqueue(rpc_from(2, 1, 0), t(0)); // Client rule: triggers rebind
+        assert_eq!(s.pending(), 2);
+        assert!(matches!(s.next(t(1000)), SchedDecision::Serve(_)));
+        assert!(matches!(s.next(t(1000)), SchedDecision::Serve(_)));
+        assert_eq!(s.next(t(1000)), SchedDecision::Idle);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn stop_rule_reclassifies_each_orphaned_rpc() {
+        // Queue bound to the Job rule holds a mix: one RPC that matches
+        // nothing once the rule stops, one that matches the later Client
+        // rule. The drain must re-classify per RPC — the client-0 RPC
+        // stays rate-limited under its rule instead of escaping to the
+        // unthrottled fallback queue.
+        let mut s = sched();
+        let a = s.start_rule("j1", RpcMatcher::Job(JobId(1)), 1000.0, 1, t(0));
+        s.start_rule("c0", RpcMatcher::Client(ClientId(0)), 1000.0, 1, t(0));
+        s.enqueue(rpc_from(1, 1, 1), t(0)); // only matches the Job rule
+        s.enqueue(rpc_from(2, 1, 0), t(0)); // also matches the Client rule
+        assert_eq!(s.pending_ruled(), 2);
+        s.stop_rule(a, t(0)).unwrap();
+        assert_eq!(s.pending_fallback(), 1, "client-1 RPC is unmatched");
+        assert_eq!(s.pending_ruled(), 1, "client-0 RPC stays under its rule");
+        // Both still get served.
+        assert!(matches!(s.next(t(1000)), SchedDecision::Serve(_)));
+        assert!(matches!(s.next(t(1000)), SchedDecision::Serve(_)));
+        assert_eq!(s.next(t(1000)), SchedDecision::Idle);
+    }
+
+    #[test]
+    fn stale_heap_entries_never_alias_recreated_queues() {
+        // A removed queue's heap entries are invalidated lazily, so a
+        // re-created queue for the same job must start its stamp above
+        // them. Without that, the buried entry below (stamp 3, deadline
+        // ~100 ms) would read as valid once the new queue's stamp caught
+        // up — popping a deadline whose token doesn't exist yet.
+        let mut s = sched();
+        let a = s.start_rule("j1", RpcMatcher::Job(JobId(1)), 10.0, 1, t(0));
+        for i in 0..4 {
+            s.enqueue(rpc(i, 1), t(0));
+        }
+        for _ in 0..3 {
+            assert!(matches!(s.next(t(0)), SchedDecision::Serve(_)));
+        }
+        // Rebind buries the stamp-3 entry (deadline ~100 ms) as stale.
+        s.change_rate(a, 1000.0, t(0)).unwrap();
+        assert!(matches!(s.next(t(2)), SchedDecision::Serve(_)));
+        // Queue now empty: stopping the rule removes it; the buried
+        // entry stays behind.
+        s.stop_rule(a, t(2)).unwrap();
+        s.start_rule("j1b", RpcMatcher::Job(JobId(1)), 10.0, 1, t(2));
+        for i in 10..14 {
+            s.enqueue(rpc(i, 1), t(2));
+        }
+        // Serve the fresh burst: the new queue's serve count reaches the
+        // buried entry's stamp value.
+        for _ in 0..3 {
+            assert!(matches!(s.next(t(2)), SchedDecision::Serve(_)));
+        }
+        // True next token arrives ~102 ms; the buried ~100 ms entry must
+        // not be honored.
+        match s.next(t(101)) {
+            SchedDecision::WaitUntil(at) => assert!(at > t(101), "future deadline"),
+            other => panic!("stale entry must not validate: got {other:?}"),
+        }
+        assert!(matches!(s.next(t(103)), SchedDecision::Serve(_)));
+    }
+
+    #[test]
+    fn apply_updates_with_bad_id_changes_nothing() {
+        // The batch contains a valid update before the bad id: atomicity
+        // demands the valid one is NOT applied.
+        let mut s = sched();
+        let good = s.start_rule("j1", RpcMatcher::Job(JobId(1)), 10.0, 1, t(0));
+        let err = s.apply_updates(&[(good, 500.0, 7), (RuleId(9999), 1.0, 1)], t(0));
+        assert!(err.is_err());
+        let rule = s.rules().get(good).unwrap();
+        assert_eq!(rule.rate_tps, 10.0, "partial batch must not apply");
+        assert_eq!(rule.weight, 1);
+    }
+
+    #[test]
+    fn apply_updates_batch_applies_all() {
+        let mut s = sched();
+        let a = s.start_rule("j1", RpcMatcher::Job(JobId(1)), 10.0, 1, t(0));
+        let b = s.start_rule("j2", RpcMatcher::Job(JobId(2)), 10.0, 1, t(0));
+        s.enqueue(rpc(1, 1), t(0));
+        s.enqueue(rpc(2, 2), t(0));
+        s.apply_updates(&[(a, 111.0, 3), (b, 222.0, 4)], t(0))
+            .unwrap();
+        assert_eq!(s.rules().get(a).unwrap().rate_tps, 111.0);
+        assert_eq!(s.rules().get(b).unwrap().weight, 4);
+        // Queues picked the new rates up (both still serveable).
+        assert!(matches!(s.next(t(0)), SchedDecision::Serve(_)));
+        assert!(matches!(s.next(t(0)), SchedDecision::Serve(_)));
     }
 }

@@ -10,8 +10,8 @@
 //!   while the fallback queue holds work;
 //! * all enqueued RPCs are eventually served once time advances far enough.
 
-use adaptbf_model::{ClientId, JobId, ProcId, Rpc, RpcId, SimTime, TbfSchedulerConfig};
-use adaptbf_tbf::{NrsTbfScheduler, RpcMatcher, SchedDecision, TokenBucket};
+use adaptbf_model::{ClientId, JobId, OpCode, ProcId, Rpc, RpcId, SimTime, TbfSchedulerConfig};
+use adaptbf_tbf::{NrsTbfScheduler, RpcMatcher, RuleTable, SchedDecision, TokenBucket};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -155,6 +155,83 @@ proptest! {
             fallback_served, unruled,
             "fallback backlog must drain while ruled queue is throttled"
         );
+    }
+
+    #[test]
+    fn fast_path_classify_matches_linear_scan(
+        // (op kind, job parameter, position parameter) triples driving a
+        // random start / stop / reorder history over a mix of job rules,
+        // overlapping job-set rules, and non-job matchers that can shadow
+        // them (client, opcode, catch-all, conjunction).
+        ops in proptest::collection::vec((0u32..8, 0u32..10, 0usize..64), 1..80),
+    ) {
+        let mut table = RuleTable::new();
+        let mut live: Vec<adaptbf_model::RuleId> = Vec::new();
+        let probe = |job: u32, client: u32, op: OpCode| {
+            let mut r = Rpc::new(RpcId(0), JobId(job), ClientId(client), ProcId(0), SimTime::ZERO);
+            r.op = op;
+            r
+        };
+        for (op, job, pos) in ops {
+            match op {
+                // Job rules dominate, as under AdapTBF.
+                0..=2 => {
+                    live.push(table.start_rule(
+                        format!("j{job}"),
+                        RpcMatcher::Job(JobId(job)),
+                        10.0,
+                        1,
+                    ));
+                }
+                // Overlapping job sets.
+                3 => {
+                    live.push(table.start_rule(
+                        format!("set{job}"),
+                        RpcMatcher::JobSet(vec![JobId(job), JobId((job + 1) % 10), JobId((job + 5) % 10)]),
+                        10.0,
+                        1,
+                    ));
+                }
+                // Non-job matchers that can shadow job rules.
+                4 => {
+                    let matcher = match pos % 4 {
+                        0 => RpcMatcher::Client(ClientId(job % 3)),
+                        1 => RpcMatcher::Opcode(OpCode::Read),
+                        2 => RpcMatcher::Any,
+                        _ => RpcMatcher::All(vec![
+                            RpcMatcher::Job(JobId(job)),
+                            RpcMatcher::Opcode(OpCode::Write),
+                        ]),
+                    };
+                    live.push(table.start_rule(format!("other{job}"), matcher, 10.0, 1));
+                }
+                5 => {
+                    if !live.is_empty() {
+                        let id = live.remove(pos % live.len());
+                        table.stop_rule(id).unwrap();
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let id = live[pos % live.len()];
+                        table.reorder(id, pos % (table.len() + 1)).unwrap();
+                    }
+                }
+            }
+            // After every mutation, the O(1) fast path must agree with the
+            // reference linear scan on a spread of RPC shapes.
+            for job in 0..10u32 {
+                for (client, opcode) in [(0u32, OpCode::Write), (1, OpCode::Read), (2, OpCode::Write)] {
+                    let rpc = probe(job, client, opcode);
+                    prop_assert_eq!(
+                        table.classify(&rpc).map(|r| r.id),
+                        table.classify_linear(&rpc).map(|r| r.id),
+                        "fast path diverged for job {} client {} after {} rules",
+                        job, client, table.len()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

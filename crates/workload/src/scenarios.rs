@@ -193,6 +193,61 @@ pub fn many_jobs(n: usize, duration_secs: u64) -> Scenario {
     )
 }
 
+/// The hot-path stress: hundreds of concurrent jobs — one TBF rule each —
+/// with small per-process files and a rotating pattern mix, sized so the
+/// rule table is large while each individual run stays fast. Pair it with
+/// a multi-OST cluster config (e.g. `n_osts: 4`, `stripe_count: 2`) to
+/// exercise every per-OST controller at once. This is the workload the
+/// O(1) classification map and the incremental reconcile exist for: with
+/// `n` jobs the naive substrate pays O(n) per RPC and O(n²) per control
+/// cycle, while the fast paths keep both flat.
+pub fn scale_stress(n_jobs: usize, duration_secs: u64) -> Scenario {
+    assert!(n_jobs >= 1, "need at least one job");
+    let secs = SimDuration::from_secs_f64;
+    let file = RPCS_PER_GIB / 16; // 64 RPCs: keep total work ∝ n_jobs small
+    let jobs = (0..n_jobs)
+        .map(|i| {
+            let id = JobId(i as u32 + 1);
+            let nodes = 1 + (i as u64 * 13) % 24;
+            match i % 4 {
+                0 => JobSpec::uniform(id, nodes, 2, ProcessSpec::continuous(file * 2)),
+                1 => JobSpec::uniform(
+                    id,
+                    nodes,
+                    1,
+                    ProcessSpec::bursty(
+                        file,
+                        secs(0.2 + (i % 7) as f64 * 0.4),
+                        secs(1.0 + (i % 3) as f64 * 0.7),
+                        8 + (i as u64 % 6) * 4,
+                    ),
+                ),
+                2 => JobSpec::uniform(
+                    id,
+                    nodes,
+                    1,
+                    ProcessSpec::delayed(file * 2, secs(0.5 + (i % 8) as f64 * 0.5)),
+                ),
+                _ => JobSpec::uniform(
+                    id,
+                    nodes,
+                    2,
+                    ProcessSpec::bursty_think(file, secs(0.3), secs(1.5), 16),
+                ),
+            }
+        })
+        .collect();
+    Scenario::new(
+        format!("scale_stress_{n_jobs}"),
+        format!(
+            "hot-path stress: {n_jobs} jobs / rules, rotating pattern mix, \
+             sized for multi-OST runs"
+        ),
+        jobs,
+        SimDuration::from_secs(duration_secs),
+    )
+}
+
 /// Job churn: five jobs whose lifetimes tile the horizon (staggered
 /// delayed starts, finite files), exercising rule creation/stopping and
 /// active-set renormalization continuously.
@@ -313,6 +368,27 @@ mod tests {
             })
             .collect();
         assert!(kinds.len() >= 3, "pattern variety: {kinds:?}");
+    }
+
+    #[test]
+    fn scale_stress_builds_hundreds_of_jobs() {
+        let s = scale_stress(300, 10);
+        assert_eq!(s.jobs.len(), 300);
+        assert!(s.jobs.iter().all(|j| j.nodes >= 1 && j.nodes <= 24));
+        // Every job has demand, so every job earns a TBF rule.
+        assert!(s.jobs.iter().all(|j| j.total_rpcs() > 0));
+        // All four pattern kinds appear.
+        let kinds: std::collections::BTreeSet<u8> = s
+            .jobs
+            .iter()
+            .map(|j| match j.processes[0].pattern {
+                IoPattern::Continuous => 0,
+                IoPattern::PeriodicBurst { .. } => 1,
+                IoPattern::DelayedContinuous { .. } => 2,
+                IoPattern::BurstThenThink { .. } => 3,
+            })
+            .collect();
+        assert_eq!(kinds.len(), 4, "pattern variety: {kinds:?}");
     }
 
     #[test]

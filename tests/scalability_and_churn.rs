@@ -4,7 +4,8 @@
 
 use adaptbf::analysis::fairness::{jains_index, priority_fairness};
 use adaptbf::model::JobId;
-use adaptbf::sim::{Comparison, Experiment, Policy};
+use adaptbf::sim::cluster::ClusterConfig;
+use adaptbf::sim::{Comparison, Experiment, Policy, RunGrid, RunReport};
 use adaptbf::workload::scenarios;
 
 #[test]
@@ -85,6 +86,73 @@ fn churn_throughput_tracks_no_bw() {
         adapt > 0.9 * nobw,
         "churn must not break work conservation: {adapt:.0} vs {nobw:.0}"
     );
+}
+
+/// Render a run's outcome as byte-comparable summary rows.
+fn summary_rows(reports: &[RunReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{:.6}\n",
+            r.scenario,
+            r.policy,
+            r.overall_throughput_tps()
+        ));
+        for (job, served) in &r.metrics.served_by_job {
+            out.push_str(&format!("  {job}={served}\n"));
+        }
+    }
+    out
+}
+
+#[test]
+fn scale_stress_parallel_grid_is_deterministic() {
+    // The threading work in RunGrid must never leak into results: the
+    // same grid run twice in parallel and once single-threaded must
+    // produce byte-identical served_by_job and summary rows.
+    let scenario = scenarios::scale_stress(160, 5);
+    let cfg = ClusterConfig {
+        n_osts: 4,
+        stripe_count: 2,
+        ..ClusterConfig::default()
+    };
+    let run_grid = |threads: usize| -> String {
+        let grid = RunGrid::with_threads(threads);
+        let runs = vec![
+            (Policy::NoBw, 1u64),
+            (Policy::adaptbf_default(), 1),
+            (Policy::adaptbf_default(), 2),
+            (Policy::StaticBw, 2),
+        ];
+        let reports = grid.run(runs, |(policy, seed)| {
+            Experiment::new(scenario.clone(), policy)
+                .seed(seed)
+                .cluster_config(cfg)
+                .run()
+        });
+        summary_rows(&reports)
+    };
+    let parallel_a = run_grid(8);
+    let parallel_b = run_grid(8);
+    let sequential = run_grid(1);
+    assert!(!parallel_a.is_empty());
+    assert_eq!(parallel_a, parallel_b, "parallel grid must be reproducible");
+    assert_eq!(
+        parallel_a, sequential,
+        "parallel grid must match the single-threaded runner byte-for-byte"
+    );
+}
+
+#[test]
+fn scale_stress_serves_nearly_every_job() {
+    // Hundreds of rules on one scheduler: the classification fast path
+    // and incremental reconcile must not drop anyone on the floor.
+    let scenario = scenarios::scale_stress(200, 5);
+    let report = Experiment::new(scenario, Policy::adaptbf_default())
+        .seed(3)
+        .run();
+    let served_jobs = report.metrics.served_by_job.len();
+    assert!(served_jobs >= 190, "only {served_jobs}/200 jobs served");
 }
 
 #[test]
