@@ -1,0 +1,78 @@
+//! Replay-driven bench grid: record the Section IV-E workload once, then
+//! replay the identical RPC arrival stream under all three policies.
+//!
+//! Unlike `compare` (where each policy re-simulates its own client
+//! feedback), replay holds the *traffic* fixed: every policy faces exactly
+//! the arrivals the recorded run produced, isolating the scheduler/
+//! controller response from client-side closed-loop effects. Artifacts:
+//!
+//! * `results/token_redistribution.trace` — the recorded trace (replayable
+//!   via `adaptbf replay`),
+//! * `results/replay_summary.csv` — per-job served RPCs per policy.
+
+use adaptbf_bench::{write_artifact, Options};
+use adaptbf_model::JobId;
+use adaptbf_sim::cluster::ClusterConfig;
+use adaptbf_sim::{replay_cluster_config, replay_report, Cluster, Policy, RunGrid};
+use adaptbf_workload::scenarios;
+
+fn main() {
+    let opts = Options::from_args();
+    let scenario = scenarios::token_redistribution_scaled(opts.scale);
+    let policy = Policy::adaptbf_default();
+
+    println!("recording {} (seed {})...", scenario.name, opts.seed);
+    let (original, trace) =
+        Cluster::build_with(&scenario, policy, opts.seed, ClusterConfig::default()).run_traced();
+    write_artifact(&format!("{}.trace", scenario.name), &trace.to_text());
+    println!(
+        "recorded {} RPC arrivals, {} served",
+        trace.records.len(),
+        original.metrics.total_served()
+    );
+
+    // Fan the three replays out over the deterministic run grid.
+    let cluster = replay_cluster_config(&trace);
+    let reports = RunGrid::new().run(vec![Policy::NoBw, Policy::StaticBw, policy], |p| {
+        replay_report(&trace, p, opts.seed, cluster)
+    });
+
+    let jobs: Vec<JobId> = trace.meta.jobs.iter().map(|&(j, _)| j).collect();
+    let mut csv = String::from("job");
+    for r in &reports {
+        csv.push_str(&format!(",{}_served", r.policy));
+    }
+    csv.push('\n');
+    let mut table = format!("{:<10}", "job");
+    for r in &reports {
+        table.push_str(&format!(" {:>12}", r.policy));
+    }
+    table.push('\n');
+    for job in &jobs {
+        csv.push_str(&job.to_string());
+        table.push_str(&format!("{:<10}", job.to_string()));
+        for r in &reports {
+            let served = r.per_job.get(job).map_or(0, |o| o.served);
+            csv.push_str(&format!(",{served}"));
+            table.push_str(&format!(" {:>12}", served));
+        }
+        csv.push('\n');
+        table.push('\n');
+    }
+    write_artifact("replay_summary.csv", &csv);
+
+    // The adaptbf replay must reproduce the recording exactly.
+    let adaptbf_replay = &reports[2];
+    for job in &jobs {
+        let recorded = original
+            .metrics
+            .served_by_job
+            .get(job)
+            .copied()
+            .unwrap_or(0);
+        let replayed = adaptbf_replay.per_job.get(job).map_or(0, |o| o.served);
+        assert_eq!(recorded, replayed, "replay determinism violated for {job}");
+    }
+    println!("\nper-job served RPCs on the identical arrival stream:\n{table}");
+    println!("adaptbf replay reproduced the recording exactly ✓");
+}

@@ -1,20 +1,24 @@
-//! Implementation of the `adaptbf-ctl` command line (kept in a library so
+//! Implementation of the `adaptbf` command line (kept in a library so
 //! the parsing and command logic are unit-testable).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use adaptbf_analysis::summary::analyze;
+use adaptbf_analysis::summary::analyze_comparison;
 use adaptbf_analysis::LatencyComparison;
 use adaptbf_model::config::paper;
 use adaptbf_model::{AdapTbfConfig, JobId, SimDuration};
+use adaptbf_sim::cluster::ClusterConfig;
+use adaptbf_sim::report::frequency_sweep_on;
 use adaptbf_sim::report::{comparison_table, frequency_csv};
-use adaptbf_sim::{frequency_sweep, Comparison, Experiment, Policy};
-use adaptbf_workload::{scenarios, Scenario};
+use adaptbf_sim::spec::{plan_file_run, policy_by_name, recorded_policy, replay_cluster_config};
+use adaptbf_sim::{Cluster, Comparison, Experiment, Policy, RunReport};
+use adaptbf_workload::trace::Trace;
+use adaptbf_workload::{scenarios, Scenario, ScenarioFile};
 use std::fmt::Write as _;
 
-/// Usage text shown on argument errors.
-pub const USAGE: &str = "usage: adaptbf-ctl <command> [options]\n\
+/// Usage text shown on argument errors and by `help`.
+pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
   commands:\n\
     scenarios                      list built-in scenarios\n\
     run <scenario>                 run one policy, print the report\n\
@@ -22,17 +26,27 @@ pub const USAGE: &str = "usage: adaptbf-ctl <command> [options]\n\
     analyze <scenario>             fairness + latency analysis\n\
     sweep <scenario>               allocation-frequency sweep (Figure 9)\n\
     ledger <scenario>              final lending/borrowing records\n\
+    record <scenario>              run + capture the RPC trace to a file\n\
+    replay <trace-file>            re-inject a recorded trace\n\
+    help                           show this text\n\
+  <scenario> is a built-in name, or `--scenario-file FILE` to run a\n\
+  declarative scenario file (see docs/SCENARIOS.md; its `run` block sets\n\
+  defaults that the options below override).\n\
   options:\n\
-    --policy no_bw|static_bw|adaptbf   (run only; default adaptbf)\n\
-    --seed N        RNG seed (default 42)\n\
-    --scale F       workload scale factor (default 1.0)\n\
-    --period MS     AdapTBF observation period in ms (default 100)";
+    --policy no_bw|static_bw|adaptbf   (run/record/replay; default adaptbf,\n\
+                                        replay defaults to the recorded policy)\n\
+    --seed N        RNG seed (default 42; replay: the recorded seed)\n\
+    --scale F       workload scale factor (built-in scenarios only)\n\
+    --period MS     AdapTBF observation period in ms (default 100)\n\
+    --out FILE      trace output path for `record` (default <scenario>.trace)";
 
 /// CLI failure modes.
 #[derive(Debug, PartialEq, Eq)]
 pub enum CliError {
     /// Bad arguments; the message explains what was wrong.
     Usage(String),
+    /// A file could not be read or written.
+    Io(String),
 }
 
 fn usage(msg: impl Into<String>) -> CliError {
@@ -48,8 +62,10 @@ pub struct Options {
     pub scale: f64,
     /// AdapTBF period in milliseconds.
     pub period_ms: u64,
-    /// Policy for `run`.
+    /// Policy for `run`/`record`/`replay`.
     pub policy: String,
+    /// Trace output path for `record`.
+    pub out: Option<String>,
 }
 
 impl Default for Options {
@@ -59,50 +75,91 @@ impl Default for Options {
             scale: 1.0,
             period_ms: 100,
             policy: "adaptbf".into(),
+            out: None,
         }
     }
 }
 
-/// Parse trailing `--key value` options.
-pub fn parse_options(args: &[String]) -> Result<Options, CliError> {
-    let mut opts = Options::default();
-    let mut i = 0;
-    while i < args.len() {
-        let key = args[i].as_str();
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| usage(format!("{key} needs a value")))?;
-        match key {
-            "--seed" => {
-                opts.seed = value
-                    .parse()
-                    .map_err(|_| usage("--seed takes an integer"))?;
-            }
-            "--scale" => {
-                opts.scale = value.parse().map_err(|_| usage("--scale takes a float"))?;
-                if opts.scale <= 0.0 {
-                    return Err(usage("--scale must be positive"));
+/// `--key value` options as given, before defaults are applied — so a
+/// scenario file's `run` block (or a trace header) can supply defaults
+/// that explicit flags override.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawOptions {
+    /// `--seed N`.
+    pub seed: Option<u64>,
+    /// `--scale F`.
+    pub scale: Option<f64>,
+    /// `--period MS`.
+    pub period_ms: Option<u64>,
+    /// `--policy NAME`.
+    pub policy: Option<String>,
+    /// `--out FILE`.
+    pub out: Option<String>,
+}
+
+impl RawOptions {
+    /// Parse trailing `--key value` pairs.
+    pub fn parse(args: &[String]) -> Result<RawOptions, CliError> {
+        let mut raw = RawOptions::default();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i].as_str();
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| usage(format!("{key} needs a value")))?;
+            match key {
+                "--seed" => {
+                    raw.seed = Some(
+                        value
+                            .parse()
+                            .map_err(|_| usage("--seed takes an integer"))?,
+                    );
                 }
-            }
-            "--period" => {
-                opts.period_ms = value
-                    .parse()
-                    .map_err(|_| usage("--period takes milliseconds"))?;
-                if opts.period_ms == 0 {
-                    return Err(usage("--period must be positive"));
+                "--scale" => {
+                    let scale: f64 = value.parse().map_err(|_| usage("--scale takes a float"))?;
+                    if scale <= 0.0 {
+                        return Err(usage("--scale must be positive"));
+                    }
+                    raw.scale = Some(scale);
                 }
-            }
-            "--policy" => {
-                if !["no_bw", "static_bw", "adaptbf"].contains(&value.as_str()) {
-                    return Err(usage(format!("unknown policy {value}")));
+                "--period" => {
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| usage("--period takes milliseconds"))?;
+                    if ms == 0 {
+                        return Err(usage("--period must be positive"));
+                    }
+                    raw.period_ms = Some(ms);
                 }
-                opts.policy = value.clone();
+                "--policy" => {
+                    if !["no_bw", "static_bw", "adaptbf"].contains(&value.as_str()) {
+                        return Err(usage(format!("unknown policy {value}")));
+                    }
+                    raw.policy = Some(value.clone());
+                }
+                "--out" => raw.out = Some(value.clone()),
+                other => return Err(usage(format!("unknown option {other}"))),
             }
-            other => return Err(usage(format!("unknown option {other}"))),
+            i += 2;
         }
-        i += 2;
+        Ok(raw)
     }
-    Ok(opts)
+
+    /// Fill unset options from `base`.
+    pub fn resolve(self, base: Options) -> Options {
+        Options {
+            seed: self.seed.unwrap_or(base.seed),
+            scale: self.scale.unwrap_or(base.scale),
+            period_ms: self.period_ms.unwrap_or(base.period_ms),
+            policy: self.policy.unwrap_or(base.policy),
+            out: self.out.or(base.out),
+        }
+    }
+}
+
+/// Parse trailing `--key value` options against the built-in defaults.
+pub fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    Ok(RawOptions::parse(args)?.resolve(Options::default()))
 }
 
 /// Built-in scenario names and builders.
@@ -115,7 +172,7 @@ pub fn scenario_by_name(name: &str, scale: f64) -> Result<Scenario, CliError> {
         "job_churn" => Ok(scenarios::job_churn_scaled(scale)),
         "many_jobs" => Ok(scenarios::many_jobs(32, (30.0 * scale).max(5.0) as u64)),
         other => Err(usage(format!(
-            "unknown scenario {other}; try `adaptbf-ctl scenarios`"
+            "unknown scenario {other}; try `adaptbf scenarios`"
         ))),
     }
 }
@@ -124,25 +181,99 @@ fn adaptbf_config(opts: &Options) -> AdapTbfConfig {
     paper::adaptbf().with_period(SimDuration::from_millis(opts.period_ms))
 }
 
+/// A command's workload plus the options/wiring it resolved to.
+struct Target {
+    scenario: Scenario,
+    opts: Options,
+    cluster: ClusterConfig,
+}
+
+/// Resolve `<name> [opts]` or `--scenario-file FILE [opts]` into a
+/// runnable target. A scenario file's `run` block supplies option
+/// defaults; explicit flags override it.
+fn load_target(command: &str, rest: &[String]) -> Result<Target, CliError> {
+    match rest.first().map(String::as_str) {
+        Some("--scenario-file") => {
+            let path = rest
+                .get(1)
+                .ok_or_else(|| usage("--scenario-file needs a path"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+            let file = ScenarioFile::parse(&text).map_err(|e| usage(e.to_string()))?;
+            let plan = plan_file_run(&file).map_err(|e| usage(e.to_string()))?;
+            let raw = RawOptions::parse(&rest[2..])?;
+            if raw.scale.is_some() {
+                return Err(usage("--scale applies to built-in scenarios only"));
+            }
+            let opts = raw.resolve(Options {
+                seed: plan.seed,
+                scale: 1.0,
+                period_ms: file.run.period_ms.unwrap_or(100),
+                policy: file
+                    .run
+                    .policy
+                    .clone()
+                    .unwrap_or_else(|| "adaptbf".to_string()),
+                out: None,
+            });
+            Ok(Target {
+                scenario: plan.scenario,
+                opts,
+                cluster: plan.cluster,
+            })
+        }
+        Some(name) if !name.starts_with("--") => {
+            let opts = parse_options(&rest[1..])?;
+            Ok(Target {
+                scenario: scenario_by_name(name, opts.scale)?,
+                opts,
+                cluster: ClusterConfig::default(),
+            })
+        }
+        _ => Err(usage(format!(
+            "{command} needs a scenario name or --scenario-file FILE"
+        ))),
+    }
+}
+
 /// Execute a full command line; returns the text to print.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let command = args.first().map(String::as_str).unwrap_or("");
     match command {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "scenarios" => Ok(list_scenarios()),
-        "run" | "compare" | "analyze" | "sweep" | "ledger" => {
-            let name = args
-                .get(1)
-                .ok_or_else(|| usage(format!("{command} needs a scenario name")))?;
-            let opts = parse_options(&args[2..])?;
-            let scenario = scenario_by_name(name, opts.scale)?;
+        "run" | "compare" | "analyze" | "sweep" | "ledger" | "record" => {
+            let target = load_target(command, &args[1..])?;
+            let Target {
+                scenario,
+                opts,
+                cluster,
+            } = &target;
+            if command != "record" && opts.out.is_some() {
+                return Err(usage("--out only applies to `record`"));
+            }
             match command {
-                "run" => cmd_run(&scenario, &opts),
-                "compare" => cmd_compare(&scenario, &opts),
-                "analyze" => cmd_analyze(&scenario, &opts),
-                "sweep" => cmd_sweep(&scenario, &opts),
-                "ledger" => cmd_ledger(&scenario, &opts),
+                "run" => cmd_run(scenario, opts, *cluster),
+                "compare" => cmd_compare(scenario, opts, *cluster),
+                "analyze" => cmd_analyze(scenario, opts, *cluster),
+                "sweep" => cmd_sweep(scenario, opts, *cluster),
+                "ledger" => cmd_ledger(scenario, opts, *cluster),
+                "record" => cmd_record(scenario, opts, *cluster),
                 _ => unreachable!(),
             }
+        }
+        "replay" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| usage("replay needs a trace file"))?;
+            let raw = RawOptions::parse(&args[2..])?;
+            if raw.scale.is_some() {
+                return Err(usage("--scale does not apply to replay"));
+            }
+            if raw.out.is_some() {
+                return Err(usage("--out only applies to `record`"));
+            }
+            cmd_replay(path, raw)
         }
         "" => Err(usage("missing command")),
         other => Err(usage(format!("unknown command {other}"))),
@@ -181,15 +312,12 @@ fn policy_from(opts: &Options) -> Policy {
     }
 }
 
-fn cmd_run(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
-    let report = Experiment::new(scenario.clone(), policy_from(opts))
-        .seed(opts.seed)
-        .run();
+fn render_report(report: &RunReport, seed: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{} under {} (seed {}):\n",
-        scenario.name, report.policy, opts.seed
+        report.scenario, report.policy, seed
     );
     let _ = writeln!(
         out,
@@ -212,15 +340,83 @@ fn cmd_run(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
         "\noverall: {:.1} RPC/s over the makespan",
         report.overall_throughput_tps()
     );
+    out
+}
+
+fn cmd_run(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+) -> Result<String, CliError> {
+    let report = Experiment::new(scenario.clone(), policy_from(opts))
+        .seed(opts.seed)
+        .cluster_config(cluster)
+        .run();
+    Ok(render_report(&report, opts.seed))
+}
+
+fn cmd_record(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+) -> Result<String, CliError> {
+    let policy = policy_from(opts);
+    let (out, trace) = Cluster::build_with(scenario, policy, opts.seed, cluster).run_traced();
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.trace", scenario.name));
+    std::fs::write(&path, trace.to_text())
+        .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+    Ok(format!(
+        "recorded {} RPCs ({} served) from {} under {} (seed {})\n\
+         wrote {path}\n\
+         replay with: adaptbf replay {path}",
+        trace.records.len(),
+        out.metrics.total_served(),
+        scenario.name,
+        policy.name(),
+        opts.seed,
+    ))
+}
+
+fn cmd_replay(path: &str, raw: RawOptions) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    let trace = Trace::from_text(&text).map_err(|e| usage(e.to_string()))?;
+    let seed = raw.seed.unwrap_or(trace.meta.seed);
+    let policy = match (&raw.policy, raw.period_ms) {
+        (None, None) => recorded_policy(&trace)
+            .ok_or_else(|| usage(format!("trace has unknown policy {}", trace.meta.policy)))?,
+        (name, period_ms) => {
+            let period = period_ms.or(trace.meta.period_ms).unwrap_or(100);
+            let acfg = paper::adaptbf().with_period(SimDuration::from_millis(period));
+            policy_by_name(name.as_deref().unwrap_or(trace.meta.policy.as_str()), acfg)
+                .ok_or_else(|| usage("unknown policy"))?
+        }
+    };
+    let report = adaptbf_sim::replay_report(&trace, policy, seed, replay_cluster_config(&trace));
+    let mut out = format!(
+        "replaying {path}: {} RPCs recorded from {} (seed {}, {})\n\n",
+        trace.records.len(),
+        trace.meta.scenario,
+        trace.meta.seed,
+        trace.meta.policy,
+    );
+    out.push_str(&render_report(&report, seed));
     Ok(out)
 }
 
-fn cmd_compare(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
+fn cmd_compare(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+) -> Result<String, CliError> {
     let comparison = Comparison::run_with(
         scenario,
         opts.seed,
         Policy::AdapTbf(adaptbf_config(opts)),
-        Default::default(),
+        cluster,
     );
     Ok(comparison_table(
         &comparison.job_rows(),
@@ -228,25 +424,44 @@ fn cmd_compare(scenario: &Scenario, opts: &Options) -> Result<String, CliError> 
     ))
 }
 
-fn cmd_analyze(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
-    let analysis = analyze(scenario, opts.seed);
+fn cmd_analyze(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+) -> Result<String, CliError> {
+    let comparison = Comparison::run_with(
+        scenario,
+        opts.seed,
+        Policy::AdapTbf(adaptbf_config(opts)),
+        cluster,
+    );
+    let analysis = analyze_comparison(&comparison, scenario);
     let mut out = analysis.table();
     out.push('\n');
     out.push_str(&analysis.latency.table());
     Ok(out)
 }
 
-fn cmd_sweep(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
+fn cmd_sweep(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+) -> Result<String, CliError> {
     let periods: Vec<SimDuration> = [100u64, 200, 500, 1000, 2000]
         .map(SimDuration::from_millis)
         .to_vec();
-    let points = frequency_sweep(scenario, opts.seed, adaptbf_config(opts), &periods);
+    let points = frequency_sweep_on(scenario, opts.seed, adaptbf_config(opts), &periods, cluster);
     Ok(frequency_csv(&points))
 }
 
-fn cmd_ledger(scenario: &Scenario, opts: &Options) -> Result<String, CliError> {
+fn cmd_ledger(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+) -> Result<String, CliError> {
     let report = Experiment::new(scenario.clone(), Policy::AdapTbf(adaptbf_config(opts)))
         .seed(opts.seed)
+        .cluster_config(cluster)
         .run();
     let mut out = String::from("final lending/borrowing records (positive = lent):\n");
     let jobs: Vec<JobId> = report.per_job.keys().copied().collect();
@@ -348,5 +563,137 @@ mod tests {
         let out = dispatch(&argv("analyze token_allocation --scale 0.015625")).unwrap();
         assert!(out.contains("fairness"));
         assert!(out.contains("adap_median"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        for cmd in ["help", "--help", "-h"] {
+            let out = dispatch(&argv(cmd)).unwrap();
+            assert!(out.contains("record <scenario>"), "{cmd}: {out}");
+            assert!(out.contains("--scenario-file"), "{cmd}: {out}");
+        }
+    }
+
+    fn scenario_file(name: &str) -> String {
+        format!(
+            "{}/../../examples/scenarios/{name}.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    }
+
+    #[test]
+    fn checked_in_scenario_files_run_end_to_end() {
+        for name in [
+            "token_allocation",
+            "token_redistribution",
+            "hog_and_victim",
+            "diurnal_checkpoint",
+        ] {
+            // Keep CI fast: a short seed-fixed run per file, overriding the
+            // file's horizon-scale workload only through the option surface.
+            let args = vec![
+                "run".to_string(),
+                "--scenario-file".to_string(),
+                scenario_file(name),
+                "--seed".to_string(),
+                "3".to_string(),
+                "--period".to_string(),
+                "200".to_string(),
+            ];
+            let out = dispatch(&args).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            assert!(out.contains("adaptbf"), "{name}: {out}");
+            assert!(out.contains("job1"), "{name}: {out}");
+            assert!(out.contains("overall:"), "{name}: {out}");
+        }
+    }
+
+    #[test]
+    fn scenario_file_errors_are_reported() {
+        assert!(matches!(
+            dispatch(&argv("run --scenario-file /nonexistent.json")),
+            Err(CliError::Io(_))
+        ));
+        assert!(dispatch(&argv("run --scenario-file")).is_err());
+        let args = vec![
+            "run".to_string(),
+            "--scenario-file".to_string(),
+            scenario_file("token_allocation"),
+            "--scale".to_string(),
+            "0.5".to_string(),
+        ];
+        assert!(dispatch(&args).is_err(), "--scale rejected for files");
+    }
+
+    #[test]
+    fn record_then_replay_round_trips() {
+        let path = std::env::temp_dir().join("adaptbf_cli_test.trace");
+        let path = path.to_str().unwrap().to_string();
+        let out = dispatch(&[
+            "record".into(),
+            "token_allocation".into(),
+            "--scale".into(),
+            "0.015625".into(),
+            "--seed".into(),
+            "5".into(),
+            "--out".into(),
+            path.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("recorded"), "{out}");
+        assert!(out.contains(&path), "{out}");
+
+        // Replay with recorded defaults reproduces the run.
+        let replayed = dispatch(&["replay".into(), path.clone()]).unwrap();
+        assert!(replayed.contains("token_allocation_replay"), "{replayed}");
+        assert!(replayed.contains("seed 5"), "{replayed}");
+        assert!(replayed.contains("overall:"), "{replayed}");
+
+        // What-if replay under a different policy also works.
+        let what_if = dispatch(&[
+            "replay".into(),
+            path.clone(),
+            "--policy".into(),
+            "no_bw".into(),
+        ])
+        .unwrap();
+        assert!(what_if.contains("under no_bw"), "{what_if}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn misplaced_options_are_rejected() {
+        // --out is record-only.
+        assert!(dispatch(&argv("run token_allocation --scale 0.015625 --out x.trace")).is_err());
+        // replay takes neither --scale nor --out.
+        assert!(dispatch(&argv("replay x.trace --scale 0.5")).is_err());
+        assert!(dispatch(&argv("replay x.trace --out y.trace")).is_err());
+    }
+
+    #[test]
+    fn analyze_and_ledger_honor_scenario_file_wiring() {
+        // The diurnal file pins a 2-OST wiring; analyze/sweep/ledger must
+        // run on it (not the default testbed) without erroring.
+        for cmd in ["analyze", "ledger"] {
+            let args = vec![
+                cmd.to_string(),
+                "--scenario-file".to_string(),
+                scenario_file("diurnal_checkpoint"),
+            ];
+            let out = dispatch(&args).unwrap_or_else(|e| panic!("{cmd}: {e:?}"));
+            assert!(!out.is_empty());
+        }
+    }
+
+    #[test]
+    fn replay_rejects_garbage() {
+        assert!(matches!(
+            dispatch(&argv("replay /nonexistent.trace")),
+            Err(CliError::Io(_))
+        ));
+        let path = std::env::temp_dir().join("adaptbf_cli_bad.trace");
+        std::fs::write(&path, "not a trace\n").unwrap();
+        let args = vec!["replay".to_string(), path.to_str().unwrap().to_string()];
+        assert!(matches!(dispatch(&args), Err(CliError::Usage(_))));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,18 +1,19 @@
-//! `adaptbf-ctl` — run, compare and analyze AdapTBF experiments.
+//! `adaptbf` — run, record, replay and analyze AdapTBF experiments.
 //!
 //! ```text
-//! adaptbf-ctl scenarios                        list built-in scenarios
-//! adaptbf-ctl run <scenario> [opts]            one policy, full report
-//! adaptbf-ctl compare <scenario> [opts]        all three policies + gains
-//! adaptbf-ctl analyze <scenario> [opts]        fairness + latency analysis
-//! adaptbf-ctl sweep <scenario> [opts]          Δt frequency sweep (Fig. 9)
-//! adaptbf-ctl ledger <scenario> [opts]         final lending records
-//!
-//! options: --policy no_bw|static_bw|adaptbf   (run; default adaptbf)
-//!          --seed N                            (default 42)
-//!          --scale F                           (default 1.0)
-//!          --period MS                         (AdapTBF Δt; default 100)
+//! adaptbf scenarios                        list built-in scenarios
+//! adaptbf run <scenario> [opts]            one policy, full report
+//! adaptbf compare <scenario> [opts]        all three policies + gains
+//! adaptbf analyze <scenario> [opts]        fairness + latency analysis
+//! adaptbf sweep <scenario> [opts]          Δt frequency sweep (Fig. 9)
+//! adaptbf ledger <scenario> [opts]         final lending records
+//! adaptbf record <scenario> [opts]         run + capture the RPC trace
+//! adaptbf replay <trace-file> [opts]       re-inject a recorded trace
+//! adaptbf help                             full usage text
 //! ```
+//!
+//! `<scenario>` is a built-in name or `--scenario-file FILE` (a
+//! declarative JSON scenario — see `docs/SCENARIOS.md`).
 
 use adaptbf_cli::{dispatch, CliError};
 use std::process::ExitCode;
@@ -28,6 +29,10 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}\n");
             eprintln!("{}", adaptbf_cli::USAGE);
             ExitCode::from(2)
+        }
+        Err(CliError::Io(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -15,7 +15,7 @@
 //! stay decoupled.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod error;

@@ -161,7 +161,7 @@ impl LiveCluster {
                     job.id,
                     ProcId(proc_idx as u32),
                     ClientId((proc_idx % tuning.n_clients) as u32),
-                    *spec,
+                    spec.clone(),
                     horizon,
                     ost.sender(),
                     clock,

@@ -15,6 +15,7 @@ use adaptbf_model::{
     TbfSchedulerConfig,
 };
 use adaptbf_tbf::{RpcMatcher, SchedDecision};
+use adaptbf_workload::trace::{Trace, TraceMeta, TraceRecord};
 use adaptbf_workload::Scenario;
 use std::collections::BTreeMap;
 
@@ -94,6 +95,13 @@ pub struct Cluster {
     faults: FaultPlan,
     /// Control cycles attempted per OST (including stalled ones).
     cycles: Vec<u64>,
+    /// When `Some`, every OSS arrival is captured here (the recorder hook).
+    recorder: Option<Vec<TraceRecord>>,
+    /// Header for recorded traces (wiring + policy of this run).
+    trace_meta: TraceMeta,
+    /// Replay mode: arrivals come from a trace, so there are no client
+    /// processes and no reply path.
+    replay: bool,
 }
 
 impl Cluster {
@@ -113,7 +121,6 @@ impl Cluster {
         let end = SimTime::ZERO + scenario.duration;
         let mut queue = EventQueue::new();
         let mut metrics = Metrics::new(cfg.bucket);
-        let nodes: BTreeMap<JobId, u64> = scenario.jobs.iter().map(|j| (j.id, j.nodes)).collect();
 
         // Clients & processes: file-per-process, striped over clients and
         // OSTs exactly like the paper's 4-client testbed.
@@ -158,38 +165,9 @@ impl Cluster {
         }
 
         // OSTs and the control plane.
-        let mut osts: Vec<OstState> = (0..cfg.n_osts)
-            .map(|i| OstState::new(cfg.ost, cfg.tbf, seed ^ (0xD15C << 8) ^ i as u64))
-            .collect();
-        let mut drivers: Vec<Option<ControllerDriver>> = Vec::new();
-        match policy {
-            Policy::NoBw => drivers.resize_with(cfg.n_osts, || None),
-            Policy::StaticBw => {
-                // Fixed rules from the global static priorities, once.
-                for ost in &mut osts {
-                    for job in &scenario.jobs {
-                        let rate = cfg.static_rate_total * scenario.static_priority(job.id);
-                        ost.scheduler.start_rule(
-                            job.id.label(),
-                            RpcMatcher::Job(job.id),
-                            rate,
-                            job.nodes.min(u32::MAX as u64) as u32,
-                            SimTime::ZERO,
-                        );
-                    }
-                }
-                drivers.resize_with(cfg.n_osts, || None);
-            }
-            Policy::AdapTbf(acfg) => {
-                for i in 0..cfg.n_osts {
-                    drivers.push(Some(ControllerDriver::new(acfg, nodes.clone())));
-                    queue.push(
-                        SimTime::ZERO + acfg.period,
-                        Event::ControllerTick { ost: i },
-                    );
-                }
-            }
-        }
+        let job_weights: Vec<(JobId, u64)> =
+            scenario.jobs.iter().map(|j| (j.id, j.nodes)).collect();
+        let (osts, drivers) = Self::control_plane(policy, &cfg, seed, &job_weights, &mut queue);
 
         Cluster {
             policy,
@@ -204,11 +182,173 @@ impl Cluster {
             stripe_count: cfg.stripe_count,
             faults: cfg.faults,
             cycles: vec![0; cfg.n_osts],
+            recorder: None,
+            trace_meta: Self::trace_meta(&scenario.name, policy, seed, &cfg, job_weights),
+            replay: false,
+        }
+    }
+
+    /// Build a cluster that *replays* a recorded (or externally authored)
+    /// trace: every recorded OSS arrival is re-injected at its recorded
+    /// instant against its recorded OST, so the scheduler, controller and
+    /// disk model face exactly the arrival sequence of the original run.
+    /// There are no client processes in this mode (the trace *is* the
+    /// client side).
+    ///
+    /// Replaying a recording with the same policy, seed and wiring as the
+    /// recording reproduces its per-job served bytes exactly (asserted by
+    /// `tests/trace_replay.rs`). A different policy/seed answers "what
+    /// would this controller have done with that exact traffic?".
+    pub fn build_replay(trace: &Trace, policy: Policy, seed: u64, cfg: ClusterConfig) -> Self {
+        assert!(cfg.n_clients >= 1 && cfg.n_osts >= 1);
+        assert!(
+            cfg.stripe_count >= 1 && cfg.stripe_count <= cfg.n_osts,
+            "stripe_count must be in 1..=n_osts"
+        );
+        assert!(
+            cfg.n_osts >= trace.meta.n_osts,
+            "replay wiring has {} OSTs but the trace targets {}",
+            cfg.n_osts,
+            trace.meta.n_osts
+        );
+        let end = SimTime::ZERO + trace.meta.duration;
+        let mut queue = EventQueue::new();
+        let mut metrics = Metrics::new(cfg.bucket);
+        // Released = what actually arrives during replay, so completion
+        // detection and report tables stay meaningful.
+        for &(job, _) in &trace.meta.jobs {
+            metrics.set_released(job, 0);
+        }
+        for (job, count) in trace.rpcs_per_job() {
+            metrics.set_released(job, count);
+        }
+        for rec in &trace.records {
+            queue.push(
+                rec.at,
+                Event::ArriveAtOss {
+                    ost: rec.ost,
+                    rpc: rec.rpc,
+                },
+            );
+        }
+        let (osts, drivers) = Self::control_plane(policy, &cfg, seed, &trace.meta.jobs, &mut queue);
+        Cluster {
+            policy,
+            end,
+            queue,
+            procs: Vec::new(),
+            osts,
+            drivers,
+            network: Network::new(cfg.network, seed ^ 0x2E70),
+            metrics,
+            rpc_counter: 0,
+            stripe_count: cfg.stripe_count,
+            faults: cfg.faults,
+            cycles: vec![0; cfg.n_osts],
+            recorder: None,
+            trace_meta: Self::trace_meta(
+                &trace.meta.scenario,
+                policy,
+                seed,
+                &cfg,
+                trace.meta.jobs.clone(),
+            ),
+            replay: true,
+        }
+    }
+
+    /// OSTs + controller drivers for `policy`, shared by the scenario and
+    /// replay builders. `jobs` carries `(id, nodes)` in declaration order
+    /// (rule installation order matters for first-match-wins semantics).
+    fn control_plane(
+        policy: Policy,
+        cfg: &ClusterConfig,
+        seed: u64,
+        jobs: &[(JobId, u64)],
+        queue: &mut EventQueue<Event>,
+    ) -> (Vec<OstState>, Vec<Option<ControllerDriver>>) {
+        let mut osts: Vec<OstState> = (0..cfg.n_osts)
+            .map(|i| OstState::new(cfg.ost, cfg.tbf, seed ^ (0xD15C << 8) ^ i as u64))
+            .collect();
+        let mut drivers: Vec<Option<ControllerDriver>> = Vec::new();
+        match policy {
+            Policy::NoBw => drivers.resize_with(cfg.n_osts, || None),
+            Policy::StaticBw => {
+                // Fixed rules from the global static priorities, once.
+                let total: u64 = jobs.iter().map(|&(_, n)| n).sum();
+                for ost in &mut osts {
+                    for &(job, nodes) in jobs {
+                        let rate = cfg.static_rate_total * nodes as f64 / total as f64;
+                        ost.scheduler.start_rule(
+                            job.label(),
+                            RpcMatcher::Job(job),
+                            rate,
+                            nodes.min(u32::MAX as u64) as u32,
+                            SimTime::ZERO,
+                        );
+                    }
+                }
+                drivers.resize_with(cfg.n_osts, || None);
+            }
+            Policy::AdapTbf(acfg) => {
+                let nodes: BTreeMap<JobId, u64> = jobs.iter().copied().collect();
+                for i in 0..cfg.n_osts {
+                    drivers.push(Some(ControllerDriver::new(acfg, nodes.clone())));
+                    queue.push(
+                        SimTime::ZERO + acfg.period,
+                        Event::ControllerTick { ost: i },
+                    );
+                }
+            }
+        }
+        (osts, drivers)
+    }
+
+    /// The header a recording of this run would carry.
+    fn trace_meta(
+        scenario: &str,
+        policy: Policy,
+        seed: u64,
+        cfg: &ClusterConfig,
+        jobs: Vec<(JobId, u64)>,
+    ) -> TraceMeta {
+        let period_ms = match policy {
+            Policy::AdapTbf(acfg) => Some(acfg.period.as_nanos() / 1_000_000),
+            _ => None,
+        };
+        TraceMeta {
+            scenario: scenario.to_string(),
+            seed,
+            policy: policy.name().to_string(),
+            period_ms,
+            duration: SimDuration::ZERO, // patched with the horizon on output
+            n_clients: cfg.n_clients,
+            n_osts: cfg.n_osts,
+            stripe_count: cfg.stripe_count,
+            jobs,
         }
     }
 
     /// Execute the run to its horizon and return the collected metrics.
     pub fn run(mut self) -> RawRunOutput {
+        self.execute();
+        self.into_output().0
+    }
+
+    /// Execute the run with the recorder hook enabled: every OSS arrival
+    /// is captured, and the run hands back the [`Trace`] alongside its
+    /// metrics. Feed the trace to [`Cluster::build_replay`] (or serialize
+    /// it with [`Trace::to_text`]).
+    pub fn run_traced(mut self) -> (RawRunOutput, Trace) {
+        if self.recorder.is_none() {
+            self.recorder = Some(Vec::new());
+        }
+        self.execute();
+        let (out, trace) = self.into_output();
+        (out, trace.expect("recorder enabled"))
+    }
+
+    fn execute(&mut self) {
         while let Some(at) = self.queue.peek_time() {
             if at > self.end {
                 break;
@@ -217,16 +357,25 @@ impl Cluster {
             self.handle(event, now);
         }
         self.metrics.finalize(self.end);
+    }
+
+    fn into_output(mut self) -> (RawRunOutput, Option<Trace>) {
         let overheads = self
             .drivers
             .iter()
             .filter_map(|d| d.as_ref().map(|d| d.overhead()))
             .collect();
-        RawRunOutput {
-            metrics: self.metrics,
-            overheads,
-            end: self.end,
-        }
+        let mut meta = self.trace_meta;
+        meta.duration = self.end.since(SimTime::ZERO);
+        let trace = self.recorder.take().map(|records| Trace { meta, records });
+        (
+            RawRunOutput {
+                metrics: self.metrics,
+                overheads,
+                end: self.end,
+            },
+            trace,
+        )
     }
 
     fn handle(&mut self, event: Event, now: SimTime) {
@@ -236,6 +385,9 @@ impl Cluster {
                 self.try_issue(proc, now);
             }
             Event::ArriveAtOss { ost, rpc } => {
+                if let Some(records) = self.recorder.as_mut() {
+                    records.push(TraceRecord { at: now, ost, rpc });
+                }
                 self.metrics.on_arrival(rpc.job, now);
                 self.osts[ost].job_stats.record_arrival(rpc.job);
                 self.osts[ost].scheduler.enqueue(rpc, now);
@@ -244,13 +396,17 @@ impl Cluster {
             Event::ServiceDone { ost, rpc } => {
                 self.osts[ost].end_service(&rpc);
                 self.metrics.on_served_at(rpc.job, now, rpc.issued_at);
-                let latency = self.network.latency();
-                self.queue.push(
-                    now + latency,
-                    Event::ReplyAtClient {
-                        proc: rpc.proc_id.raw() as usize,
-                    },
-                );
+                // In replay mode the trace is the client side: there is no
+                // process to reply to (and no window to open).
+                if !self.replay {
+                    let latency = self.network.latency();
+                    self.queue.push(
+                        now + latency,
+                        Event::ReplyAtClient {
+                            proc: rpc.proc_id.raw() as usize,
+                        },
+                    );
+                }
                 self.dispatch(ost, now);
             }
             Event::ThreadWake { ost, at } => {
@@ -438,6 +594,31 @@ mod tests {
         let c = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 43).run();
         // Different seed: still all served, timeline may differ.
         assert_eq!(c.metrics.total_served(), 200);
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_run_exactly() {
+        for policy in [Policy::NoBw, Policy::StaticBw, Policy::adaptbf_default()] {
+            let (out, trace) = Cluster::build(&tiny_scenario(), policy, 9).run_traced();
+            assert_eq!(trace.records.len(), 200, "every RPC recorded");
+            let replayed = Cluster::build_replay(&trace, policy, 9, ClusterConfig::default()).run();
+            assert_eq!(
+                out.metrics.served_by_job,
+                replayed.metrics.served_by_job,
+                "replay diverged under {}",
+                policy.name()
+            );
+            assert_eq!(out.metrics.served, replayed.metrics.served);
+        }
+    }
+
+    #[test]
+    fn recorded_trace_round_trips_through_text() {
+        let (_, trace) =
+            Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 5).run_traced();
+        let text = trace.to_text();
+        let parsed = adaptbf_workload::trace::Trace::from_text(&text).expect("parses");
+        assert_eq!(parsed, trace);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod policy;
 pub mod report;
 pub mod rule_daemon;
 pub mod run_grid;
+pub mod spec;
 
 pub use cluster::Cluster;
 pub use experiment::{Comparison, Experiment, JobOutcome, RunReport};
@@ -48,3 +49,4 @@ pub use faults::{DegradeSpec, FaultPlan, StallSpec};
 pub use policy::Policy;
 pub use report::{frequency_sweep, FrequencyPoint};
 pub use run_grid::RunGrid;
+pub use spec::{plan_file_run, replay_cluster_config, replay_report, FileRun};

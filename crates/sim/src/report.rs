@@ -26,11 +26,23 @@ pub fn frequency_sweep(
     base: AdapTbfConfig,
     periods: &[SimDuration],
 ) -> Vec<FrequencyPoint> {
+    frequency_sweep_on(scenario, seed, base, periods, ClusterConfig::default())
+}
+
+/// [`frequency_sweep`] on an explicit testbed wiring (scenario files can
+/// pin multi-OST clusters).
+pub fn frequency_sweep_on(
+    scenario: &Scenario,
+    seed: u64,
+    base: AdapTbfConfig,
+    periods: &[SimDuration],
+    cluster: ClusterConfig,
+) -> Vec<FrequencyPoint> {
     crate::RunGrid::new().run(periods.to_vec(), |period| {
         let cfg = base.with_period(period);
         let report = Experiment::new(scenario.clone(), Policy::AdapTbf(cfg))
             .seed(seed)
-            .cluster_config(ClusterConfig::default())
+            .cluster_config(cluster)
             .run();
         FrequencyPoint {
             period,

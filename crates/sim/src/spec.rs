@@ -1,0 +1,189 @@
+//! Data-driven entry points: turn declarative scenario files and recorded
+//! traces into runnable experiments.
+//!
+//! This is the glue between `adaptbf_workload::dsl` / `adaptbf_workload::trace`
+//! (pure data) and the simulator's [`Policy`] / [`ClusterConfig`] /
+//! [`RunReport`] types. The CLI (`run --scenario-file`, `record`, `replay`)
+//! and the bench harness's replay grid both go through here, so file
+//! semantics cannot drift between front ends.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::experiment::{JobOutcome, RunReport};
+use crate::policy::Policy;
+use adaptbf_model::config::paper;
+use adaptbf_model::{AdapTbfConfig, SimDuration};
+use adaptbf_workload::dsl::{DslError, ScenarioFile};
+use adaptbf_workload::trace::Trace;
+use adaptbf_workload::Scenario;
+use std::collections::BTreeMap;
+
+/// A fully resolved run plan from a scenario file: the workload plus the
+/// policy/wiring its `run` block pins (paper defaults elsewhere).
+#[derive(Debug, Clone)]
+pub struct FileRun {
+    /// The workload.
+    pub scenario: Scenario,
+    /// Policy (default: AdapTBF with the paper config).
+    pub policy: Policy,
+    /// Testbed wiring (default: the paper's 4-client single-OST testbed).
+    pub cluster: ClusterConfig,
+    /// RNG seed (default 42, the repo-wide default).
+    pub seed: u64,
+}
+
+/// Resolve a parsed scenario file into a runnable plan.
+pub fn plan_file_run(file: &ScenarioFile) -> Result<FileRun, DslError> {
+    let scenario = file.to_scenario()?;
+    let run = &file.run;
+    let period = SimDuration::from_millis(run.period_ms.unwrap_or(100));
+    if period.is_zero() {
+        return Err(DslError("period_ms must be positive".into()));
+    }
+    let policy = policy_by_name(
+        run.policy.as_deref().unwrap_or("adaptbf"),
+        paper::adaptbf().with_period(period),
+    )
+    .ok_or_else(|| DslError(format!("unknown policy {:?}", run.policy)))?;
+    let mut cluster = ClusterConfig::default();
+    if let Some(n) = run.n_clients {
+        cluster.n_clients = n;
+    }
+    if let Some(n) = run.n_osts {
+        cluster.n_osts = n;
+    }
+    if let Some(n) = run.stripe_count {
+        cluster.stripe_count = n;
+    }
+    if cluster.n_clients == 0 || cluster.n_osts == 0 {
+        return Err(DslError("n_clients and n_osts must be positive".into()));
+    }
+    if cluster.stripe_count == 0 || cluster.stripe_count > cluster.n_osts {
+        return Err(DslError(format!(
+            "stripe_count must be in 1..={}, got {}",
+            cluster.n_osts, cluster.stripe_count
+        )));
+    }
+    Ok(FileRun {
+        scenario,
+        policy,
+        cluster,
+        seed: run.seed.unwrap_or(42),
+    })
+}
+
+/// Policy from its report name, using `acfg` for the adaptive case.
+pub fn policy_by_name(name: &str, acfg: AdapTbfConfig) -> Option<Policy> {
+    match name {
+        "no_bw" => Some(Policy::NoBw),
+        "static_bw" => Some(Policy::StaticBw),
+        "adaptbf" => Some(Policy::AdapTbf(acfg)),
+        _ => None,
+    }
+}
+
+/// The wiring a trace was recorded under (paper defaults for everything
+/// the header does not pin). Replaying under this config with the
+/// recorded policy and seed reproduces the recorded run exactly.
+pub fn replay_cluster_config(trace: &Trace) -> ClusterConfig {
+    ClusterConfig {
+        n_clients: trace.meta.n_clients,
+        n_osts: trace.meta.n_osts,
+        stripe_count: trace.meta.stripe_count,
+        ..ClusterConfig::default()
+    }
+}
+
+/// The policy a trace was recorded under.
+pub fn recorded_policy(trace: &Trace) -> Option<Policy> {
+    let period = SimDuration::from_millis(trace.meta.period_ms.unwrap_or(100));
+    policy_by_name(&trace.meta.policy, paper::adaptbf().with_period(period))
+}
+
+/// Replay a trace and produce the same [`RunReport`] an [`crate::Experiment`]
+/// yields, so all reporting/analysis layers work on replays unchanged.
+pub fn replay_report(
+    trace: &Trace,
+    policy: Policy,
+    seed: u64,
+    cluster: ClusterConfig,
+) -> RunReport {
+    let out = Cluster::build_replay(trace, policy, seed, cluster).run();
+    let horizon_secs = trace.meta.duration.as_secs_f64();
+    let mut per_job = BTreeMap::new();
+    for &(job, _) in &trace.meta.jobs {
+        let served = out.metrics.served_by_job.get(&job).copied().unwrap_or(0);
+        let released = out.metrics.released_by_job.get(&job).copied().unwrap_or(0);
+        let completion = out.metrics.completion_time.get(&job).copied().flatten();
+        let makespan = completion.map_or(horizon_secs, |t| t.as_secs_f64());
+        per_job.insert(
+            job,
+            JobOutcome {
+                job,
+                served,
+                released,
+                completed: completion.is_some(),
+                completion,
+                throughput_tps: if makespan > 0.0 {
+                    served as f64 / makespan
+                } else {
+                    0.0
+                },
+            },
+        );
+    }
+    RunReport {
+        scenario: format!("{}_replay", trace.meta.scenario),
+        policy: policy.name().to_string(),
+        duration: trace.meta.duration,
+        metrics: out.metrics,
+        per_job,
+        overheads: out.overheads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_model::JobId;
+    use adaptbf_workload::scenarios;
+
+    #[test]
+    fn file_run_defaults_mirror_the_paper_testbed() {
+        let file = ScenarioFile::from_scenario(&scenarios::token_allocation_scaled(1.0 / 64.0));
+        let plan = plan_file_run(&file).unwrap();
+        assert!(matches!(plan.policy, Policy::AdapTbf(_)));
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.cluster.n_clients, 4);
+        assert_eq!(plan.cluster.n_osts, 1);
+    }
+
+    #[test]
+    fn file_run_honors_run_block() {
+        let mut file = ScenarioFile::from_scenario(&scenarios::token_allocation_scaled(1.0 / 64.0));
+        file.run.policy = Some("static_bw".into());
+        file.run.seed = Some(7);
+        file.run.n_osts = Some(2);
+        file.run.stripe_count = Some(2);
+        let plan = plan_file_run(&file).unwrap();
+        assert!(matches!(plan.policy, Policy::StaticBw));
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.cluster.n_osts, 2);
+        assert_eq!(plan.cluster.stripe_count, 2);
+        // Invalid striping is rejected.
+        file.run.n_osts = Some(1);
+        assert!(plan_file_run(&file).is_err());
+    }
+
+    #[test]
+    fn replay_report_carries_per_job_outcomes() {
+        let scenario = scenarios::token_allocation_scaled(1.0 / 64.0);
+        let policy = Policy::adaptbf_default();
+        let (_, trace) = Cluster::build(&scenario, policy, 42).run_traced();
+        assert_eq!(recorded_policy(&trace).unwrap().name(), "adaptbf");
+        let report = replay_report(&trace, policy, 42, replay_cluster_config(&trace));
+        assert_eq!(report.per_job.len(), 4);
+        assert!(report.per_job[&JobId(4)].served > 0);
+        assert_eq!(report.policy, "adaptbf");
+        assert!(report.scenario.ends_with("_replay"));
+    }
+}

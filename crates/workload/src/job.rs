@@ -11,7 +11,7 @@ pub const DEFAULT_MAX_INFLIGHT: usize = 8;
 pub const RPCS_PER_GIB: u64 = 1024;
 
 /// One file-per-process I/O stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProcessSpec {
     /// When the process's work becomes available.
     pub pattern: IoPattern,
@@ -75,6 +75,18 @@ impl ProcessSpec {
                 think,
                 rpcs_per_burst,
             },
+            file_rpcs,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+        }
+    }
+
+    /// A fully data-driven stream: explicit arrival chunks (what a replayed
+    /// trace or a `timed` scenario-file entry produces). The file size is
+    /// the sum of the chunks; chunks must be sorted by arrival time.
+    pub fn timed(chunks: Vec<crate::pattern::WorkChunk>) -> Self {
+        let file_rpcs = chunks.iter().map(|c| c.rpcs).sum();
+        ProcessSpec {
+            pattern: IoPattern::Timed(chunks),
             file_rpcs,
             max_inflight: DEFAULT_MAX_INFLIGHT,
         }

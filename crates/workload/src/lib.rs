@@ -18,15 +18,31 @@
 //! * [`scenarios`] — ready-made builders reproducing the job mixes of
 //!   Sections IV-D (token allocation), IV-E (redistribution) and IV-F
 //!   (re-compensation), each with a `_scaled` variant for fast tests.
+//!
+//! On top of the programmatic builders sits the data-driven surface of the
+//! `adaptbf-trace` subsystem (see `docs/SCENARIOS.md`):
+//!
+//! * [`dsl`] — declarative JSON scenario files ([`ScenarioFile`]): every
+//!   built-in scenario expressed as data, new ones without recompiling;
+//! * [`trace`] — recorded RPC arrival histories ([`Trace`]): serialized,
+//!   replayed exactly by the simulator, or converted back into a
+//!   [`Scenario`] via [`IoPattern::Timed`];
+//! * [`json`] — the minimal hand-rolled JSON layer both formats use (the
+//!   vendored `serde` is a no-op derive stub).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod dsl;
 pub mod job;
+pub mod json;
 pub mod pattern;
 pub mod scenario;
 pub mod scenarios;
+pub mod trace;
 
+pub use dsl::{DslError, PatternSpec, RunSpec, ScenarioFile};
 pub use job::{JobSpec, ProcessSpec};
 pub use pattern::{IoPattern, WorkChunk};
 pub use scenario::Scenario;
+pub use trace::{Trace, TraceError, TraceMeta, TraceRecord};

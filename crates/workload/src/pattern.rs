@@ -19,8 +19,10 @@ pub struct WorkChunk {
     pub rpcs: u64,
 }
 
-/// The paper's three workload shapes (Section IV-D/E/F).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// The paper's three workload shapes (Section IV-D/E/F), plus the
+/// data-driven [`IoPattern::Timed`] shape used by replayed traces and
+/// declarative scenario files.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IoPattern {
     /// The whole file is ready at t=0: a continuous sequential stream
     /// (bounded only by the in-flight window and server throughput).
@@ -55,6 +57,14 @@ pub enum IoPattern {
         /// Burst magnitude in RPCs.
         rpcs_per_burst: u64,
     },
+    /// An explicit list of arrival chunks — the fully data-driven shape.
+    /// This is what a replayed trace or a `timed`/`diurnal` entry in a
+    /// declarative scenario file expands to; chunks must be sorted by
+    /// arrival time (validated by [`IoPattern::arrivals`]).
+    Timed(
+        /// The arrival chunks, ascending by [`WorkChunk::at`].
+        Vec<WorkChunk>,
+    ),
 }
 
 impl IoPattern {
@@ -63,6 +73,25 @@ impl IoPattern {
     pub fn arrivals(&self, total_rpcs: u64, horizon: SimDuration) -> Vec<WorkChunk> {
         let end = SimTime::ZERO + horizon;
         match *self {
+            IoPattern::Timed(ref chunks) => {
+                assert!(
+                    chunks.windows(2).all(|w| w[0].at <= w[1].at),
+                    "timed chunks must be sorted by arrival time"
+                );
+                let mut remaining = total_rpcs;
+                let mut out = Vec::new();
+                for c in chunks {
+                    if remaining == 0 || c.at >= end {
+                        break;
+                    }
+                    let rpcs = c.rpcs.min(remaining);
+                    if rpcs > 0 {
+                        out.push(WorkChunk { at: c.at, rpcs });
+                        remaining -= rpcs;
+                    }
+                }
+                out
+            }
             IoPattern::Continuous => {
                 if total_rpcs == 0 {
                     Vec::new()

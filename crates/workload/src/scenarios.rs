@@ -365,6 +365,7 @@ mod tests {
                 IoPattern::PeriodicBurst { .. } => 1,
                 IoPattern::DelayedContinuous { .. } => 2,
                 IoPattern::BurstThenThink { .. } => 3,
+                IoPattern::Timed(_) => 4,
             })
             .collect();
         assert!(kinds.len() >= 3, "pattern variety: {kinds:?}");
@@ -386,6 +387,7 @@ mod tests {
                 IoPattern::PeriodicBurst { .. } => 1,
                 IoPattern::DelayedContinuous { .. } => 2,
                 IoPattern::BurstThenThink { .. } => 3,
+                IoPattern::Timed(_) => 4,
             })
             .collect();
         assert_eq!(kinds.len(), 4, "pattern variety: {kinds:?}");

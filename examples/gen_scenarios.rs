@@ -1,0 +1,38 @@
+//! Regenerate the checked-in declarative scenario files under
+//! `examples/scenarios/` from the built-in scenario builders.
+//!
+//! ```console
+//! $ cargo run --example gen_scenarios
+//! ```
+//!
+//! Each file is the canonical rendering of [`ScenarioFile::from_scenario`]
+//! plus a `run` block pinning the repo-default seed/policy, so
+//! `adaptbf run --scenario-file examples/scenarios/<name>.json`
+//! reproduces `adaptbf run <name>` exactly. The golden-file test in
+//! `tests/trace_replay.rs` asserts these stay canonical and equivalent to
+//! their builders — rerun this example after changing a builder.
+
+use adaptbf::workload::dsl::RunSpec;
+use adaptbf::workload::{scenarios, ScenarioFile};
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    std::fs::create_dir_all(&dir).expect("create examples/scenarios");
+    let builtins = [
+        scenarios::token_allocation(),
+        scenarios::token_redistribution(),
+        scenarios::hog_and_victim(),
+    ];
+    for scenario in builtins {
+        let mut file = ScenarioFile::from_scenario(&scenario);
+        file.run = RunSpec {
+            seed: Some(42),
+            policy: Some("adaptbf".into()),
+            period_ms: Some(100),
+            ..RunSpec::default()
+        };
+        let path = dir.join(format!("{}.json", scenario.name));
+        std::fs::write(&path, file.render()).expect("write scenario file");
+        println!("wrote {}", path.display());
+    }
+}

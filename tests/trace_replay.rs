@@ -1,0 +1,171 @@
+//! Tier-1 regression tests for the `adaptbf-trace` subsystem: golden
+//! scenario files stay canonical and equivalent to their builders, and
+//! replaying a recorded trace reproduces the original run exactly.
+
+use adaptbf::model::JobId;
+use adaptbf::sim::cluster::ClusterConfig;
+use adaptbf::sim::{Cluster, Policy};
+use adaptbf::workload::trace::Trace;
+use adaptbf::workload::{scenarios, Scenario, ScenarioFile};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn scenario_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios")
+}
+
+fn read_scenario_file(name: &str) -> (String, ScenarioFile) {
+    let path = scenario_dir().join(format!("{name}.json"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let file = ScenarioFile::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    (text, file)
+}
+
+/// Golden-file round trip: every checked-in scenario file is in canonical
+/// form — parse → serialize reproduces it byte-for-byte.
+#[test]
+fn checked_in_scenario_files_are_canonical() {
+    let entries = std::fs::read_dir(scenario_dir()).expect("examples/scenarios exists");
+    let mut checked = 0;
+    for entry in entries {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let (text, file) = read_scenario_file(&name);
+        assert_eq!(
+            file.render(),
+            text,
+            "{name}.json is not canonical; regenerate with `cargo run --example gen_scenarios`"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 4, "expected the checked-in scenario files");
+}
+
+/// The builder-derived scenario files build exactly the scenarios their
+/// builders produce — the declarative surface has not drifted.
+#[test]
+fn scenario_files_match_their_builders() {
+    type Builder = fn() -> Scenario;
+    let builders: [(&str, Builder); 3] = [
+        ("token_allocation", scenarios::token_allocation),
+        ("token_redistribution", scenarios::token_redistribution),
+        ("hog_and_victim", scenarios::hog_and_victim),
+    ];
+    for (name, builder) in builders {
+        let (_, file) = read_scenario_file(name);
+        let from_file = file.to_scenario().unwrap();
+        assert_eq!(from_file, builder(), "{name}.json drifted from its builder");
+    }
+}
+
+/// The authored (non-builder) scenario file runs end-to-end through the
+/// simulator: diurnal + timed + continuous jobs on a striped 2-OST
+/// cluster.
+#[test]
+fn authored_diurnal_scenario_runs() {
+    let (_, file) = read_scenario_file("diurnal_checkpoint");
+    let plan = adaptbf::sim::plan_file_run(&file).unwrap();
+    assert_eq!(plan.cluster.n_osts, 2);
+    assert_eq!(plan.seed, 7);
+    let out = Cluster::build_with(&plan.scenario, plan.policy, plan.seed, plan.cluster).run();
+    assert!(out.metrics.total_served() > 0);
+    // All three jobs make progress.
+    for job in [1, 2, 3] {
+        assert!(
+            out.metrics
+                .served_by_job
+                .get(&JobId(job))
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "job {job} starved"
+        );
+    }
+}
+
+fn served_bytes(metrics: &adaptbf::sim::metrics::Metrics, rpc_size: u64) -> BTreeMap<JobId, u64> {
+    metrics
+        .served_by_job
+        .iter()
+        .map(|(&job, &served)| (job, served * rpc_size))
+        .collect()
+}
+
+/// The acceptance regression: record `token_redistribution`, replay the
+/// trace, and the per-job served bytes match the original run exactly.
+#[test]
+fn replaying_token_redistribution_reproduces_served_bytes_exactly() {
+    let scenario = scenarios::token_redistribution();
+    let policy = Policy::adaptbf_default();
+    let cfg = ClusterConfig::default();
+    let (original, trace) = Cluster::build_with(&scenario, policy, 42, cfg).run_traced();
+    assert!(trace.records.len() > 1000, "a real workload was recorded");
+
+    // Round-trip through the serialized text form first, as a user would.
+    let parsed = Trace::from_text(&trace.to_text()).expect("trace parses");
+    assert_eq!(parsed, trace);
+
+    let replayed = Cluster::build_replay(&parsed, policy, 42, cfg).run();
+    let rpc_size = cfg.ost.rpc_size;
+    assert_eq!(
+        served_bytes(&original.metrics, rpc_size),
+        served_bytes(&replayed.metrics, rpc_size),
+        "replay must reproduce per-job served bytes exactly"
+    );
+    assert_eq!(original.metrics.served, replayed.metrics.served);
+    assert_eq!(original.metrics.demand, replayed.metrics.demand);
+}
+
+/// Replay exactness holds across policies, seeds, and a striped multi-OST
+/// wiring — not just the paper-default testbed.
+#[test]
+fn replay_is_exact_across_policies_and_wirings() {
+    let scenario = scenarios::token_redistribution_scaled(1.0 / 16.0);
+    let wirings = [
+        ClusterConfig::default(),
+        ClusterConfig {
+            n_osts: 2,
+            stripe_count: 2,
+            ..ClusterConfig::default()
+        },
+    ];
+    for cfg in wirings {
+        for policy in [Policy::NoBw, Policy::StaticBw, Policy::adaptbf_default()] {
+            for seed in [1, 42] {
+                let (original, trace) =
+                    Cluster::build_with(&scenario, policy, seed, cfg).run_traced();
+                let replayed = Cluster::build_replay(&trace, policy, seed, cfg).run();
+                assert_eq!(
+                    original.metrics.served_by_job,
+                    replayed.metrics.served_by_job,
+                    "diverged: policy {} seed {seed} n_osts {}",
+                    policy.name(),
+                    cfg.n_osts
+                );
+            }
+        }
+    }
+}
+
+/// A trace converted back to a `Scenario` (open-loop `timed` processes)
+/// is a valid workload for any policy — the data-driven path the issue's
+/// SDN-QoS related work drives controllers with.
+#[test]
+fn trace_as_scenario_feeds_any_policy() {
+    let scenario = scenarios::token_allocation_scaled(1.0 / 32.0);
+    let (_, trace) = Cluster::build(&scenario, Policy::adaptbf_default(), 42).run_traced();
+    let replay_scenario = trace.to_scenario();
+    assert_eq!(replay_scenario.job_ids(), scenario.job_ids());
+    for policy in [Policy::NoBw, Policy::adaptbf_default()] {
+        let out = Cluster::build(&replay_scenario, policy, 7).run();
+        assert!(
+            out.metrics.total_served() > 0,
+            "replay scenario runs under {}",
+            policy.name()
+        );
+    }
+}
