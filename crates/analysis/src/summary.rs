@@ -28,7 +28,7 @@ fn analyze_one(report: &RunReport, scenario: &Scenario) -> PolicyAnalysis {
     PolicyAnalysis {
         throughput_tps: report.overall_throughput_tps(),
         priority_fairness: priority_fairness(report, scenario),
-        proportionality_error: proportionality_error(&report.metrics.served_by_job, &priorities),
+        proportionality_error: proportionality_error(&report.metrics.served_by_job(), &priorities),
     }
 }
 

@@ -13,7 +13,7 @@ fn main() {
     write_fig7_series(&fig);
 
     // Print the lending story: min/max record per job.
-    let records = &fig.comparison.adaptbf.metrics.records;
+    let records = fig.comparison.adaptbf.metrics.records();
     for job in records.jobs() {
         let series = records.get(job).unwrap();
         let max = series.values.iter().cloned().fold(f64::MIN, f64::max);

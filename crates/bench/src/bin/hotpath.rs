@@ -108,7 +108,7 @@ fn grid_wall_time(threads: usize) -> (f64, String) {
     let mut digest = String::new();
     for r in &reports {
         let _ = write!(digest, "{}:{:.6};", r.policy, r.overall_throughput_tps());
-        for (job, served) in &r.metrics.served_by_job {
+        for (job, served) in &r.metrics.served_by_job() {
             let _ = write!(digest, "{job}={served},");
         }
     }

@@ -66,7 +66,7 @@ fn main() {
     for job in &jobs {
         let recorded = original
             .metrics
-            .served_by_job
+            .served_by_job()
             .get(job)
             .copied()
             .unwrap_or(0);

@@ -1,0 +1,196 @@
+//! End-to-end event-loop throughput on the million-RPC workload.
+//!
+//! Drives `scenarios::million_rpc` (64 jobs × 2 procs × 8192 RPCs on a
+//! 16-OST cluster) through the full simulation — clients, network, NRS/TBF
+//! schedulers, controllers, metrics — and reports how fast the *simulator
+//! itself* chews through it. Writes `BENCH_simloop.json` at the workspace
+//! root with events/sec, RPCs/sec, wall seconds and peak event-queue
+//! depth, next to the recorded pre-interner baseline so the trajectory is
+//! visible commit over commit.
+//!
+//! Each policy is run three times and the median sample is reported
+//! (single runs on shared machines swing by ±10 %; the recorded baseline
+//! was measured the same way, interleaved with the optimized build in one
+//! session).
+//!
+//! `--smoke` runs the scaled-down CI configuration instead and fails
+//! (exit 1) if RPCs/sec regresses more than 30 % below the checked-in
+//! floor in `crates/bench/simloop_floor.txt`.
+
+use adaptbf_sim::cluster::ClusterConfig;
+use adaptbf_sim::{Cluster, Policy};
+use adaptbf_workload::scenarios;
+use adaptbf_workload::Scenario;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const RUNS_PER_POLICY: usize = 3;
+
+/// Pre-PR baselines on this workload (BTreeMap-backed metrics/job-stats/
+/// scheduler bookkeeping, binary-heap event list, peek+pop event loop),
+/// measured release-mode on the reference container as the median of six
+/// runs interleaved with the optimized build. Units: served RPCs per
+/// wall-clock second.
+const BASELINE_ADAPTBF_RPCS_PER_SEC: f64 = 1_461_000.0;
+const BASELINE_NO_BW_RPCS_PER_SEC: f64 = 2_020_000.0;
+
+struct Sample {
+    policy: &'static str,
+    wall_s: f64,
+    served: u64,
+    events: u64,
+    peak_queue: usize,
+    coalesced: u64,
+}
+
+impl Sample {
+    fn rpcs_per_sec(&self) -> f64 {
+        self.served as f64 / self.wall_s
+    }
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+}
+
+fn wiring() -> ClusterConfig {
+    ClusterConfig {
+        n_clients: 8,
+        n_osts: 16,
+        ..ClusterConfig::default()
+    }
+}
+
+fn run_once(scenario: &Scenario, policy: Policy, label: &'static str) -> Sample {
+    let cluster = Cluster::build_with(scenario, policy, SEED, wiring());
+    let t0 = Instant::now();
+    let out = cluster.run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    Sample {
+        policy: label,
+        wall_s,
+        served: out.metrics.total_served(),
+        events: out.loop_stats.events,
+        peak_queue: out.loop_stats.peak_queue_depth,
+        coalesced: out.loop_stats.coalesced,
+    }
+}
+
+/// Median-of-N sample for one policy (by wall time).
+fn run_median(scenario: &Scenario, policy: Policy, label: &'static str) -> Sample {
+    let mut samples: Vec<Sample> = (0..RUNS_PER_POLICY)
+        .map(|_| run_once(scenario, policy, label))
+        .collect();
+    samples.sort_by(|a, b| a.wall_s.total_cmp(&b.wall_s));
+    samples.remove(samples.len() / 2)
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| Path::new(&d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        run_smoke();
+        return;
+    }
+
+    println!("== simloop: million-RPC end-to-end event loop (use --release) ==\n");
+    let scenario = scenarios::million_rpc();
+    let mut samples = Vec::new();
+    for (policy, label) in [
+        (Policy::adaptbf_default(), "adaptbf"),
+        (Policy::NoBw, "no_bw"),
+    ] {
+        let s = run_median(&scenario, policy, label);
+        println!(
+            "{:>8}: {:>9} served in {:.2}s  → {:>9.0} RPC/s, {:>10.0} events/s \
+             (peak queue {}, {} coalesced)",
+            s.policy,
+            s.served,
+            s.wall_s,
+            s.rpcs_per_sec(),
+            s.events_per_sec(),
+            s.peak_queue,
+            s.coalesced,
+        );
+        samples.push(s);
+    }
+    let speedup_adaptbf = samples[0].rpcs_per_sec() / BASELINE_ADAPTBF_RPCS_PER_SEC;
+    let speedup_no_bw = samples[1].rpcs_per_sec() / BASELINE_NO_BW_RPCS_PER_SEC;
+    println!(
+        "\nspeedup vs pre-interner baseline: adaptbf {speedup_adaptbf:.2}x \
+         ({BASELINE_ADAPTBF_RPCS_PER_SEC:.0} → {:.0} RPC/s), no_bw {speedup_no_bw:.2}x \
+         ({BASELINE_NO_BW_RPCS_PER_SEC:.0} → {:.0} RPC/s)",
+        samples[0].rpcs_per_sec(),
+        samples[1].rpcs_per_sec(),
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"build\": \"{}\",",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    );
+    let _ = writeln!(json, "  \"scenario\": \"million_rpc\",");
+    let _ = writeln!(json, "  \"n_osts\": 16,");
+    let _ = writeln!(json, "  \"runs_per_policy\": {RUNS_PER_POLICY},");
+    let _ = writeln!(
+        json,
+        "  \"baseline_pre_interner\": {{\n    \"adaptbf_rpcs_per_sec\": \
+         {BASELINE_ADAPTBF_RPCS_PER_SEC:.0},\n    \"no_bw_rpcs_per_sec\": \
+         {BASELINE_NO_BW_RPCS_PER_SEC:.0}\n  }},"
+    );
+    for s in &samples {
+        let _ = writeln!(json, "  \"{}\": {{", s.policy);
+        let _ = writeln!(json, "    \"wall_s\": {:.3},", s.wall_s);
+        let _ = writeln!(json, "    \"served\": {},", s.served);
+        let _ = writeln!(json, "    \"rpcs_per_sec\": {:.0},", s.rpcs_per_sec());
+        let _ = writeln!(json, "    \"events_per_sec\": {:.0},", s.events_per_sec());
+        let _ = writeln!(json, "    \"events\": {},", s.events);
+        let _ = writeln!(json, "    \"coalesced\": {},", s.coalesced);
+        let _ = writeln!(json, "    \"peak_queue_depth\": {}", s.peak_queue);
+        let _ = writeln!(json, "  }},");
+    }
+    let _ = writeln!(json, "  \"speedup_adaptbf\": {speedup_adaptbf:.3},");
+    let _ = writeln!(json, "  \"speedup_no_bw\": {speedup_no_bw:.3}");
+    json.push_str("}\n");
+    let path = workspace_root().join("BENCH_simloop.json");
+    std::fs::write(&path, &json).expect("write BENCH_simloop.json");
+    println!("\nwrote {}", path.display());
+}
+
+/// CI guard: the scaled smoke run must stay within 30 % of the checked-in
+/// floor. The floor is deliberately conservative (shared CI runners are
+/// slow); catching an order-of-magnitude bookkeeping regression is the
+/// point, not enforcing this machine's numbers.
+fn run_smoke() {
+    let scenario = scenarios::million_rpc_scaled(1.0 / 16.0);
+    let s = run_median(&scenario, Policy::adaptbf_default(), "adaptbf");
+    let rps = s.rpcs_per_sec();
+    println!(
+        "smoke: {} served in {:.2}s → {rps:.0} RPC/s (peak queue {})",
+        s.served, s.wall_s, s.peak_queue
+    );
+    let floor_path = workspace_root().join("crates/bench/simloop_floor.txt");
+    let floor: f64 = std::fs::read_to_string(&floor_path)
+        .expect("read crates/bench/simloop_floor.txt")
+        .trim()
+        .parse()
+        .expect("floor is a number");
+    let minimum = floor * 0.7;
+    println!("floor {floor:.0} RPC/s → minimum allowed {minimum:.0} RPC/s");
+    if rps < minimum {
+        eprintln!("FAIL: smoke RPCs/sec regressed more than 30% below the floor");
+        std::process::exit(1);
+    }
+    println!("OK: within 30% of the checked-in floor");
+}

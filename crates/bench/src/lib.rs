@@ -152,13 +152,13 @@ impl ComparisonFig {
         ] {
             write_artifact(
                 &format!("{prefix}_{}_timeline.csv", report.policy),
-                &timeline_csv(&report.metrics.served),
+                &timeline_csv(&report.metrics.served()),
             );
         }
         // AdapTBF's allocation gauge (the dashed "allocated" line of Fig 3c).
         write_artifact(
             &format!("{prefix}_adaptbf_allocations.csv"),
-            &gauge_csv(&self.comparison.adaptbf.metrics.allocations),
+            &gauge_csv(&self.comparison.adaptbf.metrics.allocations()),
         );
     }
 
@@ -208,11 +208,11 @@ pub fn fig7_comparison(opts: Options) -> ComparisonFig {
 pub fn write_fig7_series(fig: &ComparisonFig) {
     write_artifact(
         "fig7_records.csv",
-        &gauge_csv(&fig.comparison.adaptbf.metrics.records),
+        &gauge_csv(&fig.comparison.adaptbf.metrics.records()),
     );
     write_artifact(
         "fig7_demand.csv",
-        &timeline_csv(&fig.comparison.adaptbf.metrics.demand),
+        &timeline_csv(&fig.comparison.adaptbf.metrics.demand()),
     );
 }
 

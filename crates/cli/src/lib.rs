@@ -171,6 +171,7 @@ pub fn scenario_by_name(name: &str, scale: f64) -> Result<Scenario, CliError> {
         "hog_and_victim" => Ok(scenarios::hog_and_victim_scaled(scale)),
         "job_churn" => Ok(scenarios::job_churn_scaled(scale)),
         "many_jobs" => Ok(scenarios::many_jobs(32, (30.0 * scale).max(5.0) as u64)),
+        "million_rpc" => Ok(scenarios::million_rpc_scaled(scale)),
         other => Err(usage(format!(
             "unknown scenario {other}; try `adaptbf scenarios`"
         ))),
@@ -288,6 +289,7 @@ fn list_scenarios() -> String {
         "hog_and_victim",
         "job_churn",
         "many_jobs",
+        "million_rpc",
     ];
     let mut out = String::from("built-in scenarios:\n");
     for n in names {
@@ -464,11 +466,10 @@ fn cmd_ledger(
         .cluster_config(cluster)
         .run();
     let mut out = String::from("final lending/borrowing records (positive = lent):\n");
+    let records = report.metrics.records();
     let jobs: Vec<JobId> = report.per_job.keys().copied().collect();
     for job in jobs {
-        let last = report
-            .metrics
-            .records
+        let last = records
             .get(job)
             .and_then(|s| s.values.last().copied())
             .unwrap_or(0.0);

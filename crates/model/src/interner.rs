@@ -1,0 +1,190 @@
+//! Dense per-run interning of [`JobId`]s.
+//!
+//! The per-RPC data paths (metrics, job-stats, scheduler bookkeeping)
+//! index everything by job. JobIds are arbitrary `u32`s, so keyed
+//! containers pay an ordered-map or hash lookup on every event. A
+//! [`JobSlots`] interner assigns each job a dense `u32` *slot* at first
+//! sight — stable for the lifetime of the run — so hot state lives in
+//! flat `Vec`s indexed by slot, and the JobId-keyed shapes the reporting
+//! layer expects are folded only at read time.
+//!
+//! Lookup is a direct array index for the common case of small raw ids
+//! (the overwhelming majority: scenario builders hand out `1..=n`), with
+//! a `HashMap` spill for pathological ids, so the fast path costs a
+//! bounds check and a load rather than a SipHash round.
+
+use crate::ids::JobId;
+use std::collections::HashMap;
+
+/// Raw ids below this limit use the direct-lookup table (worst case
+/// 256 KiB); anything above spills into a hash map.
+const DENSE_LIMIT: usize = 1 << 16;
+
+/// A run-scoped `JobId → slot` interner (slots are dense, first-sight
+/// ordered, and never recycled).
+#[derive(Debug, Clone, Default)]
+pub struct JobSlots {
+    /// `raw id → slot + 1` (0 = unassigned), for raw ids < [`DENSE_LIMIT`].
+    dense: Vec<u32>,
+    /// Sparse ids ≥ [`DENSE_LIMIT`].
+    spill: HashMap<u32, u32>,
+    /// `slot → JobId`, in first-sight order.
+    jobs: Vec<JobId>,
+}
+
+impl JobSlots {
+    /// New empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New interner pre-sized for about `n` jobs.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut slots = Self::new();
+        slots.reserve(n);
+        slots
+    }
+
+    /// Pre-size for about `n` more jobs (embedders' `reserve_jobs` paths
+    /// call this alongside their sibling per-slot vectors).
+    pub fn reserve(&mut self, n: usize) {
+        self.dense.reserve(n.min(DENSE_LIMIT));
+        self.jobs.reserve(n);
+    }
+
+    /// The slot assigned to `job`, if it has been seen.
+    #[inline]
+    pub fn get(&self, job: JobId) -> Option<usize> {
+        let raw = job.raw() as usize;
+        if raw < DENSE_LIMIT {
+            match self.dense.get(raw) {
+                Some(0) | None => None,
+                Some(&s) => Some((s - 1) as usize),
+            }
+        } else {
+            self.spill.get(&job.raw()).map(|&s| s as usize)
+        }
+    }
+
+    /// The slot for `job`, assigning the next free one at first sight.
+    #[inline]
+    pub fn intern(&mut self, job: JobId) -> usize {
+        let raw = job.raw() as usize;
+        if raw < DENSE_LIMIT {
+            if raw >= self.dense.len() {
+                self.dense.resize(raw + 1, 0);
+            }
+            let cell = &mut self.dense[raw];
+            if *cell == 0 {
+                self.jobs.push(job);
+                *cell = self.jobs.len() as u32;
+            }
+            (*cell - 1) as usize
+        } else {
+            match self.spill.get(&job.raw()) {
+                Some(&s) => s as usize,
+                None => {
+                    let slot = self.jobs.len() as u32;
+                    self.jobs.push(job);
+                    self.spill.insert(job.raw(), slot);
+                    slot as usize
+                }
+            }
+        }
+    }
+
+    /// The job occupying `slot` (panics on an unassigned slot).
+    #[inline]
+    pub fn job(&self, slot: usize) -> JobId {
+        self.jobs[slot]
+    }
+
+    /// Number of interned jobs (== number of assigned slots).
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no job has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Iterate `(slot, job)` in slot (first-sight) order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, JobId)> + '_ {
+        self.jobs.iter().enumerate().map(|(s, &j)| (s, j))
+    }
+
+    /// `(job, slot)` pairs in ascending JobId order — the order every
+    /// JobId-keyed report shape folds out in.
+    pub fn sorted_by_job(&self) -> Vec<(JobId, usize)> {
+        let mut pairs: Vec<(JobId, usize)> =
+            self.jobs.iter().enumerate().map(|(s, &j)| (j, s)).collect();
+        pairs.sort_unstable_by_key(|&(job, _)| job);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_dense_and_first_sight_ordered() {
+        let mut s = JobSlots::new();
+        assert_eq!(s.intern(JobId(40)), 0);
+        assert_eq!(s.intern(JobId(7)), 1);
+        assert_eq!(s.intern(JobId(40)), 0, "stable on re-intern");
+        assert_eq!(s.intern(JobId(1)), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.job(1), JobId(7));
+        assert_eq!(s.get(JobId(7)), Some(1));
+        assert_eq!(s.get(JobId(999)), None);
+    }
+
+    #[test]
+    fn spill_ids_share_the_slot_space() {
+        let mut s = JobSlots::new();
+        let big = JobId(u32::MAX);
+        let bigger = JobId(u32::MAX - 1);
+        assert_eq!(s.intern(JobId(3)), 0);
+        assert_eq!(s.intern(big), 1);
+        assert_eq!(s.intern(bigger), 2);
+        assert_eq!(s.intern(big), 1, "spill ids are stable too");
+        assert_eq!(s.get(big), Some(1));
+        assert_eq!(s.get(bigger), Some(2));
+        assert_eq!(s.job(2), bigger);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn sorted_by_job_orders_by_id_not_slot() {
+        let mut s = JobSlots::new();
+        s.intern(JobId(5));
+        s.intern(JobId(2));
+        s.intern(JobId(9));
+        assert_eq!(
+            s.sorted_by_job(),
+            vec![(JobId(2), 1), (JobId(5), 0), (JobId(9), 2)]
+        );
+    }
+
+    #[test]
+    fn iter_walks_slot_order() {
+        let mut s = JobSlots::with_capacity(4);
+        s.intern(JobId(8));
+        s.intern(JobId(3));
+        let seen: Vec<(usize, JobId)> = s.iter().collect();
+        assert_eq!(seen, vec![(0, JobId(8)), (1, JobId(3))]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_id_interns_cleanly() {
+        // Slot values are offset by one in the dense table; JobId(0) must
+        // not collide with the "unassigned" sentinel.
+        let mut s = JobSlots::new();
+        assert_eq!(s.intern(JobId(0)), 0);
+        assert_eq!(s.get(JobId(0)), Some(0));
+        assert_eq!(s.intern(JobId(0)), 0);
+    }
+}

@@ -165,6 +165,13 @@ impl PerJobSeries {
         self.series.get(&job)
     }
 
+    /// Install a fully-built series for `job` (replacing any existing
+    /// one). This is how slot-indexed collectors fold their flat storage
+    /// back into the JobId-keyed report shape at read time.
+    pub fn insert(&mut self, job: JobId, series: BucketSeries) {
+        self.series.insert(job, series);
+    }
+
     /// Iterate `(job, series)` in job order.
     pub fn iter(&self) -> impl Iterator<Item = (JobId, &BucketSeries)> {
         self.series.iter().map(|(j, s)| (*j, s))

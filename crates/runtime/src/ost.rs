@@ -200,7 +200,7 @@ fn run_ost(
                     })
                     .collect();
                 let outcome = controller_ref.step(&observations);
-                let weights: BTreeMap<JobId, u32> = observations
+                let weights: Vec<(JobId, u32)> = observations
                     .iter()
                     .map(|o| (o.job, o.nodes.min(u32::MAX as u64) as u32))
                     .collect();

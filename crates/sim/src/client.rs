@@ -94,6 +94,16 @@ impl ProcessState {
     /// network.
     pub fn issue(&mut self, now: SimTime, next_rpc_id: &mut u64) -> Vec<Rpc> {
         let mut out = Vec::new();
+        self.issue_into(now, next_rpc_id, &mut out);
+        out
+    }
+
+    /// [`ProcessState::issue`] writing into a caller-owned buffer (the
+    /// event loop reuses one scratch `Vec` across all issues — a reply
+    /// typically opens exactly one window slot, and a heap allocation per
+    /// reply is measurable at million-RPC scale). The buffer is *appended*
+    /// to; callers clear or drain it.
+    pub fn issue_into(&mut self, now: SimTime, next_rpc_id: &mut u64, out: &mut Vec<Rpc>) {
         while self.available > 0 && self.inflight < self.max_inflight {
             let id = RpcId(*next_rpc_id);
             *next_rpc_id += 1;
@@ -110,7 +120,6 @@ impl ProcessState {
             self.inflight += 1;
             self.issued += 1;
         }
-        out
     }
 
     /// Whether the process has neither queued work nor outstanding RPCs.

@@ -59,6 +59,19 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Counters the event loop keeps about itself (the `--bin simloop`
+/// benchmark reads these; they cost one compare per event).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Events popped and handled (including coalesced ones).
+    pub events: u64,
+    /// Maximum future-event-list population observed, sampled at pop time.
+    pub peak_queue_depth: usize,
+    /// Events absorbed by same-timestamp coalescing (reply batches and
+    /// duplicate thread wakes) instead of being dispatched individually.
+    pub coalesced: u64,
+}
+
 /// What one completed run hands back to the reporting layer.
 #[derive(Debug)]
 pub struct RawRunOutput {
@@ -68,6 +81,8 @@ pub struct RawRunOutput {
     pub overheads: Vec<ControllerOverhead>,
     /// The horizon the run covered.
     pub end: SimTime,
+    /// Event-loop self-accounting.
+    pub loop_stats: LoopStats,
 }
 
 #[derive(Debug, Clone)]
@@ -102,6 +117,12 @@ pub struct Cluster {
     /// Replay mode: arrivals come from a trace, so there are no client
     /// processes and no reply path.
     replay: bool,
+    /// Scratch buffer for issued RPCs (reused across every `try_issue`).
+    issue_scratch: Vec<Rpc>,
+    /// Scratch for the idle-job ledger walk (reused across control ticks).
+    ledger_scratch: Vec<(JobId, i64)>,
+    /// Event-loop self-accounting.
+    loop_stats: LoopStats,
 }
 
 impl Cluster {
@@ -121,10 +142,14 @@ impl Cluster {
         let end = SimTime::ZERO + scenario.duration;
         let mut queue = EventQueue::new();
         let mut metrics = Metrics::new(cfg.bucket);
+        metrics.reserve_jobs(scenario.jobs.len());
 
         // Clients & processes: file-per-process, striped over clients and
-        // OSTs exactly like the paper's 4-client testbed.
+        // OSTs exactly like the paper's 4-client testbed. Arrival chunks
+        // are materialized first so the future-event list can be pre-sized
+        // from the scenario before the pushes (push order is unchanged).
         let mut procs = Vec::new();
+        let mut proc_chunks = Vec::new();
         let mut released: BTreeMap<JobId, u64> = BTreeMap::new();
         for job in &scenario.jobs {
             for spec in &job.processes {
@@ -139,15 +164,6 @@ impl Cluster {
                 );
                 let chunks = spec.pattern.arrivals(spec.file_rpcs, scenario.duration);
                 let statically_released: u64 = chunks.iter().map(|c| c.rpcs).sum();
-                for chunk in chunks {
-                    queue.push(
-                        chunk.at,
-                        Event::WorkArrival {
-                            proc: idx,
-                            rpcs: chunk.rpcs,
-                        },
-                    );
-                }
                 if let Some(think) = spec.pattern.think_spec() {
                     // Closed-loop burster: follow-on bursts are released at
                     // run time; the whole file counts as its target.
@@ -158,6 +174,24 @@ impl Cluster {
                     *released.entry(job.id).or_insert(0) += statically_released;
                 }
                 procs.push(state);
+                proc_chunks.push(chunks);
+            }
+        }
+        let chunk_events: usize = proc_chunks.iter().map(|c| c.len()).sum();
+        // Pattern chunks are scheduled across the whole horizon, so they
+        // land in the queue's far-future (spill) storage — which is what
+        // `reserve` pre-sizes. Steady-state events (in-flight RPCs, wakes)
+        // live in the near-window ring, whose buckets size themselves.
+        queue.reserve(chunk_events + 2 * cfg.n_osts + 16);
+        for (idx, chunks) in proc_chunks.into_iter().enumerate() {
+            for chunk in chunks {
+                queue.push(
+                    chunk.at,
+                    Event::WorkArrival {
+                        proc: idx,
+                        rpcs: chunk.rpcs,
+                    },
+                );
             }
         }
         for (job, total) in &released {
@@ -167,7 +201,10 @@ impl Cluster {
         // OSTs and the control plane.
         let job_weights: Vec<(JobId, u64)> =
             scenario.jobs.iter().map(|j| (j.id, j.nodes)).collect();
-        let (osts, drivers) = Self::control_plane(policy, &cfg, seed, &job_weights, &mut queue);
+        let (mut osts, drivers) = Self::control_plane(policy, &cfg, seed, &job_weights, &mut queue);
+        for ost in &mut osts {
+            ost.reserve_jobs(scenario.jobs.len());
+        }
 
         Cluster {
             policy,
@@ -185,6 +222,9 @@ impl Cluster {
             recorder: None,
             trace_meta: Self::trace_meta(&scenario.name, policy, seed, &cfg, job_weights),
             replay: false,
+            issue_scratch: Vec::with_capacity(32),
+            ledger_scratch: Vec::new(),
+            loop_stats: LoopStats::default(),
         }
     }
 
@@ -213,7 +253,9 @@ impl Cluster {
         );
         let end = SimTime::ZERO + trace.meta.duration;
         let mut queue = EventQueue::new();
+        queue.reserve(trace.records.len() + 2 * cfg.n_osts + 16);
         let mut metrics = Metrics::new(cfg.bucket);
+        metrics.reserve_jobs(trace.meta.jobs.len());
         // Released = what actually arrives during replay, so completion
         // detection and report tables stay meaningful.
         for &(job, _) in &trace.meta.jobs {
@@ -231,7 +273,11 @@ impl Cluster {
                 },
             );
         }
-        let (osts, drivers) = Self::control_plane(policy, &cfg, seed, &trace.meta.jobs, &mut queue);
+        let (mut osts, drivers) =
+            Self::control_plane(policy, &cfg, seed, &trace.meta.jobs, &mut queue);
+        for ost in &mut osts {
+            ost.reserve_jobs(trace.meta.jobs.len());
+        }
         Cluster {
             policy,
             end,
@@ -254,6 +300,9 @@ impl Cluster {
                 trace.meta.jobs.clone(),
             ),
             replay: true,
+            issue_scratch: Vec::new(),
+            ledger_scratch: Vec::new(),
+            loop_stats: LoopStats::default(),
         }
     }
 
@@ -349,11 +398,19 @@ impl Cluster {
     }
 
     fn execute(&mut self) {
-        while let Some(at) = self.queue.peek_time() {
-            if at > self.end {
+        // Single pop-driven loop: the pop both advances the clock and
+        // yields the event (the old peek-then-pop walked the heap's lazy
+        // top twice per event). An event past the horizon ends the run;
+        // whatever else is queued behind it is dropped with the cluster.
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.end {
                 break;
             }
-            let (now, event) = self.queue.pop().expect("peeked");
+            self.loop_stats.events += 1;
+            let depth = self.queue.len() + 1;
+            if depth > self.loop_stats.peak_queue_depth {
+                self.loop_stats.peak_queue_depth = depth;
+            }
             self.handle(event, now);
         }
         self.metrics.finalize(self.end);
@@ -373,6 +430,7 @@ impl Cluster {
                 metrics: self.metrics,
                 overheads,
                 end: self.end,
+                loop_stats: self.loop_stats,
             },
             trace,
         )
@@ -410,6 +468,21 @@ impl Cluster {
                 self.dispatch(ost, now);
             }
             Event::ThreadWake { ost, at } => {
+                // Coalesce duplicate wakes for the same (ost, deadline)
+                // queued back-to-back: only one can be live — the rest
+                // would each fail the pending_wake check below anyway.
+                while self
+                    .queue
+                    .pop_if(|t, e| {
+                        t == now
+                            && matches!(e, Event::ThreadWake { ost: o, at: a }
+                                        if *o == ost && *a == at)
+                    })
+                    .is_some()
+                {
+                    self.loop_stats.events += 1;
+                    self.loop_stats.coalesced += 1;
+                }
                 if self.osts[ost].pending_wake == Some(at) {
                     self.osts[ost].pending_wake = None;
                     self.dispatch(ost, now);
@@ -417,7 +490,29 @@ impl Cluster {
                 // Otherwise stale: a nearer wake superseded this one.
             }
             Event::ReplyAtClient { proc } => {
-                self.procs[proc].on_reply();
+                // A service batch completing at one instant produces a run
+                // of back-to-back replies to the same process; coalescing
+                // them re-opens the whole window in one pass. Equivalent to
+                // handling each reply alone: intermediate replies cannot
+                // make the process quiescent (it still has outstanding
+                // RPCs) and each opens at most one window slot, so the
+                // batched issue emits the same RPCs in the same order with
+                // the same RNG draws and event sequence numbers.
+                let mut replies = 1u64;
+                while self
+                    .queue
+                    .pop_if(|t, e| {
+                        t == now && matches!(e, Event::ReplyAtClient { proc: p } if *p == proc)
+                    })
+                    .is_some()
+                {
+                    replies += 1;
+                }
+                self.loop_stats.events += replies - 1;
+                self.loop_stats.coalesced += replies - 1;
+                for _ in 0..replies {
+                    self.procs[proc].on_reply();
+                }
                 self.try_issue(proc, now);
                 // Closed-loop bursters release their next burst `think`
                 // after the current one fully completes.
@@ -438,15 +533,18 @@ impl Cluster {
         let state = &mut self.procs[proc];
         let base_ost = state.ost;
         let issued_before = state.issued;
-        let rpcs = state.issue(now, &mut self.rpc_counter);
+        let mut rpcs = std::mem::take(&mut self.issue_scratch);
+        rpcs.clear();
+        state.issue_into(now, &mut self.rpc_counter, &mut rpcs);
         let n_osts = self.osts.len();
-        for (k, rpc) in rpcs.into_iter().enumerate() {
+        for (k, rpc) in rpcs.drain(..).enumerate() {
             let stripe = (issued_before as usize + k) % self.stripe_count;
             let ost = (base_ost + stripe) % n_osts;
             let latency = self.network.latency();
             self.queue
                 .push(now + latency, Event::ArriveAtOss { ost, rpc });
         }
+        self.issue_scratch = rpcs;
     }
 
     /// Hand work to idle I/O threads until the pool is busy or the
@@ -497,16 +595,20 @@ impl Cluster {
                 .on_allocation(jt.job, now, jt.record_after, jt.after_recompensation);
         }
         // Records of idle jobs persist; keep their gauge lines continuous.
-        let ledger: Vec<(JobId, i64)> = driver
-            .controller
-            .ledger()
-            .iter()
-            .filter(|(job, _)| outcome.trace.job(*job).is_none())
-            .map(|(job, e)| (job, e.record))
-            .collect();
-        for (job, record) in ledger {
-            self.metrics.records.set(job, now, record as f64);
+        let mut ledger = std::mem::take(&mut self.ledger_scratch);
+        ledger.clear();
+        ledger.extend(
+            driver
+                .controller
+                .ledger()
+                .iter()
+                .filter(|(job, _)| outcome.trace.job(*job).is_none())
+                .map(|(job, e)| (job, e.record)),
+        );
+        for &(job, record) in &ledger {
+            self.metrics.set_record(job, now, record as f64);
         }
+        self.ledger_scratch = ledger;
         // Next cycle.
         self.schedule_next_tick(ost, now);
         // Rates changed: previously throttled queues may now be servable.
@@ -550,9 +652,12 @@ mod tests {
     fn no_bw_serves_all_work() {
         let out = Cluster::build(&tiny_scenario(), Policy::NoBw, 1).run();
         assert_eq!(out.metrics.total_served(), 200, "all 200 RPCs served");
-        assert_eq!(out.metrics.completion_time.len(), 2);
-        assert!(out.metrics.completion_time[&JobId(1)].is_some());
+        assert_eq!(out.metrics.completion_time().len(), 2);
+        assert!(out.metrics.completion_of(JobId(1)).is_some());
         assert!(out.overheads.is_empty());
+        let stats = out.loop_stats;
+        assert!(stats.events > 400, "every RPC crosses several events");
+        assert!(stats.peak_queue_depth > 0);
     }
 
     #[test]
@@ -577,7 +682,7 @@ mod tests {
             SimDuration::from_secs(2),
         );
         let out = Cluster::build(&scenario, Policy::StaticBw, 1).run();
-        let done = out.metrics.completion_time[&JobId(1)].expect("finishes");
+        let done = out.metrics.completion_of(JobId(1)).expect("finishes");
         assert!(
             done >= SimTime::from_millis(190),
             "static 500 tps cap must stretch 100 RPCs to ≈200 ms, got {done}"
@@ -589,8 +694,8 @@ mod tests {
     fn deterministic_given_seed() {
         let a = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 42).run();
         let b = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 42).run();
-        assert_eq!(a.metrics.served_by_job, b.metrics.served_by_job);
-        assert_eq!(a.metrics.served, b.metrics.served);
+        assert_eq!(a.metrics.served_by_job(), b.metrics.served_by_job());
+        assert_eq!(a.metrics.served(), b.metrics.served());
         let c = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 43).run();
         // Different seed: still all served, timeline may differ.
         assert_eq!(c.metrics.total_served(), 200);
@@ -603,12 +708,12 @@ mod tests {
             assert_eq!(trace.records.len(), 200, "every RPC recorded");
             let replayed = Cluster::build_replay(&trace, policy, 9, ClusterConfig::default()).run();
             assert_eq!(
-                out.metrics.served_by_job,
-                replayed.metrics.served_by_job,
+                out.metrics.served_by_job(),
+                replayed.metrics.served_by_job(),
                 "replay diverged under {}",
                 policy.name()
             );
-            assert_eq!(out.metrics.served, replayed.metrics.served);
+            assert_eq!(out.metrics.served(), replayed.metrics.served());
         }
     }
 

@@ -50,6 +50,11 @@ pub struct ControllerDriver {
     /// Node counts per job (the priority weights), from the scenario.
     nodes: BTreeMap<JobId, u64>,
     overhead: ControllerOverhead,
+    /// Per-tick scratch (one control cycle runs every period on every
+    /// OST; reuse beats reallocating a handful of vectors each time).
+    stats_scratch: Vec<(JobId, u64)>,
+    obs_scratch: Vec<JobObservation>,
+    weights_scratch: Vec<(JobId, u32)>,
 }
 
 impl ControllerDriver {
@@ -60,6 +65,9 @@ impl ControllerDriver {
             daemon: RuleDaemon::new(),
             nodes,
             overhead: ControllerOverhead::default(),
+            stats_scratch: Vec::new(),
+            obs_scratch: Vec::new(),
+            weights_scratch: Vec::new(),
         }
     }
 
@@ -69,25 +77,31 @@ impl ControllerDriver {
     pub fn tick(&mut self, ost: &mut OstState, now: SimTime) -> AllocationOutcome {
         let t0 = Instant::now();
 
-        // (1) collect job stats.
-        let stats = ost.job_stats.collect();
-        let observations: Vec<JobObservation> = stats
-            .iter()
-            .map(|(job, demand)| {
-                JobObservation::new(*job, self.nodes.get(job).copied().unwrap_or(1), *demand)
-            })
-            .collect();
+        // (1) collect job stats (job order — the daemon relies on it).
+        ost.job_stats.collect_into(&mut self.stats_scratch);
+        self.obs_scratch.clear();
+        let nodes = &self.nodes;
+        self.obs_scratch
+            .extend(self.stats_scratch.iter().map(|(job, demand)| {
+                JobObservation::new(*job, nodes.get(job).copied().unwrap_or(1), *demand)
+            }));
 
         // (2-4) run the allocation algorithm (updates Job Records).
-        let outcome = self.controller.step(&observations);
+        let outcome = self.controller.step(&self.obs_scratch);
 
         // (5-7) apply rules with hierarchy weights from node counts.
-        let weights: BTreeMap<JobId, u32> = observations
-            .iter()
-            .map(|o| (o.job, o.nodes.min(u32::MAX as u64) as u32))
-            .collect();
-        self.daemon
-            .apply(&mut ost.scheduler, &outcome.allocations, &weights, now);
+        self.weights_scratch.clear();
+        self.weights_scratch.extend(
+            self.obs_scratch
+                .iter()
+                .map(|o| (o.job, o.nodes.min(u32::MAX as u64) as u32)),
+        );
+        self.daemon.apply(
+            &mut ost.scheduler,
+            &outcome.allocations,
+            &self.weights_scratch,
+            now,
+        );
 
         // (8-9) notify + clear stats.
         ost.job_stats.clear();

@@ -1,9 +1,36 @@
-//! The discrete-event core: a time-ordered queue with deterministic
-//! tie-breaking.
+//! The discrete-event core: a time-ordered future-event list with
+//! deterministic tie-breaking.
+//!
+//! ## Calendar layout
+//!
+//! At million-RPC scale the future-event list is the single hottest
+//! structure in the simulator — every RPC crosses it three times
+//! (arrival, service completion, client reply). A binary heap pays
+//! `O(log n)` pointer-chasing sifts on every operation; this queue is a
+//! *calendar queue* instead: a ring of `N_BUCKETS` time buckets of
+//! `BUCKET_WIDTH` nanoseconds each, covering a sliding window from the
+//! drain cursor, plus a spill heap for events beyond the window (long
+//! think times, controller ticks, far-future chunks). Pushes are an array
+//! index + append; pops scan the (typically 1–3 entry) current bucket for
+//! the earliest `(time, seq)` key. Events whose bucket has already been
+//! passed by the cursor are clamped into the cursor's bucket — the bucket
+//! scan compares full keys, so ordering stays exact.
+//!
+//! Ordering is identical to the heap it replaced: strictly by `(time,
+//! insertion seq)` — a total order, so any correct priority queue yields
+//! byte-identical simulations (pinned by the record/replay and golden
+//! report suites).
 
 use adaptbf_model::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Width of one calendar bucket in nanoseconds (8 µs — a fraction of the
+/// 150 µs network hop, so same-bucket pileups stay rare at full load).
+const BUCKET_WIDTH: u64 = 8_000;
+/// Buckets in the ring (power of two; 4096 × 8 µs ≈ 33 ms window, which
+/// comfortably covers network hops and disk service times).
+const N_BUCKETS: usize = 4096;
 
 struct Entry<E> {
     at: SimTime,
@@ -11,9 +38,16 @@ struct Entry<E> {
     payload: E,
 }
 
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -24,17 +58,26 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on (time, seq): earliest first, insertion order on ties.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // Min-heap on (time, seq) for the spill heap: earliest first,
+        // insertion order on ties.
+        other.key().cmp(&self.key())
     }
 }
 
 /// A deterministic future-event list.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// The calendar ring; bucket `b` (absolute index) lives at `b %
+    /// N_BUCKETS` while `b` is inside the window `[cursor, cursor +
+    /// N_BUCKETS)`.
+    ring: Vec<Vec<Entry<E>>>,
+    /// Events currently stored in the ring.
+    in_ring: usize,
+    /// Absolute index of the bucket the drain is currently at. Events
+    /// pushed "behind" the cursor (same virtual time, earlier bucket) are
+    /// clamped into the cursor's bucket.
+    cursor: u64,
+    /// Events beyond the ring window, ordered by `(time, seq)`.
+    spill: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
 }
@@ -49,7 +92,10 @@ impl<E> EventQueue<E> {
     /// New empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            ring: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
+            in_ring: 0,
+            cursor: 0,
+            spill: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -58,6 +104,14 @@ impl<E> EventQueue<E> {
     /// Current virtual time (the timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Reserve spill capacity for about `extra` more events — builders
+    /// that can bound the event population from the scenario pre-size the
+    /// far-future list (scenario chunks land there) instead of growing it
+    /// through the run.
+    pub fn reserve(&mut self, extra: usize) {
+        self.spill.reserve(extra);
     }
 
     /// Schedule `payload` at `at`. Scheduling in the past is a logic error.
@@ -69,30 +123,95 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        let bucket = (at.as_nanos() / BUCKET_WIDTH).max(self.cursor);
+        if bucket >= self.cursor + N_BUCKETS as u64 {
+            self.spill.push(Entry { at, seq, payload });
+        } else {
+            self.ring[(bucket % N_BUCKETS as u64) as usize].push(Entry { at, seq, payload });
+            self.in_ring += 1;
+        }
+    }
+
+    /// Move spill events that now fit the window into the ring.
+    fn drain_spill_into_window(&mut self) {
+        let window_end = self.cursor + N_BUCKETS as u64;
+        while let Some(top) = self.spill.peek() {
+            if top.at.as_nanos() / BUCKET_WIDTH >= window_end {
+                break;
+            }
+            let e = self.spill.pop().expect("peeked");
+            let bucket = (e.at.as_nanos() / BUCKET_WIDTH).max(self.cursor);
+            self.ring[(bucket % N_BUCKETS as u64) as usize].push(e);
+            self.in_ring += 1;
+        }
+    }
+
+    /// Locate the globally earliest entry, advancing the cursor across
+    /// empty buckets (and pulling spill events into the window as it
+    /// uncovers them). Returns `(ring slot, index within bucket)`.
+    fn locate_min(&mut self) -> Option<(usize, usize)> {
+        loop {
+            if self.in_ring == 0 {
+                // Ring dry: jump the cursor straight to the next spill
+                // event's bucket instead of walking empties.
+                let next = self.spill.peek()?.at.as_nanos() / BUCKET_WIDTH;
+                debug_assert!(next >= self.cursor + N_BUCKETS as u64 || self.cursor <= next);
+                self.cursor = self.cursor.max(next);
+                self.drain_spill_into_window();
+                continue;
+            }
+            let slot = (self.cursor % N_BUCKETS as u64) as usize;
+            let bucket = &self.ring[slot];
+            if bucket.is_empty() {
+                self.cursor += 1;
+                self.drain_spill_into_window();
+                continue;
+            }
+            let mut min = 0;
+            for i in 1..bucket.len() {
+                if bucket[i].key() < bucket[min].key() {
+                    min = i;
+                }
+            }
+            return Some((slot, min));
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, slot: usize, idx: usize) -> (SimTime, E) {
+        let e = self.ring[slot].swap_remove(idx);
+        self.in_ring -= 1;
+        debug_assert!(e.at >= self.now, "time ran backwards");
+        self.now = e.at;
+        (e.at, e.payload)
     }
 
     /// Pop the earliest event, advancing the clock to it.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let e = self.heap.pop()?;
-        debug_assert!(e.at >= self.now, "time ran backwards");
-        self.now = e.at;
-        Some((e.at, e.payload))
+        let (slot, idx) = self.locate_min()?;
+        Some(self.take(slot, idx))
     }
 
-    /// Timestamp of the next event without popping.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    /// Pop the earliest event only if `pred` accepts it (used to coalesce
+    /// runs of equal-timestamp events aimed at the same target without
+    /// disturbing any other ordering).
+    pub fn pop_if(&mut self, pred: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
+        let (slot, idx) = self.locate_min()?;
+        let e = &self.ring[slot][idx];
+        if !pred(e.at, &e.payload) {
+            return None;
+        }
+        Some(self.take(slot, idx))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.in_ring + self.spill.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -129,13 +248,93 @@ mod tests {
     }
 
     #[test]
-    fn peek_does_not_advance() {
+    fn rejected_pop_if_does_not_advance_the_clock() {
         let mut q = EventQueue::new();
         q.push(t(7), ());
-        assert_eq!(q.peek_time(), Some(t(7)));
+        assert!(q.pop_if(|at, _| at > t(7)).is_none());
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn pop_if_only_takes_matching_top() {
+        let mut q = EventQueue::new();
+        q.reserve(4);
+        q.push(t(5), "a");
+        q.push(t(5), "b");
+        assert!(q.pop_if(|_, e| *e == "b").is_none(), "top is 'a'");
+        assert_eq!(q.pop_if(|at, e| at == t(5) && *e == "a"), Some((t(5), "a")));
+        assert_eq!(q.now(), t(5), "conditional pop advances the clock");
+        assert_eq!(q.pop(), Some((t(5), "b")));
+    }
+
+    #[test]
+    fn far_future_events_spill_and_return() {
+        let mut q = EventQueue::new();
+        // Beyond the ~33 ms ring window: must round-trip through the spill
+        // heap in exact order.
+        q.push(t(2_000), "far");
+        q.push(t(90_000), "farther");
+        q.push(t(1), "near");
+        assert_eq!(q.pop(), Some((t(1), "near")));
+        assert_eq!(q.pop(), Some((t(2_000), "far")));
+        assert_eq!(q.pop(), Some((t(90_000), "farther")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_near_and_far_pushes_stay_ordered() {
+        // Exercises cursor jumps, spill migration, and clamped pushes: a
+        // push whose bucket the cursor has already passed (same time,
+        // earlier bucket region) must still pop in (time, seq) order.
+        let mut q = EventQueue::new();
+        q.push(t(500), 1u32);
+        assert_eq!(q.pop(), Some((t(500), 1)));
+        // Cursor sits at t≈500 ms; these land behind/around it.
+        q.push(SimTime::from_micros(500_001), 2);
+        q.push(t(600), 4);
+        q.push(SimTime::from_micros(500_001), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(500_001), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(500_001), 3)));
+        assert_eq!(q.pop(), Some((t(600), 4)));
+    }
+
+    #[test]
+    fn dense_random_stream_pops_sorted() {
+        // A deterministic pseudo-random mix of near (ring) and far
+        // (spill) delays must drain in exact (time, seq) order.
+        let mut q = EventQueue::new();
+        let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        let mut now_ns = 0u64;
+        for seq in 0..2000u64 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let delay = match lcg % 5 {
+                0 => 100,                 // same-bucket
+                1 => 50_000,              // near
+                2 => 14_000_000,          // mid-window
+                3 => 200_000_000,         // spill
+                _ => 1_000 + (lcg >> 50), // jitter
+            };
+            q.push(SimTime(now_ns + delay), seq);
+            expected.push((now_ns + delay, seq));
+            if seq % 3 == 0 {
+                let (at, s) = q.pop().expect("queued");
+                expected.sort_unstable();
+                let want = expected.remove(0);
+                assert_eq!((at.as_nanos(), s), want);
+                now_ns = at.as_nanos();
+            }
+        }
+        expected.sort_unstable();
+        for want in expected {
+            let (at, s) = q.pop().expect("queued");
+            assert_eq!((at.as_nanos(), s), want);
+        }
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -116,9 +116,9 @@ impl Experiment {
 
         let mut per_job = BTreeMap::new();
         for job in self.scenario.job_ids() {
-            let served = out.metrics.served_by_job.get(&job).copied().unwrap_or(0);
-            let released = out.metrics.released_by_job.get(&job).copied().unwrap_or(0);
-            let completion = out.metrics.completion_time.get(&job).copied().flatten();
+            let served = out.metrics.served_of(job);
+            let released = out.metrics.released_of(job);
+            let completion = out.metrics.completion_of(job);
             let makespan = completion.map_or(horizon_secs, |t| t.as_secs_f64());
             per_job.insert(
                 job,

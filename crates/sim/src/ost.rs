@@ -10,11 +10,10 @@
 //! pure FCFS on aggregate bandwidth, as the paper observes.
 
 use crate::job_stats::JobStatsTracker;
-use adaptbf_model::{JobId, OstConfig, Rpc, SimDuration, SimTime, TbfSchedulerConfig};
+use adaptbf_model::{JobSlots, OstConfig, Rpc, SimDuration, SimTime, TbfSchedulerConfig};
 use adaptbf_tbf::NrsTbfScheduler;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
 
 /// Per-extra-concurrent-job service-time penalty (fraction).
 pub const STREAM_INTERFERENCE: f64 = 0.02;
@@ -29,9 +28,17 @@ pub struct OstState {
     /// The Lustre `job_stats` equivalent for this OST.
     pub job_stats: JobStatsTracker,
     config: OstConfig,
+    /// `disk_bw / n_io_threads`, computed once (the service-time model
+    /// divides by it for every RPC).
+    per_thread_bw: f64,
     busy_threads: usize,
-    /// Distinct-job occupancy of the thread pool (for interference).
-    in_service_jobs: BTreeMap<JobId, usize>,
+    /// Per-job thread-pool occupancy, indexed by interned slot (this is
+    /// touched twice per served RPC — begin + end — so it is flat, not a
+    /// map).
+    in_service_slots: JobSlots,
+    in_service_counts: Vec<u32>,
+    /// Jobs with at least one RPC currently in service (for interference).
+    distinct_in_service: usize,
     /// De-duplication of scheduled TBF-deadline wake-ups.
     pub pending_wake: Option<SimTime>,
     rng: SmallRng,
@@ -45,12 +52,24 @@ impl OstState {
             scheduler: NrsTbfScheduler::new(tbf),
             job_stats: JobStatsTracker::new(),
             config,
+            per_thread_bw: config.disk_bw_bytes_per_s as f64 / config.n_io_threads as f64,
             busy_threads: 0,
-            in_service_jobs: BTreeMap::new(),
+            in_service_slots: JobSlots::new(),
+            in_service_counts: Vec::new(),
+            distinct_in_service: 0,
             pending_wake: None,
             rng: SmallRng::seed_from_u64(seed),
             served_total: 0,
         }
+    }
+
+    /// Pre-size all per-job state (scheduler, job-stats, occupancy) for
+    /// about `jobs` jobs.
+    pub fn reserve_jobs(&mut self, jobs: usize) {
+        self.scheduler.reserve_jobs(jobs);
+        self.job_stats.reserve(jobs);
+        self.in_service_slots.reserve(jobs);
+        self.in_service_counts.reserve(jobs);
     }
 
     /// The OST configuration.
@@ -82,14 +101,19 @@ impl OstState {
             "degrade factor must not speed the disk up"
         );
         self.busy_threads += 1;
-        *self.in_service_jobs.entry(rpc.job).or_insert(0) += 1;
+        let slot = self.in_service_slots.intern(rpc.job);
+        if slot >= self.in_service_counts.len() {
+            self.in_service_counts.resize(slot + 1, 0);
+        }
+        if self.in_service_counts[slot] == 0 {
+            self.distinct_in_service += 1;
+        }
+        self.in_service_counts[slot] += 1;
 
-        let distinct = self.in_service_jobs.len();
+        let distinct = self.distinct_in_service;
         let interference =
             1.0 + STREAM_INTERFERENCE * distinct.saturating_sub(1).min(INTERFERENCE_CAP) as f64;
-        let per_thread_bw =
-            self.config.disk_bw_bytes_per_s as f64 / self.config.n_io_threads as f64;
-        let mean = rpc.size_bytes as f64 / per_thread_bw * interference * health_factor;
+        let mean = rpc.size_bytes as f64 / self.per_thread_bw * interference * health_factor;
         let j = self.config.service_jitter;
         let factor = if j > 0.0 {
             1.0 + self.rng.gen_range(-j..=j)
@@ -109,12 +133,14 @@ impl OstState {
         debug_assert!(self.busy_threads > 0);
         self.busy_threads -= 1;
         self.served_total += 1;
-        match self.in_service_jobs.get_mut(&rpc.job) {
-            Some(n) if *n > 1 => *n -= 1,
-            Some(_) => {
-                self.in_service_jobs.remove(&rpc.job);
+        match self.in_service_slots.get(rpc.job) {
+            Some(slot) if self.in_service_counts[slot] > 0 => {
+                self.in_service_counts[slot] -= 1;
+                if self.in_service_counts[slot] == 0 {
+                    self.distinct_in_service -= 1;
+                }
             }
-            None => debug_assert!(false, "end_service without begin_service"),
+            _ => debug_assert!(false, "end_service without begin_service"),
         }
     }
 }
@@ -123,7 +149,7 @@ impl OstState {
 mod tests {
     use super::*;
     use adaptbf_model::config::paper;
-    use adaptbf_model::{ClientId, ProcId, RpcId};
+    use adaptbf_model::{ClientId, JobId, ProcId, RpcId};
 
     fn rpc(job: u32) -> Rpc {
         Rpc::new(RpcId(0), JobId(job), ClientId(0), ProcId(0), SimTime::ZERO)

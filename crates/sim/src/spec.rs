@@ -111,9 +111,9 @@ pub fn replay_report(
     let horizon_secs = trace.meta.duration.as_secs_f64();
     let mut per_job = BTreeMap::new();
     for &(job, _) in &trace.meta.jobs {
-        let served = out.metrics.served_by_job.get(&job).copied().unwrap_or(0);
-        let released = out.metrics.released_by_job.get(&job).copied().unwrap_or(0);
-        let completion = out.metrics.completion_time.get(&job).copied().flatten();
+        let served = out.metrics.served_of(job);
+        let released = out.metrics.released_of(job);
+        let completion = out.metrics.completion_of(job);
         let makespan = completion.map_or(horizon_secs, |t| t.as_secs_f64());
         per_job.insert(
             job,

@@ -1,11 +1,135 @@
 //! Property-based tests for the whole simulator: randomized scenarios must
-//! uphold global invariants under every policy.
+//! uphold global invariants under every policy, and the slot-interned
+//! metrics collector must be observationally identical to the ordered-map
+//! implementation it replaced.
 
-use adaptbf_model::{JobId, SimDuration};
+use adaptbf_model::{JobId, LatencyHistogram, PerJobSeries, SimDuration, SimTime};
 use adaptbf_sim::cluster::{Cluster, ClusterConfig};
+use adaptbf_sim::metrics::Metrics;
 use adaptbf_sim::Policy;
 use adaptbf_workload::{JobSpec, ProcessSpec, Scenario};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The original `BTreeMap`-backed metrics bookkeeping, retained verbatim
+/// as the semantic ground truth for the slot-interned [`Metrics`].
+#[derive(Default)]
+struct RefMetrics {
+    served: PerJobSeries,
+    demand: PerJobSeries,
+    records: PerJobSeries,
+    allocations: PerJobSeries,
+    served_by_job: BTreeMap<JobId, u64>,
+    released_by_job: BTreeMap<JobId, u64>,
+    completion_time: BTreeMap<JobId, Option<SimTime>>,
+    last_service: SimTime,
+    latency_by_job: BTreeMap<JobId, LatencyHistogram>,
+}
+
+impl RefMetrics {
+    fn new(bucket: SimDuration) -> Self {
+        RefMetrics {
+            served: PerJobSeries::new(bucket),
+            demand: PerJobSeries::new(bucket),
+            records: PerJobSeries::new(bucket),
+            allocations: PerJobSeries::new(bucket),
+            ..Default::default()
+        }
+    }
+
+    fn on_served_at(&mut self, job: JobId, now: SimTime, issued_at: SimTime) {
+        self.latency_by_job
+            .entry(job)
+            .or_default()
+            .record(now.since(issued_at));
+        self.on_served(job, now);
+    }
+
+    fn on_served(&mut self, job: JobId, now: SimTime) {
+        self.served.add(job, now, 1.0);
+        self.last_service = self.last_service.max(now);
+        let count = self.served_by_job.entry(job).or_insert(0);
+        *count += 1;
+        if let Some(total) = self.released_by_job.get(&job) {
+            if *count == *total {
+                self.completion_time.insert(job, Some(now));
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, job: JobId, now: SimTime) {
+        self.demand.add(job, now, 1.0);
+    }
+
+    fn on_allocation(&mut self, job: JobId, now: SimTime, record: i64, tokens: u64) {
+        self.records.set(job, now, record as f64);
+        self.allocations.set(job, now, tokens as f64);
+    }
+
+    fn set_record(&mut self, job: JobId, now: SimTime, record: f64) {
+        self.records.set(job, now, record);
+    }
+
+    fn set_released(&mut self, job: JobId, total: u64) {
+        self.released_by_job.insert(job, total);
+        self.completion_time.entry(job).or_insert(None);
+    }
+
+    fn finalize(&mut self, until: SimTime) {
+        for fam in [
+            &mut self.served,
+            &mut self.demand,
+            &mut self.records,
+            &mut self.allocations,
+        ] {
+            for job in fam.jobs() {
+                fam.add(job, until, 0.0);
+            }
+            fam.align();
+        }
+    }
+}
+
+/// One randomized metric event.
+#[derive(Debug, Clone, Copy)]
+enum MetricOp {
+    SetReleased(u32, u64),
+    ServedAt(u32, u64, u64),
+    Served(u32, u64),
+    Arrival(u32, u64),
+    Allocation(u32, u64, i64, u64),
+    SetRecord(u32, u64, i64),
+}
+
+fn job_strategy() -> impl Strategy<Value = u32> {
+    // Small dense ids (listed thrice for weight) plus huge ones that
+    // exercise the interner's spill path.
+    prop_oneof![
+        0u32..10,
+        0u32..10,
+        0u32..10,
+        Just(u32::MAX - 1),
+        Just(3_000_000_000),
+    ]
+}
+
+fn metric_op_strategy() -> impl Strategy<Value = MetricOp> {
+    let t = 0u64..5_000u64; // event times in ms, deliberately non-monotone
+    prop_oneof![
+        (job_strategy(), 1u64..40).prop_map(|(j, n)| MetricOp::SetReleased(j, n)),
+        (job_strategy(), t.clone(), 0u64..400)
+            .prop_map(|(j, now, lat)| MetricOp::ServedAt(j, now, lat)),
+        (job_strategy(), t.clone()).prop_map(|(j, now)| MetricOp::Served(j, now)),
+        (job_strategy(), t.clone()).prop_map(|(j, now)| MetricOp::Arrival(j, now)),
+        (job_strategy(), t.clone(), 0u64..100, 0u64..200)
+            .prop_map(|(j, now, r, tk)| MetricOp::Allocation(j, now, r as i64 - 50, tk)),
+        (job_strategy(), t, 0u64..100).prop_map(|(j, now, r)| MetricOp::SetRecord(
+            j,
+            now,
+            r as i64 - 50
+        )),
+    ]
+}
 
 /// A small random scenario: up to 4 jobs, mixed patterns, short horizon.
 fn scenario_strategy() -> impl Strategy<Value = Scenario> {
@@ -40,8 +164,8 @@ proptest! {
     fn served_never_exceeds_released(scenario in scenario_strategy(), seed in 0u64..64) {
         for policy in [Policy::NoBw, Policy::StaticBw, Policy::adaptbf_default()] {
             let out = Cluster::build(&scenario, policy, seed).run();
-            for (job, served) in &out.metrics.served_by_job {
-                let released = out.metrics.released_by_job.get(job).copied().unwrap_or(0);
+            for (job, served) in &out.metrics.served_by_job() {
+                let released = out.metrics.released_by_job().get(job).copied().unwrap_or(0);
                 prop_assert!(
                     *served <= released,
                     "{job} served {served} > released {released} under {}",
@@ -55,7 +179,7 @@ proptest! {
     fn adaptbf_ledger_always_balances(scenario in scenario_strategy(), seed in 0u64..64) {
         let out = Cluster::build(&scenario, Policy::adaptbf_default(), seed).run();
         // The records gauge of the last bucket must sum to zero.
-        let mut records = out.metrics.records.clone();
+        let mut records = out.metrics.records();
         records.align();
         let n = records.max_len();
         if n > 0 {
@@ -72,21 +196,21 @@ proptest! {
     fn runs_are_bit_deterministic(scenario in scenario_strategy(), seed in 0u64..16) {
         let a = Cluster::build(&scenario, Policy::adaptbf_default(), seed).run();
         let b = Cluster::build(&scenario, Policy::adaptbf_default(), seed).run();
-        prop_assert_eq!(a.metrics.served, b.metrics.served);
-        prop_assert_eq!(a.metrics.demand, b.metrics.demand);
-        prop_assert_eq!(a.metrics.records, b.metrics.records);
+        prop_assert_eq!(a.metrics.served(), b.metrics.served());
+        prop_assert_eq!(a.metrics.demand(), b.metrics.demand());
+        prop_assert_eq!(a.metrics.records(), b.metrics.records());
     }
 
     #[test]
     fn timeline_totals_match_counters(scenario in scenario_strategy(), seed in 0u64..32) {
         let out = Cluster::build(&scenario, Policy::adaptbf_default(), seed).run();
-        for (job, count) in &out.metrics.served_by_job {
+        for (job, count) in &out.metrics.served_by_job() {
             let series_total =
-                out.metrics.served.get(*job).map_or(0.0, |s| s.total());
+                out.metrics.served().get(*job).map_or(0.0, |s| s.total());
             prop_assert_eq!(series_total as u64, *count, "series vs counter for {}", job);
         }
         // Latency samples equal served counts.
-        for (job, count) in &out.metrics.served_by_job {
+        for (job, count) in &out.metrics.served_by_job() {
             prop_assert_eq!(out.metrics.latency(*job).count(), *count);
         }
     }
@@ -113,5 +237,86 @@ proptest! {
             out.metrics.total_served(),
             plain.metrics.total_served()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole equivalence: a random stream of metric events drives
+    /// the slot-interned collector and the retained BTreeMap reference;
+    /// every fold/read-time view must match exactly — counters,
+    /// completion detection, latency histograms, and all four timeline
+    /// families, including after `finalize` padding/alignment.
+    #[test]
+    fn slot_metrics_match_btreemap_reference(
+        ops in proptest::collection::vec(metric_op_strategy(), 0..300),
+    ) {
+        let bucket = SimDuration::from_millis(100);
+        let mut flat = Metrics::new(bucket);
+        let mut reference = RefMetrics::new(bucket);
+        let ms = SimTime::from_millis;
+        for op in &ops {
+            match *op {
+                MetricOp::SetReleased(j, n) => {
+                    flat.set_released(JobId(j), n);
+                    reference.set_released(JobId(j), n);
+                }
+                MetricOp::ServedAt(j, now, lat) => {
+                    let issued = ms(now.saturating_sub(lat));
+                    flat.on_served_at(JobId(j), ms(now), issued);
+                    reference.on_served_at(JobId(j), ms(now), issued);
+                }
+                MetricOp::Served(j, now) => {
+                    flat.on_served(JobId(j), ms(now));
+                    reference.on_served(JobId(j), ms(now));
+                }
+                MetricOp::Arrival(j, now) => {
+                    flat.on_arrival(JobId(j), ms(now));
+                    reference.on_arrival(JobId(j), ms(now));
+                }
+                MetricOp::Allocation(j, now, r, tk) => {
+                    flat.on_allocation(JobId(j), ms(now), r, tk);
+                    reference.on_allocation(JobId(j), ms(now), r, tk);
+                }
+                MetricOp::SetRecord(j, now, r) => {
+                    flat.set_record(JobId(j), ms(now), r as f64);
+                    reference.set_record(JobId(j), ms(now), r as f64);
+                }
+            }
+        }
+        // Mid-stream (pre-finalize) views must already agree.
+        prop_assert_eq!(flat.total_served(), reference.served_by_job.values().sum::<u64>());
+        prop_assert_eq!(flat.served(), reference.served.clone());
+        flat.finalize(ms(5_000));
+        reference.finalize(ms(5_000));
+        prop_assert_eq!(flat.served_by_job(), reference.served_by_job.clone());
+        prop_assert_eq!(flat.released_by_job(), reference.released_by_job.clone());
+        prop_assert_eq!(flat.completion_time(), reference.completion_time.clone());
+        prop_assert_eq!(flat.latency_by_job(), reference.latency_by_job.clone());
+        prop_assert_eq!(flat.last_service, reference.last_service);
+        prop_assert_eq!(flat.served(), reference.served.clone());
+        prop_assert_eq!(flat.demand(), reference.demand.clone());
+        prop_assert_eq!(flat.records(), reference.records.clone());
+        prop_assert_eq!(flat.allocations(), reference.allocations.clone());
+        for j in [0u32, 1, 5, 9, u32::MAX - 1, 3_000_000_000] {
+            let job = JobId(j);
+            prop_assert_eq!(
+                flat.latency(job),
+                reference.latency_by_job.get(&job).cloned().unwrap_or_default()
+            );
+            prop_assert_eq!(
+                flat.served_of(job),
+                reference.served_by_job.get(&job).copied().unwrap_or(0)
+            );
+            prop_assert_eq!(
+                flat.released_of(job),
+                reference.released_by_job.get(&job).copied().unwrap_or(0)
+            );
+            prop_assert_eq!(
+                flat.completion_of(job),
+                reference.completion_time.get(&job).copied().flatten()
+            );
+        }
     }
 }

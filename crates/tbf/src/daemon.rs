@@ -18,6 +18,10 @@ use std::collections::BTreeMap;
 pub struct RuleDaemon {
     rules_by_job: BTreeMap<JobId, RuleId>,
     ops_applied: u64,
+    /// Per-cycle scratch (the daemon runs every observation period on
+    /// every OST; these avoid a handful of allocations per cycle).
+    stale_scratch: Vec<JobId>,
+    updates_scratch: Vec<(RuleId, f64, u32)>,
 }
 
 impl RuleDaemon {
@@ -28,35 +32,54 @@ impl RuleDaemon {
 
     /// Apply one period's allocations. `weights` supplies the hierarchy
     /// weight per job (the daemon derives it from job priority; callers
-    /// pass node counts).
+    /// pass node counts). Both `allocations` and `weights` must be
+    /// ascending in JobId — which they are by construction: they flow
+    /// from the job-stats snapshot, which collects in job order.
     pub fn apply(
         &mut self,
         scheduler: &mut NrsTbfScheduler,
         allocations: &[JobAllocation],
-        weights: &BTreeMap<JobId, u32>,
+        weights: &[(JobId, u32)],
         now: SimTime,
     ) {
+        // Real asserts, not debug: the stale-rule and weight lookups below
+        // binary-search these slices, and silently wrong results in a
+        // release build would stop live rules / reset token buckets. The
+        // check is O(active jobs) once per observation period — noise.
+        assert!(
+            allocations.windows(2).all(|w| w[0].job < w[1].job),
+            "allocations must be ascending in JobId"
+        );
+        assert!(
+            weights.windows(2).all(|w| w[0].0 < w[1].0),
+            "weights must be ascending in JobId"
+        );
         // 1. Stop rules for jobs with no allocation this period.
-        let active: BTreeMap<JobId, &JobAllocation> =
-            allocations.iter().map(|a| (a.job, a)).collect();
-        let stale: Vec<JobId> = self
-            .rules_by_job
-            .keys()
-            .copied()
-            .filter(|j| !active.contains_key(j))
-            .collect();
-        for job in stale {
+        let mut stale = std::mem::take(&mut self.stale_scratch);
+        stale.clear();
+        stale.extend(
+            self.rules_by_job
+                .keys()
+                .copied()
+                .filter(|j| allocations.binary_search_by_key(j, |a| a.job).is_err()),
+        );
+        for &job in &stale {
             let id = self.rules_by_job.remove(&job).expect("listed job");
             // The rule may already be gone if the scheduler was reset.
             let _ = scheduler.stop_rule(id, now);
             self.ops_applied += 1;
         }
+        self.stale_scratch = stale;
 
         // 2/3. Create rules for newly active jobs; batch-update the rest
         // (one queue re-classification for the whole cycle).
-        let mut updates: Vec<(RuleId, f64, u32)> = Vec::new();
+        let mut updates = std::mem::take(&mut self.updates_scratch);
+        updates.clear();
         for alloc in allocations {
-            let weight = weights.get(&alloc.job).copied().unwrap_or(1);
+            let weight = weights
+                .binary_search_by_key(&alloc.job, |w| w.0)
+                .map(|i| weights[i].1)
+                .unwrap_or(1);
             match self.rules_by_job.get(&alloc.job) {
                 Some(id) => {
                     updates.push((*id, alloc.rate_tps, weight));
@@ -78,6 +101,7 @@ impl RuleDaemon {
         scheduler
             .apply_updates(&updates, now)
             .expect("rules tracked by daemon must exist");
+        self.updates_scratch = updates;
     }
 
     /// Jobs that currently have a rule installed.
@@ -104,7 +128,7 @@ mod tests {
         }
     }
 
-    fn weights(pairs: &[(u32, u32)]) -> BTreeMap<JobId, u32> {
+    fn weights(pairs: &[(u32, u32)]) -> Vec<(JobId, u32)> {
         pairs.iter().map(|(j, w)| (JobId(*j), *w)).collect()
     }
 

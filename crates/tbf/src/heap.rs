@@ -99,6 +99,13 @@ impl DeadlineHeap {
         None
     }
 
+    /// Remove the top entry unconditionally. Callers that have just
+    /// validated the top via [`DeadlineHeap::peek_valid`] use this to skip
+    /// a second validation walk over the same entry.
+    pub fn pop_top(&mut self) {
+        self.heap.pop();
+    }
+
     /// Number of entries currently stored (including stale ones).
     pub fn raw_len(&self) -> usize {
         self.heap.len()
@@ -200,6 +207,19 @@ mod tests {
             assert_eq!(h.peek_valid(look).unwrap(), (JobId(2), t(100)));
         }
         // Stale entry was dropped by the peek, valid one remains.
+        assert_eq!(h.raw_len(), 1);
+    }
+
+    #[test]
+    fn pop_top_removes_the_peeked_entry() {
+        let mut h = DeadlineHeap::new();
+        let stamps: HashMap<JobId, u64> = [(JobId(1), 0), (JobId(2), 0)].into_iter().collect();
+        h.push(JobId(1), t(50), 1, 0);
+        h.push(JobId(2), t(100), 1, 0);
+        let look = |j: JobId| stamps.get(&j).copied();
+        assert_eq!(h.peek_valid(look).unwrap().0, JobId(1));
+        h.pop_top();
+        assert_eq!(h.peek_valid(look).unwrap().0, JobId(2));
         assert_eq!(h.raw_len(), 1);
     }
 

@@ -1,14 +1,20 @@
 //! The Lustre `job_stats` equivalent: per-job RPC arrival counters on one
 //! OST, collected and cleared by the System Stats Controller each period
 //! (paper Figure 2, steps 1 and 9).
+//!
+//! `record_arrival` sits on the per-RPC arrival path, so the counters are
+//! a flat vector indexed by interned job slot ([`JobSlots`]); the
+//! job-ordered snapshot the controller reads once per period is folded at
+//! [`JobStatsTracker::collect`] time.
 
-use adaptbf_model::JobId;
-use std::collections::BTreeMap;
+use adaptbf_model::{JobId, JobSlots};
 
 /// Per-job arrival counters since the last clear.
 #[derive(Debug, Clone, Default)]
 pub struct JobStatsTracker {
-    counts: BTreeMap<JobId, u64>,
+    slots: JobSlots,
+    /// Arrivals since the last clear, indexed by slot.
+    counts: Vec<u64>,
     total_ever: u64,
 }
 
@@ -18,25 +24,52 @@ impl JobStatsTracker {
         Self::default()
     }
 
+    /// Pre-size the per-job storage for about `jobs` jobs.
+    pub fn reserve(&mut self, jobs: usize) {
+        self.slots.reserve(jobs);
+        self.counts.reserve(jobs);
+    }
+
     /// Record one RPC arriving from `job`.
+    #[inline]
     pub fn record_arrival(&mut self, job: JobId) {
-        *self.counts.entry(job).or_insert(0) += 1;
+        let slot = self.slots.intern(job);
+        if slot >= self.counts.len() {
+            self.counts.resize(slot + 1, 0);
+        }
+        self.counts[slot] += 1;
         self.total_ever += 1;
     }
 
     /// Snapshot the counters (job order) — the `d_x` inputs of Eq (3).
     pub fn collect(&self) -> Vec<(JobId, u64)> {
-        self.counts.iter().map(|(j, c)| (*j, *c)).collect()
+        let mut out = Vec::new();
+        self.collect_into(&mut out);
+        out
     }
 
-    /// Clear the period's counters (Figure 2, step 9).
+    /// [`JobStatsTracker::collect`] into a caller-owned buffer (the
+    /// controller loop reuses one across ticks).
+    pub fn collect_into(&self, out: &mut Vec<(JobId, u64)>) {
+        out.clear();
+        out.extend(
+            self.slots
+                .iter()
+                .filter(|&(slot, _)| self.counts[slot] > 0)
+                .map(|(slot, job)| (job, self.counts[slot])),
+        );
+        out.sort_unstable_by_key(|&(job, _)| job);
+    }
+
+    /// Clear the period's counters (Figure 2, step 9). Slots survive —
+    /// they are stable for the run — only the counts reset.
     pub fn clear(&mut self) {
-        self.counts.clear();
+        self.counts.fill(0);
     }
 
     /// RPCs recorded since the last clear.
     pub fn period_total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().sum()
     }
 
     /// RPCs recorded over the tracker's lifetime (never cleared).
@@ -69,5 +102,16 @@ mod tests {
         t.record_arrival(JobId(1));
         let jobs: Vec<JobId> = t.collect().into_iter().map(|(j, _)| j).collect();
         assert_eq!(jobs, vec![JobId(1), JobId(5)]);
+    }
+
+    #[test]
+    fn counts_resume_after_clear_without_slot_churn() {
+        let mut t = JobStatsTracker::new();
+        t.record_arrival(JobId(3));
+        t.clear();
+        t.record_arrival(JobId(3));
+        t.record_arrival(JobId(9));
+        assert_eq!(t.collect(), vec![(JobId(3), 1), (JobId(9), 1)]);
+        assert_eq!(t.lifetime_total(), 3);
     }
 }

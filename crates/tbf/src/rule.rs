@@ -7,9 +7,8 @@
 //! performs every observation period.
 
 use crate::matcher::RpcMatcher;
-use adaptbf_model::{JobId, ModelError, Rpc, RuleId};
+use adaptbf_model::{JobSlots, ModelError, Rpc, RuleId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One TBF rule: a matcher plus its enforcement parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,22 +36,28 @@ pub struct TbfRule {
 /// AdapTBF's Rule Management Daemon only ever installs `Job`/`JobSet`
 /// matchers, whose verdict depends solely on `rpc.job`. The table exploits
 /// that: [`RuleTable::classify`] first consults a `JobId → first matching
-/// rule index` shortcut map and only walks the (usually empty) list of
-/// non-job rules that sit *earlier* than the shortcut hit — preserving
-/// exact first-match-wins semantics while making the data-path lookup O(1)
-/// in the rule count for pure-job tables. The equivalence with a full
-/// linear scan is property-tested against random start/stop/reorder
-/// sequences (`tests/proptests.rs`).
-#[derive(Debug, Clone, Default, PartialEq)]
+/// rule index` shortcut — a flat slot-indexed vector behind a [`JobSlots`]
+/// interner, so the per-RPC lookup is an array load, not a hash round —
+/// and only walks the (usually empty) list of non-job rules that sit
+/// *earlier* than the shortcut hit, preserving exact first-match-wins
+/// semantics while keeping the data-path lookup O(1) in the rule count
+/// for pure-job tables. The equivalence with a full linear scan is
+/// property-tested against random start/stop/reorder sequences
+/// (`tests/proptests.rs`).
+#[derive(Debug, Clone, Default)]
 pub struct RuleTable {
     rules: Vec<TbfRule>,
-    /// `id → position in rules`, kept in sync so per-rule updates are O(1)
-    /// (the daemon re-rates every active job's rule each period).
-    index: HashMap<RuleId, usize>,
-    /// `job → position of the first Job/JobSet rule selecting it` — the
-    /// data-path shortcut. Maintained on start (incrementally) and
-    /// stop/reorder (rebuild).
-    job_fast_path: HashMap<JobId, usize>,
+    /// `raw RuleId → position in rules + 1` (0 = absent). Ids are handed
+    /// out sequentially, so a flat vector stays small and per-rule
+    /// updates are O(1) (the daemon re-rates every active job's rule each
+    /// period).
+    index: Vec<u32>,
+    /// Interner behind the classify shortcut.
+    job_slots: JobSlots,
+    /// `job slot → position of the first Job/JobSet rule selecting it + 1`
+    /// (0 = none) — the data-path shortcut. Maintained on start
+    /// (incrementally) and stop/reorder (rebuild).
+    job_fast_path: Vec<u32>,
     /// Positions of rules whose matcher is *not* purely job-based
     /// (Client / Opcode / All / Any), ascending. Empty under AdapTBF.
     non_job_rules: Vec<usize>,
@@ -82,13 +87,13 @@ impl RuleTable {
         let id = RuleId(self.next_id);
         self.next_id += 1;
         let pos = self.rules.len();
-        self.index.insert(id, pos);
+        self.index_set(id, pos);
         // Appending never shadows an existing rule (first match wins), so
         // the fast-path structures update incrementally.
         match matcher.jobs() {
             Some(jobs) => {
                 for job in jobs {
-                    self.job_fast_path.entry(*job).or_insert(pos);
+                    self.fast_path_set_if_unset(*job, pos);
                 }
             }
             None => self.non_job_rules.push(pos),
@@ -107,7 +112,7 @@ impl RuleTable {
     /// Stop (remove) a rule. RPCs previously classified to it fall back to
     /// later rules or the unruled fallback queue.
     pub fn stop_rule(&mut self, id: RuleId) -> Result<TbfRule, ModelError> {
-        match self.index.remove(&id) {
+        match self.index_get(id) {
             Some(idx) => {
                 self.generation += 1;
                 let rule = self.rules.remove(idx);
@@ -118,25 +123,69 @@ impl RuleTable {
         }
     }
 
+    #[inline]
+    fn index_get(&self, id: RuleId) -> Option<usize> {
+        match self.index.get(id.raw() as usize) {
+            Some(0) | None => None,
+            Some(&p) => Some((p - 1) as usize),
+        }
+    }
+
+    fn index_set(&mut self, id: RuleId, pos: usize) {
+        let raw = id.raw() as usize;
+        if raw >= self.index.len() {
+            self.index.resize(raw + 1, 0);
+        }
+        self.index[raw] = pos as u32 + 1;
+    }
+
+    #[inline]
+    fn fast_path_get(&self, job: adaptbf_model::JobId) -> Option<usize> {
+        match self
+            .job_slots
+            .get(job)
+            .and_then(|slot| self.job_fast_path.get(slot))
+        {
+            Some(0) | None => None,
+            Some(&p) => Some((p - 1) as usize),
+        }
+    }
+
+    fn fast_path_set_if_unset(&mut self, job: adaptbf_model::JobId, pos: usize) {
+        let slot = self.job_slots.intern(job);
+        if slot >= self.job_fast_path.len() {
+            self.job_fast_path.resize(slot + 1, 0);
+        }
+        if self.job_fast_path[slot] == 0 {
+            self.job_fast_path[slot] = pos as u32 + 1;
+        }
+    }
+
     fn rebuild_index(&mut self) {
-        self.index = self
-            .rules
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.id, i))
-            .collect();
-        self.job_fast_path.clear();
+        self.index.fill(0);
+        for (i, r) in self.rules.iter().enumerate() {
+            let raw = r.id.raw() as usize;
+            if raw >= self.index.len() {
+                self.index.resize(raw + 1, 0);
+            }
+            self.index[raw] = i as u32 + 1;
+        }
+        self.job_fast_path.fill(0);
         self.non_job_rules.clear();
-        for (pos, rule) in self.rules.iter().enumerate() {
+        // Split borrows: the matcher walk reads `rules` while the shortcut
+        // vectors are updated.
+        let rules = std::mem::take(&mut self.rules);
+        for (pos, rule) in rules.iter().enumerate() {
             match rule.matcher.jobs() {
                 Some(jobs) => {
                     for job in jobs {
-                        self.job_fast_path.entry(*job).or_insert(pos);
+                        self.fast_path_set_if_unset(*job, pos);
                     }
                 }
                 None => self.non_job_rules.push(pos),
             }
         }
+        self.rules = rules;
     }
 
     /// Change a rule's token rate (Lustre `rule change rate=`).
@@ -145,9 +194,8 @@ impl RuleTable {
             rate_tps >= 0.0 && rate_tps.is_finite(),
             "invalid rate {rate_tps}"
         );
-        let idx = *self
-            .index
-            .get(&id)
+        let idx = self
+            .index_get(id)
             .ok_or_else(|| ModelError::not_found("rule", id))?;
         self.rules[idx].rate_tps = rate_tps;
         self.generation += 1;
@@ -156,9 +204,8 @@ impl RuleTable {
 
     /// Change a rule's hierarchy weight.
     pub fn change_weight(&mut self, id: RuleId, weight: u32) -> Result<(), ModelError> {
-        let idx = *self
-            .index
-            .get(&id)
+        let idx = self
+            .index_get(id)
             .ok_or_else(|| ModelError::not_found("rule", id))?;
         self.rules[idx].weight = weight;
         self.generation += 1;
@@ -168,9 +215,8 @@ impl RuleTable {
     /// Move a rule to a new position in the ordered list (Lustre supports
     /// reordering; earlier rules match first).
     pub fn reorder(&mut self, id: RuleId, new_index: usize) -> Result<(), ModelError> {
-        let idx = *self
-            .index
-            .get(&id)
+        let idx = self
+            .index_get(id)
             .ok_or_else(|| ModelError::not_found("rule", id))?;
         let rule = self.rules.remove(idx);
         let new_index = new_index.min(self.rules.len());
@@ -182,11 +228,11 @@ impl RuleTable {
 
     /// First rule matching `rpc` — identical result to
     /// [`RuleTable::classify_linear`], but O(1) in the rule count when the
-    /// table holds only job rules (AdapTBF's steady state): one hash
-    /// lookup, then a walk of the non-job rules installed *before* the
+    /// table holds only job rules (AdapTBF's steady state): one slot-array
+    /// load, then a walk of the non-job rules installed *before* the
     /// shortcut hit (none, for a pure-job table).
     pub fn classify(&self, rpc: &Rpc) -> Option<&TbfRule> {
-        let job_hit = self.job_fast_path.get(&rpc.job).copied();
+        let job_hit = self.fast_path_get(rpc.job);
         for &pos in &self.non_job_rules {
             if let Some(hit) = job_hit {
                 if pos > hit {
@@ -209,7 +255,7 @@ impl RuleTable {
 
     /// Rule by id (O(1) via the id index).
     pub fn get(&self, id: RuleId) -> Option<&TbfRule> {
-        self.index.get(&id).map(|i| &self.rules[*i])
+        self.index_get(id).map(|i| &self.rules[i])
     }
 
     /// Rule by name (the daemon addresses rules by job label).

@@ -31,12 +31,21 @@
 //! counters live on the queues themselves and are folded into
 //! [`SchedulerStats`] only when [`NrsTbfScheduler::stats`] is read, so the
 //! per-serve path performs no map updates.
+//!
+//! All per-job state — the queues themselves, retired-stamp floors and
+//! the folded service counters — is held in flat vectors indexed by a
+//! dense job slot ([`JobSlots`], assigned at first sight, stable for the
+//! scheduler's lifetime), so the enqueue/dispatch path costs array
+//! indexing rather than hash or ordered-map walks; JobId-keyed shapes are
+//! folded only when stats are read. The per-cycle reconcile reuses one
+//! scratch buffer instead of collecting the affected-job set afresh on
+//! every rule mutation.
 
 use crate::heap::DeadlineHeap;
 use crate::matcher::RpcMatcher;
 use crate::queue::TbfQueue;
 use crate::rule::{RuleTable, TbfRule};
-use adaptbf_model::{JobId, ModelError, Rpc, RuleId, SimTime, TbfSchedulerConfig};
+use adaptbf_model::{JobId, JobSlots, ModelError, Rpc, RuleId, SimTime, TbfSchedulerConfig};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// What the scheduler tells an idle I/O thread to do.
@@ -94,7 +103,11 @@ impl From<&TbfRule> for RuleBinding {
 pub struct NrsTbfScheduler {
     config: TbfSchedulerConfig,
     rules: RuleTable,
-    queues: HashMap<JobId, TbfQueue>,
+    /// Dense job interner: every per-job vector below is indexed by its
+    /// slots.
+    slots: JobSlots,
+    /// One optional queue per slot (`None` = the job has no ruled queue).
+    queues: Vec<Option<TbfQueue>>,
     /// Reverse index: which jobs' queues are bound to each rule. Lets rule
     /// mutations touch only affected queues. `BTreeSet` so affected queues
     /// are always visited in deterministic JobId order.
@@ -103,19 +116,22 @@ pub struct NrsTbfScheduler {
     fallback: VecDeque<Rpc>,
     /// RPCs sitting in ruled queues (cheap pending() accounting).
     ruled_backlog: usize,
+    /// Scratch for the per-cycle reconcile: the affected-job set of the
+    /// rule under mutation, reused across cycles (no per-cycle alloc).
+    reconcile_scratch: Vec<JobId>,
     // -- cold stats state: folded into `SchedulerStats` on read ----------
     served_ruled: u64,
     served_fallback: u64,
-    /// Per-job counts of queues that have since been removed.
-    folded_served: BTreeMap<JobId, u64>,
-    /// Stamp floor for re-created queues: a removed queue's heap entries
-    /// are never purged (lazy invalidation), so the next queue for the
-    /// same job must start its stamp *above* them or a leftover entry
-    /// would read as valid once the new stamp caught up.
-    retired_stamps: HashMap<JobId, u64>,
-    /// Per-job fallback serve counts (HashMap: off the BTreeMap rebalance
-    /// cost on the serve path).
-    fallback_served: HashMap<JobId, u64>,
+    /// Per-slot counts of queues that have since been removed.
+    folded_served: Vec<u64>,
+    /// Per-slot stamp floor (+1) for re-created queues: a removed queue's
+    /// heap entries are never purged (lazy invalidation), so the next
+    /// queue for the same job must start its stamp *above* them or a
+    /// leftover entry would read as valid once the new stamp caught up.
+    /// 0 = no queue for this job was ever retired.
+    retired_stamps: Vec<u64>,
+    /// Per-slot fallback serve counts.
+    fallback_served: Vec<u64>,
 }
 
 impl NrsTbfScheduler {
@@ -124,17 +140,44 @@ impl NrsTbfScheduler {
         NrsTbfScheduler {
             config,
             rules: RuleTable::new(),
-            queues: HashMap::new(),
+            slots: JobSlots::new(),
+            queues: Vec::new(),
             bound: HashMap::new(),
             heap: DeadlineHeap::new(),
             fallback: VecDeque::new(),
             ruled_backlog: 0,
+            reconcile_scratch: Vec::new(),
             served_ruled: 0,
             served_fallback: 0,
-            folded_served: BTreeMap::new(),
-            retired_stamps: HashMap::new(),
-            fallback_served: HashMap::new(),
+            folded_served: Vec::new(),
+            retired_stamps: Vec::new(),
+            fallback_served: Vec::new(),
         }
+    }
+
+    /// Pre-size the per-job storage for about `jobs` concurrently known
+    /// jobs (embedders that know the scenario call this once at build).
+    pub fn reserve_jobs(&mut self, jobs: usize) {
+        self.slots.reserve(jobs);
+        self.queues.reserve(jobs);
+        self.folded_served.reserve(jobs);
+        self.retired_stamps.reserve(jobs);
+        self.fallback_served.reserve(jobs);
+        self.reconcile_scratch.reserve(jobs);
+    }
+
+    /// Intern `job` and grow every per-slot vector to cover its slot.
+    #[inline]
+    fn slot(&mut self, job: JobId) -> usize {
+        let slot = self.slots.intern(job);
+        if slot >= self.queues.len() {
+            let n = slot + 1;
+            self.queues.resize_with(n, || None);
+            self.folded_served.resize(n, 0);
+            self.retired_stamps.resize(n, 0);
+            self.fallback_served.resize(n, 0);
+        }
+        slot
     }
 
     // ---- rule management (the daemon's interface) -----------------------
@@ -163,7 +206,8 @@ impl NrsTbfScheduler {
         self.rules.stop_rule(id)?;
         let jobs = self.bound.remove(&id).unwrap_or_default();
         for job in jobs {
-            let queue = self.queues.get_mut(&job).expect("bound queue exists");
+            let slot = self.slots.get(job).expect("bound job is interned");
+            let queue = self.queues[slot].as_mut().expect("bound queue exists");
             if queue.is_empty() {
                 // Lustre drops idle queues when their rule goes away; a
                 // later RPC re-creates one under whatever rule then matches.
@@ -181,7 +225,7 @@ impl NrsTbfScheduler {
                     // queues (keeping their rate limits), the rest ride
                     // the fallback queue. This is exactly what the old
                     // full reconcile achieved via its fallback re-scan.
-                    let queue = self.queues.get_mut(&job).expect("bound queue exists");
+                    let queue = self.queues[slot].as_mut().expect("bound queue exists");
                     let drained: Vec<Rpc> = queue.drain().collect();
                     self.ruled_backlog -= drained.len();
                     self.remove_queue(job);
@@ -266,7 +310,8 @@ impl NrsTbfScheduler {
 
     fn enqueue_ruled(&mut self, rpc: Rpc, binding: RuleBinding, now: SimTime) {
         let job = rpc.job;
-        if self.queues.contains_key(&job) {
+        let slot = self.slot(job);
+        if self.queues[slot].is_some() {
             // Existing queue: re-binds if the governing rule changed (non-
             // job matchers can split one job's traffic across rules),
             // including the fresh heap entry the stamp bump requires.
@@ -281,13 +326,14 @@ impl NrsTbfScheduler {
                 depth,
                 now,
             );
-            if let Some(&floor) = self.retired_stamps.get(&job) {
+            let floor = self.retired_stamps[slot];
+            if floor > 0 {
                 queue.advance_stamp(floor);
             }
-            self.queues.insert(job, queue);
+            self.queues[slot] = Some(queue);
             self.bound.entry(binding.id).or_default().insert(job);
         }
-        let queue = self.queues.get_mut(&job).expect("just ensured");
+        let queue = self.queues[slot].as_mut().expect("just ensured");
         let was_empty = queue.is_empty();
         queue.push(rpc);
         self.ruled_backlog += 1;
@@ -305,12 +351,21 @@ impl NrsTbfScheduler {
     /// Ask for the next unit of work at `now`.
     pub fn next(&mut self, now: SimTime) -> SchedDecision {
         // 1. earliest-deadline token-ready ruled queue.
-        let queues = &mut self.queues;
-        let peek = self.heap.peek_valid(|j| queues.get(&j).map(|q| q.stamp()));
+        let slots = &self.slots;
+        let queues = &self.queues;
+        let peek = self.heap.peek_valid(|j| {
+            slots
+                .get(j)
+                .and_then(|s| queues[s].as_ref())
+                .map(|q| q.stamp())
+        });
         if let Some((job, deadline)) = peek {
             if deadline <= now {
-                let _ = self.heap.pop_valid(|j| queues.get(&j).map(|q| q.stamp()));
-                let queue = self.queues.get_mut(&job).expect("valid heap entry");
+                // The peek already discarded stale entries; the top is the
+                // validated one — no second validation walk needed.
+                self.heap.pop_top();
+                let slot = self.slots.get(job).expect("valid heap entry");
+                let queue = self.queues[slot].as_mut().expect("valid heap entry");
                 let rpc = queue
                     .try_serve(now)
                     .expect("queue with expired deadline must hold a token");
@@ -330,19 +385,24 @@ impl NrsTbfScheduler {
             // 2. a ruled queue exists but is throttled: fallback is served
             // opportunistically in the meantime.
             if let Some(rpc) = self.fallback.pop_front() {
-                self.served_fallback += 1;
-                *self.fallback_served.entry(rpc.job).or_insert(0) += 1;
+                self.serve_from_fallback(rpc.job);
                 return SchedDecision::Serve(rpc);
             }
             return SchedDecision::WaitUntil(deadline);
         }
         // 3. no ruled work at all: serve fallback.
         if let Some(rpc) = self.fallback.pop_front() {
-            self.served_fallback += 1;
-            *self.fallback_served.entry(rpc.job).or_insert(0) += 1;
+            self.serve_from_fallback(rpc.job);
             return SchedDecision::Serve(rpc);
         }
         SchedDecision::Idle
+    }
+
+    #[inline]
+    fn serve_from_fallback(&mut self, job: JobId) {
+        self.served_fallback += 1;
+        let slot = self.slot(job);
+        self.fallback_served[slot] += 1;
     }
 
     // ---- incremental reconciliation helpers ------------------------------
@@ -353,11 +413,17 @@ impl NrsTbfScheduler {
             return;
         };
         let binding = RuleBinding::from(self.rules.get(id).expect("refreshed rule exists"));
-        // Small copy: rule mutations are rare (once per observation
-        // period) and `rebind_queue` needs `&mut self`.
-        for job in jobs.iter().copied().collect::<Vec<_>>() {
+        // The affected-job set is copied out because `rebind_queue` needs
+        // `&mut self` — into a scratch buffer reused across cycles (the
+        // daemon re-rates every rule once per observation period; a fresh
+        // Vec per rule per cycle is pure allocator churn).
+        let mut scratch = std::mem::take(&mut self.reconcile_scratch);
+        scratch.clear();
+        scratch.extend(jobs.iter().copied());
+        for &job in &scratch {
             self.rebind_queue(job, binding, now);
         }
+        self.reconcile_scratch = scratch;
     }
 
     /// The single re-binding primitive: move `job`'s queue under `binding`
@@ -366,7 +432,8 @@ impl NrsTbfScheduler {
     /// entries — so a fresh entry is pushed for a non-empty queue; an
     /// untouched queue keeps its still-valid entry.
     fn rebind_queue(&mut self, job: JobId, binding: RuleBinding, now: SimTime) {
-        let queue = self.queues.get_mut(&job).expect("queue exists");
+        let slot = self.slots.get(job).expect("queue exists");
+        let queue = self.queues[slot].as_mut().expect("queue exists");
         let old = queue.rule;
         let changed = old != binding.id
             || queue.weight != binding.weight
@@ -396,11 +463,12 @@ impl NrsTbfScheduler {
     /// the stamp floor a future queue for this job must start above
     /// (its heap entries stay behind, invalidated only lazily).
     fn remove_queue(&mut self, job: JobId) {
-        if let Some(queue) = self.queues.remove(&job) {
-            if queue.served() > 0 {
-                *self.folded_served.entry(job).or_insert(0) += queue.served();
-            }
-            self.retired_stamps.insert(job, queue.stamp() + 1);
+        let Some(slot) = self.slots.get(job) else {
+            return;
+        };
+        if let Some(queue) = self.queues[slot].take() {
+            self.folded_served[slot] += queue.served();
+            self.retired_stamps[slot] = queue.stamp() + 1;
             if let Some(set) = self.bound.get_mut(&queue.rule) {
                 set.remove(&job);
             }
@@ -441,22 +509,22 @@ impl NrsTbfScheduler {
 
     /// Backlog length of one job's ruled queue.
     pub fn queue_depth(&self, job: JobId) -> usize {
-        self.queues.get(&job).map_or(0, |q| q.len())
+        self.slots
+            .get(job)
+            .and_then(|slot| self.queues[slot].as_ref())
+            .map_or(0, |q| q.len())
     }
 
-    /// Service counters, folded from the per-queue counters on demand —
+    /// Service counters, folded from the per-slot counters on demand —
     /// the serve path never touches a map, so reading stats does the
     /// (cold) aggregation work instead.
     pub fn stats(&self) -> SchedulerStats {
-        let mut served_by_job = self.folded_served.clone();
-        for (job, queue) in &self.queues {
-            if queue.served() > 0 {
-                *served_by_job.entry(*job).or_insert(0) += queue.served();
-            }
-        }
-        for (job, count) in &self.fallback_served {
-            if *count > 0 {
-                *served_by_job.entry(*job).or_insert(0) += count;
+        let mut served_by_job = BTreeMap::new();
+        for (job, slot) in self.slots.sorted_by_job() {
+            let queue_served = self.queues[slot].as_ref().map_or(0, |q| q.served());
+            let total = self.folded_served[slot] + self.fallback_served[slot] + queue_served;
+            if total > 0 {
+                served_by_job.insert(job, total);
             }
         }
         SchedulerStats {

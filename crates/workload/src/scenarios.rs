@@ -248,6 +248,41 @@ pub fn scale_stress(n_jobs: usize, duration_secs: u64) -> Scenario {
     )
 }
 
+/// The end-to-end event-loop stress: 64 jobs × 2 processes, each writing
+/// an 8 GiB-equivalent file (8192 RPCs), sized for a 16-OST cluster —
+/// ~1.05 M RPCs served in one run. This is the workload `--bin simloop`
+/// benchmarks: at this scale the simulator itself (event heap, metrics
+/// bookkeeping, per-RPC map lookups) is the bottleneck, not the
+/// scheduler, so it tracks the dense-interner/flat-metrics fast path.
+pub fn million_rpc() -> Scenario {
+    million_rpc_scaled(1.0)
+}
+
+/// [`million_rpc`] with file sizes and duration scaled by `f` (the CI
+/// smoke configuration uses a small `f`).
+pub fn million_rpc_scaled(f: f64) -> Scenario {
+    const JOBS: u32 = 64;
+    let file = scale_rpcs(8192, f);
+    let jobs = (0..JOBS)
+        .map(|i| {
+            let nodes = 1 + (i as u64 * 5) % 16;
+            JobSpec::uniform(
+                JobId(i + 1),
+                nodes,
+                2,
+                ProcessSpec::continuous(file).with_max_inflight(16),
+            )
+        })
+        .collect();
+    Scenario::new(
+        "million_rpc",
+        "event-loop stress: 64 continuous jobs sized for ~1M served RPCs \
+         on a 16-OST cluster",
+        jobs,
+        scale_duration(80.0, f),
+    )
+}
+
 /// Job churn: five jobs whose lifetimes tile the horizon (staggered
 /// delayed starts, finite files), exercising rule creation/stopping and
 /// active-set renormalization continuously.
@@ -391,6 +426,20 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds.len(), 4, "pattern variety: {kinds:?}");
+    }
+
+    #[test]
+    fn million_rpc_is_sized_for_a_million_served() {
+        let s = million_rpc();
+        assert_eq!(s.jobs.len(), 64);
+        let total: u64 = s.jobs.iter().map(|j| j.total_rpcs()).sum();
+        assert_eq!(total, 1_048_576, "64 jobs × 2 procs × 8192 RPCs");
+        assert!(s.jobs.iter().all(|j| j.nodes >= 1 && j.nodes <= 16));
+        // Scaled smoke variant stays proportional and non-degenerate.
+        let smoke = million_rpc_scaled(1.0 / 64.0);
+        let smoke_total: u64 = smoke.jobs.iter().map(|j| j.total_rpcs()).sum();
+        assert_eq!(smoke_total, 16_384);
+        assert!(smoke.duration >= SimDuration::from_secs(3));
     }
 
     #[test]

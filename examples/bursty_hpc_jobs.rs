@@ -13,7 +13,8 @@ use adaptbf::workload::scenarios;
 /// One sparkline character per second of per-job throughput.
 fn sparkline(report: &RunReport, job: JobId) -> String {
     const GLYPHS: [char; 8] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇'];
-    let series = match report.metrics.served.get(job) {
+    let family = report.metrics.served();
+    let series = match family.get(job) {
         Some(s) => s,
         None => return String::new(),
     };

@@ -35,10 +35,10 @@ fn main() {
     //    Per-job served bytes match the original run exactly.
     let replayed = Cluster::build_replay(&parsed, policy, seed, ClusterConfig::default()).run();
     assert_eq!(
-        original.metrics.served_by_job,
-        replayed.metrics.served_by_job
+        original.metrics.served_by_job(),
+        replayed.metrics.served_by_job()
     );
-    for (job, served) in &replayed.metrics.served_by_job {
+    for (job, served) in &replayed.metrics.served_by_job() {
         println!("  {job}: {served} RPCs served — identical in both runs");
     }
 

@@ -35,8 +35,8 @@ fn local_control_yields_global_proportionality() {
     };
     let out = Cluster::build_with(&scenario, Policy::adaptbf_default(), 42, cfg).run();
     assert_eq!(out.overheads.len(), 4, "one controller per OST");
-    let j1 = out.metrics.served_by_job[&JobId(1)] as f64;
-    let j2 = out.metrics.served_by_job[&JobId(2)] as f64;
+    let j1 = out.metrics.served_by_job()[&JobId(1)] as f64;
+    let j2 = out.metrics.served_by_job()[&JobId(2)] as f64;
     let share = j2 / (j1 + j2);
     assert!(
         (0.70..0.80).contains(&share),
@@ -65,8 +65,8 @@ fn single_and_multi_ost_agree_on_shares() {
     )
     .run();
     let share = |m: &adaptbf::sim::metrics::Metrics| {
-        let j1 = m.served_by_job[&JobId(1)] as f64;
-        let j2 = m.served_by_job[&JobId(2)] as f64;
+        let j1 = m.served_by_job()[&JobId(1)] as f64;
+        let j2 = m.served_by_job()[&JobId(2)] as f64;
         j2 / (j1 + j2)
     };
     let delta = (share(&single.metrics) - share(&multi.metrics)).abs();
@@ -83,13 +83,18 @@ fn simulator_is_deterministic_per_seed() {
         let a = Experiment::new(scenario.clone(), policy).seed(7).run();
         let b = Experiment::new(scenario.clone(), policy).seed(7).run();
         assert_eq!(
-            a.metrics.served_by_job,
-            b.metrics.served_by_job,
+            a.metrics.served_by_job(),
+            b.metrics.served_by_job(),
             "{}",
             policy.name()
         );
-        assert_eq!(a.metrics.served, b.metrics.served, "{}", policy.name());
-        assert_eq!(a.metrics.records, b.metrics.records, "{}", policy.name());
+        assert_eq!(a.metrics.served(), b.metrics.served(), "{}", policy.name());
+        assert_eq!(
+            a.metrics.records(),
+            b.metrics.records(),
+            "{}",
+            policy.name()
+        );
     }
 }
 
@@ -104,11 +109,11 @@ fn different_seeds_preserve_shape_not_bits() {
         .run();
     // Same macroscopic outcome…
     let share = |r: &adaptbf::sim::RunReport| {
-        r.metrics.served_by_job[&JobId(2)] as f64 / r.metrics.total_served() as f64
+        r.metrics.served_by_job()[&JobId(2)] as f64 / r.metrics.total_served() as f64
     };
     assert!((share(&a) - share(&b)).abs() < 0.03);
     // …from different microscopic histories.
-    assert_ne!(a.metrics.served, b.metrics.served);
+    assert_ne!(a.metrics.served(), b.metrics.served());
 }
 
 #[test]

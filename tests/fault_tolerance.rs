@@ -77,7 +77,7 @@ fn device_degradation_window_slows_but_recovers() {
         .seed(3)
         .faults(plan)
         .run();
-    let agg = report.metrics.served.aggregate();
+    let agg = report.metrics.served().aggregate();
     // Mean served per 100 ms bucket inside vs outside the window.
     let in_window: f64 = (20..40).map(|i| agg.get(i)).sum::<f64>() / 20.0;
     let before: f64 = (5..20).map(|i| agg.get(i)).sum::<f64>() / 15.0;
@@ -109,7 +109,7 @@ fn faulty_runs_are_deterministic_too() {
             .faults(plan)
             .run()
             .metrics
-            .served_by_job
+            .served_by_job()
     };
     assert_eq!(run(), run());
 }
@@ -130,8 +130,9 @@ fn ledger_invariant_survives_faults() {
         .seed(3)
         .faults(plan)
         .run();
+    let records = report.metrics.records();
     let final_records: f64 = (1..=4u32)
-        .filter_map(|j| report.metrics.records.get(JobId(j)))
+        .filter_map(|j| records.get(JobId(j)))
         .map(|s| s.values.last().copied().unwrap_or(0.0))
         .sum();
     assert_eq!(final_records, 0.0, "Σ records must stay zero under faults");

@@ -15,7 +15,7 @@ fn thirty_two_jobs_share_proportionally() {
         .seed(42)
         .run();
     // Every job with demand got service.
-    let served_jobs = report.metrics.served_by_job.len();
+    let served_jobs = report.metrics.served_by_job().len();
     assert!(served_jobs >= 30, "only {served_jobs}/32 jobs served");
     // Priority-normalized fairness well above the FCFS baseline.
     let nobw = Experiment::new(scenario.clone(), Policy::NoBw)
@@ -61,7 +61,7 @@ fn churn_reallocates_as_jobs_come_and_go() {
     let report = Experiment::new(scenario, Policy::adaptbf_default())
         .seed(42)
         .run();
-    let alloc = &report.metrics.allocations;
+    let alloc = &report.metrics.allocations();
     // Job 1 starts alone (full budget); once job 2 (6 nodes vs 2) arrives
     // at ~2 s scaled, job 1's allocation must drop hard.
     let j1 = alloc.get(JobId(1)).expect("job1 allocated");
@@ -98,7 +98,7 @@ fn summary_rows(reports: &[RunReport]) -> String {
             r.policy,
             r.overall_throughput_tps()
         ));
-        for (job, served) in &r.metrics.served_by_job {
+        for (job, served) in &r.metrics.served_by_job() {
             out.push_str(&format!("  {job}={served}\n"));
         }
     }
@@ -151,7 +151,7 @@ fn scale_stress_serves_nearly_every_job() {
     let report = Experiment::new(scenario, Policy::adaptbf_default())
         .seed(3)
         .run();
-    let served_jobs = report.metrics.served_by_job.len();
+    let served_jobs = report.metrics.served_by_job().len();
     assert!(served_jobs >= 190, "only {served_jobs}/200 jobs served");
 }
 

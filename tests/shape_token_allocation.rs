@@ -17,12 +17,8 @@ fn comparison() -> Comparison {
 
 /// Served RPCs for `job` in the window `[from_s, to_s)` of the AdapTBF run.
 fn served_in_window(c: &Comparison, job: u32, from_s: f64, to_s: f64) -> f64 {
-    let series = c
-        .adaptbf
-        .metrics
-        .served
-        .get(JobId(job))
-        .expect("job served");
+    let family = c.adaptbf.metrics.served();
+    let series = family.get(JobId(job)).expect("job served");
     let bucket = c.adaptbf.metrics.bucket.as_secs_f64();
     let a = (from_s / bucket) as usize;
     let b = (to_s / bucket) as usize;
@@ -70,7 +66,9 @@ fn no_bw_ignores_priority() {
 fn adaptbf_reallocates_as_jobs_complete() {
     let c = comparison();
     let done = |j: u32| {
-        c.adaptbf.metrics.completion_time[&JobId(j)]
+        c.adaptbf
+            .metrics
+            .completion_of(JobId(j))
             .expect("completes")
             .as_secs_f64()
     };

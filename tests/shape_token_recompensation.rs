@@ -15,12 +15,13 @@ fn comparison() -> Comparison {
     Comparison::run(&scenarios::token_recompensation_scaled(0.5), SEED)
 }
 
-fn record_series(c: &Comparison, j: u32) -> &adaptbf::model::BucketSeries {
+fn record_series(c: &Comparison, j: u32) -> adaptbf::model::BucketSeries {
     c.adaptbf
         .metrics
-        .records
+        .records()
         .get(JobId(j))
         .expect("records recorded")
+        .clone()
 }
 
 #[test]

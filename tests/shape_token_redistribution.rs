@@ -86,7 +86,7 @@ fn burst_latency_improves_under_adaptbf() {
     for j in 1..=3u32 {
         let peak = |r: &adaptbf::sim::RunReport| {
             r.metrics
-                .served
+                .served()
                 .get(JobId(j))
                 .map(|s| s.values.iter().take(200).cloned().fold(0.0, f64::max))
                 .unwrap_or(0.0)

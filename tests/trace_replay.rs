@@ -77,7 +77,7 @@ fn authored_diurnal_scenario_runs() {
     for job in [1, 2, 3] {
         assert!(
             out.metrics
-                .served_by_job
+                .served_by_job()
                 .get(&JobId(job))
                 .copied()
                 .unwrap_or(0)
@@ -89,7 +89,7 @@ fn authored_diurnal_scenario_runs() {
 
 fn served_bytes(metrics: &adaptbf::sim::metrics::Metrics, rpc_size: u64) -> BTreeMap<JobId, u64> {
     metrics
-        .served_by_job
+        .served_by_job()
         .iter()
         .map(|(&job, &served)| (job, served * rpc_size))
         .collect()
@@ -116,8 +116,8 @@ fn replaying_token_redistribution_reproduces_served_bytes_exactly() {
         served_bytes(&replayed.metrics, rpc_size),
         "replay must reproduce per-job served bytes exactly"
     );
-    assert_eq!(original.metrics.served, replayed.metrics.served);
-    assert_eq!(original.metrics.demand, replayed.metrics.demand);
+    assert_eq!(original.metrics.served(), replayed.metrics.served());
+    assert_eq!(original.metrics.demand(), replayed.metrics.demand());
 }
 
 /// Replay exactness holds across policies, seeds, and a striped multi-OST
@@ -140,8 +140,8 @@ fn replay_is_exact_across_policies_and_wirings() {
                     Cluster::build_with(&scenario, policy, seed, cfg).run_traced();
                 let replayed = Cluster::build_replay(&trace, policy, seed, cfg).run();
                 assert_eq!(
-                    original.metrics.served_by_job,
-                    replayed.metrics.served_by_job,
+                    original.metrics.served_by_job(),
+                    replayed.metrics.served_by_job(),
                     "diverged: policy {} seed {seed} n_osts {}",
                     policy.name(),
                     cfg.n_osts
