@@ -8,6 +8,8 @@
 //!   from its node-share entitlement?");
 //! * [`latency`] — per-job burst responsiveness from the simulator's
 //!   end-to-end latency histograms;
+//! * [`mod@resilience`] — recovery time of per-job shares through a
+//!   fault or churn window (the evaluation axis of the fault scenarios);
 //! * [`summary`] — one-call comparison of all three policies on any
 //!   scenario, suitable for reports.
 
@@ -16,8 +18,10 @@
 
 pub mod fairness;
 pub mod latency;
+pub mod resilience;
 pub mod summary;
 
 pub use fairness::{jains_index, proportionality_error, windowed_proportionality};
 pub use latency::LatencyComparison;
+pub use resilience::{resilience, JobResilience, ResilienceSummary};
 pub use summary::{analyze, PolicyAnalysis};

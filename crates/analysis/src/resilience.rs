@@ -1,0 +1,251 @@
+//! Resilience summary: how a run behaves through a disturbance window and
+//! how quickly per-job bandwidth shares converge back to their pre-fault
+//! steady state — the evaluation axis of the fault & churn scenarios
+//! (`ost_failover`, `churn_under_degradation`).
+//!
+//! The summary is computed purely from a [`RunReport`]'s served timeline,
+//! so it works on live runs and replays alike and needs no extra hooks in
+//! the simulator.
+
+use adaptbf_model::{JobId, SimTime};
+use adaptbf_sim::RunReport;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One job's share trajectory through a disturbance window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobResilience {
+    /// Mean share of served RPCs per bucket over the pre-fault buckets.
+    pub baseline_share: f64,
+    /// Lowest share observed inside the fault window.
+    pub dip_share: f64,
+    /// First bucket start at/after the window's end where the job's share
+    /// is back within tolerance of its baseline (`None` = never within
+    /// the horizon).
+    pub recovered_at: Option<SimTime>,
+    /// Seconds from the window's end to [`JobResilience::recovered_at`].
+    pub recovery_secs: Option<f64>,
+}
+
+/// Recovery-time summary of one run around one fault window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceSummary {
+    /// The disturbance window analyzed `[from, until)`.
+    pub window: (SimTime, SimTime),
+    /// Relative tolerance: a job counts as recovered once its share is at
+    /// least `(1 - tolerance) × baseline`.
+    pub tolerance: f64,
+    /// Per-job trajectories (jobs with no pre-fault service are omitted).
+    pub per_job: BTreeMap<JobId, JobResilience>,
+}
+
+impl ResilienceSummary {
+    /// Whether every tracked job converged back within tolerance.
+    pub fn all_recovered(&self) -> bool {
+        self.per_job.values().all(|j| j.recovered_at.is_some())
+    }
+
+    /// The slowest recovery in seconds after the window's end (`None` if
+    /// some job never recovered or nothing was tracked).
+    pub fn worst_recovery_secs(&self) -> Option<f64> {
+        let mut worst: f64 = 0.0;
+        for j in self.per_job.values() {
+            worst = worst.max(j.recovery_secs?);
+        }
+        if self.per_job.is_empty() {
+            None
+        } else {
+            Some(worst)
+        }
+    }
+
+    /// Render as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "resilience through {}..{} (tolerance {:.0}%):\n{:<8} {:>10} {:>10} {:>14}\n",
+            self.window.0,
+            self.window.1,
+            self.tolerance * 100.0,
+            "job",
+            "baseline",
+            "dip",
+            "recovery_secs"
+        );
+        for (job, j) in &self.per_job {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10.3} {:>10.3} {:>14}",
+                job.to_string(),
+                j.baseline_share,
+                j.dip_share,
+                j.recovery_secs
+                    .map_or_else(|| "-".to_string(), |s| format!("{s:.1}")),
+            );
+        }
+        out
+    }
+}
+
+/// Summarize how `report`'s per-job served shares move through the fault
+/// window `[from, until)` and when they return to within `tolerance` of
+/// their pre-window baseline.
+///
+/// Shares are per 100 ms metrics bucket: `job served / total served` in
+/// that bucket (buckets where nothing was served are skipped — shares are
+/// undefined there). Jobs that never served before the window (e.g. they
+/// start inside it) are not tracked, and a job that completed all its
+/// released work counts as recovered at its completion instant — a
+/// finished job has nothing left to converge.
+pub fn resilience(
+    report: &RunReport,
+    from: SimTime,
+    until: SimTime,
+    tolerance: f64,
+) -> ResilienceSummary {
+    assert!(from < until, "empty fault window");
+    assert!((0.0..1.0).contains(&tolerance), "tolerance is a fraction");
+    let mut served = report.metrics.served();
+    served.align();
+    let bucket = report.metrics.bucket;
+    let jobs = served.jobs();
+    let n = served.max_len();
+    // Per-bucket all-jobs totals, computed once: the baseline/dip/recovery
+    // loops below probe O(jobs × buckets) shares and must not re-sum the
+    // whole job set on every probe.
+    let mut totals = vec![0.0f64; n];
+    for job in &jobs {
+        if let Some(series) = served.get(*job) {
+            for (i, total) in totals.iter_mut().enumerate() {
+                *total += series.get(i);
+            }
+        }
+    }
+    let share_of = |job: JobId, i: usize| -> Option<f64> {
+        if totals[i] <= 0.0 {
+            return None;
+        }
+        Some(served.get(job).map_or(0.0, |s| s.get(i)) / totals[i])
+    };
+    let first_in_window = from.bucket_index(bucket);
+    let first_after = until.as_nanos().div_ceil(bucket.as_nanos()) as usize;
+
+    let mut per_job = BTreeMap::new();
+    for &job in &jobs {
+        // Baseline: mean share over pre-window buckets with service.
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..first_in_window.min(n) {
+            if let Some(share) = share_of(job, i) {
+                sum += share;
+                count += 1;
+            }
+        }
+        if count == 0 || sum <= 0.0 {
+            continue; // no pre-fault service: recovery is undefined
+        }
+        let baseline = sum / count as f64;
+        let mut dip = f64::INFINITY;
+        for i in first_in_window..first_after.min(n) {
+            if let Some(share) = share_of(job, i) {
+                dip = dip.min(share);
+            }
+        }
+        if !dip.is_finite() {
+            dip = 0.0; // nothing served in the window at all
+        }
+        let mut recovered_at = None;
+        for i in first_after..n {
+            if let Some(share) = share_of(job, i) {
+                if share >= (1.0 - tolerance) * baseline {
+                    recovered_at = Some(SimTime(i as u64 * bucket.as_nanos()));
+                    break;
+                }
+            }
+        }
+        // A job that finished all its released work has nothing left to
+        // recover: it converged by completing (possibly before the window
+        // even closed — its recovery cost is then zero).
+        if recovered_at.is_none() {
+            recovered_at = report
+                .per_job
+                .get(&job)
+                .filter(|o| o.completed)
+                .and_then(|o| o.completion)
+                .map(|t| t.max(until));
+        }
+        per_job.insert(
+            job,
+            JobResilience {
+                baseline_share: baseline,
+                dip_share: dip,
+                recovered_at,
+                recovery_secs: recovered_at.map(|t| t.since(until).as_secs_f64()),
+            },
+        );
+    }
+    ResilienceSummary {
+        window: (from, until),
+        tolerance,
+        per_job,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_sim::{Experiment, Policy};
+    use adaptbf_workload::scenarios;
+
+    #[test]
+    fn healthy_run_recovers_instantly_from_a_nominal_window() {
+        let report = Experiment::new(
+            scenarios::token_allocation_scaled(1.0 / 16.0),
+            Policy::adaptbf_default(),
+        )
+        .seed(3)
+        .run();
+        let summary = resilience(&report, SimTime::from_secs(1), SimTime::from_secs(2), 0.25);
+        assert!(!summary.per_job.is_empty());
+        assert!(summary.all_recovered(), "{}", summary.table());
+        // Worst case is bounded by a job simply finishing its file later
+        // in the run — still within the horizon.
+        assert!(summary.worst_recovery_secs().unwrap() < 5.0);
+        let table = summary.table();
+        assert!(table.contains("recovery_secs"));
+    }
+
+    #[test]
+    fn crash_window_dips_and_recovers() {
+        let file = scenarios::ost_failover_scaled(0.25);
+        let plan = adaptbf_sim::plan_file_run(&file).unwrap();
+        let crash = file.faults.ost_crash.unwrap();
+        let report = Experiment::new(plan.scenario, plan.policy)
+            .seed(plan.seed)
+            .cluster_config(plan.cluster)
+            .run();
+        let summary = resilience(&report, crash.from, crash.recovery_at(), 0.5);
+        assert!(!summary.per_job.is_empty());
+        // Shares converge back to steady state after the OST rejoins.
+        assert!(summary.all_recovered(), "{}", summary.table());
+    }
+
+    #[test]
+    fn jobs_without_prefault_service_are_skipped() {
+        let report = Experiment::new(scenarios::token_allocation_scaled(1.0 / 32.0), Policy::NoBw)
+            .seed(1)
+            .run();
+        // Window starting at t=0: no pre-fault buckets, nothing tracked.
+        let summary = resilience(&report, SimTime::ZERO, SimTime::from_millis(100), 0.2);
+        assert!(summary.per_job.is_empty());
+        assert_eq!(summary.worst_recovery_secs(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fault window")]
+    fn rejects_empty_windows() {
+        let report = Experiment::new(scenarios::token_allocation_scaled(1.0 / 32.0), Policy::NoBw)
+            .seed(1)
+            .run();
+        let _ = resilience(&report, SimTime::from_secs(1), SimTime::from_secs(1), 0.2);
+    }
+}

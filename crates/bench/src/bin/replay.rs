@@ -8,12 +8,19 @@
 //!
 //! * `results/token_redistribution.trace` — the recorded trace (replayable
 //!   via `adaptbf replay`),
-//! * `results/replay_summary.csv` — per-job served RPCs per policy.
+//! * `results/replay_summary.csv` — per-job served RPCs per policy,
+//! * `results/ost_failover.trace` + `results/replay_faults.csv` — the same
+//!   grid over the `ost_failover` fault scenario: the crash window rides
+//!   the trace header, so every policy replays the identical disturbed
+//!   arrival stream (and the adaptbf replay reproduces the recording
+//!   exactly, resends and all).
 
 use adaptbf_bench::{write_artifact, Options};
 use adaptbf_model::JobId;
 use adaptbf_sim::cluster::ClusterConfig;
-use adaptbf_sim::{replay_cluster_config, replay_report, Cluster, Policy, RunGrid};
+use adaptbf_sim::{
+    plan_file_run, replay_cluster_config, replay_report, Cluster, Policy, RunGrid, RunReport,
+};
 use adaptbf_workload::scenarios;
 
 fn main() {
@@ -75,4 +82,69 @@ fn main() {
     }
     println!("\nper-job served RPCs on the identical arrival stream:\n{table}");
     println!("adaptbf replay reproduced the recording exactly ✓");
+
+    // ---- fault variant: the same grid through an OST crash window ------
+    let file = scenarios::ost_failover_scaled(opts.scale);
+    let plan = plan_file_run(&file).expect("valid fault built-in");
+    println!(
+        "\nrecording {} (seed {}, OST {} down {}..{})...",
+        plan.scenario.name,
+        opts.seed,
+        file.faults.ost_crash.unwrap().ost,
+        file.faults.ost_crash.unwrap().from,
+        file.faults.ost_crash.unwrap().recovery_at(),
+    );
+    let (faulty_original, faulty_trace) =
+        Cluster::build_with(&plan.scenario, plan.policy, opts.seed, plan.cluster).run_traced();
+    write_artifact(
+        &format!("{}.trace", plan.scenario.name),
+        &faulty_trace.to_text(),
+    );
+    println!(
+        "recorded {} RPC arrivals, {} served, fault stats {:?}",
+        faulty_trace.records.len(),
+        faulty_original.metrics.total_served(),
+        faulty_original.fault_stats,
+    );
+    let faulty_cluster = replay_cluster_config(&faulty_trace);
+    assert!(
+        !faulty_cluster.faults.is_none(),
+        "the crash window must ride the trace header"
+    );
+    let faulty_reports: Vec<RunReport> = RunGrid::new()
+        .run(vec![Policy::NoBw, Policy::StaticBw, plan.policy], |p| {
+            replay_report(&faulty_trace, p, opts.seed, faulty_cluster)
+        });
+    let fault_jobs: Vec<JobId> = faulty_trace.meta.jobs.iter().map(|&(j, _)| j).collect();
+    let mut csv = String::from("job");
+    for r in &faulty_reports {
+        csv.push_str(&format!(",{}_served", r.policy));
+    }
+    csv.push('\n');
+    for job in &fault_jobs {
+        csv.push_str(&job.to_string());
+        for r in &faulty_reports {
+            csv.push_str(&format!(",{}", r.per_job.get(job).map_or(0, |o| o.served)));
+        }
+        csv.push('\n');
+    }
+    write_artifact("replay_faults.csv", &csv);
+    for job in &fault_jobs {
+        let recorded = faulty_original
+            .metrics
+            .served_by_job()
+            .get(job)
+            .copied()
+            .unwrap_or(0);
+        let replayed = faulty_reports[2].per_job.get(job).map_or(0, |o| o.served);
+        assert_eq!(
+            recorded, replayed,
+            "faulty replay determinism violated for {job}"
+        );
+    }
+    assert_eq!(
+        faulty_original.fault_stats, faulty_reports[2].fault_stats,
+        "replay must regenerate the identical resend/re-route accounting"
+    );
+    println!("faulty replay reproduced the recording exactly ✓");
 }

@@ -31,7 +31,17 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
     help                           show this text\n\
   <scenario> is a built-in name, or `--scenario-file FILE` to run a\n\
   declarative scenario file (see docs/SCENARIOS.md; its `run` block sets\n\
-  defaults that the options below override).\n\
+  defaults that the options below override). A file's optional `faults`\n\
+  block declares a deterministic disturbance schedule that is injected\n\
+  automatically — controller_stall {every,duration} cycles,\n\
+  stats_loss_every N cycles, disk_degrade {from_secs,for_secs,factor},\n\
+  ost_crash {ost,from_secs,for_secs,resend_after_secs} (crashed OSTs stop\n\
+  serving; queued/in-flight RPCs are resent to surviving stripe members\n\
+  after the timeout; recovery rejoins with empty bucket state), and\n\
+  job_churn {every_secs,offline_secs,stride} (rotating client churn).\n\
+  Faults ride recorded trace headers, so `replay` reproduces faulty runs\n\
+  byte-exactly. Built-ins `ost_failover` and `churn_under_degradation`\n\
+  ship with fault plans.\n\
   options:\n\
     --policy no_bw|static_bw|adaptbf   (run/record/replay; default adaptbf,\n\
                                         replay defaults to the recorded policy)\n\
@@ -178,6 +188,21 @@ pub fn scenario_by_name(name: &str, scale: f64) -> Result<Scenario, CliError> {
     }
 }
 
+/// Built-ins that are full scenario *files* (workload + run block + fault
+/// schedule), listed by `adaptbf scenarios` alongside the plain mixes.
+pub const FAULT_BUILTINS: &[&str] = &["ost_failover", "churn_under_degradation"];
+
+/// Resolve one of [`FAULT_BUILTINS`]: they flow through the same
+/// `plan_file_run` path as `--scenario-file`, so their faults and wiring
+/// are injected automatically.
+pub fn scenario_file_by_name(name: &str, scale: f64) -> Option<ScenarioFile> {
+    match name {
+        "ost_failover" => Some(scenarios::ost_failover_scaled(scale)),
+        "churn_under_degradation" => Some(scenarios::churn_under_degradation_scaled(scale)),
+        _ => None,
+    }
+}
+
 fn adaptbf_config(opts: &Options) -> AdapTbfConfig {
     paper::adaptbf().with_period(SimDuration::from_millis(opts.period_ms))
 }
@@ -201,30 +226,20 @@ fn load_target(command: &str, rest: &[String]) -> Result<Target, CliError> {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
             let file = ScenarioFile::parse(&text).map_err(|e| usage(e.to_string()))?;
-            let plan = plan_file_run(&file).map_err(|e| usage(e.to_string()))?;
             let raw = RawOptions::parse(&rest[2..])?;
             if raw.scale.is_some() {
                 return Err(usage("--scale applies to built-in scenarios only"));
             }
-            let opts = raw.resolve(Options {
-                seed: plan.seed,
-                scale: 1.0,
-                period_ms: file.run.period_ms.unwrap_or(100),
-                policy: file
-                    .run
-                    .policy
-                    .clone()
-                    .unwrap_or_else(|| "adaptbf".to_string()),
-                out: None,
-            });
-            Ok(Target {
-                scenario: plan.scenario,
-                opts,
-                cluster: plan.cluster,
-            })
+            target_from_file(&file, raw)
         }
         Some(name) if !name.starts_with("--") => {
-            let opts = parse_options(&rest[1..])?;
+            let raw = RawOptions::parse(&rest[1..])?;
+            // Fault built-ins are full scenario files (workload + wiring +
+            // fault schedule) and resolve exactly like --scenario-file.
+            if let Some(file) = scenario_file_by_name(name, raw.scale.unwrap_or(1.0)) {
+                return target_from_file(&file, raw);
+            }
+            let opts = raw.resolve(Options::default());
             Ok(Target {
                 scenario: scenario_by_name(name, opts.scale)?,
                 opts,
@@ -235,6 +250,29 @@ fn load_target(command: &str, rest: &[String]) -> Result<Target, CliError> {
             "{command} needs a scenario name or --scenario-file FILE"
         ))),
     }
+}
+
+/// Resolve a parsed scenario file into a runnable target; its `run` block
+/// supplies option defaults that the raw command-line flags override, and
+/// its `faults` block rides in the cluster wiring.
+fn target_from_file(file: &ScenarioFile, raw: RawOptions) -> Result<Target, CliError> {
+    let plan = plan_file_run(file).map_err(|e| usage(e.to_string()))?;
+    let opts = raw.resolve(Options {
+        seed: plan.seed,
+        scale: 1.0,
+        period_ms: file.run.period_ms.unwrap_or(100),
+        policy: file
+            .run
+            .policy
+            .clone()
+            .unwrap_or_else(|| "adaptbf".to_string()),
+        out: None,
+    });
+    Ok(Target {
+        scenario: plan.scenario,
+        opts,
+        cluster: plan.cluster,
+    })
 }
 
 /// Execute a full command line; returns the text to print.
@@ -294,6 +332,19 @@ fn list_scenarios() -> String {
     let mut out = String::from("built-in scenarios:\n");
     for n in names {
         let s = scenario_by_name(n, 1.0).expect("known name");
+        let _ = writeln!(
+            out,
+            "  {:<22} {} jobs, {}  — {}",
+            n,
+            s.jobs.len(),
+            s.duration,
+            s.description
+        );
+    }
+    out.push_str("built-in fault scenarios (workload + fault schedule):\n");
+    for &n in FAULT_BUILTINS {
+        let file = scenario_file_by_name(n, 1.0).expect("known name");
+        let s = file.to_scenario().expect("valid built-in");
         let _ = writeln!(
             out,
             "  {:<22} {} jobs, {}  — {}",
@@ -526,9 +577,59 @@ mod tests {
             "job_churn",
             "many_jobs",
             "hog_and_victim",
+            "ost_failover",
+            "churn_under_degradation",
         ] {
             assert!(out.contains(name), "missing {name} in {out}");
         }
+    }
+
+    #[test]
+    fn fault_builtin_list_and_resolver_agree() {
+        for &name in FAULT_BUILTINS {
+            let file = scenario_file_by_name(name, 1.0)
+                .unwrap_or_else(|| panic!("{name} listed but not resolvable"));
+            assert_eq!(file.name, name);
+            assert!(!file.faults.is_none(), "{name} must carry a fault plan");
+        }
+    }
+
+    #[test]
+    fn fault_builtins_run_with_their_fault_plans() {
+        // Scaled runs keep the test fast; the fault windows scale with the
+        // horizon, so the crash still lands mid-run.
+        let out = dispatch(&argv("run ost_failover --scale 0.125")).unwrap();
+        assert!(out.contains("ost_failover"), "{out}");
+        assert!(out.contains("overall:"), "{out}");
+        let out = dispatch(&argv("run churn_under_degradation --scale 0.1 --seed 3")).unwrap();
+        assert!(out.contains("churn_under_degradation"), "{out}");
+        // Explicit flags still override the file's run block.
+        let out = dispatch(&argv("run ost_failover --scale 0.125 --policy no_bw")).unwrap();
+        assert!(out.contains("under no_bw"), "{out}");
+    }
+
+    #[test]
+    fn fault_builtin_record_replay_round_trips() {
+        let path = std::env::temp_dir().join("adaptbf_cli_failover.trace");
+        let path = path.to_str().unwrap().to_string();
+        let out = dispatch(&[
+            "record".into(),
+            "ost_failover".into(),
+            "--scale".into(),
+            "0.125".into(),
+            "--out".into(),
+            path.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("recorded"), "{out}");
+        // The fault plan rides in the header…
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("fault_crash "), "{text}");
+        // …so replay reproduces the faulty run.
+        let replayed = dispatch(&["replay".into(), path.clone()]).unwrap();
+        assert!(replayed.contains("ost_failover_replay"), "{replayed}");
+        assert!(replayed.contains("overall:"), "{replayed}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -589,6 +690,8 @@ mod tests {
             "token_redistribution",
             "hog_and_victim",
             "diurnal_checkpoint",
+            "ost_failover",
+            "churn_under_degradation",
         ] {
             // Keep CI fast: a short seed-fixed run per file, overriding the
             // file's horizon-scale workload only through the option surface.

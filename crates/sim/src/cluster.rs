@@ -59,6 +59,36 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Counters the fault machinery keeps so crash/failover accounting can be
+/// audited: no RPC is ever *silently* dropped. Every RPC an OST crash
+/// displaces is counted on exactly one path at its first displacement —
+/// re-routed to a survivor on arrival, parked until recovery, or resent
+/// after the client timeout — so `resent + rerouted + parked` is the
+/// number of displaced RPCs. A resend the horizon ends before it can fire
+/// is the one way a displaced RPC stays unserved, and it is counted too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// RPCs scheduled for a client resend (queued backlog drained at the
+    /// crash instant plus RPCs lost mid-service).
+    pub resent: u64,
+    /// Of [`FaultStats::resent`], RPCs that were on an I/O thread when it
+    /// died (their `ServiceDone` carried a stale crash epoch).
+    pub lost_in_service: u64,
+    /// First-hand arrivals addressed to a crashed OST and handed to the
+    /// next surviving member of the issuing process's stripe set.
+    pub rerouted: u64,
+    /// First-hand arrivals with no surviving stripe member, parked until
+    /// the crash window closes and redelivered at recovery.
+    pub parked: u64,
+    /// Displaced RPCs whose redelivery — a resend, or a parked arrival's
+    /// recovery-time redelivery — was scheduled past the run horizon: the
+    /// run ended before the client could get them back on an OST (a crash
+    /// window flush against the end of the run). These RPCs stay
+    /// unserved, by the same rule that ends any in-flight work at the
+    /// horizon — but never uncounted.
+    pub undelivered: u64,
+}
+
 /// Counters the event loop keeps about itself (the `--bin simloop`
 /// benchmark reads these; they cost one compare per event).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -83,16 +113,58 @@ pub struct RawRunOutput {
     pub end: SimTime,
     /// Event-loop self-accounting.
     pub loop_stats: LoopStats,
+    /// Fault-machinery accounting (all zero on fault-free runs).
+    pub fault_stats: FaultStats,
 }
 
 #[derive(Debug, Clone)]
 enum Event {
-    WorkArrival { proc: usize, rpcs: u64 },
-    ArriveAtOss { ost: usize, rpc: Rpc },
-    ServiceDone { ost: usize, rpc: Rpc },
-    ThreadWake { ost: usize, at: SimTime },
-    ReplyAtClient { proc: usize },
-    ControllerTick { ost: usize },
+    WorkArrival {
+        proc: usize,
+        rpcs: u64,
+    },
+    ArriveAtOss {
+        ost: usize,
+        rpc: Rpc,
+    },
+    /// `epoch` snapshots the OST's crash epoch at service start: a crash
+    /// bumps the epoch, so completions of RPCs the dead threads were
+    /// holding arrive stale and are treated as lost (client resends).
+    ServiceDone {
+        ost: usize,
+        rpc: Rpc,
+        epoch: u32,
+    },
+    ThreadWake {
+        ost: usize,
+        at: SimTime,
+    },
+    ReplyAtClient {
+        proc: usize,
+    },
+    ControllerTick {
+        ost: usize,
+    },
+    /// The fault plan's OST crash window opens.
+    OstCrash {
+        ost: usize,
+    },
+    /// …and closes: the OST rejoins with empty bucket state.
+    OstRecover {
+        ost: usize,
+    },
+    /// A client resend / redelivery of an RPC the fault machinery
+    /// displaced. Bypasses the recorder: a replay regenerates these
+    /// deterministically from the fault plan in the trace header, so
+    /// recording them too would double-inject on replay.
+    FaultResend {
+        ost: usize,
+        rpc: Rpc,
+    },
+    /// A churned-offline process rejoins and resumes issuing.
+    ProcResume {
+        proc: usize,
+    },
 }
 
 /// The assembled simulation, ready to [`Cluster::run`].
@@ -108,6 +180,19 @@ pub struct Cluster {
     rpc_counter: u64,
     stripe_count: usize,
     faults: FaultPlan,
+    /// `!faults.is_none()`, cached so fault-free runs pay a single cached
+    /// bool test instead of walking the plan on every hot-path event.
+    faults_active: bool,
+    /// Per-OST crash flag (only ever set by [`Event::OstCrash`]).
+    crashed: Vec<bool>,
+    /// Per-OST crash epoch; see [`Event::ServiceDone`].
+    epochs: Vec<u32>,
+    /// Per-process dedup of pending churn-resume events.
+    proc_resume: Vec<Option<SimTime>>,
+    /// `T_i` for reinstalling Static BW rules after a crash recovery.
+    static_rate_total: f64,
+    /// Fault-machinery accounting.
+    fault_stats: FaultStats,
     /// Control cycles attempted per OST (including stalled ones).
     cycles: Vec<u64>,
     /// When `Some`, every OSS arrival is captured here (the recorder hook).
@@ -139,8 +224,10 @@ impl Cluster {
             cfg.stripe_count >= 1 && cfg.stripe_count <= cfg.n_osts,
             "stripe_count must be in 1..=n_osts"
         );
+        Self::validate_faults(&cfg);
         let end = SimTime::ZERO + scenario.duration;
         let mut queue = EventQueue::new();
+        push_crash_events(&mut queue, &cfg.faults);
         let mut metrics = Metrics::new(cfg.bucket);
         metrics.reserve_jobs(scenario.jobs.len());
 
@@ -206,6 +293,7 @@ impl Cluster {
             ost.reserve_jobs(scenario.jobs.len());
         }
 
+        let n_procs = procs.len();
         Cluster {
             policy,
             end,
@@ -218,6 +306,12 @@ impl Cluster {
             rpc_counter: 0,
             stripe_count: cfg.stripe_count,
             faults: cfg.faults,
+            faults_active: !cfg.faults.is_none(),
+            crashed: vec![false; cfg.n_osts],
+            epochs: vec![0; cfg.n_osts],
+            proc_resume: vec![None; n_procs],
+            static_rate_total: cfg.static_rate_total,
+            fault_stats: FaultStats::default(),
             cycles: vec![0; cfg.n_osts],
             recorder: None,
             trace_meta: Self::trace_meta(&scenario.name, policy, seed, &cfg, job_weights),
@@ -251,8 +345,10 @@ impl Cluster {
             cfg.n_osts,
             trace.meta.n_osts
         );
+        Self::validate_faults(&cfg);
         let end = SimTime::ZERO + trace.meta.duration;
         let mut queue = EventQueue::new();
+        push_crash_events(&mut queue, &cfg.faults);
         queue.reserve(trace.records.len() + 2 * cfg.n_osts + 16);
         let mut metrics = Metrics::new(cfg.bucket);
         metrics.reserve_jobs(trace.meta.jobs.len());
@@ -290,6 +386,12 @@ impl Cluster {
             rpc_counter: 0,
             stripe_count: cfg.stripe_count,
             faults: cfg.faults,
+            faults_active: !cfg.faults.is_none(),
+            crashed: vec![false; cfg.n_osts],
+            epochs: vec![0; cfg.n_osts],
+            proc_resume: Vec::new(),
+            static_rate_total: cfg.static_rate_total,
+            fault_stats: FaultStats::default(),
             cycles: vec![0; cfg.n_osts],
             recorder: None,
             trace_meta: Self::trace_meta(
@@ -323,19 +425,10 @@ impl Cluster {
         match policy {
             Policy::NoBw => drivers.resize_with(cfg.n_osts, || None),
             Policy::StaticBw => {
-                // Fixed rules from the global static priorities, once.
-                let total: u64 = jobs.iter().map(|&(_, n)| n).sum();
+                // Fixed rules from the global static priorities, once
+                // (and again at crash recovery — see `Event::OstRecover`).
                 for ost in &mut osts {
-                    for &(job, nodes) in jobs {
-                        let rate = cfg.static_rate_total * nodes as f64 / total as f64;
-                        ost.scheduler.start_rule(
-                            job.label(),
-                            RpcMatcher::Job(job),
-                            rate,
-                            nodes.min(u32::MAX as u64) as u32,
-                            SimTime::ZERO,
-                        );
-                    }
+                    install_static_rules(ost, jobs, cfg.static_rate_total, SimTime::ZERO);
                 }
                 drivers.resize_with(cfg.n_osts, || None);
             }
@@ -351,6 +444,22 @@ impl Cluster {
             }
         }
         (osts, drivers)
+    }
+
+    /// Reject malformed fault plans at build time (the scenario-file
+    /// surface reports the same conditions as parse errors).
+    fn validate_faults(cfg: &ClusterConfig) {
+        if let Err(e) = cfg.faults.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        if let Some(crash) = cfg.faults.ost_crash {
+            assert!(
+                crash.ost < cfg.n_osts,
+                "ost_crash.ost {} out of range (n_osts {})",
+                crash.ost,
+                cfg.n_osts
+            );
+        }
     }
 
     /// The header a recording of this run would carry.
@@ -374,6 +483,7 @@ impl Cluster {
             n_clients: cfg.n_clients,
             n_osts: cfg.n_osts,
             stripe_count: cfg.stripe_count,
+            faults: cfg.faults,
             jobs,
         }
     }
@@ -401,9 +511,17 @@ impl Cluster {
         // Single pop-driven loop: the pop both advances the clock and
         // yields the event (the old peek-then-pop walked the heap's lazy
         // top twice per event). An event past the horizon ends the run;
-        // whatever else is queued behind it is dropped with the cluster.
+        // whatever else is queued behind it is dropped with the cluster —
+        // except that under faults, client resends the horizon cut off
+        // are tallied first so the displacement accounting stays honest.
         while let Some((now, event)) = self.queue.pop() {
             if now > self.end {
+                if self.faults_active {
+                    self.count_undelivered(&event);
+                    while let Some((_, late)) = self.queue.pop() {
+                        self.count_undelivered(&late);
+                    }
+                }
                 break;
             }
             self.loop_stats.events += 1;
@@ -414,6 +532,14 @@ impl Cluster {
             self.handle(event, now);
         }
         self.metrics.finalize(self.end);
+    }
+
+    /// Tally a discarded past-horizon event: a `FaultResend` that never
+    /// fired is a displaced RPC the run ended too early to redeliver.
+    fn count_undelivered(&mut self, event: &Event) {
+        if matches!(event, Event::FaultResend { .. }) {
+            self.fault_stats.undelivered += 1;
+        }
     }
 
     fn into_output(mut self) -> (RawRunOutput, Option<Trace>) {
@@ -431,6 +557,7 @@ impl Cluster {
                 overheads,
                 end: self.end,
                 loop_stats: self.loop_stats,
+                fault_stats: self.fault_stats,
             },
             trace,
         )
@@ -443,15 +570,41 @@ impl Cluster {
                 self.try_issue(proc, now);
             }
             Event::ArriveAtOss { ost, rpc } => {
+                // Recorded with the *addressed* OST, before any crash
+                // re-routing: replays re-inject exactly these arrivals and
+                // re-derive the re-route from the fault plan in the header.
                 if let Some(records) = self.recorder.as_mut() {
                     records.push(TraceRecord { at: now, ost, rpc });
                 }
                 self.metrics.on_arrival(rpc.job, now);
-                self.osts[ost].job_stats.record_arrival(rpc.job);
-                self.osts[ost].scheduler.enqueue(rpc, now);
-                self.dispatch(ost, now);
+                self.deliver(ost, rpc, now, true);
             }
-            Event::ServiceDone { ost, rpc } => {
+            Event::FaultResend { ost, rpc } => {
+                // A client resend or redelivery: demand was counted at the
+                // first arrival and the RPC is already counted displaced,
+                // so only the OSS-side bookkeeping repeats.
+                self.deliver(ost, rpc, now, false);
+            }
+            Event::ServiceDone { ost, rpc, epoch } => {
+                if self.faults_active && epoch != self.epochs[ost] {
+                    // The thread serving this RPC died with the OST: the
+                    // client never sees a reply and resends after its
+                    // timeout (the window slot stays occupied meanwhile,
+                    // exactly like a real resend on the same slot). The
+                    // timeout anchors at the *loss* — the crash instant —
+                    // like the drained backlog's, not at this phantom
+                    // completion time; `max(now, …)` only guards a service
+                    // so long it outlives the whole timeout.
+                    self.fault_stats.lost_in_service += 1;
+                    self.fault_stats.resent += 1;
+                    let crash = self
+                        .faults
+                        .ost_crash
+                        .expect("stale epoch implies a crash window");
+                    let at = (crash.from + crash.resend_after).max(now);
+                    self.queue.push(at, Event::FaultResend { ost, rpc });
+                    return;
+                }
                 self.osts[ost].end_service(&rpc);
                 self.metrics.on_served_at(rpc.job, now, rpc.issued_at);
                 // In replay mode the trace is the client side: there is no
@@ -524,12 +677,134 @@ impl Cluster {
             Event::ControllerTick { ost } => {
                 self.controller_tick(ost, now);
             }
+            Event::OstCrash { ost } => {
+                // The OST dies: thread pool, token buckets, rules and job
+                // stats all vanish (and the daemon's rule bookkeeping with
+                // them); the drained backlog is what the clients resend
+                // once their RPC timeout expires.
+                self.crashed[ost] = true;
+                self.epochs[ost] += 1;
+                if let Some(driver) = self.drivers[ost].as_mut() {
+                    driver.on_ost_crash();
+                }
+                let mut lost = self.osts[ost].crash_reset();
+                // Clients resend in issue order, regardless of how the
+                // dead scheduler had them queued.
+                lost.sort_unstable_by_key(|r| r.id.raw());
+                self.fault_stats.resent += lost.len() as u64;
+                let resend_at = now
+                    + self
+                        .faults
+                        .ost_crash
+                        .expect("crash event implies a crash window")
+                        .resend_after;
+                for rpc in lost {
+                    self.queue.push(resend_at, Event::FaultResend { ost, rpc });
+                }
+            }
+            Event::OstRecover { ost } => {
+                // Rejoin with empty bucket state. AdapTBF reinstalls rules
+                // on its next control cycle; Static BW's fixed rules must
+                // come back now or the policy would silently degrade to
+                // No BW on this OST for the rest of the run.
+                self.crashed[ost] = false;
+                if matches!(self.policy, Policy::StaticBw) {
+                    install_static_rules(
+                        &mut self.osts[ost],
+                        &self.trace_meta.jobs,
+                        self.static_rate_total,
+                        now,
+                    );
+                }
+                self.dispatch(ost, now);
+            }
+            Event::ProcResume { proc } => {
+                self.proc_resume[proc] = None;
+                self.try_issue(proc, now);
+            }
+        }
+    }
+
+    /// Land `rpc` on `ost`, re-routing around a crash window: the next
+    /// surviving member of the issuing process's stripe set takes it
+    /// immediately (Lustre clients redirect striped I/O once an OST is
+    /// marked inactive); with no survivor the RPC parks and is
+    /// redelivered the instant the OST rejoins. `first` marks a
+    /// first-hand (client-originated) arrival: only those count toward
+    /// the re-route/park statistics, so every displaced RPC lands in
+    /// exactly one `FaultStats` category.
+    fn deliver(&mut self, ost: usize, rpc: Rpc, now: SimTime, first: bool) {
+        let ost = if self.faults_active && self.crashed[ost] {
+            match self.surviving_ost(ost, &rpc) {
+                Some(target) => {
+                    if first {
+                        self.fault_stats.rerouted += 1;
+                    }
+                    target
+                }
+                None => {
+                    if first {
+                        self.fault_stats.parked += 1;
+                    }
+                    let recover = self
+                        .faults
+                        .ost_crash
+                        .expect("crashed flag implies a crash window")
+                        .recovery_at();
+                    self.queue
+                        .push(recover.max(now), Event::FaultResend { ost, rpc });
+                    return;
+                }
+            }
+        } else {
+            ost
+        };
+        self.osts[ost].job_stats.record_arrival(rpc.job);
+        self.osts[ost].scheduler.enqueue(rpc, now);
+        self.dispatch(ost, now);
+    }
+
+    /// The surviving OST that takes over a displaced RPC: the next
+    /// non-crashed member of the issuing process's *stripe set*, in
+    /// stripe order after `ost`. The set is derived from the RPC's
+    /// process id exactly as the issue path places it (base
+    /// `proc % n_osts`, width `stripe_count`), so record and replay
+    /// agree without any client state. An RPC addressed outside its
+    /// derivable stripe set (hand-authored traces) falls back to plain
+    /// ring order over all OSTs. For fully-striped wirings
+    /// (`stripe_count == n_osts`) both walks visit the same candidates
+    /// in the same order.
+    fn surviving_ost(&self, ost: usize, rpc: &Rpc) -> Option<usize> {
+        let n = self.osts.len();
+        let width = self.stripe_count;
+        let base = rpc.proc_id.raw() as usize % n;
+        let offset = (ost + n - base) % n;
+        if offset < width {
+            (1..width)
+                .map(|k| (base + (offset + k) % width) % n)
+                .find(|&candidate| !self.crashed[candidate])
+        } else {
+            (1..n)
+                .map(|k| (ost + k) % n)
+                .find(|&candidate| !self.crashed[candidate])
         }
     }
 
     /// Issue whatever the process's window allows and ship it northbound,
     /// striping sequential RPCs over `stripe_count` OSTs.
     fn try_issue(&mut self, proc: usize, now: SimTime) {
+        if self.faults_active {
+            if let Some(until) = self.faults.churn_offline_until(proc, now) {
+                // Churned offline: work keeps accumulating client-side but
+                // nothing is issued until the process rejoins. One resume
+                // event per offline window.
+                if self.proc_resume[proc] != Some(until) {
+                    self.proc_resume[proc] = Some(until);
+                    self.queue.push(until, Event::ProcResume { proc });
+                }
+                return;
+            }
+        }
         let state = &mut self.procs[proc];
         let base_ost = state.ost;
         let issued_before = state.issued;
@@ -550,13 +825,26 @@ impl Cluster {
     /// Hand work to idle I/O threads until the pool is busy or the
     /// scheduler has nothing servable.
     fn dispatch(&mut self, ost: usize, now: SimTime) {
+        if self.faults_active && self.crashed[ost] {
+            return;
+        }
         while self.osts[ost].has_idle_thread() {
             match self.osts[ost].scheduler.next(now) {
                 SchedDecision::Serve(rpc) => {
-                    let health = self.faults.disk_factor(now);
+                    let health = if self.faults_active {
+                        self.faults.disk_factor(now)
+                    } else {
+                        1.0
+                    };
                     let service = self.osts[ost].begin_service_degraded(&rpc, health);
-                    self.queue
-                        .push(now + service, Event::ServiceDone { ost, rpc });
+                    self.queue.push(
+                        now + service,
+                        Event::ServiceDone {
+                            ost,
+                            rpc,
+                            epoch: self.epochs[ost],
+                        },
+                    );
                 }
                 SchedDecision::WaitUntil(deadline) => {
                     let state = &mut self.osts[ost];
@@ -576,6 +864,12 @@ impl Cluster {
     fn controller_tick(&mut self, ost: usize, now: SimTime) {
         let cycle = self.cycles[ost];
         self.cycles[ost] += 1;
+        if self.faults_active && self.crashed[ost] {
+            // The whole OSS is down, controller included; ticks resume
+            // (and rules are recreated) after recovery.
+            self.schedule_next_tick(ost, now);
+            return;
+        }
         if self.faults.cycle_stalled(cycle) {
             // Hung daemon: no collection, no allocation, no rule changes;
             // stats keep accumulating for the next healthy cycle.
@@ -627,6 +921,34 @@ impl Cluster {
     /// The policy governing this cluster.
     pub fn policy(&self) -> Policy {
         self.policy
+    }
+}
+
+/// Install the Static BW baseline's fixed rules (rate `T_i · p_x` from the
+/// global static priorities) on one OST — at build time, and again when a
+/// crashed OST rejoins with empty bucket state.
+fn install_static_rules(ost: &mut OstState, jobs: &[(JobId, u64)], rate_total: f64, now: SimTime) {
+    let total: u64 = jobs.iter().map(|&(_, n)| n).sum();
+    for &(job, nodes) in jobs {
+        let rate = rate_total * nodes as f64 / total as f64;
+        ost.scheduler.start_rule(
+            job.label(),
+            RpcMatcher::Job(job),
+            rate,
+            nodes.min(u32::MAX as u64) as u32,
+            now,
+        );
+    }
+}
+
+/// Schedule the fault plan's crash/recovery pair. Pushed before any other
+/// event so that at identical timestamps the window flips *before*
+/// same-instant arrivals are delivered — in the recording and in every
+/// replay alike.
+fn push_crash_events(queue: &mut EventQueue<Event>, faults: &FaultPlan) {
+    if let Some(crash) = faults.ost_crash {
+        queue.push(crash.from, Event::OstCrash { ost: crash.ost });
+        queue.push(crash.recovery_at(), Event::OstRecover { ost: crash.ost });
     }
 }
 
@@ -724,6 +1046,232 @@ mod tests {
         let text = trace.to_text();
         let parsed = adaptbf_workload::trace::Trace::from_text(&text).expect("parses");
         assert_eq!(parsed, trace);
+    }
+
+    fn crash_faults(ost: usize, from_ms: u64, for_ms: u64) -> FaultPlan {
+        FaultPlan {
+            ost_crash: Some(crate::faults::CrashSpec {
+                ost,
+                from: SimTime::from_millis(from_ms),
+                for_: SimDuration::from_millis(for_ms),
+                resend_after: SimDuration::from_millis(50),
+            }),
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn ost_crash_on_striped_pair_loses_no_work() {
+        let cfg = ClusterConfig {
+            n_osts: 2,
+            stripe_count: 2,
+            faults: crash_faults(1, 20, 150),
+            ..Default::default()
+        };
+        for policy in [Policy::NoBw, Policy::StaticBw, Policy::adaptbf_default()] {
+            let out = Cluster::build_with(&tiny_scenario(), policy, 3, cfg).run();
+            assert_eq!(
+                out.metrics.total_served(),
+                200,
+                "every RPC survives the failover under {}",
+                policy.name()
+            );
+            let fs = out.fault_stats;
+            assert!(
+                fs.resent + fs.rerouted > 0,
+                "the crash window must actually displace traffic: {fs:?}"
+            );
+            assert!(fs.lost_in_service <= fs.resent);
+        }
+    }
+
+    #[test]
+    fn single_ost_crash_parks_arrivals_until_recovery() {
+        let cfg = ClusterConfig {
+            faults: crash_faults(0, 50, 200),
+            ..Default::default()
+        };
+        let out = Cluster::build_with(&tiny_scenario(), Policy::adaptbf_default(), 3, cfg).run();
+        assert_eq!(
+            out.metrics.total_served(),
+            200,
+            "no survivor ⇒ park or resend, never drop"
+        );
+        let fs = out.fault_stats;
+        assert!(fs.resent > 0, "{fs:?}");
+        assert_eq!(fs.rerouted, 0, "nowhere to re-route to: {fs:?}");
+        assert_eq!(fs.undelivered, 0, "everything redelivered in time: {fs:?}");
+    }
+
+    #[test]
+    fn resends_cut_off_by_the_horizon_are_counted_undelivered() {
+        // The crash opens mid-run but the resend timeout stretches past
+        // the horizon: displaced RPCs cannot be redelivered in time. They
+        // must not vanish from the books — `undelivered` owns them.
+        let cfg = ClusterConfig {
+            faults: FaultPlan {
+                ost_crash: Some(crate::faults::CrashSpec {
+                    ost: 0,
+                    from: SimTime::from_millis(100),
+                    for_: SimDuration::from_millis(200),
+                    resend_after: SimDuration::from_secs(10),
+                }),
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let out = Cluster::build_with(&tiny_scenario(), Policy::adaptbf_default(), 3, cfg).run();
+        let fs = out.fault_stats;
+        assert!(
+            fs.undelivered > 0,
+            "cut-off resends must be tallied: {fs:?}"
+        );
+        assert_eq!(
+            fs.undelivered, fs.resent,
+            "a 10s timeout strands every resend of this run: {fs:?}"
+        );
+        // The undelivered RPCs also pin their client window slots, so some
+        // backlog stays unissued — but nothing is unaccounted: whatever is
+        // not served is either an undelivered resend or still client-side.
+        let served = out.metrics.total_served();
+        assert!(served < 200, "the stranded resends cannot have been served");
+        assert!(
+            served + fs.undelivered <= 200,
+            "no RPC is both served and undelivered: {fs:?}"
+        );
+    }
+
+    #[test]
+    fn reroute_stays_within_the_stripe_set() {
+        // 4 OSTs but stripe width 1: the single process's file lives on
+        // OST 0 only. When OST 0 crashes there is no *stripe member* to
+        // fail over to — its RPCs must park until recovery, never leak to
+        // OSTs 1..3 that the client's layout does not include.
+        let scenario = Scenario::new(
+            "one_proc",
+            "",
+            vec![JobSpec::uniform(
+                JobId(1),
+                1,
+                1,
+                ProcessSpec::continuous(200),
+            )],
+            SimDuration::from_secs(3),
+        );
+        let cfg = ClusterConfig {
+            n_osts: 4,
+            stripe_count: 1,
+            faults: crash_faults(0, 20, 150),
+            ..Default::default()
+        };
+        let out = Cluster::build_with(&scenario, Policy::adaptbf_default(), 3, cfg).run();
+        assert_eq!(
+            out.metrics.total_served(),
+            200,
+            "confined work still served"
+        );
+        let fs = out.fault_stats;
+        assert!(fs.resent > 0, "{fs:?}");
+        assert_eq!(
+            fs.rerouted, 0,
+            "no foreign OST may serve a stripe-confined file: {fs:?}"
+        );
+        assert_eq!(fs.undelivered, 0, "{fs:?}");
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_faultless_stats_are_zero() {
+        let cfg = ClusterConfig {
+            n_osts: 2,
+            stripe_count: 2,
+            faults: FaultPlan {
+                churn: Some(crate::faults::ChurnSpec {
+                    every: SimDuration::from_millis(300),
+                    offline: SimDuration::from_millis(100),
+                    stride: 2,
+                }),
+                ..crash_faults(1, 60, 150)
+            },
+            ..Default::default()
+        };
+        let run = || {
+            let out =
+                Cluster::build_with(&tiny_scenario(), Policy::adaptbf_default(), 7, cfg).run();
+            (out.metrics.served_by_job(), out.fault_stats)
+        };
+        let (a, fa) = run();
+        let (b, fb) = run();
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+        let clean = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 7).run();
+        assert_eq!(clean.fault_stats, FaultStats::default());
+    }
+
+    #[test]
+    fn churn_pauses_issuance_but_serves_everything() {
+        let cfg = ClusterConfig {
+            faults: FaultPlan {
+                churn: Some(crate::faults::ChurnSpec {
+                    every: SimDuration::from_millis(600),
+                    offline: SimDuration::from_millis(200),
+                    stride: 2,
+                }),
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let faulty = Cluster::build_with(&tiny_scenario(), Policy::adaptbf_default(), 3, cfg).run();
+        assert_eq!(
+            faulty.metrics.total_served(),
+            200,
+            "churn delays, never drops"
+        );
+        // Offline windows must actually defer service relative to the
+        // healthy run at some point in the timeline.
+        let healthy = Cluster::build(&tiny_scenario(), Policy::adaptbf_default(), 3).run();
+        assert!(
+            faulty.metrics.last_service >= healthy.metrics.last_service,
+            "pausing issuance cannot finish earlier"
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_faulty_run_exactly() {
+        let cfg = ClusterConfig {
+            n_osts: 2,
+            stripe_count: 2,
+            faults: crash_faults(1, 20, 150),
+            ..Default::default()
+        };
+        for policy in [Policy::NoBw, Policy::StaticBw, Policy::adaptbf_default()] {
+            let (out, trace) = Cluster::build_with(&tiny_scenario(), policy, 9, cfg).run_traced();
+            assert_eq!(
+                trace.meta.faults, cfg.faults,
+                "the active fault plan rides in the trace header"
+            );
+            // Resends/re-routes are derived, not recorded: the trace holds
+            // exactly the client-originated arrivals.
+            assert_eq!(trace.records.len(), 200);
+            let replayed = Cluster::build_replay(&trace, policy, 9, cfg).run();
+            assert_eq!(
+                out.metrics.served_by_job(),
+                replayed.metrics.served_by_job(),
+                "faulty replay diverged under {}",
+                policy.name()
+            );
+            assert_eq!(out.metrics.served(), replayed.metrics.served());
+            assert_eq!(out.fault_stats, replayed.fault_stats);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn crash_on_unknown_ost_is_rejected() {
+        let cfg = ClusterConfig {
+            faults: crash_faults(3, 100, 100),
+            ..Default::default()
+        };
+        let _ = Cluster::build_with(&tiny_scenario(), Policy::NoBw, 1, cfg);
     }
 
     #[test]

@@ -112,6 +112,16 @@ impl ControllerDriver {
         outcome
     }
 
+    /// The OST under this controller crashed: the scheduler (and every
+    /// installed rule) is gone, so the daemon forgets its rule ids and
+    /// recreates rules on the next healthy cycle. The allocation
+    /// controller's Job Records deliberately survive — they are the OSS's
+    /// persistent lending ledger, so borrowing debts are not erased by a
+    /// reboot and Σ records stays balanced across the outage.
+    pub fn on_ost_crash(&mut self) {
+        self.daemon.reset();
+    }
+
     /// Overhead accounting so far.
     pub fn overhead(&self) -> ControllerOverhead {
         self.overhead

@@ -2,7 +2,7 @@
 //! all three policies → [`Comparison`] with the gain/loss tables of
 //! Figures 4/6/8.
 
-use crate::cluster::{Cluster, ClusterConfig};
+use crate::cluster::{Cluster, ClusterConfig, FaultStats};
 use crate::controller_driver::ControllerOverhead;
 use crate::metrics::Metrics;
 use crate::policy::Policy;
@@ -43,6 +43,9 @@ pub struct RunReport {
     pub per_job: BTreeMap<JobId, JobOutcome>,
     /// Control-plane overhead per OST (empty under baselines).
     pub overheads: Vec<ControllerOverhead>,
+    /// Fault-machinery accounting (all zero on fault-free runs): how many
+    /// RPCs a crash window displaced and by which path they survived.
+    pub fault_stats: FaultStats,
 }
 
 impl RunReport {
@@ -144,6 +147,7 @@ impl Experiment {
             metrics: out.metrics,
             per_job,
             overheads: out.overheads,
+            fault_stats: out.fault_stats,
         }
     }
 }

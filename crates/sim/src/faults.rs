@@ -1,154 +1,15 @@
-//! Failure injection for the control plane and the device — the
-//! degradation scenarios a production deployment must survive (DESIGN.md
-//! §7): a hung controller daemon, lost statistics, and a device slowdown.
+//! Failure injection for the control plane, the device, the OST itself
+//! and the client side — the degradation scenarios a production
+//! deployment must survive (DESIGN.md §7): a hung controller daemon, lost
+//! statistics, a device slowdown, an OST crash/recovery window and
+//! rotating process churn.
 //!
-//! All faults are deterministic (cycle- or time-indexed), so a faulty run
-//! is exactly as reproducible as a healthy one.
+//! The plan itself is pure data and lives in
+//! [`adaptbf_workload::faults`] so scenario files and trace headers can
+//! carry it; this module re-exports it and is where the simulator's event
+//! loop consumes it (see the "Fault injection" section of
+//! `docs/ARCHITECTURE.md` for where each fault hooks into the RPC data
+//! flow). All faults are deterministic (cycle-, time- or process-indexed),
+//! so a faulty run is exactly as reproducible as a healthy one.
 
-use adaptbf_model::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
-
-/// A deterministic fault schedule for one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct FaultPlan {
-    /// The controller daemon hangs: every `period`-th control cycle, the
-    /// next `duration` cycles are skipped outright (no collection, no
-    /// allocation, no rule changes — stats keep accumulating, exactly like
-    /// a stalled userspace daemon).
-    pub controller_stall: Option<StallSpec>,
-    /// `job_stats` reads fail every `n`-th cycle: the controller sees an
-    /// empty active set and stops every rule, pushing traffic through the
-    /// fallback path until the next healthy cycle.
-    pub stats_loss_every: Option<u64>,
-    /// The device degrades (e.g. SSD garbage collection): service times
-    /// multiply by `factor` inside the window.
-    pub disk_degrade: Option<DegradeSpec>,
-}
-
-/// Periodic controller stall.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct StallSpec {
-    /// A stall begins every `every` cycles (must be > duration).
-    pub every: u64,
-    /// Cycles skipped per stall.
-    pub duration: u64,
-}
-
-/// A device slowdown window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct DegradeSpec {
-    /// Window start.
-    pub from: SimTime,
-    /// Window length.
-    pub for_: SimDuration,
-    /// Service-time multiplier (> 1 slows the device).
-    pub factor: f64,
-}
-
-impl FaultPlan {
-    /// A plan with no faults.
-    pub fn none() -> Self {
-        Self::default()
-    }
-
-    /// Whether control cycle number `cycle` (0-based) is stalled.
-    pub fn cycle_stalled(&self, cycle: u64) -> bool {
-        match self.controller_stall {
-            Some(StallSpec { every, duration }) => {
-                assert!(every > duration, "stall period must exceed its duration");
-                cycle % every >= every - duration
-            }
-            None => false,
-        }
-    }
-
-    /// Whether cycle `cycle` loses its stats read.
-    pub fn stats_lost(&self, cycle: u64) -> bool {
-        match self.stats_loss_every {
-            Some(n) if n > 0 => cycle % n == n - 1,
-            _ => false,
-        }
-    }
-
-    /// Service-time multiplier in force at `now`.
-    pub fn disk_factor(&self, now: SimTime) -> f64 {
-        match self.disk_degrade {
-            Some(DegradeSpec { from, for_, factor }) if now >= from && now < from + for_ => factor,
-            _ => 1.0,
-        }
-    }
-
-    /// Whether the plan injects anything at all.
-    pub fn is_none(&self) -> bool {
-        self.controller_stall.is_none()
-            && self.stats_loss_every.is_none()
-            && self.disk_degrade.is_none()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn no_faults_by_default() {
-        let p = FaultPlan::none();
-        assert!(p.is_none());
-        assert!(!p.cycle_stalled(5));
-        assert!(!p.stats_lost(5));
-        assert_eq!(p.disk_factor(SimTime::from_secs(1)), 1.0);
-    }
-
-    #[test]
-    fn stall_windows() {
-        let p = FaultPlan {
-            controller_stall: Some(StallSpec {
-                every: 10,
-                duration: 3,
-            }),
-            ..Default::default()
-        };
-        // Cycles 7,8,9 of every decade stall.
-        let stalled: Vec<u64> = (0..20).filter(|c| p.cycle_stalled(*c)).collect();
-        assert_eq!(stalled, vec![7, 8, 9, 17, 18, 19]);
-    }
-
-    #[test]
-    fn stats_loss_cadence() {
-        let p = FaultPlan {
-            stats_loss_every: Some(4),
-            ..Default::default()
-        };
-        let lost: Vec<u64> = (0..12).filter(|c| p.stats_lost(*c)).collect();
-        assert_eq!(lost, vec![3, 7, 11]);
-    }
-
-    #[test]
-    fn degrade_window_bounds() {
-        let p = FaultPlan {
-            disk_degrade: Some(DegradeSpec {
-                from: SimTime::from_secs(10),
-                for_: SimDuration::from_secs(5),
-                factor: 3.0,
-            }),
-            ..Default::default()
-        };
-        assert_eq!(p.disk_factor(SimTime::from_secs(9)), 1.0);
-        assert_eq!(p.disk_factor(SimTime::from_secs(10)), 3.0);
-        assert_eq!(p.disk_factor(SimTime::from_millis(14_999)), 3.0);
-        assert_eq!(p.disk_factor(SimTime::from_secs(15)), 1.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "stall period")]
-    fn stall_longer_than_period_rejected() {
-        let p = FaultPlan {
-            controller_stall: Some(StallSpec {
-                every: 3,
-                duration: 3,
-            }),
-            ..Default::default()
-        };
-        let _ = p.cycle_stalled(0);
-    }
-}
+pub use adaptbf_workload::faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, StallSpec};

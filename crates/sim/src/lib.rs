@@ -43,9 +43,9 @@ pub mod rule_daemon;
 pub mod run_grid;
 pub mod spec;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, FaultStats};
 pub use experiment::{Comparison, Experiment, JobOutcome, RunReport};
-pub use faults::{DegradeSpec, FaultPlan, StallSpec};
+pub use faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, StallSpec};
 pub use policy::Policy;
 pub use report::{frequency_sweep, FrequencyPoint};
 pub use run_grid::RunGrid;

@@ -28,6 +28,8 @@ pub struct OstState {
     /// The Lustre `job_stats` equivalent for this OST.
     pub job_stats: JobStatsTracker,
     config: OstConfig,
+    /// Kept so a crash can rebuild the scheduler with identical knobs.
+    tbf: TbfSchedulerConfig,
     /// `disk_bw / n_io_threads`, computed once (the service-time model
     /// divides by it for every RPC).
     per_thread_bw: f64,
@@ -52,6 +54,7 @@ impl OstState {
             scheduler: NrsTbfScheduler::new(tbf),
             job_stats: JobStatsTracker::new(),
             config,
+            tbf,
             per_thread_bw: config.disk_bw_bytes_per_s as f64 / config.n_io_threads as f64,
             busy_threads: 0,
             in_service_slots: JobSlots::new(),
@@ -128,6 +131,23 @@ impl OstState {
         self.begin_service_degraded(rpc, 1.0)
     }
 
+    /// The OST crashes: its I/O threads die (whatever they were serving
+    /// is lost), the scheduler — rules, token buckets, queues — is
+    /// replaced with a factory-fresh one, and `job_stats` is wiped. The
+    /// drained backlog (ruled queues in job order, then fallback) is
+    /// returned so the embedder can model client resends. The service-time
+    /// RNG is deliberately kept: a reboot does not reseed the device.
+    pub fn crash_reset(&mut self) -> Vec<Rpc> {
+        let lost = self.scheduler.drain_pending();
+        self.scheduler = NrsTbfScheduler::new(self.tbf);
+        self.job_stats.clear();
+        self.busy_threads = 0;
+        self.in_service_counts.fill(0);
+        self.distinct_in_service = 0;
+        self.pending_wake = None;
+        lost
+    }
+
     /// A service completed; frees the thread.
     pub fn end_service(&mut self, rpc: &Rpc) {
         debug_assert!(self.busy_threads > 0);
@@ -182,6 +202,44 @@ mod tests {
             o.end_service(&rpc(1));
             assert!(s >= mean * 0.94 && s <= mean * 1.06, "{s} vs mean {mean}");
         }
+    }
+
+    #[test]
+    fn crash_reset_drains_backlog_and_frees_threads() {
+        let mut o = ost();
+        o.scheduler.start_rule(
+            "j1",
+            adaptbf_tbf::RpcMatcher::Job(JobId(1)),
+            10.0,
+            1,
+            SimTime::ZERO,
+        );
+        for i in 0..4 {
+            let mut r = rpc(1);
+            r.id = RpcId(i);
+            o.scheduler.enqueue(r, SimTime::ZERO);
+        }
+        o.job_stats.record_arrival(JobId(1));
+        let _ = o.begin_service(&rpc(2));
+        assert_eq!(o.busy_threads(), 1);
+        let lost = o.crash_reset();
+        assert_eq!(lost.len(), 4, "whole backlog drained");
+        assert_eq!(o.busy_threads(), 0, "thread pool reset");
+        assert!(o.has_idle_thread());
+        assert_eq!(o.scheduler.pending(), 0);
+        assert_eq!(o.scheduler.rules().len(), 0, "rules gone with the OST");
+        assert_eq!(o.job_stats.period_total(), 0, "stats wiped");
+        // A fresh service after recovery pays no stale interference.
+        let cfg = OstConfig {
+            service_jitter: 0.0,
+            ..paper::ost()
+        };
+        let mut o2 = OstState::new(cfg, TbfSchedulerConfig::default(), 7);
+        let s1 = o2.begin_service(&rpc(1)).as_secs_f64();
+        let _ = o2.begin_service(&rpc(2));
+        o2.crash_reset();
+        let s_after = o2.begin_service(&rpc(3)).as_secs_f64();
+        assert_eq!(s_after, s1, "occupancy state cleared by the crash");
     }
 
     #[test]

@@ -63,6 +63,20 @@ pub fn plan_file_run(file: &ScenarioFile) -> Result<FileRun, DslError> {
             cluster.n_osts, cluster.stripe_count
         )));
     }
+    // The file's `faults` block rides in the cluster wiring, so every
+    // front end that runs the plan injects it automatically.
+    file.faults
+        .validate()
+        .map_err(|e| DslError(format!("faults: {e}")))?;
+    if let Some(crash) = file.faults.ost_crash {
+        if crash.ost >= cluster.n_osts {
+            return Err(DslError(format!(
+                "faults: ost_crash.ost {} out of range (n_osts {})",
+                crash.ost, cluster.n_osts
+            )));
+        }
+    }
+    cluster.faults = file.faults;
     Ok(FileRun {
         scenario,
         policy,
@@ -82,13 +96,15 @@ pub fn policy_by_name(name: &str, acfg: AdapTbfConfig) -> Option<Policy> {
 }
 
 /// The wiring a trace was recorded under (paper defaults for everything
-/// the header does not pin). Replaying under this config with the
-/// recorded policy and seed reproduces the recorded run exactly.
+/// the header does not pin), including the fault plan active during the
+/// recording. Replaying under this config with the recorded policy and
+/// seed reproduces the recorded run exactly — faults and all.
 pub fn replay_cluster_config(trace: &Trace) -> ClusterConfig {
     ClusterConfig {
         n_clients: trace.meta.n_clients,
         n_osts: trace.meta.n_osts,
         stripe_count: trace.meta.stripe_count,
+        faults: trace.meta.faults,
         ..ClusterConfig::default()
     }
 }
@@ -138,6 +154,7 @@ pub fn replay_report(
         metrics: out.metrics,
         per_job,
         overheads: out.overheads,
+        fault_stats: out.fault_stats,
     }
 }
 

@@ -6,7 +6,10 @@
 use adaptbf_model::{JobId, LatencyHistogram, PerJobSeries, SimDuration, SimTime};
 use adaptbf_sim::cluster::{Cluster, ClusterConfig};
 use adaptbf_sim::metrics::Metrics;
-use adaptbf_sim::Policy;
+use adaptbf_sim::{
+    replay_cluster_config, ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, Policy, StallSpec,
+};
+use adaptbf_workload::trace::Trace;
 use adaptbf_workload::{JobSpec, ProcessSpec, Scenario};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -155,6 +158,142 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
             .collect();
         Scenario::new("prop", "", specs, SimDuration::from_secs(4))
     })
+}
+
+/// A random (possibly compound, possibly empty) fault plan sized for the
+/// 2-OST test wiring: every generated plan passes `FaultPlan::validate`.
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    let stall = prop_oneof![
+        Just(None),
+        (4u64..12, 1u64..3).prop_map(|(every, duration)| Some(StallSpec { every, duration })),
+    ];
+    let stats = prop_oneof![Just(None), (2u64..8).prop_map(Some)];
+    let degrade = prop_oneof![
+        Just(None),
+        (0u64..2000, 200u64..1500, 15u64..40).prop_map(|(from, for_, factor)| {
+            Some(DegradeSpec {
+                from: SimTime::from_millis(from),
+                for_: SimDuration::from_millis(for_),
+                factor: factor as f64 / 10.0,
+            })
+        }),
+    ];
+    let crash = prop_oneof![
+        Just(None),
+        (0usize..2, 50u64..1500, 100u64..800, 20u64..200).prop_map(|(ost, from, for_, resend)| {
+            Some(CrashSpec {
+                ost,
+                from: SimTime::from_millis(from),
+                for_: SimDuration::from_millis(for_),
+                resend_after: SimDuration::from_millis(resend),
+            })
+        }),
+    ];
+    let churn = prop_oneof![
+        Just(None),
+        (300u64..1200, 1u64..9, 1usize..4).prop_map(|(every, tenths, stride)| {
+            Some(ChurnSpec {
+                every: SimDuration::from_millis(every),
+                offline: SimDuration::from_millis(every * tenths / 10),
+                stride,
+            })
+        }),
+    ];
+    (stall, stats, degrade, crash, churn).prop_map(
+        |(controller_stall, stats_loss_every, disk_degrade, ost_crash, churn)| FaultPlan {
+            controller_stall,
+            stats_loss_every,
+            disk_degrade,
+            ost_crash,
+            churn,
+        },
+    )
+}
+
+fn faulty_wiring(faults: FaultPlan) -> ClusterConfig {
+    ClusterConfig {
+        n_osts: 2,
+        stripe_count: 2,
+        faults,
+        ..ClusterConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `(scenario, policy, seed, wiring, faults)` fully determines a run:
+    /// two executions agree on every series and on the fault accounting.
+    #[test]
+    fn faulty_runs_are_deterministic(
+        scenario in scenario_strategy(),
+        faults in fault_plan_strategy(),
+        seed in 0u64..32,
+    ) {
+        prop_assert!(faults.validate().is_ok(), "{faults:?}");
+        let cfg = faulty_wiring(faults);
+        for policy in [Policy::NoBw, Policy::adaptbf_default()] {
+            let a = Cluster::build_with(&scenario, policy, seed, cfg).run();
+            let b = Cluster::build_with(&scenario, policy, seed, cfg).run();
+            prop_assert_eq!(a.metrics.served(), b.metrics.served());
+            prop_assert_eq!(a.metrics.demand(), b.metrics.demand());
+            prop_assert_eq!(a.metrics.records(), b.metrics.records());
+            prop_assert_eq!(a.metrics.served_by_job(), b.metrics.served_by_job());
+            prop_assert_eq!(a.fault_stats, b.fault_stats);
+        }
+    }
+
+    /// Record → replay under a random fault plan is byte-exact: the plan
+    /// rides the trace header (which round-trips through text), and the
+    /// replay regenerates every resend/re-route deterministically.
+    #[test]
+    fn record_replay_under_faults_is_byte_exact(
+        scenario in scenario_strategy(),
+        faults in fault_plan_strategy(),
+        seed in 0u64..32,
+    ) {
+        let cfg = faulty_wiring(faults);
+        for policy in [Policy::NoBw, Policy::StaticBw, Policy::adaptbf_default()] {
+            let (out, trace) = Cluster::build_with(&scenario, policy, seed, cfg).run_traced();
+            prop_assert_eq!(trace.meta.faults, faults, "plan rides the header");
+            let parsed = Trace::from_text(&trace.to_text()).expect("trace parses");
+            prop_assert_eq!(&parsed, &trace, "text round trip");
+            let replayed =
+                Cluster::build_replay(&parsed, policy, seed, replay_cluster_config(&parsed)).run();
+            prop_assert_eq!(
+                out.metrics.served_by_job(),
+                replayed.metrics.served_by_job(),
+                "served counts diverged under {}", policy.name()
+            );
+            prop_assert_eq!(out.metrics.served(), replayed.metrics.served());
+            prop_assert_eq!(out.fault_stats, replayed.fault_stats);
+        }
+    }
+
+    /// The conservation invariant survives every disturbance: faults may
+    /// delay or displace RPCs but can never mint them.
+    #[test]
+    fn served_never_exceeds_released_under_faults(
+        scenario in scenario_strategy(),
+        faults in fault_plan_strategy(),
+        seed in 0u64..32,
+    ) {
+        let cfg = faulty_wiring(faults);
+        let out = Cluster::build_with(&scenario, Policy::adaptbf_default(), seed, cfg).run();
+        for (job, served) in &out.metrics.served_by_job() {
+            let released = out.metrics.released_by_job().get(job).copied().unwrap_or(0);
+            prop_assert!(
+                *served <= released,
+                "{} served {} > released {} under {:?}",
+                job, served, released, faults
+            );
+        }
+        let fs = out.fault_stats;
+        prop_assert!(fs.lost_in_service <= fs.resent);
+        if faults.ost_crash.is_none() {
+            prop_assert_eq!(fs, adaptbf_sim::FaultStats::default());
+        }
+    }
 }
 
 proptest! {

@@ -104,6 +104,15 @@ impl RuleDaemon {
         self.updates_scratch = updates;
     }
 
+    /// Forget every installed rule without touching a scheduler — the
+    /// OST-crash path: the scheduler (and its rule table) is gone, so the
+    /// daemon's bookkeeping must not survive it, or the next cycle's
+    /// batch update would reference rule ids that no longer exist.
+    /// Fresh rules are created on the next [`RuleDaemon::apply`].
+    pub fn reset(&mut self) {
+        self.rules_by_job.clear();
+    }
+
     /// Jobs that currently have a rule installed.
     pub fn ruled_jobs(&self) -> Vec<JobId> {
         self.rules_by_job.keys().copied().collect()
@@ -183,6 +192,22 @@ mod tests {
         );
         assert_eq!(d.ruled_jobs(), vec![JobId(2)]);
         assert_eq!(s.rules().len(), 1);
+    }
+
+    #[test]
+    fn reset_forgets_rules_and_recreates_on_next_apply() {
+        let mut s = NrsTbfScheduler::new(TbfSchedulerConfig::default());
+        let mut d = RuleDaemon::new();
+        let w = weights(&[(1, 1)]);
+        d.apply(&mut s, &[alloc(1, 30)], &w, SimTime::ZERO);
+        // The OST crashes: the scheduler (and its rule table) is replaced.
+        d.reset();
+        assert!(d.ruled_jobs().is_empty());
+        let mut fresh = NrsTbfScheduler::new(TbfSchedulerConfig::default());
+        // Without the reset this would panic on a stale RuleId.
+        d.apply(&mut fresh, &[alloc(1, 50)], &w, SimTime::from_millis(100));
+        assert_eq!(d.ruled_jobs(), vec![JobId(1)]);
+        assert_eq!(fresh.rules().len(), 1);
     }
 
     #[test]

@@ -490,6 +490,23 @@ impl NrsTbfScheduler {
         }
     }
 
+    /// Empty every queue — ruled and fallback — returning the drained
+    /// RPCs in deterministic order (ruled queues in JobId order, FIFO
+    /// within each, then the fallback queue). This is the crash path:
+    /// when an OST dies, its backlog is what the clients must resend
+    /// elsewhere. Rules and all stats stay untouched; only backlogs go.
+    pub fn drain_pending(&mut self) -> Vec<Rpc> {
+        let mut out = Vec::with_capacity(self.pending());
+        for (_job, slot) in self.slots.sorted_by_job() {
+            if let Some(queue) = self.queues[slot].as_mut() {
+                out.extend(queue.drain());
+            }
+        }
+        self.ruled_backlog = 0;
+        out.extend(self.fallback.drain(..));
+        out
+    }
+
     // ---- introspection ---------------------------------------------------
 
     /// Total RPCs waiting (ruled + fallback).
@@ -881,6 +898,30 @@ mod tests {
             other => panic!("stale entry must not validate: got {other:?}"),
         }
         assert!(matches!(s.next(t(103)), SchedDecision::Serve(_)));
+    }
+
+    #[test]
+    fn drain_pending_empties_all_queues_in_job_then_fallback_order() {
+        let mut s = sched();
+        s.start_rule("j2", RpcMatcher::Job(JobId(2)), 10.0, 1, t(0));
+        s.start_rule("j1", RpcMatcher::Job(JobId(1)), 10.0, 1, t(0));
+        // Enqueue out of job order plus unruled traffic.
+        s.enqueue(rpc(1, 2), t(0));
+        s.enqueue(rpc(2, 1), t(0));
+        s.enqueue(rpc(3, 2), t(0));
+        s.enqueue(rpc(4, 9), t(0)); // fallback
+        assert_eq!(s.pending(), 4);
+        let drained = s.drain_pending();
+        let order: Vec<(u32, u64)> = drained.iter().map(|r| (r.job.raw(), r.id.raw())).collect();
+        // Ruled queues in JobId order (FIFO within), then fallback.
+        assert_eq!(order, vec![(1, 2), (2, 1), (2, 3), (9, 4)]);
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.pending_ruled(), 0);
+        assert_eq!(s.pending_fallback(), 0);
+        assert_eq!(s.next(t(1000)), SchedDecision::Idle);
+        // Rules survive a drain; fresh traffic is still governed.
+        s.enqueue(rpc(10, 1), t(1000));
+        assert_eq!(s.pending_ruled(), 1);
     }
 
     #[test]

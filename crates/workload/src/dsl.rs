@@ -19,7 +19,11 @@
 //!        "rpcs_per_burst": 160, "file_rpcs": 2048}
 //!     ]}
 //!   ],
-//!   "run": {"seed": 42, "policy": "adaptbf", "period_ms": 100}
+//!   "run": {"seed": 42, "policy": "adaptbf", "period_ms": 100},
+//!   "faults": {
+//!     "ost_crash": {"ost": 1, "from_secs": 8, "for_secs": 4,
+//!                   "resend_after_secs": 0.3}
+//!   }
 //! }
 //! ```
 //!
@@ -28,10 +32,17 @@
 //! replayed trace produces), and `diurnal` (authoring sugar: a cosine
 //! day/night cycle that expands to `timed` chunks at build time).
 //!
+//! The optional `faults` block declares a deterministic disturbance
+//! schedule ([`FaultPlan`]) the same way the `jobs` block declares the
+//! workload: `controller_stall`, `stats_loss_every`, `disk_degrade`,
+//! `ost_crash` and `job_churn` (see `docs/SCENARIOS.md` for the full
+//! reference).
+//!
 //! Rendering is canonical: [`ScenarioFile::render`] after
 //! [`ScenarioFile::parse`] reproduces a canonical file byte-for-byte
 //! (asserted by golden-file tests).
 
+use crate::faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, StallSpec};
 use crate::job::{JobSpec, ProcessSpec, DEFAULT_MAX_INFLIGHT};
 use crate::json::{Json, JsonError};
 use crate::pattern::{IoPattern, WorkChunk};
@@ -316,6 +327,9 @@ pub struct ScenarioFile {
     pub jobs: Vec<JobFileSpec>,
     /// Optional controller/cluster knobs.
     pub run: RunSpec,
+    /// Optional deterministic fault schedule (controller stalls, stats
+    /// loss, disk degradation, OST crash/recovery, process churn).
+    pub faults: FaultPlan,
 }
 
 impl ScenarioFile {
@@ -325,7 +339,14 @@ impl ScenarioFile {
         let obj = as_obj(&root, "top level")?;
         check_keys(
             obj,
-            &["name", "description", "duration_secs", "jobs", "run"],
+            &[
+                "name",
+                "description",
+                "duration_secs",
+                "jobs",
+                "run",
+                "faults",
+            ],
             "top level",
         )?;
         let name = req_str(&root, "name")?;
@@ -349,12 +370,18 @@ impl ScenarioFile {
             None => RunSpec::default(),
             Some(r) => parse_run(r)?,
         };
+        let faults = match root.get("faults") {
+            None => FaultPlan::none(),
+            Some(f) => parse_faults(f)?,
+        };
+        faults.validate().map_err(|e| err(format!("faults: {e}")))?;
         Ok(ScenarioFile {
             name,
             description,
             duration_secs,
             jobs,
             run,
+            faults,
         })
     }
 
@@ -402,6 +429,9 @@ impl ScenarioFile {
                 run.push(("stripe_count", Json::num_u64(stripe_count as u64)));
             }
             top.push(("run", Json::obj(run)));
+        }
+        if !self.faults.is_none() {
+            top.push(("faults", render_faults(&self.faults)));
         }
         Json::obj(top).render()
     }
@@ -510,6 +540,7 @@ impl ScenarioFile {
             duration_secs: scenario.duration.as_secs_f64(),
             jobs,
             run: RunSpec::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -711,6 +742,159 @@ fn parse_run(v: &Json) -> Result<RunSpec, DslError> {
     })
 }
 
+fn parse_faults(v: &Json) -> Result<FaultPlan, DslError> {
+    let obj = as_obj(v, "faults")?;
+    check_keys(
+        obj,
+        &[
+            "controller_stall",
+            "stats_loss_every",
+            "disk_degrade",
+            "ost_crash",
+            "job_churn",
+        ],
+        "faults",
+    )?;
+    let span = |secs: f64, what: &str| -> Result<SimDuration, DslError> {
+        if !(secs > 0.0 && secs.is_finite()) {
+            return Err(err(format!("faults: {what} must be positive, got {secs}")));
+        }
+        Ok(SimDuration::from_secs_f64(secs))
+    };
+    let instant = |secs: f64, what: &str| -> Result<SimTime, DslError> {
+        if !(secs >= 0.0 && secs.is_finite()) {
+            return Err(err(format!("faults: invalid {what} {secs}")));
+        }
+        Ok(SimTime::ZERO + SimDuration::from_secs_f64(secs))
+    };
+    let controller_stall = match v.get("controller_stall") {
+        None => None,
+        Some(s) => {
+            check_keys(
+                as_obj(s, "controller_stall")?,
+                &["every", "duration"],
+                "controller_stall",
+            )?;
+            Some(StallSpec {
+                every: req_u64(s, "every")?,
+                duration: req_u64(s, "duration")?,
+            })
+        }
+    };
+    let disk_degrade = match v.get("disk_degrade") {
+        None => None,
+        Some(d) => {
+            check_keys(
+                as_obj(d, "disk_degrade")?,
+                &["from_secs", "for_secs", "factor"],
+                "disk_degrade",
+            )?;
+            Some(DegradeSpec {
+                from: instant(req_f64(d, "from_secs")?, "from_secs")?,
+                for_: span(req_f64(d, "for_secs")?, "for_secs")?,
+                factor: req_f64(d, "factor")?,
+            })
+        }
+    };
+    let ost_crash = match v.get("ost_crash") {
+        None => None,
+        Some(c) => {
+            check_keys(
+                as_obj(c, "ost_crash")?,
+                &["ost", "from_secs", "for_secs", "resend_after_secs"],
+                "ost_crash",
+            )?;
+            Some(CrashSpec {
+                ost: req_u64(c, "ost")? as usize,
+                from: instant(req_f64(c, "from_secs")?, "from_secs")?,
+                for_: span(req_f64(c, "for_secs")?, "for_secs")?,
+                resend_after: span(req_f64(c, "resend_after_secs")?, "resend_after_secs")?,
+            })
+        }
+    };
+    let churn = match v.get("job_churn") {
+        None => None,
+        Some(c) => {
+            check_keys(
+                as_obj(c, "job_churn")?,
+                &["every_secs", "offline_secs", "stride"],
+                "job_churn",
+            )?;
+            Some(ChurnSpec {
+                every: span(req_f64(c, "every_secs")?, "every_secs")?,
+                offline: span(req_f64(c, "offline_secs")?, "offline_secs")?,
+                stride: req_u64(c, "stride")? as usize,
+            })
+        }
+    };
+    Ok(FaultPlan {
+        controller_stall,
+        stats_loss_every: opt_u64(v, "stats_loss_every")?,
+        disk_degrade,
+        ost_crash,
+        churn,
+    })
+}
+
+fn render_faults(f: &FaultPlan) -> Json {
+    let mut pairs: Vec<(&str, Json)> = Vec::new();
+    if let Some(StallSpec { every, duration }) = f.controller_stall {
+        pairs.push((
+            "controller_stall",
+            Json::obj(vec![
+                ("every", Json::num_u64(every)),
+                ("duration", Json::num_u64(duration)),
+            ]),
+        ));
+    }
+    if let Some(n) = f.stats_loss_every {
+        pairs.push(("stats_loss_every", Json::num_u64(n)));
+    }
+    if let Some(DegradeSpec { from, for_, factor }) = f.disk_degrade {
+        pairs.push((
+            "disk_degrade",
+            Json::obj(vec![
+                ("from_secs", Json::Num(from.as_secs_f64())),
+                ("for_secs", Json::Num(for_.as_secs_f64())),
+                ("factor", Json::Num(factor)),
+            ]),
+        ));
+    }
+    if let Some(CrashSpec {
+        ost,
+        from,
+        for_,
+        resend_after,
+    }) = f.ost_crash
+    {
+        pairs.push((
+            "ost_crash",
+            Json::obj(vec![
+                ("ost", Json::num_u64(ost as u64)),
+                ("from_secs", Json::Num(from.as_secs_f64())),
+                ("for_secs", Json::Num(for_.as_secs_f64())),
+                ("resend_after_secs", Json::Num(resend_after.as_secs_f64())),
+            ]),
+        ));
+    }
+    if let Some(ChurnSpec {
+        every,
+        offline,
+        stride,
+    }) = f.churn
+    {
+        pairs.push((
+            "job_churn",
+            Json::obj(vec![
+                ("every_secs", Json::Num(every.as_secs_f64())),
+                ("offline_secs", Json::Num(offline.as_secs_f64())),
+                ("stride", Json::num_u64(stride as u64)),
+            ]),
+        ));
+    }
+    Json::obj(pairs)
+}
+
 fn render_stream(s: &StreamSpec) -> Json {
     let mut pairs: Vec<(&str, Json)> = Vec::new();
     if s.count != 1 {
@@ -800,6 +984,19 @@ mod tests {
             assert_eq!(reparsed, file, "text form of {}", s.name);
             assert_eq!(reparsed.render(), text, "canonical form of {}", s.name);
         }
+        // The fault built-ins are full scenario files (workload + run +
+        // faults); their canonical rendering must round-trip identically,
+        // fault block included.
+        for file in [
+            scenarios::ost_failover(),
+            scenarios::churn_under_degradation(),
+        ] {
+            let text = file.render();
+            let reparsed = ScenarioFile::parse(&text).expect("parses");
+            assert_eq!(reparsed, file, "text form of {}", file.name);
+            assert_eq!(reparsed.render(), text, "canonical form of {}", file.name);
+            assert!(text.contains("\"faults\""), "{} renders faults", file.name);
+        }
     }
 
     #[test]
@@ -871,6 +1068,92 @@ mod tests {
         let s = ScenarioFile::parse(text).unwrap().to_scenario().unwrap();
         assert_eq!(s.jobs[0].processes[0].file_rpcs, 30);
         assert_eq!(s.total_rpcs(), 30);
+    }
+
+    #[test]
+    fn faults_block_round_trips_canonically() {
+        let text = r#"{
+            "name": "faulty",
+            "description": "",
+            "duration_secs": 20,
+            "jobs": [
+                {"id": 1, "nodes": 1, "streams": [
+                    {"pattern": "continuous", "file_rpcs": 100}
+                ]}
+            ],
+            "faults": {
+                "controller_stall": {"every": 10, "duration": 3},
+                "stats_loss_every": 4,
+                "disk_degrade": {"from_secs": 2, "for_secs": 2.5, "factor": 3},
+                "ost_crash": {"ost": 1, "from_secs": 8, "for_secs": 4,
+                              "resend_after_secs": 0.3},
+                "job_churn": {"every_secs": 6, "offline_secs": 2, "stride": 3}
+            }
+        }"#;
+        let file = ScenarioFile::parse(text).unwrap();
+        assert_eq!(
+            file.faults.controller_stall,
+            Some(StallSpec {
+                every: 10,
+                duration: 3
+            })
+        );
+        assert_eq!(file.faults.stats_loss_every, Some(4));
+        let crash = file.faults.ost_crash.unwrap();
+        assert_eq!(crash.ost, 1);
+        assert_eq!(crash.from, SimTime::from_secs(8));
+        assert_eq!(crash.resend_after, SimDuration::from_millis(300));
+        let churn = file.faults.churn.unwrap();
+        assert_eq!(churn.every, SimDuration::from_secs(6));
+        assert_eq!(churn.stride, 3);
+        // Canonical rendering is a fixed point of parse ∘ render.
+        let canonical = file.render();
+        let reparsed = ScenarioFile::parse(&canonical).unwrap();
+        assert_eq!(reparsed, file);
+        assert_eq!(reparsed.render(), canonical);
+        assert!(canonical.contains("\"faults\""));
+    }
+
+    #[test]
+    fn faultless_files_render_no_faults_block() {
+        let file = ScenarioFile::from_scenario(&scenarios::token_allocation());
+        assert!(file.faults.is_none());
+        assert!(!file.render().contains("\"faults\""));
+    }
+
+    #[test]
+    fn rejects_bad_fault_blocks() {
+        let with_faults = |faults: &str| {
+            format!(
+                r#"{{"name":"x","duration_secs":1,"jobs":[{{"id":1,"nodes":1,
+                     "streams":[{{"pattern":"continuous","file_rpcs":1}}]}}],
+                     "faults":{faults}}}"#
+            )
+        };
+        let bad = [
+            // Unknown fault key.
+            r#"{"meteor_strike": 1}"#,
+            // Stall duration not shorter than its period.
+            r#"{"controller_stall": {"every": 3, "duration": 3}}"#,
+            // Degrade factor below 1 (would speed the disk up).
+            r#"{"disk_degrade": {"from_secs": 0, "for_secs": 1, "factor": 0.5}}"#,
+            // Crash without a resend timeout.
+            r#"{"ost_crash": {"ost": 0, "from_secs": 1, "for_secs": 1,
+                              "resend_after_secs": 0}}"#,
+            // Churn offline longer than its cycle.
+            r#"{"job_churn": {"every_secs": 2, "offline_secs": 3, "stride": 2}}"#,
+            // Churn with zero stride.
+            r#"{"job_churn": {"every_secs": 2, "offline_secs": 1, "stride": 0}}"#,
+            // Unknown key inside a sub-block.
+            r#"{"ost_crash": {"ost": 0, "from_secs": 1, "for_secs": 1,
+                              "resend_after_secs": 0.1, "blast_radius": 7}}"#,
+        ];
+        for faults in bad {
+            assert!(
+                ScenarioFile::parse(&with_faults(faults)).is_err(),
+                "must reject faults {faults}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Declarative failure injection: the disturbance half of the data
+//! surface.
+//!
+//! A [`FaultPlan`] is pure data — it can be written in a scenario file's
+//! `faults` block, carried in a trace header, or built programmatically —
+//! and covers the degradation scenarios a production deployment must
+//! survive: a hung controller daemon, lost statistics, a device slowdown,
+//! a full OST crash/recovery window, and client-side process churn.
+//!
+//! All faults are deterministic (cycle-, time- or process-indexed), so a
+//! faulty run is exactly as reproducible as a healthy one, and a trace
+//! recorded under faults replays byte-identically (the plan rides in the
+//! trace header). The simulator consumes the plan through
+//! `adaptbf_sim::faults`, which re-exports everything here.
+
+use adaptbf_model::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic fault schedule for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The controller daemon hangs: every `period`-th control cycle, the
+    /// next `duration` cycles are skipped outright (no collection, no
+    /// allocation, no rule changes — stats keep accumulating, exactly like
+    /// a stalled userspace daemon).
+    pub controller_stall: Option<StallSpec>,
+    /// `job_stats` reads fail every `n`-th cycle: the controller sees an
+    /// empty active set and stops every rule, pushing traffic through the
+    /// fallback path until the next healthy cycle.
+    pub stats_loss_every: Option<u64>,
+    /// The device degrades (e.g. SSD garbage collection): service times
+    /// multiply by `factor` inside the window.
+    pub disk_degrade: Option<DegradeSpec>,
+    /// One OST crashes and later rejoins with empty bucket state. While it
+    /// is down, its queued RPCs are resent to surviving stripe members
+    /// after a client timeout and new arrivals re-route to a surviving
+    /// stripe member immediately (or park until recovery if none exists).
+    pub ost_crash: Option<CrashSpec>,
+    /// Client-side process churn: processes leave (stop issuing) and
+    /// rejoin mid-run on a rotating schedule, churning the active job set
+    /// the controller allocates for.
+    pub churn: Option<ChurnSpec>,
+}
+
+/// Periodic controller stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallSpec {
+    /// A stall begins every `every` cycles (must be > duration).
+    pub every: u64,
+    /// Cycles skipped per stall.
+    pub duration: u64,
+}
+
+/// A device slowdown window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradeSpec {
+    /// Window start.
+    pub from: SimTime,
+    /// Window length.
+    pub for_: SimDuration,
+    /// Service-time multiplier (> 1 slows the device).
+    pub factor: f64,
+}
+
+/// An OST crash/recovery window.
+///
+/// At `from` the OST stops serving: its I/O threads die (RPCs in service
+/// are lost and resent by their clients after `resend_after`), its
+/// scheduler queues are drained and resent the same way, and new arrivals
+/// re-route to the next surviving member of the issuing process's stripe
+/// set (parking until recovery when none survives). At `from + for_` the
+/// OST rejoins with empty token-bucket state (fresh scheduler; the
+/// controller reinstalls rules on its next healthy cycle, static rules are
+/// reinstalled at recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// Index of the OST that crashes.
+    pub ost: usize,
+    /// Crash instant.
+    pub from: SimTime,
+    /// Outage length.
+    pub for_: SimDuration,
+    /// Client RPC timeout: how long after the loss an affected RPC is
+    /// resent.
+    pub resend_after: SimDuration,
+}
+
+impl CrashSpec {
+    /// The instant the OST rejoins.
+    pub fn recovery_at(&self) -> SimTime {
+        self.from + self.for_
+    }
+}
+
+/// Rotating process churn: time tiles into cycles of `every`; in cycle
+/// `c`, every process `p` with `p % stride == c % stride` is offline for
+/// the first `offline` of the cycle (it stops issuing new RPCs; work its
+/// pattern releases queues up client-side and in-flight RPCs complete
+/// normally). With `stride` s, each process sits out one cycle in `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Cycle length (must be > offline).
+    pub every: SimDuration,
+    /// Offline span at the start of each cycle.
+    pub offline: SimDuration,
+    /// Rotation width: process `p` is offline in cycles `c` with
+    /// `p % stride == c % stride` (must be >= 1).
+    pub stride: usize,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether control cycle number `cycle` (0-based) is stalled.
+    pub fn cycle_stalled(&self, cycle: u64) -> bool {
+        match self.controller_stall {
+            Some(StallSpec { every, duration }) => {
+                assert!(every > duration, "stall period must exceed its duration");
+                cycle % every >= every - duration
+            }
+            None => false,
+        }
+    }
+
+    /// Whether cycle `cycle` loses its stats read.
+    pub fn stats_lost(&self, cycle: u64) -> bool {
+        match self.stats_loss_every {
+            Some(n) if n > 0 => cycle % n == n - 1,
+            _ => false,
+        }
+    }
+
+    /// Service-time multiplier in force at `now`.
+    pub fn disk_factor(&self, now: SimTime) -> f64 {
+        match self.disk_degrade {
+            Some(DegradeSpec { from, for_, factor }) if now >= from && now < from + for_ => factor,
+            _ => 1.0,
+        }
+    }
+
+    /// If process number `proc` is churned offline at `now`, the instant
+    /// it rejoins; `None` while it is online.
+    pub fn churn_offline_until(&self, proc: usize, now: SimTime) -> Option<SimTime> {
+        let ChurnSpec {
+            every,
+            offline,
+            stride,
+        } = self.churn?;
+        debug_assert!(!every.is_zero() && stride >= 1 && offline < every);
+        let cycle = now.as_nanos() / every.as_nanos();
+        if proc as u64 % stride as u64 != cycle % stride as u64 {
+            return None;
+        }
+        let start = cycle * every.as_nanos();
+        if now.as_nanos() - start < offline.as_nanos() {
+            Some(SimTime(start + offline.as_nanos()))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_none(&self) -> bool {
+        self.controller_stall.is_none()
+            && self.stats_loss_every.is_none()
+            && self.disk_degrade.is_none()
+            && self.ost_crash.is_none()
+            && self.churn.is_none()
+    }
+
+    /// Validate all parameters, returning a human-readable error for the
+    /// scenario-file surface instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(StallSpec { every, duration }) = self.controller_stall {
+            if duration == 0 || every <= duration {
+                return Err(format!(
+                    "controller_stall: every ({every}) must exceed duration ({duration}) \
+                     and duration must be positive"
+                ));
+            }
+        }
+        if let Some(n) = self.stats_loss_every {
+            if n == 0 {
+                return Err("stats_loss_every must be positive".into());
+            }
+        }
+        if let Some(DegradeSpec { for_, factor, .. }) = self.disk_degrade {
+            if for_.is_zero() {
+                return Err("disk_degrade: window length must be positive".into());
+            }
+            if !(factor >= 1.0 && factor.is_finite()) {
+                return Err(format!(
+                    "disk_degrade: factor must be a finite value >= 1, got {factor}"
+                ));
+            }
+        }
+        if let Some(CrashSpec {
+            for_, resend_after, ..
+        }) = self.ost_crash
+        {
+            if for_.is_zero() {
+                return Err("ost_crash: outage length must be positive".into());
+            }
+            if resend_after.is_zero() {
+                return Err("ost_crash: resend_after must be positive".into());
+            }
+        }
+        if let Some(ChurnSpec {
+            every,
+            offline,
+            stride,
+        }) = self.churn
+        {
+            if stride == 0 {
+                return Err("churn: stride must be >= 1".into());
+            }
+            if offline.is_zero() || offline >= every {
+                return Err(format!(
+                    "churn: offline ({offline}) must be positive and shorter than every ({every})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_by_default() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(!p.cycle_stalled(5));
+        assert!(!p.stats_lost(5));
+        assert_eq!(p.disk_factor(SimTime::from_secs(1)), 1.0);
+        assert_eq!(p.churn_offline_until(0, SimTime::from_secs(1)), None);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn stall_windows() {
+        let p = FaultPlan {
+            controller_stall: Some(StallSpec {
+                every: 10,
+                duration: 3,
+            }),
+            ..Default::default()
+        };
+        // Cycles 7,8,9 of every decade stall.
+        let stalled: Vec<u64> = (0..20).filter(|c| p.cycle_stalled(*c)).collect();
+        assert_eq!(stalled, vec![7, 8, 9, 17, 18, 19]);
+        assert!(!p.is_none());
+    }
+
+    #[test]
+    fn stats_loss_cadence() {
+        let p = FaultPlan {
+            stats_loss_every: Some(4),
+            ..Default::default()
+        };
+        let lost: Vec<u64> = (0..12).filter(|c| p.stats_lost(*c)).collect();
+        assert_eq!(lost, vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn degrade_window_bounds() {
+        let p = FaultPlan {
+            disk_degrade: Some(DegradeSpec {
+                from: SimTime::from_secs(10),
+                for_: SimDuration::from_secs(5),
+                factor: 3.0,
+            }),
+            ..Default::default()
+        };
+        assert_eq!(p.disk_factor(SimTime::from_secs(9)), 1.0);
+        assert_eq!(p.disk_factor(SimTime::from_secs(10)), 3.0);
+        assert_eq!(p.disk_factor(SimTime::from_millis(14_999)), 3.0);
+        assert_eq!(p.disk_factor(SimTime::from_secs(15)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall period")]
+    fn stall_longer_than_period_rejected() {
+        let p = FaultPlan {
+            controller_stall: Some(StallSpec {
+                every: 3,
+                duration: 3,
+            }),
+            ..Default::default()
+        };
+        let _ = p.cycle_stalled(0);
+    }
+
+    #[test]
+    fn crash_recovery_instant() {
+        let c = CrashSpec {
+            ost: 1,
+            from: SimTime::from_secs(8),
+            for_: SimDuration::from_secs(6),
+            resend_after: SimDuration::from_millis(300),
+        };
+        assert_eq!(c.recovery_at(), SimTime::from_secs(14));
+    }
+
+    #[test]
+    fn churn_rotates_over_processes() {
+        let p = FaultPlan {
+            churn: Some(ChurnSpec {
+                every: SimDuration::from_secs(6),
+                offline: SimDuration::from_secs(2),
+                stride: 3,
+            }),
+            ..Default::default()
+        };
+        // Cycle 0 ([0, 6) s): processes 0, 3, 6 … offline for the first 2 s.
+        assert_eq!(
+            p.churn_offline_until(0, SimTime::from_secs(1)),
+            Some(SimTime::from_secs(2))
+        );
+        assert_eq!(p.churn_offline_until(1, SimTime::from_secs(1)), None);
+        assert_eq!(p.churn_offline_until(0, SimTime::from_secs(3)), None);
+        // Cycle 1 ([6, 12) s): processes 1, 4, 7 … offline.
+        assert_eq!(
+            p.churn_offline_until(1, SimTime::from_secs(7)),
+            Some(SimTime::from_secs(8))
+        );
+        assert_eq!(p.churn_offline_until(0, SimTime::from_secs(7)), None);
+        // Cycle 3 wraps back to p % 3 == 0.
+        assert_eq!(
+            p.churn_offline_until(3, SimTime::from_secs(18)),
+            Some(SimTime::from_secs(20))
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let bad = [
+            FaultPlan {
+                controller_stall: Some(StallSpec {
+                    every: 2,
+                    duration: 2,
+                }),
+                ..Default::default()
+            },
+            FaultPlan {
+                stats_loss_every: Some(0),
+                ..Default::default()
+            },
+            FaultPlan {
+                disk_degrade: Some(DegradeSpec {
+                    from: SimTime::ZERO,
+                    for_: SimDuration::from_secs(1),
+                    factor: 0.5,
+                }),
+                ..Default::default()
+            },
+            FaultPlan {
+                ost_crash: Some(CrashSpec {
+                    ost: 0,
+                    from: SimTime::ZERO,
+                    for_: SimDuration::ZERO,
+                    resend_after: SimDuration::from_millis(100),
+                }),
+                ..Default::default()
+            },
+            FaultPlan {
+                churn: Some(ChurnSpec {
+                    every: SimDuration::from_secs(2),
+                    offline: SimDuration::from_secs(2),
+                    stride: 2,
+                }),
+                ..Default::default()
+            },
+            FaultPlan {
+                churn: Some(ChurnSpec {
+                    every: SimDuration::from_secs(2),
+                    offline: SimDuration::from_secs(1),
+                    stride: 0,
+                }),
+                ..Default::default()
+            },
+        ];
+        for plan in bad {
+            assert!(plan.validate().is_err(), "must reject {plan:?}");
+        }
+    }
+}

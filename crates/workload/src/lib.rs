@@ -24,6 +24,10 @@
 //!
 //! * [`dsl`] — declarative JSON scenario files ([`ScenarioFile`]): every
 //!   built-in scenario expressed as data, new ones without recompiling;
+//! * [`faults`] — declarative disturbance schedules ([`FaultPlan`]):
+//!   controller stalls, stats loss, disk degradation, OST crash/recovery
+//!   and process churn, expressible in a scenario file's `faults` block
+//!   and carried in trace headers so faulty runs replay exactly;
 //! * [`trace`] — recorded RPC arrival histories ([`Trace`]): serialized,
 //!   replayed exactly by the simulator, or converted back into a
 //!   [`Scenario`] via [`IoPattern::Timed`];
@@ -34,6 +38,7 @@
 #![deny(missing_docs)]
 
 pub mod dsl;
+pub mod faults;
 pub mod job;
 pub mod json;
 pub mod pattern;
@@ -42,6 +47,7 @@ pub mod scenarios;
 pub mod trace;
 
 pub use dsl::{DslError, PatternSpec, RunSpec, ScenarioFile};
+pub use faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, StallSpec};
 pub use job::{JobSpec, ProcessSpec};
 pub use pattern::{IoPattern, WorkChunk};
 pub use scenario::Scenario;

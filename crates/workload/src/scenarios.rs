@@ -5,9 +5,11 @@
 //! factor for fast unit tests and doc tests while preserving the mix's
 //! shape (priorities, burst cadence, process counts).
 
+use crate::dsl::{RunSpec, ScenarioFile};
+use crate::faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan};
 use crate::job::{JobSpec, ProcessSpec, RPCS_PER_GIB};
 use crate::scenario::Scenario;
-use adaptbf_model::{JobId, SimDuration};
+use adaptbf_model::{JobId, SimDuration, SimTime};
 
 fn scale_rpcs(rpcs: u64, f: f64) -> u64 {
     ((rpcs as f64 * f).round() as u64).max(1)
@@ -283,6 +285,107 @@ pub fn million_rpc_scaled(f: f64) -> Scenario {
     )
 }
 
+/// The OST failover drill: a striped 2-OST cluster whose second OST
+/// crashes mid-run and rejoins with empty bucket state. Queued and
+/// in-service RPCs on the dead OST are resent to the survivor after a
+/// client timeout; new arrivals re-route immediately. Returned as a full
+/// [`ScenarioFile`] because the fault schedule and wiring are part of the
+/// scenario, not just the workload.
+pub fn ost_failover() -> ScenarioFile {
+    ost_failover_scaled(1.0)
+}
+
+/// [`ost_failover`] with file sizes, duration and fault windows scaled by
+/// `f` (windows keep their relative position in the run).
+pub fn ost_failover_scaled(f: f64) -> ScenarioFile {
+    let file = scale_rpcs(RPCS_PER_GIB * 2, f);
+    let duration = scale_duration(24.0, f);
+    let r = duration.as_secs_f64() / 24.0;
+    let secs = SimDuration::from_secs_f64;
+    let scenario = Scenario::new(
+        "ost_failover",
+        "resilience: OST 1 of a striped pair crashes mid-run; traffic \
+         fails over to OST 0 and re-balances after recovery",
+        vec![
+            JobSpec::uniform(JobId(1), 1, 8, ProcessSpec::continuous(file)),
+            JobSpec::uniform(JobId(2), 3, 8, ProcessSpec::continuous(file)),
+            JobSpec::uniform(
+                JobId(3),
+                4,
+                4,
+                ProcessSpec::bursty(file / 2, secs(0.5), secs(2.0), scale_rpcs(64, f)),
+            ),
+        ],
+        duration,
+    );
+    let mut out = ScenarioFile::from_scenario(&scenario);
+    out.run = RunSpec {
+        seed: Some(42),
+        policy: Some("adaptbf".into()),
+        period_ms: Some(100),
+        n_osts: Some(2),
+        stripe_count: Some(2),
+        ..RunSpec::default()
+    };
+    out.faults = FaultPlan {
+        ost_crash: Some(CrashSpec {
+            ost: 1,
+            from: SimTime::ZERO + secs(8.0 * r),
+            for_: secs(6.0 * r),
+            resend_after: secs(0.3 * r),
+        }),
+        ..FaultPlan::none()
+    };
+    out
+}
+
+/// Churn under degradation: four continuous jobs whose processes rotate
+/// offline every few seconds (client churn) while the disk hits a
+/// garbage-collection slowdown window late in the run — the compound
+/// disturbance case the controller must re-allocate through.
+pub fn churn_under_degradation() -> ScenarioFile {
+    churn_under_degradation_scaled(1.0)
+}
+
+/// [`churn_under_degradation`] with file sizes, duration and fault
+/// windows scaled by `f`.
+pub fn churn_under_degradation_scaled(f: f64) -> ScenarioFile {
+    let file = scale_rpcs(RPCS_PER_GIB, f);
+    let duration = scale_duration(30.0, f);
+    let r = duration.as_secs_f64() / 30.0;
+    let secs = SimDuration::from_secs_f64;
+    let job =
+        |id: u32, nodes: u64| JobSpec::uniform(JobId(id), nodes, 4, ProcessSpec::continuous(file));
+    let scenario = Scenario::new(
+        "churn_under_degradation",
+        "resilience: rotating process churn (one quarter of the clients \
+         offline at a time) plus a late disk-degradation window",
+        vec![job(1, 1), job(2, 1), job(3, 2), job(4, 4)],
+        duration,
+    );
+    let mut out = ScenarioFile::from_scenario(&scenario);
+    out.run = RunSpec {
+        seed: Some(42),
+        policy: Some("adaptbf".into()),
+        period_ms: Some(100),
+        ..RunSpec::default()
+    };
+    out.faults = FaultPlan {
+        churn: Some(ChurnSpec {
+            every: secs(6.0 * r),
+            offline: secs(2.0 * r),
+            stride: 4,
+        }),
+        disk_degrade: Some(DegradeSpec {
+            from: SimTime::ZERO + secs(15.0 * r),
+            for_: secs(6.0 * r),
+            factor: 2.5,
+        }),
+        ..FaultPlan::none()
+    };
+    out
+}
+
 /// Job churn: five jobs whose lifetimes tile the horizon (staggered
 /// delayed starts, finite files), exercising rule creation/stopping and
 /// active-set renormalization continuously.
@@ -440,6 +543,44 @@ mod tests {
         let smoke_total: u64 = smoke.jobs.iter().map(|j| j.total_rpcs()).sum();
         assert_eq!(smoke_total, 16_384);
         assert!(smoke.duration >= SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn fault_builtins_carry_their_fault_plans() {
+        let failover = ost_failover();
+        assert_eq!(failover.name, "ost_failover");
+        assert_eq!(failover.run.n_osts, Some(2));
+        let crash = failover.faults.ost_crash.expect("crash window");
+        assert_eq!(crash.ost, 1);
+        assert_eq!(crash.from, SimTime::from_secs(8));
+        assert_eq!(crash.recovery_at(), SimTime::from_secs(14));
+        assert!(failover.faults.validate().is_ok());
+        assert!(failover.to_scenario().is_ok());
+
+        let churny = churn_under_degradation();
+        assert!(churny.faults.churn.is_some());
+        assert!(churny.faults.disk_degrade.is_some());
+        assert!(churny.faults.validate().is_ok());
+        assert!(churny.to_scenario().is_ok());
+    }
+
+    #[test]
+    fn fault_builtins_scale_windows_with_duration() {
+        let scaled = ost_failover_scaled(1.0 / 8.0);
+        let s = scaled.to_scenario().unwrap();
+        assert_eq!(s.duration, SimDuration::from_secs(3));
+        let crash = scaled.faults.ost_crash.unwrap();
+        // 8 s of 24 s → 1 s of 3 s: the window keeps its relative position.
+        assert_eq!(crash.from, SimTime::from_secs(1));
+        assert_eq!(crash.for_, SimDuration::from_millis(750));
+        assert!(crash.recovery_at() < SimTime::ZERO + s.duration);
+        assert!(scaled.faults.validate().is_ok());
+
+        let churny = churn_under_degradation_scaled(1.0 / 10.0);
+        let c = churny.faults.churn.unwrap();
+        assert_eq!(c.every, SimDuration::from_millis(600));
+        assert_eq!(c.offline, SimDuration::from_millis(200));
+        assert!(churny.faults.validate().is_ok());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! approximation that lets any scenario consumer (grids, benches, files)
 //! run a recorded workload shape.
 
+use crate::faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, StallSpec};
 use crate::job::JobSpec;
 #[cfg(test)]
 use crate::pattern::IoPattern;
@@ -41,7 +42,7 @@ pub struct TraceRecord {
 
 /// Everything about the recorded run that replay needs besides the RPCs
 /// themselves.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
     /// Name of the recorded scenario.
     pub scenario: String,
@@ -59,12 +60,17 @@ pub struct TraceMeta {
     pub n_osts: usize,
     /// Stripe width of the recorded wiring.
     pub stripe_count: usize,
+    /// The fault schedule active during the recording (none by default).
+    /// Replaying under the recorded plan reproduces the faulty run
+    /// byte-exactly; replaying with a different plan answers "what would
+    /// this traffic have seen without (or with another) disturbance?".
+    pub faults: FaultPlan,
     /// `(job, nodes)` priority weights, in job order.
     pub jobs: Vec<(JobId, u64)>,
 }
 
 /// A recorded (or externally authored) RPC arrival history.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Run metadata.
     pub meta: TraceMeta,
@@ -86,6 +92,24 @@ impl std::error::Error for TraceError {}
 
 fn err(msg: impl Into<String>) -> TraceError {
     TraceError(msg.into())
+}
+
+/// Split a header payload into exactly `n` whitespace-separated fields.
+fn fields_of<'a>(
+    rest: &'a str,
+    n: usize,
+    line: usize,
+    what: &str,
+) -> Result<Vec<&'a str>, TraceError> {
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    if fields.len() != n {
+        return Err(err(format!(
+            "line {}: `{what}` needs {n} fields, got {}",
+            line + 1,
+            fields.len()
+        )));
+    }
+    Ok(fields)
 }
 
 impl Trace {
@@ -119,6 +143,11 @@ impl Trace {
     /// n_clients <n>
     /// n_osts <n>
     /// stripe_count <n>
+    /// fault_stall <every> <duration>             (only when injected)
+    /// fault_stats_loss <n>                       (only when injected)
+    /// fault_degrade <from_ns> <for_ns> <factor>  (only when injected)
+    /// fault_crash <ost> <from_ns> <for_ns> <resend_ns>   (only when injected)
+    /// fault_churn <every_ns> <offline_ns> <stride>       (only when injected)
     /// job <id> <nodes>         (one per job)
     /// records <count>
     /// r <at_ns> <ost> <rpc_id> <job> <client> <proc> <W|R> <size> <issued_ns>
@@ -137,6 +166,46 @@ impl Trace {
         out.push_str(&format!("n_clients {}\n", self.meta.n_clients));
         out.push_str(&format!("n_osts {}\n", self.meta.n_osts));
         out.push_str(&format!("stripe_count {}\n", self.meta.stripe_count));
+        let f = &self.meta.faults;
+        if let Some(StallSpec { every, duration }) = f.controller_stall {
+            out.push_str(&format!("fault_stall {every} {duration}\n"));
+        }
+        if let Some(n) = f.stats_loss_every {
+            out.push_str(&format!("fault_stats_loss {n}\n"));
+        }
+        if let Some(DegradeSpec { from, for_, factor }) = f.disk_degrade {
+            out.push_str(&format!(
+                "fault_degrade {} {} {factor}\n",
+                from.as_nanos(),
+                for_.as_nanos()
+            ));
+        }
+        if let Some(CrashSpec {
+            ost,
+            from,
+            for_,
+            resend_after,
+        }) = f.ost_crash
+        {
+            out.push_str(&format!(
+                "fault_crash {ost} {} {} {}\n",
+                from.as_nanos(),
+                for_.as_nanos(),
+                resend_after.as_nanos()
+            ));
+        }
+        if let Some(ChurnSpec {
+            every,
+            offline,
+            stride,
+        }) = f.churn
+        {
+            out.push_str(&format!(
+                "fault_churn {} {} {stride}\n",
+                every.as_nanos(),
+                offline.as_nanos()
+            ));
+        }
         for (job, nodes) in &self.meta.jobs {
             out.push_str(&format!("job {} {}\n", job.raw(), nodes));
         }
@@ -181,6 +250,7 @@ impl Trace {
         let mut n_clients = None;
         let mut n_osts = None;
         let mut stripe_count = None;
+        let mut faults = FaultPlan::none();
         let mut jobs: Vec<(JobId, u64)> = Vec::new();
         let mut expected_records = None;
 
@@ -208,6 +278,43 @@ impl Trace {
                 "n_osts" => n_osts = Some(parse_u64(rest, i, "n_osts")? as usize),
                 "stripe_count" => {
                     stripe_count = Some(parse_u64(rest, i, "stripe_count")? as usize);
+                }
+                "fault_stall" => {
+                    let f = fields_of(rest, 2, i, "fault_stall")?;
+                    faults.controller_stall = Some(StallSpec {
+                        every: parse_u64(f[0], i, "stall every")?,
+                        duration: parse_u64(f[1], i, "stall duration")?,
+                    });
+                }
+                "fault_stats_loss" => {
+                    faults.stats_loss_every = Some(parse_u64(rest, i, "stats loss cadence")?);
+                }
+                "fault_degrade" => {
+                    let f = fields_of(rest, 3, i, "fault_degrade")?;
+                    faults.disk_degrade = Some(DegradeSpec {
+                        from: SimTime(parse_u64(f[0], i, "degrade from")?),
+                        for_: SimDuration(parse_u64(f[1], i, "degrade length")?),
+                        factor: f[2].parse::<f64>().map_err(|_| {
+                            err(format!("line {}: bad degrade factor `{}`", i + 1, f[2]))
+                        })?,
+                    });
+                }
+                "fault_crash" => {
+                    let f = fields_of(rest, 4, i, "fault_crash")?;
+                    faults.ost_crash = Some(CrashSpec {
+                        ost: parse_u64(f[0], i, "crash ost")? as usize,
+                        from: SimTime(parse_u64(f[1], i, "crash from")?),
+                        for_: SimDuration(parse_u64(f[2], i, "crash length")?),
+                        resend_after: SimDuration(parse_u64(f[3], i, "crash resend")?),
+                    });
+                }
+                "fault_churn" => {
+                    let f = fields_of(rest, 3, i, "fault_churn")?;
+                    faults.churn = Some(ChurnSpec {
+                        every: SimDuration(parse_u64(f[0], i, "churn every")?),
+                        offline: SimDuration(parse_u64(f[1], i, "churn offline")?),
+                        stride: parse_u64(f[2], i, "churn stride")? as usize,
+                    });
                 }
                 "job" => {
                     let mut parts = rest.split_whitespace();
@@ -244,8 +351,20 @@ impl Trace {
             n_clients: n_clients.ok_or_else(|| err("missing `n_clients` header"))?,
             n_osts: n_osts.ok_or_else(|| err("missing `n_osts` header"))?,
             stripe_count: stripe_count.ok_or_else(|| err("missing `stripe_count` header"))?,
+            faults,
             jobs,
         };
+        meta.faults
+            .validate()
+            .map_err(|e| err(format!("fault header: {e}")))?;
+        if let Some(crash) = meta.faults.ost_crash {
+            if crash.ost >= meta.n_osts {
+                return Err(err(format!(
+                    "fault_crash ost {} out of range (n_osts {})",
+                    crash.ost, meta.n_osts
+                )));
+            }
+        }
         if meta.duration.is_zero() {
             return Err(err("duration must be positive"));
         }
@@ -415,6 +534,7 @@ mod tests {
                 n_clients: 4,
                 n_osts: 2,
                 stripe_count: 1,
+                faults: FaultPlan::none(),
                 jobs: vec![(JobId(1), 1), (JobId(2), 3)],
             },
             records: vec![
@@ -461,6 +581,68 @@ mod tests {
         assert_eq!(t.rpcs_per_job()[&JobId(1)], 2);
         assert_eq!(t.rpcs_per_job()[&JobId(2)], 1);
         assert_eq!(t.bytes_per_job()[&JobId(1)], 2 << 20);
+    }
+
+    #[test]
+    fn fault_headers_round_trip() {
+        let mut t = sample();
+        t.meta.faults = FaultPlan {
+            controller_stall: Some(StallSpec {
+                every: 10,
+                duration: 2,
+            }),
+            stats_loss_every: Some(5),
+            disk_degrade: Some(DegradeSpec {
+                from: SimTime::from_secs(1),
+                for_: SimDuration::from_millis(750),
+                factor: 2.5,
+            }),
+            ost_crash: Some(CrashSpec {
+                ost: 1,
+                from: SimTime::from_millis(1_200),
+                for_: SimDuration::from_millis(600),
+                resend_after: SimDuration::from_millis(250),
+            }),
+            churn: Some(ChurnSpec {
+                every: SimDuration::from_secs(2),
+                offline: SimDuration::from_millis(500),
+                stride: 4,
+            }),
+        };
+        let text = t.to_text();
+        assert!(text.contains("\nfault_stall 10 2\n"));
+        assert!(text.contains("\nfault_stats_loss 5\n"));
+        assert!(text.contains("\nfault_degrade 1000000000 750000000 2.5\n"));
+        assert!(text.contains("\nfault_crash 1 1200000000 600000000 250000000\n"));
+        assert!(text.contains("\nfault_churn 2000000000 500000000 4\n"));
+        let parsed = Trace::from_text(&text).expect("parses");
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn faultless_traces_carry_no_fault_headers() {
+        let text = sample().to_text();
+        assert!(!text.contains("fault_"));
+        assert!(Trace::from_text(&text).unwrap().meta.faults.is_none());
+    }
+
+    #[test]
+    fn rejects_invalid_fault_headers() {
+        let good = sample().to_text();
+        let inject = |line: &str| good.replace("\nrecords 3\n", &format!("\n{line}\nrecords 3\n"));
+        // Stall duration >= period.
+        assert!(Trace::from_text(&inject("fault_stall 3 3")).is_err());
+        // Wrong field count.
+        assert!(Trace::from_text(&inject("fault_crash 1 5")).is_err());
+        // Bad degrade factor.
+        assert!(Trace::from_text(&inject("fault_degrade 0 1000 fast")).is_err());
+        // Zero churn stride.
+        assert!(Trace::from_text(&inject("fault_churn 1000 500 0")).is_err());
+        // Crash OST outside the recorded wiring (n_osts 2).
+        assert!(Trace::from_text(&inject("fault_crash 5 1000 1000 100")).is_err());
+        // …while an in-range one parses.
+        assert!(Trace::from_text(&inject("fault_crash 1 1000 1000 100")).is_ok());
     }
 
     #[test]

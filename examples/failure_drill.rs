@@ -1,15 +1,19 @@
 //! Failure drill: watch AdapTBF degrade gracefully under injected faults.
 //!
-//! Runs the Section IV-D workload three times — healthy, with a hung
-//! controller daemon, and with a mid-run device slowdown — and compares
-//! throughput and completion.
+//! Runs the Section IV-D workload under every fault class — a hung
+//! controller daemon, lost stats reads, a mid-run device slowdown,
+//! rotating client churn — and compares throughput and completion, then
+//! runs the `ost_failover` built-in and prints its failover accounting
+//! and recovery time. Every drill is expressible as a scenario-file
+//! `faults` block (see `docs/SCENARIOS.md`).
 //!
 //! ```sh
 //! cargo run --release --example failure_drill
 //! ```
 
+use adaptbf::analysis::resilience::resilience;
 use adaptbf::model::{SimDuration, SimTime};
-use adaptbf::sim::{DegradeSpec, Experiment, FaultPlan, Policy, StallSpec};
+use adaptbf::sim::{ChurnSpec, DegradeSpec, Experiment, FaultPlan, Policy, StallSpec};
 use adaptbf::workload::scenarios;
 
 fn main() {
@@ -49,6 +53,17 @@ fn main() {
                 ..FaultPlan::none()
             },
         ),
+        (
+            "1 in 4 clients churns offline 2s/6s",
+            FaultPlan {
+                churn: Some(ChurnSpec {
+                    every: SimDuration::from_secs(6),
+                    offline: SimDuration::from_secs(2),
+                    stride: 4,
+                }),
+                ..FaultPlan::none()
+            },
+        ),
     ];
 
     println!("{:<36} {:>12} {:>10}", "drill", "tput RPC/s", "completed");
@@ -70,5 +85,32 @@ fn main() {
         "\nevery drill finishes all jobs: stale rules and lost stats degrade\n\
          adaptation speed, never correctness — traffic falls back to the\n\
          unruled FCFS path until the next healthy control cycle."
+    );
+
+    // The big one: a full OST crash/recovery on a striped pair.
+    let file = scenarios::ost_failover_scaled(0.5);
+    let plan = adaptbf::sim::plan_file_run(&file).expect("valid built-in");
+    let crash = file.faults.ost_crash.expect("failover crashes an OST");
+    println!(
+        "\nost_failover: OST {} down {}..{}",
+        crash.ost,
+        crash.from,
+        crash.recovery_at()
+    );
+    let report = Experiment::new(plan.scenario, plan.policy)
+        .seed(plan.seed)
+        .cluster_config(plan.cluster)
+        .run();
+    let fs = report.fault_stats;
+    println!(
+        "  displaced traffic: {} re-routed on arrival, {} resent after the\n\
+         \x20 client timeout ({} of those were mid-service when the threads died)",
+        fs.rerouted, fs.resent, fs.lost_in_service
+    );
+    let summary = resilience(&report, crash.from, crash.recovery_at(), 0.5);
+    println!("{}", summary.table());
+    println!(
+        "no RPC was dropped: every job served its released work, and shares\n\
+         converged back after the OST rejoined with empty bucket state."
     );
 }

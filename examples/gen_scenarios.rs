@@ -35,4 +35,14 @@ fn main() {
         std::fs::write(&path, file.render()).expect("write scenario file");
         println!("wrote {}", path.display());
     }
+    // The fault built-ins are already full scenario files (workload + run
+    // block + fault schedule): render them as-is.
+    for file in [
+        scenarios::ost_failover(),
+        scenarios::churn_under_degradation(),
+    ] {
+        let path = dir.join(format!("{}.json", file.name));
+        std::fs::write(&path, file.render()).expect("write scenario file");
+        println!("wrote {}", path.display());
+    }
 }

@@ -4,8 +4,10 @@
 //! Faults are deterministic, so every degraded run is exactly
 //! reproducible.
 
+use adaptbf::analysis::resilience::resilience;
 use adaptbf::model::JobId;
-use adaptbf::sim::{DegradeSpec, Experiment, FaultPlan, Policy, StallSpec};
+use adaptbf::sim::cluster::ClusterConfig;
+use adaptbf::sim::{ChurnSpec, CrashSpec, DegradeSpec, Experiment, FaultPlan, Policy, StallSpec};
 use adaptbf::workload::scenarios;
 
 fn scenario() -> adaptbf::workload::Scenario {
@@ -110,6 +112,158 @@ fn faulty_runs_are_deterministic_too() {
             .run()
             .metrics
             .served_by_job()
+    };
+    assert_eq!(run(), run());
+}
+
+/// The failover scenario at test scale: 2 striped OSTs, OST 1 down for a
+/// mid-run window.
+fn failover_plan() -> (adaptbf::workload::Scenario, ClusterConfig, CrashSpec) {
+    let file = scenarios::ost_failover_scaled(0.25);
+    let plan = adaptbf::sim::plan_file_run(&file).expect("valid built-in");
+    let crash = file.faults.ost_crash.expect("failover crashes an OST");
+    (plan.scenario, plan.cluster, crash)
+}
+
+#[test]
+fn ost_crash_drops_no_rpc_and_accounting_balances() {
+    // No RPC is silently dropped across the crash window: everything the
+    // workload released is eventually served (resent or re-routed), and
+    // the fault accounting shows how each displaced RPC survived.
+    let (scenario, cluster, _) = failover_plan();
+    for policy in [Policy::NoBw, Policy::StaticBw, Policy::adaptbf_default()] {
+        let report = Experiment::new(scenario.clone(), policy)
+            .seed(3)
+            .cluster_config(cluster)
+            .run();
+        for (job, outcome) in &report.per_job {
+            assert!(
+                outcome.served <= outcome.released,
+                "{job} served more than released under {}",
+                report.policy
+            );
+            // Static BW's fixed low-priority rate cannot drain this load
+            // within the horizon by design; the policies that can must
+            // finish everything — resends and re-routes included.
+            if !matches!(policy, Policy::StaticBw) {
+                assert_eq!(
+                    outcome.served, outcome.released,
+                    "{job} lost RPCs across the crash under {}",
+                    report.policy
+                );
+                assert!(outcome.completed, "{job} must finish after failover");
+            }
+        }
+        let fs = report.fault_stats;
+        assert!(
+            fs.resent + fs.rerouted > 0,
+            "the window must displace traffic: {fs:?}"
+        );
+        assert!(
+            fs.lost_in_service <= fs.resent,
+            "every loss is a resend: {fs:?}"
+        );
+        assert_eq!(fs.parked, 0, "a striped pair always has a survivor");
+        assert_eq!(
+            fs.undelivered, 0,
+            "a mid-run window leaves no resend stranded at the horizon: {fs:?}"
+        );
+    }
+}
+
+#[test]
+fn ledger_invariant_holds_across_a_crash_window() {
+    // The lending ledger lives on the OSS and survives the reboot; its
+    // Σ records == 0 invariant must hold right through the outage.
+    let file = scenarios::ost_failover_scaled(0.25);
+    let plan = adaptbf::sim::plan_file_run(&file).unwrap();
+    let report = Experiment::new(plan.scenario, Policy::adaptbf_default())
+        .seed(3)
+        .cluster_config(plan.cluster)
+        .run();
+    let mut records = report.metrics.records();
+    records.align();
+    let n = records.max_len();
+    assert!(n > 0, "controller must have produced records");
+    for bucket in 0..n {
+        let total: f64 = records
+            .jobs()
+            .iter()
+            .map(|j| records.get(*j).map_or(0.0, |s| s.get(bucket)))
+            .sum();
+        assert_eq!(
+            total, 0.0,
+            "Σ records must stay zero in bucket {bucket}, through crash and recovery"
+        );
+    }
+}
+
+#[test]
+fn failover_recovers_to_prefault_shares() {
+    let (scenario, cluster, crash) = failover_plan();
+    let report = Experiment::new(scenario, Policy::adaptbf_default())
+        .seed(3)
+        .cluster_config(cluster)
+        .run();
+    let summary = resilience(&report, crash.from, crash.recovery_at(), 0.5);
+    assert!(
+        !summary.per_job.is_empty(),
+        "jobs tracked through the window"
+    );
+    assert!(
+        summary.all_recovered(),
+        "shares must converge back after recovery:\n{}",
+        summary.table()
+    );
+}
+
+#[test]
+fn churn_under_degradation_serves_all_work() {
+    let file = scenarios::churn_under_degradation_scaled(0.2);
+    let plan = adaptbf::sim::plan_file_run(&file).unwrap();
+    let report = Experiment::new(plan.scenario, plan.policy)
+        .seed(plan.seed)
+        .cluster_config(plan.cluster)
+        .run();
+    for (job, outcome) in &report.per_job {
+        assert!(
+            outcome.completed,
+            "{job} must finish despite churn + degradation"
+        );
+    }
+}
+
+#[test]
+fn compound_faults_stay_deterministic() {
+    // Crash + churn + degrade + stall + stats loss, all at once: the run
+    // must still be bit-reproducible.
+    let file = scenarios::ost_failover_scaled(0.25);
+    let plan = adaptbf::sim::plan_file_run(&file).unwrap();
+    let mut cluster = plan.cluster;
+    cluster.faults = FaultPlan {
+        controller_stall: Some(StallSpec {
+            every: 9,
+            duration: 2,
+        }),
+        stats_loss_every: Some(5),
+        disk_degrade: Some(DegradeSpec {
+            from: adaptbf::model::SimTime::from_secs(1),
+            for_: adaptbf::model::SimDuration::from_secs(1),
+            factor: 2.0,
+        }),
+        churn: Some(ChurnSpec {
+            every: adaptbf::model::SimDuration::from_millis(900),
+            offline: adaptbf::model::SimDuration::from_millis(300),
+            stride: 3,
+        }),
+        ..cluster.faults
+    };
+    let run = || {
+        let r = Experiment::new(plan.scenario.clone(), Policy::adaptbf_default())
+            .seed(11)
+            .cluster_config(cluster)
+            .run();
+        (r.metrics.served_by_job(), r.fault_stats)
     };
     assert_eq!(run(), run());
 }

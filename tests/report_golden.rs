@@ -26,6 +26,21 @@ fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/reports")
 }
 
+/// A fault built-in at digest scale: the scenario plus the wiring that
+/// carries its fault plan (scaled so the windows land inside the short
+/// golden horizon).
+fn fault_case(
+    name: &str,
+    file: adaptbf::workload::ScenarioFile,
+) -> (String, Scenario, ClusterConfig) {
+    let plan = adaptbf::sim::plan_file_run(&file).expect("valid fault built-in");
+    assert!(
+        !plan.cluster.faults.is_none(),
+        "{name} must inject its fault plan"
+    );
+    (name.to_string(), plan.scenario, plan.cluster)
+}
+
 /// The built-in scenarios at digest scale, with the wiring each runs on.
 fn cases() -> Vec<(String, Scenario, ClusterConfig)> {
     let small = 1.0 / 32.0;
@@ -80,6 +95,11 @@ fn cases() -> Vec<(String, Scenario, ClusterConfig)> {
             "million_rpc_smoke".into(),
             scenarios::million_rpc_scaled(1.0 / 64.0),
             wide,
+        ),
+        fault_case("ost_failover", scenarios::ost_failover_scaled(1.0 / 8.0)),
+        fault_case(
+            "churn_under_degradation",
+            scenarios::churn_under_degradation_scaled(1.0 / 10.0),
         ),
     ]
 }

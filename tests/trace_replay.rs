@@ -60,6 +60,56 @@ fn scenario_files_match_their_builders() {
         let from_file = file.to_scenario().unwrap();
         assert_eq!(from_file, builder(), "{name}.json drifted from its builder");
     }
+    // The fault built-ins are themselves scenario files: the checked-in
+    // JSON must equal the builder output exactly, fault block included.
+    type FileBuilder = fn() -> ScenarioFile;
+    let file_builders: [(&str, FileBuilder); 2] = [
+        ("ost_failover", scenarios::ost_failover),
+        (
+            "churn_under_degradation",
+            scenarios::churn_under_degradation,
+        ),
+    ];
+    for (name, builder) in file_builders {
+        let (_, file) = read_scenario_file(name);
+        assert_eq!(file, builder(), "{name}.json drifted from its builder");
+        assert!(!file.faults.is_none(), "{name}.json must declare faults");
+    }
+}
+
+/// The acceptance path end to end: a scenario file with a `faults` block
+/// (including an OST crash window) parses, is canonical, runs, records to
+/// a trace whose header carries the plan, and replays byte-identically.
+#[test]
+fn fault_scenario_file_records_and_replays_byte_identically() {
+    let (text, file) = read_scenario_file("ost_failover");
+    assert_eq!(file.render(), text, "canonical renderer round trip");
+    let plan = adaptbf::sim::plan_file_run(&file).unwrap();
+    assert_eq!(plan.cluster.faults, file.faults, "faults ride the wiring");
+
+    let (original, trace) =
+        Cluster::build_with(&plan.scenario, plan.policy, plan.seed, plan.cluster).run_traced();
+    assert_eq!(trace.meta.faults, file.faults, "faults ride the header");
+    assert!(
+        original.fault_stats.resent + original.fault_stats.rerouted > 0,
+        "the crash window displaced traffic: {:?}",
+        original.fault_stats
+    );
+
+    // Through the text form, as a user would store and replay it.
+    let parsed = Trace::from_text(&trace.to_text()).expect("trace parses");
+    assert_eq!(parsed, trace);
+    let cfg = adaptbf::sim::replay_cluster_config(&parsed);
+    assert_eq!(cfg.faults, file.faults);
+    let replayed = Cluster::build_replay(&parsed, plan.policy, plan.seed, cfg).run();
+    assert_eq!(
+        original.metrics.served_by_job(),
+        replayed.metrics.served_by_job(),
+        "faulty replay must reproduce the recording"
+    );
+    assert_eq!(original.metrics.served(), replayed.metrics.served());
+    assert_eq!(original.metrics.demand(), replayed.metrics.demand());
+    assert_eq!(original.fault_stats, replayed.fault_stats);
 }
 
 /// The authored (non-builder) scenario file runs end-to-end through the
