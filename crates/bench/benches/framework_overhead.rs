@@ -8,6 +8,7 @@
 
 use adaptbf_model::config::paper;
 use adaptbf_model::{JobId, SimDuration, SimTime, TbfSchedulerConfig};
+use adaptbf_node::OstNode;
 use adaptbf_sim::controller_driver::ControllerDriver;
 use adaptbf_sim::ost::OstState;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -17,7 +18,11 @@ fn bench_cycle(c: &mut Criterion) {
     for n_jobs in [4usize, 64, 256, 1000] {
         group.throughput(Throughput::Elements(n_jobs as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &n_jobs, |b, &n| {
-            let mut ost = OstState::new(paper::ost(), TbfSchedulerConfig::default(), 1);
+            let mut ost = OstState::new(
+                paper::ost(),
+                OstNode::unruled(TbfSchedulerConfig::default()),
+                1,
+            );
             let nodes = (0..n)
                 .map(|i| (JobId(i as u32 + 1), (i as u64 % 16) + 1))
                 .collect();
@@ -27,11 +32,15 @@ fn bench_cycle(c: &mut Criterion) {
                 // Repopulate the stats the cycle will consume and clear.
                 for i in 0..n {
                     for _ in 0..2 {
-                        ost.job_stats.record_arrival(JobId(i as u32 + 1));
+                        ost.node.job_stats.record_arrival(JobId(i as u32 + 1));
                     }
                 }
                 now += SimDuration::from_millis(100);
-                std::hint::black_box(driver.tick(&mut ost, now));
+                std::hint::black_box(driver.tick(
+                    &mut ost.node.scheduler,
+                    &mut ost.node.job_stats,
+                    now,
+                ));
             });
         });
     }

@@ -1,0 +1,197 @@
+//! Cross-executor benchmark: the live threaded runtime vs the
+//! deterministic simulator on the same scenario.
+//!
+//! Runs the paper's Section IV-D job mix (scaled so one live run takes a
+//! few wall-clock seconds) under all three policies on *both* executors
+//! and reports, per policy:
+//!
+//! * the live runtime's RPC throughput (served RPCs over the makespan,
+//!   same definition the simulator's reports use, plus raw RPCs per
+//!   wall-clock second);
+//! * the per-job served-share error between the two executors — the
+//!   number the cross-executor convergence tests bound.
+//!
+//! Writes `BENCH_live.json` at the workspace root.
+//!
+//! `--smoke` runs a single short AdapTBF live run and fails (exit 1) if
+//! any job is starved (zero served RPCs) — the CI guard that the live
+//! path actually moves every job's bytes.
+
+use adaptbf_cli::live_tuning_from;
+use adaptbf_runtime::{LiveCluster, LiveReport};
+use adaptbf_sim::cluster::ClusterConfig;
+use adaptbf_sim::{Experiment, Policy, RunReport};
+use adaptbf_workload::{scenarios, Scenario};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 42;
+/// One sixteenth of the IV-D workload: a ~6 s wall-clock live run.
+const SCALE: f64 = 1.0 / 16.0;
+/// CI smoke: one thirty-second slice, ~3 s of wall clock.
+const SMOKE_SCALE: f64 = 1.0 / 32.0;
+
+struct Pair {
+    policy: &'static str,
+    sim: RunReport,
+    live: LiveReport,
+}
+
+impl Pair {
+    /// Largest per-job absolute difference in served share.
+    fn max_share_error(&self, scenario: &Scenario) -> f64 {
+        scenario
+            .job_ids()
+            .into_iter()
+            .map(|j| (self.sim.served_share(j) - self.live.report.served_share(j)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+fn policies() -> Vec<(Policy, &'static str)> {
+    vec![
+        (Policy::NoBw, "no_bw"),
+        (Policy::StaticBw, "static_bw"),
+        (Policy::adaptbf_default(), "adaptbf"),
+    ]
+}
+
+fn run_pair(scenario: &Scenario, policy: Policy, label: &'static str) -> Pair {
+    let sim = Experiment::new(scenario.clone(), policy).seed(SEED).run();
+    // The exact ClusterConfig -> LiveTuning mapping the CLI uses, applied
+    // to the exact wiring the sim Experiment runs on: same hardware by
+    // construction, not by coincidence.
+    let live = LiveCluster::run(
+        scenario,
+        policy,
+        live_tuning_from(&ClusterConfig::default()),
+        SEED,
+    );
+    Pair {
+        policy: label,
+        sim,
+        live,
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| Path::new(&d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
+
+    println!("== livebench: live runtime vs simulator on token_allocation ==\n");
+    let scenario = scenarios::token_allocation_scaled(SCALE);
+    let mut pairs = Vec::new();
+    for (policy, label) in policies() {
+        let pair = run_pair(&scenario, policy, label);
+        println!(
+            "{:>9}: live {:>6} served in {:.2?} ({:>7.0} RPC/s makespan, {:>7.0} RPC/s wall), \
+             sim {:>6} served, max per-job share error {:.3}",
+            pair.policy,
+            pair.live.total_served(),
+            pair.live.elapsed,
+            pair.live.report.overall_throughput_tps(),
+            pair.live.total_served() as f64 / pair.live.elapsed.as_secs_f64(),
+            pair.sim.metrics.total_served(),
+            pair.max_share_error(&scenario),
+        );
+        pairs.push(pair);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"build\": \"{}\",",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    );
+    let _ = writeln!(json, "  \"scenario\": \"token_allocation\",");
+    let _ = writeln!(json, "  \"scale\": {SCALE:.6},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    for (i, pair) in pairs.iter().enumerate() {
+        let _ = writeln!(json, "  \"{}\": {{", pair.policy);
+        let _ = writeln!(
+            json,
+            "    \"live_wall_s\": {:.3},",
+            pair.live.elapsed.as_secs_f64()
+        );
+        let _ = writeln!(json, "    \"live_served\": {},", pair.live.total_served());
+        let _ = writeln!(
+            json,
+            "    \"live_rpcs_per_sec\": {:.0},",
+            pair.live.report.overall_throughput_tps()
+        );
+        let _ = writeln!(
+            json,
+            "    \"sim_served\": {},",
+            pair.sim.metrics.total_served()
+        );
+        let _ = writeln!(
+            json,
+            "    \"sim_rpcs_per_sec\": {:.0},",
+            pair.sim.overall_throughput_tps()
+        );
+        let _ = writeln!(json, "    \"shares\": {{");
+        let jobs = scenario.job_ids();
+        for (k, job) in jobs.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      \"{job}\": {{\"sim\": {:.4}, \"live\": {:.4}}}{}",
+                pair.sim.served_share(*job),
+                pair.live.report.served_share(*job),
+                if k + 1 < jobs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "    }},");
+        let _ = writeln!(
+            json,
+            "    \"max_share_error\": {:.4}",
+            pair.max_share_error(&scenario)
+        );
+        let _ = writeln!(json, "  }}{}", if i + 1 < pairs.len() { "," } else { "" });
+    }
+    json.push_str("}\n");
+    let path = workspace_root().join("BENCH_live.json");
+    std::fs::write(&path, &json).expect("write BENCH_live.json");
+    println!("\nwrote {}", path.display());
+}
+
+/// CI guard: a short live AdapTBF run must serve a nonzero number of RPCs
+/// for *every* job — the live executor cannot silently starve anyone.
+fn run_smoke() {
+    let scenario = scenarios::token_allocation_scaled(SMOKE_SCALE);
+    let live = LiveCluster::run(
+        &scenario,
+        Policy::adaptbf_default(),
+        live_tuning_from(&ClusterConfig::default()),
+        SEED,
+    );
+    println!(
+        "smoke: {} served in {:.2?} across {} jobs: {:?}",
+        live.total_served(),
+        live.elapsed,
+        scenario.jobs.len(),
+        live.served(),
+    );
+    let mut starved = Vec::new();
+    for job in scenario.job_ids() {
+        if live.report.metrics.served_of(job) == 0 {
+            starved.push(job);
+        }
+    }
+    if !starved.is_empty() {
+        eprintln!("FAIL: live run served zero RPCs for {starved:?}");
+        std::process::exit(1);
+    }
+    println!("OK: every job served bytes on the live path");
+}

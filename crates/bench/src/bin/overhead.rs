@@ -11,6 +11,7 @@ use adaptbf_bench::{write_artifact, Options};
 use adaptbf_core::AllocationController;
 use adaptbf_model::config::paper;
 use adaptbf_model::{JobId, JobObservation, SimTime, TbfSchedulerConfig};
+use adaptbf_node::OstNode;
 use adaptbf_sim::controller_driver::ControllerDriver;
 use adaptbf_sim::ost::OstState;
 use adaptbf_sim::RunGrid;
@@ -43,7 +44,11 @@ fn bench_allocation(n: usize, iters: u32) -> f64 {
 }
 
 fn bench_full_cycle(n: usize, iters: u32) -> f64 {
-    let mut ost = OstState::new(paper::ost(), TbfSchedulerConfig::default(), 1);
+    let mut ost = OstState::new(
+        paper::ost(),
+        OstNode::unruled(TbfSchedulerConfig::default()),
+        1,
+    );
     let nodes = (0..n)
         .map(|i| (JobId(i as u32 + 1), (i as u64 % 16) + 1))
         .collect();
@@ -53,11 +58,11 @@ fn bench_full_cycle(n: usize, iters: u32) -> f64 {
     for _ in 0..iters {
         for i in 0..n {
             for _ in 0..3 {
-                ost.job_stats.record_arrival(JobId(i as u32 + 1));
+                ost.node.job_stats.record_arrival(JobId(i as u32 + 1));
             }
         }
         now += adaptbf_model::SimDuration::from_millis(100);
-        driver.tick(&mut ost, now);
+        driver.tick(&mut ost.node.scheduler, &mut ost.node.job_stats, now);
     }
     t0.elapsed().as_nanos() as f64 / iters as f64
 }

@@ -8,6 +8,7 @@ use adaptbf_analysis::summary::analyze_comparison;
 use adaptbf_analysis::LatencyComparison;
 use adaptbf_model::config::paper;
 use adaptbf_model::{AdapTbfConfig, JobId, SimDuration};
+use adaptbf_runtime::{LiveCluster, LiveTuning};
 use adaptbf_sim::cluster::ClusterConfig;
 use adaptbf_sim::report::frequency_sweep_on;
 use adaptbf_sim::report::{comparison_table, frequency_csv};
@@ -22,6 +23,15 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
   commands:\n\
     scenarios                      list built-in scenarios\n\
     run <scenario>                 run one policy, print the report\n\
+    run <scenario> --live          same, on the live threaded runtime:\n\
+                                   real OS threads per OST/process against\n\
+                                   the wall clock (takes the scenario's\n\
+                                   duration in real time); same report\n\
+                                   shape. Scenarios whose fault plans need\n\
+                                   the simulator (ost_crash,\n\
+                                   controller_stall, stats_loss) are\n\
+                                   rejected with an explanation;\n\
+                                   disk_degrade and job_churn run live.\n\
     compare <scenario>             run all three policies, print gains\n\
     analyze <scenario>             fairness + latency analysis\n\
     sweep <scenario>               allocation-frequency sweep (Figure 9)\n\
@@ -48,15 +58,21 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
     --seed N        RNG seed (default 42; replay: the recorded seed)\n\
     --scale F       workload scale factor (built-in scenarios only)\n\
     --period MS     AdapTBF observation period in ms (default 100)\n\
-    --out FILE      trace output path for `record` (default <scenario>.trace)";
+    --out FILE      trace output path for `record` (default <scenario>.trace)\n\
+    --live          run on the live threaded runtime (run only)";
 
 /// CLI failure modes.
 #[derive(Debug, PartialEq, Eq)]
 pub enum CliError {
-    /// Bad arguments; the message explains what was wrong.
+    /// Bad arguments; the message explains what was wrong (printed with
+    /// the full usage text).
     Usage(String),
     /// A file could not be read or written.
     Io(String),
+    /// The arguments parsed fine but the run itself was refused (e.g. a
+    /// sim-only fault plan under `--live`); printed without the usage
+    /// dump so the explanation stays visible.
+    Run(String),
 }
 
 fn usage(msg: impl Into<String>) -> CliError {
@@ -76,6 +92,9 @@ pub struct Options {
     pub policy: String,
     /// Trace output path for `record`.
     pub out: Option<String>,
+    /// Execute `run` on the live threaded runtime instead of the
+    /// simulator.
+    pub live: bool,
 }
 
 impl Default for Options {
@@ -86,6 +105,7 @@ impl Default for Options {
             period_ms: 100,
             policy: "adaptbf".into(),
             out: None,
+            live: false,
         }
     }
 }
@@ -105,15 +125,22 @@ pub struct RawOptions {
     pub policy: Option<String>,
     /// `--out FILE`.
     pub out: Option<String>,
+    /// `--live` (flag, no value).
+    pub live: bool,
 }
 
 impl RawOptions {
-    /// Parse trailing `--key value` pairs.
+    /// Parse trailing `--key value` pairs (plus the `--live` flag).
     pub fn parse(args: &[String]) -> Result<RawOptions, CliError> {
         let mut raw = RawOptions::default();
         let mut i = 0;
         while i < args.len() {
             let key = args[i].as_str();
+            if key == "--live" {
+                raw.live = true;
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| usage(format!("{key} needs a value")))?;
@@ -163,6 +190,7 @@ impl RawOptions {
             period_ms: self.period_ms.unwrap_or(base.period_ms),
             policy: self.policy.unwrap_or(base.policy),
             out: self.out.or(base.out),
+            live: self.live || base.live,
         }
     }
 }
@@ -267,6 +295,7 @@ fn target_from_file(file: &ScenarioFile, raw: RawOptions) -> Result<Target, CliE
             .clone()
             .unwrap_or_else(|| "adaptbf".to_string()),
         out: None,
+        live: false,
     });
     Ok(Target {
         scenario: plan.scenario,
@@ -291,7 +320,11 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             if command != "record" && opts.out.is_some() {
                 return Err(usage("--out only applies to `record`"));
             }
+            if command != "run" && opts.live {
+                return Err(usage("--live only applies to `run`"));
+            }
             match command {
+                "run" if opts.live => cmd_run_live(scenario, opts, *cluster),
                 "run" => cmd_run(scenario, opts, *cluster),
                 "compare" => cmd_compare(scenario, opts, *cluster),
                 "analyze" => cmd_analyze(scenario, opts, *cluster),
@@ -311,6 +344,9 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             }
             if raw.out.is_some() {
                 return Err(usage("--out only applies to `record`"));
+            }
+            if raw.live {
+                return Err(usage("--live only applies to `run`"));
             }
             cmd_replay(path, raw)
         }
@@ -345,13 +381,20 @@ fn list_scenarios() -> String {
     for &n in FAULT_BUILTINS {
         let file = scenario_file_by_name(n, 1.0).expect("known name");
         let s = file.to_scenario().expect("valid built-in");
+        // Fault plans split the executors: time-indexed faults run under
+        // `run --live` too, crash/stall machinery is simulator-only.
+        let live = match LiveCluster::check_faults(&file.faults) {
+            Ok(()) => "live: ok",
+            Err(_) => "live: sim-only faults",
+        };
         let _ = writeln!(
             out,
-            "  {:<22} {} jobs, {}  — {}",
+            "  {:<22} {} jobs, {}  — {} [{}]",
             n,
             s.jobs.len(),
             s.duration,
-            s.description
+            s.description,
+            live,
         );
     }
     out
@@ -406,6 +449,47 @@ fn cmd_run(
         .cluster_config(cluster)
         .run();
     Ok(render_report(&report, opts.seed))
+}
+
+/// The live-testbed analogue of a simulated wiring: same OST model, TBF
+/// knobs and topology, with small payloads so emulated RPCs move real
+/// bytes without shoveling 1 MiB each through memory. This is *the*
+/// `ClusterConfig` → `LiveTuning` mapping — `livebench` uses it too, so
+/// live-vs-sim comparisons cannot silently run on different hardware.
+pub fn live_tuning_from(cluster: &ClusterConfig) -> LiveTuning {
+    LiveTuning {
+        ost: cluster.ost,
+        tbf: cluster.tbf,
+        n_osts: cluster.n_osts,
+        n_clients: cluster.n_clients,
+        stripe_count: cluster.stripe_count,
+        static_rate_total: cluster.static_rate_total,
+        bucket: cluster.bucket,
+        payload_bytes: 4096,
+    }
+}
+
+fn cmd_run_live(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+) -> Result<String, CliError> {
+    let live = LiveCluster::run_with_faults(
+        scenario,
+        policy_from(opts),
+        live_tuning_from(&cluster),
+        &cluster.faults,
+        opts.seed,
+    )
+    .map_err(|e| CliError::Run(e.to_string()))?;
+    let mut out = format!(
+        "live run: {} OST thread(s), {} process thread(s), wall time {:.2?}\n\n",
+        live.records_per_ost.len(),
+        live.procs.len(),
+        live.elapsed,
+    );
+    out.push_str(&render_report(&live.report, opts.seed));
+    Ok(out)
 }
 
 fn cmd_record(
@@ -768,9 +852,65 @@ mod tests {
     fn misplaced_options_are_rejected() {
         // --out is record-only.
         assert!(dispatch(&argv("run token_allocation --scale 0.015625 --out x.trace")).is_err());
-        // replay takes neither --scale nor --out.
+        // replay takes neither --scale nor --out nor --live.
         assert!(dispatch(&argv("replay x.trace --scale 0.5")).is_err());
         assert!(dispatch(&argv("replay x.trace --out y.trace")).is_err());
+        assert!(dispatch(&argv("replay x.trace --live")).is_err());
+        // --live is run-only.
+        assert!(dispatch(&argv("compare token_allocation --scale 0.015625 --live")).is_err());
+        assert!(dispatch(&argv("record token_allocation --live")).is_err());
+    }
+
+    #[test]
+    fn run_live_produces_the_same_report_table() {
+        // A ~3 s wall-clock run on the live threaded runtime: the output
+        // must be the same per-job table the simulator path renders.
+        let out = dispatch(&argv(
+            "run token_allocation --scale 0.015625 --seed 1 --live",
+        ))
+        .unwrap();
+        assert!(out.contains("live run:"), "{out}");
+        assert!(out.contains("token_allocation under adaptbf"), "{out}");
+        assert!(out.contains("job1") && out.contains("job4"), "{out}");
+        assert!(out.contains("overall:"), "{out}");
+    }
+
+    #[test]
+    fn run_live_rejects_sim_only_fault_scenarios() {
+        // ost_failover carries an ost_crash window: the live runtime must
+        // refuse with an explanation, not panic.
+        let err = dispatch(&argv("run ost_failover --scale 0.125 --live")).unwrap_err();
+        match err {
+            // A Run error, not Usage: the explanation prints alone, not
+            // buried under the full usage text.
+            CliError::Run(msg) => {
+                assert!(msg.contains("ost_crash"), "{msg}");
+                assert!(msg.contains("without --live"), "{msg}");
+            }
+            other => panic!("wrong error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_live_honors_live_capable_fault_scenarios() {
+        // churn_under_degradation injects only disk_degrade + job_churn —
+        // both wall-clock-feasible, so --live must run it.
+        let out = dispatch(&argv(
+            "run churn_under_degradation --scale 0.1 --seed 3 --live",
+        ))
+        .unwrap_or_else(|e| panic!("{e:?}"));
+        assert!(
+            out.contains("churn_under_degradation under adaptbf"),
+            "{out}"
+        );
+        assert!(out.contains("overall:"), "{out}");
+    }
+
+    #[test]
+    fn scenario_listing_tags_live_capability() {
+        let out = dispatch(&argv("scenarios")).unwrap();
+        assert!(out.contains("live: sim-only faults"), "{out}");
+        assert!(out.contains("live: ok"), "{out}");
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn main() -> ExitCode {
             eprintln!("{}", adaptbf_cli::USAGE);
             ExitCode::from(2)
         }
-        Err(CliError::Io(msg)) => {
+        Err(CliError::Io(msg)) | Err(CliError::Run(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }

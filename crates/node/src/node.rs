@@ -1,0 +1,304 @@
+//! The per-OST control-plane assembly shared by both executors.
+//!
+//! An [`OstNode`] is everything one OSS/OST owns besides its disk model:
+//! the NRS/TBF scheduler, the Lustre-style `job_stats` tracker and —
+//! depending on the [`Policy`] — either nothing (No BW), a set of fixed
+//! rules from the global static priorities (Static BW), or a full
+//! [`ControllerDriver`] (AdapTBF). The simulator embeds one node per
+//! simulated OST; the live runtime moves one node into each OST thread.
+//! Decentralization is structural either way: a node never references
+//! another node's state.
+
+use crate::control::{ControllerDriver, ControllerOverhead};
+use crate::policy::Policy;
+use adaptbf_core::{AllocationController, AllocationOutcome};
+use adaptbf_model::{JobId, Rpc, SimTime, TbfSchedulerConfig};
+use adaptbf_tbf::{JobStatsTracker, NrsTbfScheduler, RpcMatcher};
+use std::collections::BTreeMap;
+
+/// One OST's complete control plane: scheduler + `job_stats` + (under
+/// AdapTBF) its own allocation controller and rule daemon.
+#[derive(Debug)]
+pub struct OstNode {
+    /// The NRS TBF scheduler in front of the I/O threads.
+    pub scheduler: NrsTbfScheduler,
+    /// The Lustre `job_stats` equivalent for this OST.
+    pub job_stats: JobStatsTracker,
+    /// The AdapTBF control loop (None under the baselines).
+    driver: Option<ControllerDriver>,
+    /// Kept so a crash can rebuild the scheduler with identical knobs.
+    tbf: TbfSchedulerConfig,
+    policy: Policy,
+    /// `(id, nodes)` in scenario declaration order (rule installation
+    /// order matters for first-match-wins semantics).
+    jobs: Vec<(JobId, u64)>,
+    /// `T_i` the Static BW baseline's fixed rule rates sum to.
+    static_rate_total: f64,
+}
+
+impl OstNode {
+    /// Assemble the control plane for one OST under `policy`.
+    ///
+    /// `jobs` carries `(id, nodes)` in declaration order; under Static BW
+    /// one fixed rule per job is installed at `now` with rate
+    /// `static_rate_total · n_x / Σn`, under AdapTBF a private
+    /// [`ControllerDriver`] is created (the embedder schedules its ticks).
+    pub fn new(
+        policy: Policy,
+        tbf: TbfSchedulerConfig,
+        jobs: &[(JobId, u64)],
+        static_rate_total: f64,
+        now: SimTime,
+    ) -> Self {
+        let mut scheduler = NrsTbfScheduler::new(tbf);
+        let mut driver = None;
+        match policy {
+            Policy::NoBw => {}
+            Policy::StaticBw => {
+                install_static_rules(&mut scheduler, jobs, static_rate_total, now);
+            }
+            Policy::AdapTbf(config) => {
+                let nodes: BTreeMap<JobId, u64> = jobs.iter().copied().collect();
+                driver = Some(ControllerDriver::new(config, nodes));
+            }
+        }
+        OstNode {
+            scheduler,
+            job_stats: JobStatsTracker::new(),
+            driver,
+            tbf,
+            policy,
+            jobs: jobs.to_vec(),
+            static_rate_total,
+        }
+    }
+
+    /// A bare node with no rules and no controller (No BW with an empty
+    /// job set) — the hand-wiring entry point tests and benches use.
+    pub fn unruled(tbf: TbfSchedulerConfig) -> Self {
+        Self::new(Policy::NoBw, tbf, &[], 0.0, SimTime::ZERO)
+    }
+
+    /// Pre-size all per-job state (scheduler queues, job-stats) for about
+    /// `jobs` jobs.
+    pub fn reserve_jobs(&mut self, jobs: usize) {
+        self.scheduler.reserve_jobs(jobs);
+        self.job_stats.reserve(jobs);
+    }
+
+    /// The policy this node was assembled under.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// One control cycle at `now`: collect stats, allocate, apply rules,
+    /// clear stats. Returns `None` under the baselines (which have no
+    /// controller to run).
+    pub fn tick(&mut self, now: SimTime) -> Option<AllocationOutcome> {
+        let driver = self.driver.as_mut()?;
+        Some(driver.tick(&mut self.scheduler, &mut self.job_stats, now))
+    }
+
+    /// The allocation controller, if this node runs one.
+    pub fn controller(&self) -> Option<&AllocationController> {
+        self.driver.as_ref().map(|d| &d.controller)
+    }
+
+    /// Control-plane overhead accounting, if this node runs a controller.
+    pub fn overhead(&self) -> Option<ControllerOverhead> {
+        self.driver.as_ref().map(|d| d.overhead())
+    }
+
+    /// Control cycles executed so far (0 under the baselines).
+    pub fn ticks(&self) -> u64 {
+        self.overhead().map_or(0, |o| o.ticks)
+    }
+
+    /// Final lending/borrowing records per job (empty under baselines).
+    pub fn ledger_records(&self) -> BTreeMap<JobId, i64> {
+        self.controller()
+            .map(|c| c.ledger().iter().map(|(j, e)| (j, e.record)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The control plane crashes with its OST: the scheduler — rules,
+    /// token buckets, queues — is replaced with a factory-fresh one,
+    /// `job_stats` is wiped, and the rule daemon forgets its rule ids (the
+    /// lending ledger deliberately survives — see
+    /// [`ControllerDriver::on_ost_crash`]). The drained backlog (ruled
+    /// queues in job order, then fallback) is returned so the embedder can
+    /// model client resends.
+    pub fn crash_reset(&mut self) -> Vec<Rpc> {
+        let lost = self.scheduler.drain_pending();
+        self.scheduler = NrsTbfScheduler::new(self.tbf);
+        self.job_stats.clear();
+        if let Some(driver) = self.driver.as_mut() {
+            driver.on_ost_crash();
+        }
+        lost
+    }
+
+    /// The OST rejoins after a crash with empty bucket state. AdapTBF
+    /// reinstalls rules on its next control cycle; Static BW's fixed rules
+    /// must come back now or the policy would silently degrade to No BW on
+    /// this OST for the rest of the run. No-op under No BW / AdapTBF.
+    pub fn recover(&mut self, now: SimTime) {
+        if matches!(self.policy, Policy::StaticBw) {
+            install_static_rules(&mut self.scheduler, &self.jobs, self.static_rate_total, now);
+        }
+    }
+}
+
+/// Install the Static BW baseline's fixed rules (rate `T_i · p_x` from the
+/// global static priorities `p_x = n_x / Σn`) on one scheduler — at build
+/// time, and again when a crashed OST rejoins with empty bucket state.
+pub fn install_static_rules(
+    scheduler: &mut NrsTbfScheduler,
+    jobs: &[(JobId, u64)],
+    rate_total: f64,
+    now: SimTime,
+) {
+    let total: u64 = jobs.iter().map(|&(_, n)| n).sum();
+    for &(job, nodes) in jobs {
+        let rate = rate_total * nodes as f64 / total as f64;
+        scheduler.start_rule(
+            job.label(),
+            RpcMatcher::Job(job),
+            rate,
+            nodes.min(u32::MAX as u64) as u32,
+            now,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptbf_model::config::paper;
+    use adaptbf_model::{ClientId, ProcId, RpcId};
+
+    fn jobs() -> Vec<(JobId, u64)> {
+        vec![(JobId(1), 1), (JobId(2), 3)]
+    }
+
+    fn rpc(job: u32, id: u64) -> Rpc {
+        Rpc::new(RpcId(id), JobId(job), ClientId(0), ProcId(0), SimTime::ZERO)
+    }
+
+    #[test]
+    fn no_bw_installs_nothing() {
+        let node = OstNode::new(
+            Policy::NoBw,
+            TbfSchedulerConfig::default(),
+            &jobs(),
+            1000.0,
+            SimTime::ZERO,
+        );
+        assert_eq!(node.scheduler.rules().len(), 0);
+        assert!(node.controller().is_none());
+        assert_eq!(node.ticks(), 0);
+        assert!(node.ledger_records().is_empty());
+    }
+
+    #[test]
+    fn static_bw_installs_priority_proportional_rules() {
+        let node = OstNode::new(
+            Policy::StaticBw,
+            TbfSchedulerConfig::default(),
+            &jobs(),
+            1000.0,
+            SimTime::ZERO,
+        );
+        assert_eq!(node.scheduler.rules().len(), 2);
+        let r1 = node.scheduler.rules().get_by_name("app1.node1").unwrap();
+        let r2 = node.scheduler.rules().get_by_name("app2.node2").unwrap();
+        assert!((r1.rate_tps - 250.0).abs() < 1e-9);
+        assert!((r2.rate_tps - 750.0).abs() < 1e-9);
+        assert_eq!(r2.weight, 3);
+        assert!(node.overhead().is_none());
+    }
+
+    #[test]
+    fn adaptbf_ticks_allocate_and_ledger_is_readable() {
+        let mut node = OstNode::new(
+            Policy::adaptbf_default(),
+            TbfSchedulerConfig::default(),
+            &jobs(),
+            paper::MAX_TOKEN_RATE,
+            SimTime::ZERO,
+        );
+        for i in 0..50 {
+            node.job_stats.record_arrival(JobId(2));
+            node.scheduler.enqueue(rpc(2, i), SimTime::ZERO);
+        }
+        let out = node.tick(SimTime::from_millis(100)).expect("controller");
+        assert_eq!(out.allocations.len(), 1);
+        assert_eq!(node.scheduler.rules().len(), 1);
+        assert_eq!(node.ticks(), 1);
+        assert!(node.ledger_records().contains_key(&JobId(2)));
+    }
+
+    #[test]
+    fn baseline_tick_is_none() {
+        let mut node = OstNode::new(
+            Policy::StaticBw,
+            TbfSchedulerConfig::default(),
+            &jobs(),
+            1000.0,
+            SimTime::ZERO,
+        );
+        assert!(node.tick(SimTime::from_millis(100)).is_none());
+    }
+
+    #[test]
+    fn crash_reset_drains_and_recover_reinstalls_static_rules() {
+        let mut node = OstNode::new(
+            Policy::StaticBw,
+            TbfSchedulerConfig::default(),
+            &jobs(),
+            1000.0,
+            SimTime::ZERO,
+        );
+        for i in 0..4 {
+            node.scheduler.enqueue(rpc(1, i), SimTime::ZERO);
+        }
+        let lost = node.crash_reset();
+        assert_eq!(lost.len(), 4, "whole backlog drained");
+        assert_eq!(node.scheduler.rules().len(), 0, "rules gone with the OST");
+        assert_eq!(node.job_stats.period_total(), 0, "stats wiped");
+        node.recover(SimTime::from_secs(1));
+        assert_eq!(node.scheduler.rules().len(), 2, "static rules reinstalled");
+    }
+
+    #[test]
+    fn adaptbf_crash_keeps_ledger_but_resets_daemon() {
+        let mut node = OstNode::new(
+            Policy::adaptbf_default(),
+            TbfSchedulerConfig::default(),
+            &jobs(),
+            paper::MAX_TOKEN_RATE,
+            SimTime::ZERO,
+        );
+        node.job_stats.record_arrival(JobId(1));
+        node.scheduler.enqueue(rpc(1, 0), SimTime::ZERO);
+        node.tick(SimTime::from_millis(100));
+        let ledger_before = node.ledger_records();
+        node.crash_reset();
+        assert_eq!(node.ledger_records(), ledger_before, "ledger survives");
+        node.recover(SimTime::from_millis(200));
+        assert_eq!(node.scheduler.rules().len(), 0, "AdapTBF waits for a tick");
+        // The next cycle recreates rules against the fresh scheduler
+        // without panicking on stale rule ids.
+        node.job_stats.record_arrival(JobId(1));
+        node.scheduler.enqueue(rpc(1, 1), SimTime::from_millis(250));
+        node.tick(SimTime::from_millis(300)).expect("controller");
+        assert_eq!(node.scheduler.rules().len(), 1);
+    }
+
+    #[test]
+    fn unruled_node_is_empty() {
+        let node = OstNode::unruled(TbfSchedulerConfig::default());
+        assert_eq!(node.scheduler.rules().len(), 0);
+        assert!(matches!(node.policy(), Policy::NoBw));
+    }
+}

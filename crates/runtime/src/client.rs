@@ -1,11 +1,12 @@
 //! Client processes as real threads: bounded-window issuance over
-//! channels, with open-loop chunks and closed-loop burst support.
+//! channels, with open-loop chunks, closed-loop burst support, Lustre-style
+//! striping over the process's OST set, and churn-fault gating.
 
 use crate::clock::WallClock;
 use crate::metrics::LiveMetrics;
 use crate::ost::LiveRpc;
 use adaptbf_model::{ClientId, JobId, OpCode, ProcId, Rpc, RpcId, SimTime};
-use adaptbf_workload::ProcessSpec;
+use adaptbf_workload::{FaultPlan, ProcessSpec};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +24,12 @@ pub struct ProcFinal {
 }
 
 /// Spawn one client-process thread running `spec` until `deadline`.
+///
+/// `ost_txs` is the process's *stripe set* in stripe order: sequential
+/// RPCs round-robin over it exactly like the simulator's striped issue
+/// path. `faults` may carry a `job_churn` schedule; while this process is
+/// churned offline it stops issuing (work keeps accumulating client-side
+/// and in-flight RPCs complete normally), mirroring the simulator's gate.
 #[allow(clippy::too_many_arguments)]
 pub fn spawn_process(
     job: JobId,
@@ -30,7 +37,8 @@ pub fn spawn_process(
     client: ClientId,
     spec: ProcessSpec,
     horizon: SimTime,
-    ost_tx: Sender<LiveRpc>,
+    ost_txs: Vec<Sender<LiveRpc>>,
+    faults: FaultPlan,
     clock: WallClock,
     rpc_ids: Arc<AtomicU64>,
     payload: Bytes,
@@ -40,7 +48,8 @@ pub fn spawn_process(
         .name(format!("{job}-{proc_id}"))
         .spawn(move || {
             run_process(
-                job, proc_id, client, spec, horizon, ost_tx, clock, rpc_ids, payload, metrics,
+                job, proc_id, client, spec, horizon, ost_txs, faults, clock, rpc_ids, payload,
+                metrics,
             )
         })
         .expect("spawn client thread")
@@ -53,12 +62,14 @@ fn run_process(
     client: ClientId,
     spec: ProcessSpec,
     horizon: SimTime,
-    ost_tx: Sender<LiveRpc>,
+    ost_txs: Vec<Sender<LiveRpc>>,
+    faults: FaultPlan,
     clock: WallClock,
     rpc_ids: Arc<AtomicU64>,
     payload: Bytes,
     metrics: LiveMetrics,
 ) -> ProcFinal {
+    assert!(!ost_txs.is_empty(), "process needs at least one OST");
     let (done_tx, done_rx) = bounded::<()>(spec.max_inflight.max(1));
     let horizon_span = horizon - SimTime::ZERO;
     let mut chunks = spec.pattern.arrivals(spec.file_rpcs, horizon_span);
@@ -98,8 +109,13 @@ fn run_process(
             }
         }
 
-        // Issue while the window allows.
-        while available > 0 && inflight < spec.max_inflight {
+        // Churn gate: an offline process stops issuing until it rejoins
+        // (released work queues up client-side meanwhile).
+        let offline_until = faults.churn_offline_until(proc_id.raw() as usize, now);
+
+        // Issue while the window allows, striping sequential RPCs over
+        // the process's OST set.
+        while offline_until.is_none() && available > 0 && inflight < spec.max_inflight {
             let id = RpcId(rpc_ids.fetch_add(1, Ordering::Relaxed));
             let rpc = Rpc {
                 id,
@@ -111,7 +127,8 @@ fn run_process(
                 issued_at: now,
             };
             metrics.on_issued(job);
-            if ost_tx
+            let target = &ost_txs[(issued % ost_txs.len() as u64) as usize];
+            if target
                 .send(LiveRpc {
                     rpc,
                     payload: payload.clone(),
@@ -144,6 +161,9 @@ fn run_process(
         if let Some((at, _)) = pending_burst {
             wake = Some(wake.unwrap().min(at));
         }
+        if let Some(until) = offline_until {
+            wake = Some(wake.unwrap().min(until));
+        }
         let timeout = clock.until(wake.unwrap_or(horizon));
 
         if inflight > 0 {
@@ -155,8 +175,8 @@ fn run_process(
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
-        } else if available == 0 {
-            // Nothing outstanding and nothing to issue: sleep to next event.
+        } else if available == 0 || offline_until.is_some() {
+            // Nothing outstanding and nothing issuable: sleep to next event.
             std::thread::sleep(timeout.min(Duration::from_millis(50)));
         }
     }

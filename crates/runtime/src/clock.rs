@@ -21,7 +21,15 @@ impl WallClock {
 
     /// Current instant on the virtual axis.
     pub fn now(&self) -> SimTime {
-        SimTime(self.epoch.elapsed().as_nanos() as u64)
+        self.at(Instant::now())
+    }
+
+    /// Map an explicit `Instant` onto the virtual axis. Instants from
+    /// before the epoch saturate to [`SimTime::ZERO`] instead of
+    /// panicking, so a reading taken on another thread just before the
+    /// cluster's clock started still maps to a valid (zero) virtual time.
+    pub fn at(&self, instant: Instant) -> SimTime {
+        SimTime(instant.saturating_duration_since(self.epoch).as_nanos() as u64)
     }
 
     /// Convert a virtual instant back into a wall-clock deadline measured
@@ -39,6 +47,8 @@ impl WallClock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adaptbf_model::SimDuration;
+    use std::time::Duration;
 
     #[test]
     fn clock_is_monotone() {
@@ -51,9 +61,54 @@ mod tests {
     #[test]
     fn until_past_is_zero() {
         let c = WallClock::start();
-        std::thread::sleep(std::time::Duration::from_millis(2));
-        assert_eq!(c.until(SimTime::ZERO), std::time::Duration::ZERO);
-        let future = c.now() + adaptbf_model::SimDuration::from_millis(50);
-        assert!(c.until(future) > std::time::Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(c.until(SimTime::ZERO), Duration::ZERO);
+        let future = c.now() + SimDuration::from_millis(50);
+        assert!(c.until(future) > Duration::from_millis(10));
+    }
+
+    #[test]
+    fn explicit_instants_map_monotonically() {
+        // The SimTime axis must preserve the order of the Instants it is
+        // fed, whatever order the readings are *converted* in.
+        let c = WallClock::start();
+        let mut instants = Vec::new();
+        for _ in 0..5 {
+            instants.push(Instant::now());
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Convert out of order: mapping must not depend on call order.
+        let late_first = c.at(instants[4]);
+        let times: Vec<SimTime> = instants.iter().map(|&i| c.at(i)).collect();
+        assert_eq!(times[4], late_first, "conversion is a pure function");
+        for w in times.windows(2) {
+            assert!(w[0] < w[1], "SimTime order must match Instant order");
+        }
+    }
+
+    #[test]
+    fn pre_epoch_instants_saturate_to_zero() {
+        // A reading taken before the clock started (out-of-order read
+        // across threads) maps to t=0 rather than panicking or wrapping.
+        let before = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        let c = WallClock::start();
+        assert_eq!(c.at(before), SimTime::ZERO);
+        // And the regular path agrees with the explicit one.
+        let now_via_at = c.at(Instant::now());
+        let now = c.now();
+        assert!(now >= now_via_at);
+    }
+
+    #[test]
+    fn until_round_trips_through_at() {
+        let c = WallClock::start();
+        let target = c.now() + SimDuration::from_millis(20);
+        let wait = c.until(target);
+        assert!(wait <= Duration::from_millis(20));
+        assert!(
+            wait > Duration::from_millis(5),
+            "unexpectedly long at() gap"
+        );
     }
 }

@@ -1,33 +1,28 @@
-//! Orchestration: scenario → OST threads + client threads → joined report.
+//! Orchestration: scenario → OST threads + client threads → the common
+//! [`RunReport`].
+//!
+//! [`LiveCluster`] speaks the same data surface as the simulator: it takes
+//! a [`Scenario`] and the shared [`Policy`] (there is no live-only policy
+//! mirror), honors the wall-clock-feasible subset of a [`FaultPlan`]
+//! (`disk_degrade`, `job_churn` — crash/stall specs are rejected with a
+//! [`LiveError`], not a panic), and folds its counters into the *same*
+//! slot-indexed report shape the simulator emits, so the analysis layer
+//! and the CLI tables run unchanged on live output.
 
 use crate::client::{spawn_process, ProcFinal};
 use crate::clock::WallClock;
 use crate::metrics::LiveMetrics;
-use crate::ost::{LiveOst, OstFinal, OstPolicy};
-use adaptbf_model::{
-    AdapTbfConfig, ClientId, JobId, OstConfig, ProcId, SimTime, TbfSchedulerConfig,
-};
-use adaptbf_workload::Scenario;
+use crate::ost::{LiveOst, OstFinal};
+use adaptbf_model::{ClientId, JobId, OstConfig, ProcId, SimDuration, TbfSchedulerConfig};
+use adaptbf_node::{FaultStats, OstNode, Policy, RunReport};
+use adaptbf_workload::{FaultPlan, Scenario};
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-/// Cluster-level policy (mirrors `adaptbf_sim::Policy`).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum LivePolicy {
-    /// No TBF rules.
-    NoBw,
-    /// Static rules from scenario priorities with the given total rate.
-    StaticBw {
-        /// `T_i` the static rule rates sum to.
-        total_rate: f64,
-    },
-    /// The AdapTBF controller in every OST.
-    AdapTbf(AdapTbfConfig),
-}
-
-/// Hardware tuning of the live testbed.
+/// Hardware tuning of the live testbed (the wall-clock analogue of the
+/// simulator's `ClusterConfig`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LiveTuning {
     /// OST model (threads, bandwidth, jitter).
@@ -38,6 +33,13 @@ pub struct LiveTuning {
     pub n_osts: usize,
     /// Client nodes processes are spread over.
     pub n_clients: usize,
+    /// Each process's sequential RPCs round-robin over this many OSTs
+    /// (1 = file-per-OST, the default), exactly like the simulator.
+    pub stripe_count: usize,
+    /// `T_i` the Static BW baseline's fixed rule rates sum to.
+    pub static_rate_total: f64,
+    /// Metrics bucket width for the report timelines.
+    pub bucket: SimDuration,
     /// Payload bytes per RPC (kept small so tests move real bytes without
     /// burning memory bandwidth).
     pub payload_bytes: usize,
@@ -45,7 +47,8 @@ pub struct LiveTuning {
 
 impl LiveTuning {
     /// A fast test preset: ~4000 RPC/s of capacity from 8 emulated I/O
-    /// threads at ~2 ms per RPC, with 4 KiB payloads.
+    /// threads at ~2 ms per RPC, with 4 KiB payloads and a 2000 tokens/s
+    /// static ceiling.
     pub fn fast_test() -> Self {
         LiveTuning {
             ost: OstConfig {
@@ -57,17 +60,46 @@ impl LiveTuning {
             tbf: TbfSchedulerConfig::default(),
             n_osts: 1,
             n_clients: 4,
+            stripe_count: 1,
+            static_rate_total: 2000.0,
+            bucket: SimDuration::from_millis(100),
             payload_bytes: 4096,
         }
     }
 }
 
-/// Outcome of a live run.
+/// Why a live run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveError {
+    /// The fault plan asks for something only the deterministic simulator
+    /// can model (OST crash epochs, controller stalls, stats loss).
+    UnsupportedFault(String),
+    /// The fault plan fails its own validation.
+    InvalidFault(String),
+    /// The wiring is inconsistent (e.g. stripe wider than the cluster).
+    InvalidWiring(String),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::UnsupportedFault(msg) => write!(f, "unsupported fault for --live: {msg}"),
+            LiveError::InvalidFault(msg) => write!(f, "invalid fault plan: {msg}"),
+            LiveError::InvalidWiring(msg) => write!(f, "invalid live wiring: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+/// Outcome of a live run: the common report plus live-only extras.
 #[derive(Debug)]
 pub struct LiveReport {
-    /// Served RPCs per job (across OSTs).
-    pub served: BTreeMap<JobId, u64>,
-    /// Issued RPCs per job.
+    /// The same slot-indexed report shape the simulator emits — feed it
+    /// to `adaptbf-analysis` or the CLI tables unchanged.
+    pub report: RunReport,
+    /// Issued RPCs per job (client side; the live analogue of released
+    /// work actually put on the wire).
     pub issued: BTreeMap<JobId, u64>,
     /// Final lending/borrowing records per job per OST.
     pub records_per_ost: Vec<BTreeMap<JobId, i64>>,
@@ -82,17 +114,17 @@ pub struct LiveReport {
 impl LiveReport {
     /// Total RPCs served.
     pub fn total_served(&self) -> u64 {
-        self.served.values().sum()
+        self.report.metrics.total_served()
+    }
+
+    /// Served RPCs per job (across OSTs).
+    pub fn served(&self) -> BTreeMap<JobId, u64> {
+        self.report.metrics.served_by_job()
     }
 
     /// Served share of one job relative to the total.
     pub fn served_share(&self, job: JobId) -> f64 {
-        let total = self.total_served();
-        if total == 0 {
-            0.0
-        } else {
-            self.served.get(&job).copied().unwrap_or(0) as f64 / total as f64
-        }
+        self.report.served_share(job)
     }
 }
 
@@ -100,48 +132,102 @@ impl LiveReport {
 pub struct LiveCluster;
 
 impl LiveCluster {
-    /// Run `scenario` under `policy` with the given tuning. Blocks for the
-    /// scenario's (wall-clock) duration.
-    pub fn run(
+    /// The wall-clock-feasible subset of the fault surface: `Ok` when the
+    /// plan can run live, a [`LiveError`] naming the offending spec
+    /// otherwise. `disk_degrade` and `job_churn` are time-indexed and
+    /// engine-agnostic; crash windows and controller stalls depend on the
+    /// simulator's epoch/resend and cycle-count machinery.
+    pub fn check_faults(faults: &FaultPlan) -> Result<(), LiveError> {
+        faults.validate().map_err(LiveError::InvalidFault)?;
+        if faults.ost_crash.is_some() {
+            return Err(LiveError::UnsupportedFault(
+                "ost_crash needs the simulator's crash-epoch/resend machinery; \
+                 run this scenario without --live"
+                    .into(),
+            ));
+        }
+        if faults.controller_stall.is_some() {
+            return Err(LiveError::UnsupportedFault(
+                "controller_stall is indexed by deterministic cycle counts; \
+                 run this scenario without --live"
+                    .into(),
+            ));
+        }
+        if faults.stats_loss_every.is_some() {
+            return Err(LiveError::UnsupportedFault(
+                "stats_loss_every is indexed by deterministic cycle counts; \
+                 run this scenario without --live"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Run `scenario` under `policy` with the given tuning and no faults.
+    /// Blocks for the scenario's (wall-clock) duration.
+    pub fn run(scenario: &Scenario, policy: Policy, tuning: LiveTuning, seed: u64) -> LiveReport {
+        Self::run_with_faults(scenario, policy, tuning, &FaultPlan::none(), seed)
+            .expect("a fault-free plan is always live-feasible")
+    }
+
+    /// [`LiveCluster::run`] with a fault plan. Only the
+    /// wall-clock-feasible subset is accepted — see
+    /// [`LiveCluster::check_faults`].
+    pub fn run_with_faults(
         scenario: &Scenario,
-        policy: LivePolicy,
+        policy: Policy,
         tuning: LiveTuning,
+        faults: &FaultPlan,
         seed: u64,
-    ) -> LiveReport {
+    ) -> Result<LiveReport, LiveError> {
+        Self::check_faults(faults)?;
+        if tuning.n_osts == 0 || tuning.n_clients == 0 {
+            return Err(LiveError::InvalidWiring(
+                "n_osts and n_clients must be positive".into(),
+            ));
+        }
+        if tuning.stripe_count == 0 || tuning.stripe_count > tuning.n_osts {
+            return Err(LiveError::InvalidWiring(format!(
+                "stripe_count must be in 1..={}, got {}",
+                tuning.n_osts, tuning.stripe_count
+            )));
+        }
+
         let clock = WallClock::start();
-        let metrics = LiveMetrics::new();
-        let horizon = SimTime::ZERO + scenario.duration;
+        let metrics = LiveMetrics::new(tuning.bucket);
+        let horizon = adaptbf_model::SimTime::ZERO + scenario.duration;
         let started = std::time::Instant::now();
 
-        // One independent OST thread each — no shared control state.
-        let nodes: BTreeMap<JobId, u64> = scenario.jobs.iter().map(|j| (j.id, j.nodes)).collect();
+        // Released-work accounting: the same `ProcessSpec::released_within`
+        // denominator the simulator's builder uses, so completion
+        // detection cannot drift between executors.
+        for job in &scenario.jobs {
+            let released = job
+                .processes
+                .iter()
+                .map(|spec| spec.released_within(scenario.duration))
+                .sum();
+            metrics.set_released(job.id, released);
+        }
+
+        // One independent OST thread each, wrapping the shared per-OST
+        // control-plane assembly — no state is shared between OSTs.
+        let jobs: Vec<(JobId, u64)> = scenario.jobs.iter().map(|j| (j.id, j.nodes)).collect();
         let osts: Vec<_> = (0..tuning.n_osts)
             .map(|i| {
-                let ost_policy = match policy {
-                    LivePolicy::NoBw => OstPolicy::NoBw,
-                    LivePolicy::StaticBw { total_rate } => OstPolicy::Static(
-                        scenario
-                            .jobs
-                            .iter()
-                            .map(|j| {
-                                (
-                                    j.id,
-                                    total_rate * scenario.static_priority(j.id),
-                                    j.nodes.min(u32::MAX as u64) as u32,
-                                )
-                            })
-                            .collect(),
-                    ),
-                    LivePolicy::AdapTbf(config) => OstPolicy::AdapTbf {
-                        config,
-                        nodes: nodes.clone(),
-                    },
-                };
+                let node = OstNode::new(
+                    policy,
+                    tuning.tbf,
+                    &jobs,
+                    tuning.static_rate_total,
+                    adaptbf_model::SimTime::ZERO,
+                );
                 LiveOst::spawn(
                     format!("ost{i}"),
                     tuning.ost,
-                    tuning.tbf,
-                    ost_policy,
+                    node,
+                    *faults,
+                    horizon,
                     clock,
                     metrics.clone(),
                     seed ^ (0xA5 + i as u64),
@@ -149,21 +235,27 @@ impl LiveCluster {
             })
             .collect();
 
-        // Client process threads, striped over clients and OSTs.
+        // Client process threads, striped over clients and OSTs exactly
+        // like the simulator: process p's stripe set is the
+        // `stripe_count`-wide window starting at OST `p % n_osts`.
         let rpc_ids = Arc::new(AtomicU64::new(0));
         let payload = Bytes::from(vec![0xABu8; tuning.payload_bytes]);
         let mut handles = Vec::new();
         let mut proc_idx = 0usize;
         for job in &scenario.jobs {
             for spec in &job.processes {
-                let ost = &osts[proc_idx % tuning.n_osts];
+                let base = proc_idx % tuning.n_osts;
+                let ost_txs: Vec<_> = (0..tuning.stripe_count)
+                    .map(|k| osts[(base + k) % tuning.n_osts].sender())
+                    .collect();
                 handles.push(spawn_process(
                     job.id,
                     ProcId(proc_idx as u32),
                     ClientId((proc_idx % tuning.n_clients) as u32),
                     spec.clone(),
                     horizon,
-                    ost.sender(),
+                    ost_txs,
+                    *faults,
                     clock,
                     rpc_ids.clone(),
                     payload.clone(),
@@ -177,23 +269,35 @@ impl LiveCluster {
             .into_iter()
             .map(|h| h.join().expect("client thread panicked"))
             .collect();
+        let issued = metrics.issued();
         let finals: Vec<OstFinal> = osts.into_iter().map(|o| o.shutdown()).collect();
 
-        LiveReport {
-            served: metrics.served(),
-            issued: metrics.issued(),
+        let folded = metrics.into_metrics(horizon);
+        let report = RunReport::from_run(
+            scenario.name.clone(),
+            policy.name(),
+            scenario.duration,
+            folded,
+            &scenario.job_ids(),
+            finals.iter().filter_map(|f| f.overhead).collect(),
+            FaultStats::default(),
+        );
+        Ok(LiveReport {
+            report,
+            issued,
             records_per_ost: finals.iter().map(|f| f.records.clone()).collect(),
             ticks_per_ost: finals.iter().map(|f| f.ticks).collect(),
             procs,
             elapsed: started.elapsed(),
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adaptbf_model::SimDuration;
+    use adaptbf_model::{AdapTbfConfig, SimDuration, SimTime};
+    use adaptbf_workload::faults::{ChurnSpec, CrashSpec, DegradeSpec, StallSpec};
     use adaptbf_workload::{JobSpec, ProcessSpec};
 
     fn small_scenario(ms: u64) -> Scenario {
@@ -208,11 +312,19 @@ mod tests {
         )
     }
 
+    fn fast_adaptbf() -> AdapTbfConfig {
+        AdapTbfConfig {
+            period: SimDuration::from_millis(25),
+            max_token_rate: 2000.0,
+            ..adaptbf_model::config::paper::adaptbf()
+        }
+    }
+
     #[test]
     fn no_bw_live_run_serves_traffic() {
         let report = LiveCluster::run(
             &small_scenario(250),
-            LivePolicy::NoBw,
+            Policy::NoBw,
             LiveTuning::fast_test(),
             1,
         );
@@ -225,45 +337,43 @@ mod tests {
             report.ticks_per_ost.iter().all(|t| *t == 0),
             "no controller under NoBW"
         );
+        assert!(report.report.overheads.is_empty());
+        assert_eq!(report.report.policy, "no_bw");
     }
 
     #[test]
     fn adaptbf_live_run_allocates_by_priority() {
         // Jobs with 1 vs 3 nodes, both saturating: AdapTBF must steer the
         // shares toward 25/75 (generous tolerance: wall-clock test).
-        let cfg = AdapTbfConfig {
-            period: SimDuration::from_millis(25),
-            max_token_rate: 2000.0,
-            ..adaptbf_model::config::paper::adaptbf()
-        };
         let report = LiveCluster::run(
             &small_scenario(600),
-            LivePolicy::AdapTbf(cfg),
+            Policy::AdapTbf(fast_adaptbf()),
             LiveTuning::fast_test(),
             1,
         );
         assert!(report.ticks_per_ost[0] > 5, "controller must have run");
+        assert!(!report.report.overheads.is_empty(), "overhead accounted");
         let share_high = report.served_share(JobId(2));
         assert!(
             share_high > 0.60,
             "high-priority job should get well above half; got {share_high:.2} \
              (served {:?})",
-            report.served
+            report.served()
         );
     }
 
     #[test]
     fn multi_ost_runs_independent_controllers() {
-        let cfg = AdapTbfConfig {
-            period: SimDuration::from_millis(25),
-            max_token_rate: 2000.0,
-            ..adaptbf_model::config::paper::adaptbf()
-        };
         let tuning = LiveTuning {
             n_osts: 2,
             ..LiveTuning::fast_test()
         };
-        let report = LiveCluster::run(&small_scenario(400), LivePolicy::AdapTbf(cfg), tuning, 3);
+        let report = LiveCluster::run(
+            &small_scenario(400),
+            Policy::AdapTbf(fast_adaptbf()),
+            tuning,
+            3,
+        );
         assert_eq!(report.records_per_ost.len(), 2);
         assert!(
             report.ticks_per_ost.iter().all(|t| *t > 3),
@@ -275,12 +385,145 @@ mod tests {
     fn static_bw_caps_low_priority() {
         let report = LiveCluster::run(
             &small_scenario(400),
-            LivePolicy::StaticBw { total_rate: 2000.0 },
+            Policy::StaticBw,
             LiveTuning::fast_test(),
             1,
         );
-        // Static 25/75 split: job 1 must stay near a quarter share.
+        // Static 25/75 split at 2000 tokens/s: job 1 must stay near a
+        // quarter share.
         let share_low = report.served_share(JobId(1));
         assert!(share_low < 0.40, "static cap violated: {share_low:.2}");
+    }
+
+    #[test]
+    fn striped_multi_ost_wiring_spreads_every_process() {
+        let tuning = LiveTuning {
+            n_osts: 2,
+            stripe_count: 2,
+            ..LiveTuning::fast_test()
+        };
+        let report = LiveCluster::run(&small_scenario(300), Policy::NoBw, tuning, 1);
+        assert!(report.total_served() > 100);
+        // With full striping both OSTs see every job's traffic, so both
+        // record served work (shutdown reports per-OST records only under
+        // AdapTBF; use the report's demand family instead).
+        assert_eq!(report.report.metrics.demand().jobs().len(), 2);
+    }
+
+    #[test]
+    fn crash_and_stall_specs_are_rejected_with_explanations() {
+        let crash = FaultPlan {
+            ost_crash: Some(CrashSpec {
+                ost: 0,
+                from: SimTime::from_millis(50),
+                for_: SimDuration::from_millis(100),
+                resend_after: SimDuration::from_millis(20),
+            }),
+            ..FaultPlan::none()
+        };
+        let stall = FaultPlan {
+            controller_stall: Some(StallSpec {
+                every: 10,
+                duration: 2,
+            }),
+            ..FaultPlan::none()
+        };
+        let loss = FaultPlan {
+            stats_loss_every: Some(4),
+            ..FaultPlan::none()
+        };
+        for plan in [crash, stall, loss] {
+            let err = LiveCluster::run_with_faults(
+                &small_scenario(100),
+                Policy::NoBw,
+                LiveTuning::fast_test(),
+                &plan,
+                1,
+            )
+            .expect_err("must reject");
+            assert!(
+                matches!(err, LiveError::UnsupportedFault(_)),
+                "wrong error {err:?}"
+            );
+            assert!(
+                err.to_string().contains("without --live"),
+                "error must tell the user what to do: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_degrade_slows_the_live_device() {
+        // Degrade the whole run 4×: the served total must drop well below
+        // the healthy run's.
+        let scenario = small_scenario(300);
+        let healthy = LiveCluster::run(&scenario, Policy::NoBw, LiveTuning::fast_test(), 1);
+        let degraded = LiveCluster::run_with_faults(
+            &scenario,
+            Policy::NoBw,
+            LiveTuning::fast_test(),
+            &FaultPlan {
+                disk_degrade: Some(DegradeSpec {
+                    from: SimTime::ZERO,
+                    for_: SimDuration::from_secs(10),
+                    factor: 4.0,
+                }),
+                ..FaultPlan::none()
+            },
+            1,
+        )
+        .expect("degrade is live-feasible");
+        assert!(
+            (degraded.total_served() as f64) < healthy.total_served() as f64 * 0.6,
+            "4x degrade must cut throughput: {} vs {}",
+            degraded.total_served(),
+            healthy.total_served()
+        );
+    }
+
+    #[test]
+    fn job_churn_pauses_issuance_live() {
+        // Churn every process offline for the first 60% of each cycle:
+        // issuance must drop relative to the healthy run.
+        let scenario = small_scenario(400);
+        let healthy = LiveCluster::run(&scenario, Policy::NoBw, LiveTuning::fast_test(), 1);
+        let churned = LiveCluster::run_with_faults(
+            &scenario,
+            Policy::NoBw,
+            LiveTuning::fast_test(),
+            &FaultPlan {
+                churn: Some(ChurnSpec {
+                    every: SimDuration::from_millis(100),
+                    offline: SimDuration::from_millis(60),
+                    stride: 1,
+                }),
+                ..FaultPlan::none()
+            },
+            1,
+        )
+        .expect("churn is live-feasible");
+        assert!(
+            (churned.total_served() as f64) < healthy.total_served() as f64 * 0.8,
+            "churn must cut served work: {} vs {}",
+            churned.total_served(),
+            healthy.total_served()
+        );
+    }
+
+    #[test]
+    fn invalid_wiring_is_rejected() {
+        let tuning = LiveTuning {
+            stripe_count: 3,
+            ..LiveTuning::fast_test()
+        };
+        let err = LiveCluster::run_with_faults(
+            &small_scenario(100),
+            Policy::NoBw,
+            tuning,
+            &FaultPlan::none(),
+            1,
+        )
+        .expect_err("stripe wider than cluster");
+        assert!(matches!(err, LiveError::InvalidWiring(_)));
     }
 }

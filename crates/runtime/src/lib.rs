@@ -5,20 +5,25 @@
 //! deterministically, this crate runs the same components as real threads
 //! against the wall clock:
 //!
-//! * one OS thread per OST ([`ost::LiveOst`]) owning its NRS/TBF scheduler,
-//!   an emulated I/O thread pool, its own Lustre-style `job_stats`, **and
-//!   its own [`adaptbf_core::AllocationController`]** — no state is shared
-//!   between OSTs, which is precisely the paper's decentralized control
-//!   claim (Section II-B);
+//! * one OS thread per OST ([`ost::LiveOst`]) owning the shared per-OST
+//!   control-plane assembly ([`adaptbf_node::OstNode`]: NRS/TBF scheduler,
+//!   Lustre-style `job_stats`, **and its own
+//!   `adaptbf_core::AllocationController`**) plus an emulated I/O thread
+//!   pool — no state is shared between OSTs, which is precisely the
+//!   paper's decentralized control claim (Section II-B);
 //! * one OS thread per client process ([`client`]), issuing RPCs over
-//!   crossbeam channels subject to its `max_rpcs_in_flight` window, with
-//!   payloads carried as cheaply-cloned [`bytes::Bytes`] slices;
-//! * a cluster orchestrator ([`cluster::LiveCluster`]) that wires scenario →
-//!   threads → report.
+//!   crossbeam channels subject to its `max_rpcs_in_flight` window,
+//!   striping sequential RPCs over its OST set, with payloads carried as
+//!   cheaply-cloned [`bytes::Bytes`] slices;
+//! * a cluster orchestrator ([`cluster::LiveCluster`]) that speaks the
+//!   same data surface as the simulator: shared [`Policy`], scenario
+//!   files, the wall-clock-feasible subset of
+//!   [`adaptbf_workload::FaultPlan`] (`disk_degrade`, `job_churn`), and
+//!   the common slot-indexed [`adaptbf_node::RunReport`] output.
 //!
 //! Timing uses real `Instant`s mapped onto the shared
-//! [`adaptbf_model::SimTime`] axis by [`clock::WallClock`], so `adaptbf-tbf`
-//! runs unmodified under both executors.
+//! [`adaptbf_model::SimTime`] axis by [`clock::WallClock`], so
+//! `adaptbf-tbf` and `adaptbf-node` run unmodified under both executors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +34,8 @@ pub mod cluster;
 pub mod metrics;
 pub mod ost;
 
+pub use adaptbf_node::Policy;
 pub use clock::WallClock;
-pub use cluster::{LiveCluster, LivePolicy, LiveReport, LiveTuning};
+pub use cluster::{LiveCluster, LiveError, LiveReport, LiveTuning};
 pub use metrics::LiveMetrics;
-pub use ost::{LiveOst, LiveOstHandle, OstPolicy};
+pub use ost::{LiveOst, LiveOstHandle};

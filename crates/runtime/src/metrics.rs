@@ -1,53 +1,89 @@
-//! Shared counters for a live cluster run.
+//! Shared metrics collection for a live cluster run.
+//!
+//! [`LiveMetrics`] is a thread-safe handle over the *same* slot-indexed
+//! [`Metrics`] collector the simulator uses (`adaptbf_node::Metrics`):
+//! OST and client threads record events under a mutex, and at the end of
+//! the run the collector folds into the common [`adaptbf_node::RunReport`]
+//! shape — so fairness/latency/resilience analysis runs unchanged on live
+//! output. The lock is uncontended in practice (a few events per RPC at
+//! emulated-disk rates), and everything heavier than a counter bump is
+//! folded only once, after the threads have joined.
 
-use adaptbf_model::JobId;
+use adaptbf_model::{JobId, SimDuration, SimTime};
+use adaptbf_node::Metrics;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
-    served_by_job: BTreeMap<JobId, u64>,
+    metrics: Metrics,
     issued_by_job: BTreeMap<JobId, u64>,
-    records: BTreeMap<JobId, i64>,
     controller_ticks: u64,
 }
 
-/// Cheap-to-clone handle over the run's counters.
-#[derive(Debug, Clone, Default)]
+/// Cheap-to-clone handle over the run's shared collector.
+#[derive(Debug, Clone)]
 pub struct LiveMetrics {
     inner: Arc<Mutex<Inner>>,
 }
 
 impl LiveMetrics {
-    /// New empty metrics.
-    pub fn new() -> Self {
-        Self::default()
+    /// New empty collector with the given timeline bucket width.
+    pub fn new(bucket: SimDuration) -> Self {
+        LiveMetrics {
+            inner: Arc::new(Mutex::new(Inner {
+                metrics: Metrics::new(bucket),
+                issued_by_job: BTreeMap::new(),
+                controller_ticks: 0,
+            })),
+        }
     }
 
-    /// Record a completed (serviced) RPC.
-    pub fn on_served(&self, job: JobId) {
-        *self.inner.lock().served_by_job.entry(job).or_insert(0) += 1;
+    /// Declare how much work a job releases within the horizon (enables
+    /// completion detection, exactly like the simulator's builder).
+    pub fn set_released(&self, job: JobId, total: u64) {
+        self.inner.lock().metrics.set_released(job, total);
     }
 
-    /// Record an issued RPC.
+    /// Record an issued RPC (client side).
     pub fn on_issued(&self, job: JobId) {
         *self.inner.lock().issued_by_job.entry(job).or_insert(0) += 1;
     }
 
-    /// Snapshot a job's lending/borrowing record after a controller tick.
-    pub fn on_record(&self, job: JobId, record: i64) {
-        self.inner.lock().records.insert(job, record);
+    /// Record an RPC arriving at an OST (the OSS-arrival demand line).
+    pub fn on_arrival(&self, job: JobId, now: SimTime) {
+        self.inner.lock().metrics.on_arrival(job, now);
     }
 
-    /// Count one controller cycle.
+    /// Record a completed (serviced) RPC with end-to-end latency
+    /// attribution.
+    pub fn on_served(&self, job: JobId, now: SimTime, issued_at: SimTime) {
+        self.inner.lock().metrics.on_served_at(job, now, issued_at);
+    }
+
+    /// Record the controller's view of one job after a tick.
+    pub fn on_allocation(&self, job: JobId, now: SimTime, record: i64, tokens: u64) {
+        self.inner
+            .lock()
+            .metrics
+            .on_allocation(job, now, record, tokens);
+    }
+
+    /// Record only the lending/borrowing gauge (idle jobs whose records
+    /// persist between allocations).
+    pub fn set_record(&self, job: JobId, now: SimTime, record: f64) {
+        self.inner.lock().metrics.set_record(job, now, record);
+    }
+
+    /// Count one controller cycle (across all OSTs).
     pub fn on_tick(&self) {
         self.inner.lock().controller_ticks += 1;
     }
 
-    /// Served RPCs per job.
-    pub fn served(&self) -> BTreeMap<JobId, u64> {
-        self.inner.lock().served_by_job.clone()
+    /// Controller cycles executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.inner.lock().controller_ticks
     }
 
     /// Issued RPCs per job.
@@ -55,19 +91,21 @@ impl LiveMetrics {
         self.inner.lock().issued_by_job.clone()
     }
 
-    /// Latest record snapshot per job.
-    pub fn records(&self) -> BTreeMap<JobId, i64> {
-        self.inner.lock().records.clone()
-    }
-
-    /// Controller cycles executed.
-    pub fn ticks(&self) -> u64 {
-        self.inner.lock().controller_ticks
-    }
-
     /// Total served across jobs.
     pub fn total_served(&self) -> u64 {
-        self.inner.lock().served_by_job.values().sum()
+        self.inner.lock().metrics.total_served()
+    }
+
+    /// Finalize all series at `until` and hand the collector out for the
+    /// report fold. Call after every recording thread has joined.
+    pub fn into_metrics(self, until: SimTime) -> Metrics {
+        let mut metrics = match Arc::try_unwrap(self.inner) {
+            Ok(mutex) => mutex.into_inner().metrics,
+            // A handle is still alive somewhere; fold from a snapshot.
+            Err(arc) => arc.lock().metrics.clone(),
+        };
+        metrics.finalize(until);
+        metrics
     }
 }
 
@@ -75,26 +113,41 @@ impl LiveMetrics {
 mod tests {
     use super::*;
 
+    fn m() -> LiveMetrics {
+        LiveMetrics::new(SimDuration::from_millis(100))
+    }
+
     #[test]
-    fn counters_accumulate() {
-        let m = LiveMetrics::new();
-        m.on_served(JobId(1));
-        m.on_served(JobId(1));
-        m.on_issued(JobId(1));
-        m.on_record(JobId(1), -5);
-        m.on_tick();
-        assert_eq!(m.served()[&JobId(1)], 2);
-        assert_eq!(m.issued()[&JobId(1)], 1);
-        assert_eq!(m.records()[&JobId(1)], -5);
-        assert_eq!(m.ticks(), 1);
-        assert_eq!(m.total_served(), 2);
+    fn counters_accumulate_into_the_shared_collector() {
+        let metrics = m();
+        metrics.set_released(JobId(1), 2);
+        metrics.on_issued(JobId(1));
+        metrics.on_arrival(JobId(1), SimTime::from_millis(10));
+        metrics.on_served(JobId(1), SimTime::from_millis(50), SimTime::from_millis(10));
+        metrics.on_served(JobId(1), SimTime::from_millis(80), SimTime::from_millis(20));
+        metrics.on_tick();
+        assert_eq!(metrics.ticks(), 1);
+        assert_eq!(metrics.issued()[&JobId(1)], 1);
+        assert_eq!(metrics.total_served(), 2);
+        let folded = metrics.into_metrics(SimTime::from_millis(100));
+        assert_eq!(folded.served_of(JobId(1)), 2);
+        assert_eq!(
+            folded.completion_of(JobId(1)),
+            Some(SimTime::from_millis(80)),
+            "released work completed"
+        );
+        assert_eq!(folded.latency(JobId(1)).count(), 2);
     }
 
     #[test]
     fn clones_share_state() {
-        let m = LiveMetrics::new();
-        let m2 = m.clone();
-        m2.on_served(JobId(3));
-        assert_eq!(m.total_served(), 1);
+        let metrics = m();
+        let m2 = metrics.clone();
+        m2.on_served(JobId(3), SimTime::from_millis(5), SimTime::ZERO);
+        assert_eq!(metrics.total_served(), 1);
+        // into_metrics works even while a clone is alive (snapshot path).
+        let folded = metrics.into_metrics(SimTime::from_millis(100));
+        assert_eq!(folded.served_of(JobId(3)), 1);
+        assert_eq!(m2.total_served(), 1);
     }
 }

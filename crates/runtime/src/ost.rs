@@ -1,42 +1,27 @@
-//! One OST as a real OS thread: NRS/TBF scheduler, emulated I/O thread
-//! pool, local `job_stats`, and — under AdapTBF — its **own** controller.
+//! One OST as a real OS thread wrapping the shared control-plane node.
 //!
-//! Decentralization is structural here: a [`LiveOst`] owns every piece of
-//! state it needs behind its channel; nothing is shared with other OSTs
-//! (paper Section II-B). Rule changes, stats collection and token
-//! allocation all happen inside the OST's own thread.
+//! Decentralization is structural here: a [`LiveOst`] thread owns its
+//! [`OstNode`] — NRS/TBF scheduler, local `job_stats`, and, under AdapTBF,
+//! its **own** controller — behind a channel; nothing is shared with other
+//! OSTs (paper Section II-B). The node is the exact same assembly
+//! `adaptbf-sim` embeds per simulated OST; only the drive differs: an
+//! emulated I/O thread pool against the wall clock instead of a
+//! discrete-event loop.
 
 use crate::clock::WallClock;
 use crate::metrics::LiveMetrics;
-use adaptbf_core::AllocationController;
-use adaptbf_model::{
-    AdapTbfConfig, JobId, JobObservation, OstConfig, Rpc, SimDuration, SimTime, TbfSchedulerConfig,
-};
-use adaptbf_tbf::{JobStatsTracker, NrsTbfScheduler, RpcMatcher, RuleDaemon, SchedDecision};
+use adaptbf_model::{OstConfig, Rpc, SimDuration, SimTime};
+use adaptbf_node::{ControllerOverhead, OstNode};
+use adaptbf_tbf::SchedDecision;
+use adaptbf_workload::FaultPlan;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// Bandwidth policy of one live OST.
-#[derive(Debug, Clone)]
-pub enum OstPolicy {
-    /// No rules: FCFS through the fallback path.
-    NoBw,
-    /// Fixed rules `(job, rate_tps, weight)` installed at start.
-    Static(Vec<(JobId, f64, u32)>),
-    /// The full AdapTBF loop with the given config and node counts.
-    AdapTbf {
-        /// Controller configuration (period, `T_i`, …).
-        config: AdapTbfConfig,
-        /// Compute nodes per job (priority weights).
-        nodes: BTreeMap<JobId, u64>,
-    },
-}
 
 /// An RPC on the wire: metadata + payload + completion notification path.
 #[derive(Debug)]
@@ -55,9 +40,11 @@ pub struct OstFinal {
     /// RPCs fully serviced.
     pub served: u64,
     /// Final lending/borrowing records (AdapTBF only).
-    pub records: BTreeMap<JobId, i64>,
+    pub records: std::collections::BTreeMap<adaptbf_model::JobId, i64>,
     /// Controller cycles executed (AdapTBF only).
     pub ticks: u64,
+    /// Control-plane overhead accounting (AdapTBF only).
+    pub overhead: Option<ControllerOverhead>,
 }
 
 /// Handle to a spawned OST thread.
@@ -87,12 +74,19 @@ impl LiveOstHandle {
 pub struct LiveOst;
 
 impl LiveOst {
-    /// Spawn one OST thread.
+    /// Spawn one OST thread around an assembled control-plane `node`.
+    /// `faults` may carry a `disk_degrade` window (the wall-clock-feasible
+    /// device fault); crash/stall specs are rejected upstream by
+    /// [`crate::cluster::LiveCluster`]. The thread stops serving at
+    /// `horizon` — queued work past it is dropped, exactly like the
+    /// simulator's run cutoff.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         name: String,
         ost_cfg: OstConfig,
-        tbf_cfg: TbfSchedulerConfig,
-        policy: OstPolicy,
+        node: OstNode,
+        faults: FaultPlan,
+        horizon: SimTime,
         clock: WallClock,
         metrics: LiveMetrics,
         seed: u64,
@@ -100,7 +94,7 @@ impl LiveOst {
         let (tx, rx) = bounded::<LiveRpc>(4096);
         let join = std::thread::Builder::new()
             .name(name)
-            .spawn(move || run_ost(rx, ost_cfg, tbf_cfg, policy, clock, metrics, seed))
+            .spawn(move || run_ost(rx, ost_cfg, node, faults, horizon, clock, metrics, seed))
             .expect("spawn OST thread");
         LiveOstHandle {
             tx: Some(tx),
@@ -135,96 +129,98 @@ impl Ord for InService {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_ost(
     rx: Receiver<LiveRpc>,
     ost_cfg: OstConfig,
-    tbf_cfg: TbfSchedulerConfig,
-    policy: OstPolicy,
+    mut node: OstNode,
+    faults: FaultPlan,
+    horizon: SimTime,
     clock: WallClock,
     metrics: LiveMetrics,
     seed: u64,
 ) -> OstFinal {
-    let mut scheduler = NrsTbfScheduler::new(tbf_cfg);
-    let mut stats = JobStatsTracker::new();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut busy: BinaryHeap<Reverse<InService>> = BinaryHeap::new();
     // reply channels for RPCs queued in the scheduler, keyed by RPC id.
     let mut pending: std::collections::HashMap<u64, Sender<()>> = std::collections::HashMap::new();
     let mut seq = 0u64;
     let mut served = 0u64;
-    let mut ticks = 0u64;
 
-    // Per-policy control plane, fully local to this thread.
-    let mut controller: Option<(AllocationController, RuleDaemon, BTreeMap<JobId, u64>)> = None;
-    let mut next_tick: Option<SimTime> = None;
-    match &policy {
-        OstPolicy::NoBw => {}
-        OstPolicy::Static(rules) => {
-            let now = clock.now();
-            for (job, rate, weight) in rules {
-                scheduler.start_rule(job.label(), RpcMatcher::Job(*job), *rate, *weight, now);
-            }
-        }
-        OstPolicy::AdapTbf { config, nodes } => {
-            controller = Some((
-                AllocationController::new(*config),
-                RuleDaemon::new(),
-                nodes.clone(),
-            ));
-            next_tick = Some(clock.now() + config.period);
-        }
-    }
+    // The controller's tick cadence comes from the node's policy; the
+    // wall-clock deadline is this executor's analogue of the simulator's
+    // ControllerTick event.
+    let period = node.policy().period();
+    let mut next_tick: Option<SimTime> = period.map(|p| clock.now() + p);
 
     let mut disconnected = false;
     loop {
         let now = clock.now();
+        // The horizon cuts the run off exactly like the simulator's: due
+        // completions still count (drained below at their finish
+        // instants, all <= horizon), queued and in-flight work is
+        // dropped.
+        if now >= horizon {
+            while busy.peek().is_some_and(|Reverse(s)| s.finish <= horizon) {
+                let Reverse(s) = busy.pop().expect("peeked");
+                served += 1;
+                metrics.on_served(s.rpc.job, s.finish, s.rpc.issued_at);
+                let _ = s.reply_to.send(());
+            }
+            break;
+        }
 
         // 1. Complete services that are due.
         while busy.peek().is_some_and(|Reverse(s)| s.finish <= now) {
             let Reverse(s) = busy.pop().expect("peeked");
             served += 1;
-            metrics.on_served(s.rpc.job);
+            metrics.on_served(s.rpc.job, now, s.rpc.issued_at);
             let _ = s.reply_to.send(()); // issuer may be gone at deadline
         }
 
-        // 2. Controller cycle (AdapTBF only).
-        if let (Some(tick_at), Some((controller_ref, daemon, nodes))) =
-            (next_tick, controller.as_mut())
-        {
+        // 2. Controller cycle (AdapTBF only) — the shared node runs the
+        // exact collect → allocate → apply → clear sequence of the paper's
+        // Figure 2, identically to the simulator.
+        if let Some(tick_at) = next_tick {
             if now >= tick_at {
-                let observations: Vec<JobObservation> = stats
-                    .collect()
-                    .into_iter()
-                    .map(|(job, demand)| {
-                        JobObservation::new(job, nodes.get(&job).copied().unwrap_or(1), demand)
-                    })
-                    .collect();
-                let outcome = controller_ref.step(&observations);
-                let weights: Vec<(JobId, u32)> = observations
-                    .iter()
-                    .map(|o| (o.job, o.nodes.min(u32::MAX as u64) as u32))
-                    .collect();
-                daemon.apply(&mut scheduler, &outcome.allocations, &weights, now);
-                stats.clear();
-                for jt in &outcome.trace.jobs {
-                    metrics.on_record(jt.job, jt.record_after);
+                if let Some(outcome) = node.tick(now) {
+                    for jt in &outcome.trace.jobs {
+                        metrics.on_allocation(
+                            jt.job,
+                            now,
+                            jt.record_after,
+                            jt.after_recompensation,
+                        );
+                    }
+                    // Records of idle jobs persist; keep their gauge lines
+                    // continuous (same walk as the simulator's tick).
+                    if let Some(controller) = node.controller() {
+                        for (job, entry) in controller.ledger().iter() {
+                            if outcome.trace.job(job).is_none() {
+                                metrics.set_record(job, now, entry.record as f64);
+                            }
+                        }
+                    }
+                    metrics.on_tick();
                 }
-                metrics.on_tick();
-                ticks += 1;
-                let period = match &policy {
-                    OstPolicy::AdapTbf { config, .. } => config.period,
-                    _ => unreachable!("controller implies AdapTbf"),
-                };
-                next_tick = Some(tick_at + period);
+                // Schedule from *now*, like the simulator's
+                // schedule_next_tick: if the thread lagged past a whole
+                // period, anchoring on tick_at would fire an immediate
+                // catch-up tick on freshly-cleared stats, which stops
+                // every rule until the next real cycle.
+                next_tick = Some(now + period.expect("tick scheduled implies a period"));
             }
         }
 
         // 3. Dispatch onto idle emulated I/O threads.
         let mut tbf_wait: Option<SimTime> = None;
         while busy.len() < ost_cfg.n_io_threads {
-            match scheduler.next(now) {
+            match node.scheduler.next(now) {
                 SchedDecision::Serve(rpc) => {
-                    let mean = ost_cfg.mean_service_secs();
+                    // The device-degradation window (if any) stretches the
+                    // emulated service, exactly like the simulator's
+                    // degraded disk model.
+                    let mean = ost_cfg.mean_service_secs() * faults.disk_factor(now);
                     let j = ost_cfg.service_jitter;
                     let factor = if j > 0.0 {
                         1.0 + rng.gen_range(-j..=j)
@@ -251,14 +247,14 @@ fn run_ost(
             }
         }
 
-        // 4. Work out how long to sleep.
+        // 4. Work out how long to sleep (never past the horizon).
         let mut wake: Option<SimTime> = busy.peek().map(|Reverse(s)| s.finish);
-        for c in [tbf_wait, next_tick].into_iter().flatten() {
+        for c in [tbf_wait, next_tick, Some(horizon)].into_iter().flatten() {
             wake = Some(wake.map_or(c, |w| w.min(c)));
         }
 
         // 5. Exit when the world has hung up and all work is drained.
-        if disconnected && busy.is_empty() && scheduler.pending() == 0 {
+        if disconnected && busy.is_empty() && node.scheduler.pending() == 0 {
             break;
         }
 
@@ -274,23 +270,22 @@ fn run_ost(
         };
         match rx.recv_timeout(timeout) {
             Ok(live) => {
-                stats.record_arrival(live.rpc.job);
+                let now = clock.now();
+                node.job_stats.record_arrival(live.rpc.job);
+                metrics.on_arrival(live.rpc.job, now);
                 debug_assert!(!live.payload.is_empty());
                 pending.insert(live.rpc.id.raw(), live.reply_to);
-                scheduler.enqueue(live.rpc, clock.now());
+                node.scheduler.enqueue(live.rpc, now);
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => disconnected = true,
         }
     }
 
-    let records = match controller {
-        Some((c, _, _)) => c.ledger().iter().map(|(j, e)| (j, e.record)).collect(),
-        None => BTreeMap::new(),
-    };
     OstFinal {
         served,
-        records,
-        ticks,
+        records: node.ledger_records(),
+        ticks: node.ticks(),
+        overhead: node.overhead(),
     }
 }

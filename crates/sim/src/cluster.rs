@@ -2,7 +2,7 @@
 //! plane into one deterministic event loop.
 
 use crate::client::ProcessState;
-use crate::controller_driver::{ControllerDriver, ControllerOverhead};
+use crate::controller_driver::ControllerOverhead;
 use crate::engine::EventQueue;
 use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
@@ -14,7 +14,8 @@ use adaptbf_model::{
     ClientId, JobId, NetworkConfig, OstConfig, ProcId, Rpc, SimDuration, SimTime,
     TbfSchedulerConfig,
 };
-use adaptbf_tbf::{RpcMatcher, SchedDecision};
+use adaptbf_node::OstNode;
+use adaptbf_tbf::SchedDecision;
 use adaptbf_workload::trace::{Trace, TraceMeta, TraceRecord};
 use adaptbf_workload::Scenario;
 use std::collections::BTreeMap;
@@ -59,35 +60,7 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Counters the fault machinery keeps so crash/failover accounting can be
-/// audited: no RPC is ever *silently* dropped. Every RPC an OST crash
-/// displaces is counted on exactly one path at its first displacement —
-/// re-routed to a survivor on arrival, parked until recovery, or resent
-/// after the client timeout — so `resent + rerouted + parked` is the
-/// number of displaced RPCs. A resend the horizon ends before it can fire
-/// is the one way a displaced RPC stays unserved, and it is counted too.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultStats {
-    /// RPCs scheduled for a client resend (queued backlog drained at the
-    /// crash instant plus RPCs lost mid-service).
-    pub resent: u64,
-    /// Of [`FaultStats::resent`], RPCs that were on an I/O thread when it
-    /// died (their `ServiceDone` carried a stale crash epoch).
-    pub lost_in_service: u64,
-    /// First-hand arrivals addressed to a crashed OST and handed to the
-    /// next surviving member of the issuing process's stripe set.
-    pub rerouted: u64,
-    /// First-hand arrivals with no surviving stripe member, parked until
-    /// the crash window closes and redelivered at recovery.
-    pub parked: u64,
-    /// Displaced RPCs whose redelivery — a resend, or a parked arrival's
-    /// recovery-time redelivery — was scheduled past the run horizon: the
-    /// run ended before the client could get them back on an OST (a crash
-    /// window flush against the end of the run). These RPCs stay
-    /// unserved, by the same rule that ends any in-flight work at the
-    /// horizon — but never uncounted.
-    pub undelivered: u64,
-}
+pub use adaptbf_node::FaultStats;
 
 /// Counters the event loop keeps about itself (the `--bin simloop`
 /// benchmark reads these; they cost one compare per event).
@@ -174,7 +147,6 @@ pub struct Cluster {
     queue: EventQueue<Event>,
     procs: Vec<ProcessState>,
     osts: Vec<OstState>,
-    drivers: Vec<Option<ControllerDriver>>,
     network: Network,
     metrics: Metrics,
     rpc_counter: u64,
@@ -189,8 +161,6 @@ pub struct Cluster {
     epochs: Vec<u32>,
     /// Per-process dedup of pending churn-resume events.
     proc_resume: Vec<Option<SimTime>>,
-    /// `T_i` for reinstalling Static BW rules after a crash recovery.
-    static_rate_total: f64,
     /// Fault-machinery accounting.
     fault_stats: FaultStats,
     /// Control cycles attempted per OST (including stalled ones).
@@ -250,16 +220,16 @@ impl Cluster {
                     cfg.ost.rpc_size,
                 );
                 let chunks = spec.pattern.arrivals(spec.file_rpcs, scenario.duration);
-                let statically_released: u64 = chunks.iter().map(|c| c.rpcs).sum();
                 if let Some(think) = spec.pattern.think_spec() {
-                    // Closed-loop burster: follow-on bursts are released at
-                    // run time; the whole file counts as its target.
+                    // Closed-loop burster: follow-on bursts are released
+                    // at run time.
+                    let statically_released: u64 = chunks.iter().map(|c| c.rpcs).sum();
                     state.think = Some(think);
                     state.unreleased = spec.file_rpcs - statically_released;
-                    *released.entry(job.id).or_insert(0) += spec.file_rpcs;
-                } else {
-                    *released.entry(job.id).or_insert(0) += statically_released;
                 }
+                // Completion-detection denominator — the shared accounting
+                // (`ProcessSpec::released_within`) both executors use.
+                *released.entry(job.id).or_insert(0) += spec.released_within(scenario.duration);
                 procs.push(state);
                 proc_chunks.push(chunks);
             }
@@ -288,7 +258,7 @@ impl Cluster {
         // OSTs and the control plane.
         let job_weights: Vec<(JobId, u64)> =
             scenario.jobs.iter().map(|j| (j.id, j.nodes)).collect();
-        let (mut osts, drivers) = Self::control_plane(policy, &cfg, seed, &job_weights, &mut queue);
+        let mut osts = Self::control_plane(policy, &cfg, seed, &job_weights, &mut queue);
         for ost in &mut osts {
             ost.reserve_jobs(scenario.jobs.len());
         }
@@ -300,7 +270,6 @@ impl Cluster {
             queue,
             procs,
             osts,
-            drivers,
             network: Network::new(cfg.network, seed ^ 0x2E70),
             metrics,
             rpc_counter: 0,
@@ -310,7 +279,6 @@ impl Cluster {
             crashed: vec![false; cfg.n_osts],
             epochs: vec![0; cfg.n_osts],
             proc_resume: vec![None; n_procs],
-            static_rate_total: cfg.static_rate_total,
             fault_stats: FaultStats::default(),
             cycles: vec![0; cfg.n_osts],
             recorder: None,
@@ -369,8 +337,7 @@ impl Cluster {
                 },
             );
         }
-        let (mut osts, drivers) =
-            Self::control_plane(policy, &cfg, seed, &trace.meta.jobs, &mut queue);
+        let mut osts = Self::control_plane(policy, &cfg, seed, &trace.meta.jobs, &mut queue);
         for ost in &mut osts {
             ost.reserve_jobs(trace.meta.jobs.len());
         }
@@ -380,7 +347,6 @@ impl Cluster {
             queue,
             procs: Vec::new(),
             osts,
-            drivers,
             network: Network::new(cfg.network, seed ^ 0x2E70),
             metrics,
             rpc_counter: 0,
@@ -390,7 +356,6 @@ impl Cluster {
             crashed: vec![false; cfg.n_osts],
             epochs: vec![0; cfg.n_osts],
             proc_resume: Vec::new(),
-            static_rate_total: cfg.static_rate_total,
             fault_stats: FaultStats::default(),
             cycles: vec![0; cfg.n_osts],
             recorder: None,
@@ -408,42 +373,37 @@ impl Cluster {
         }
     }
 
-    /// OSTs + controller drivers for `policy`, shared by the scenario and
-    /// replay builders. `jobs` carries `(id, nodes)` in declaration order
-    /// (rule installation order matters for first-match-wins semantics).
+    /// One assembled [`OstNode`] per OST for `policy`, shared by the
+    /// scenario and replay builders. `jobs` carries `(id, nodes)` in
+    /// declaration order (rule installation order matters for
+    /// first-match-wins semantics). The node assembly itself — static rule
+    /// resolution, controller wiring — is the engine-agnostic
+    /// [`OstNode::new`] the live runtime uses too; only the tick
+    /// *scheduling* is executor-specific (events here, wall-clock
+    /// deadlines there).
     fn control_plane(
         policy: Policy,
         cfg: &ClusterConfig,
         seed: u64,
         jobs: &[(JobId, u64)],
         queue: &mut EventQueue<Event>,
-    ) -> (Vec<OstState>, Vec<Option<ControllerDriver>>) {
-        let mut osts: Vec<OstState> = (0..cfg.n_osts)
-            .map(|i| OstState::new(cfg.ost, cfg.tbf, seed ^ (0xD15C << 8) ^ i as u64))
+    ) -> Vec<OstState> {
+        let osts: Vec<OstState> = (0..cfg.n_osts)
+            .map(|i| {
+                let node =
+                    OstNode::new(policy, cfg.tbf, jobs, cfg.static_rate_total, SimTime::ZERO);
+                OstState::new(cfg.ost, node, seed ^ (0xD15C << 8) ^ i as u64)
+            })
             .collect();
-        let mut drivers: Vec<Option<ControllerDriver>> = Vec::new();
-        match policy {
-            Policy::NoBw => drivers.resize_with(cfg.n_osts, || None),
-            Policy::StaticBw => {
-                // Fixed rules from the global static priorities, once
-                // (and again at crash recovery — see `Event::OstRecover`).
-                for ost in &mut osts {
-                    install_static_rules(ost, jobs, cfg.static_rate_total, SimTime::ZERO);
-                }
-                drivers.resize_with(cfg.n_osts, || None);
-            }
-            Policy::AdapTbf(acfg) => {
-                let nodes: BTreeMap<JobId, u64> = jobs.iter().copied().collect();
-                for i in 0..cfg.n_osts {
-                    drivers.push(Some(ControllerDriver::new(acfg, nodes.clone())));
-                    queue.push(
-                        SimTime::ZERO + acfg.period,
-                        Event::ControllerTick { ost: i },
-                    );
-                }
+        if let Policy::AdapTbf(acfg) = policy {
+            for i in 0..cfg.n_osts {
+                queue.push(
+                    SimTime::ZERO + acfg.period,
+                    Event::ControllerTick { ost: i },
+                );
             }
         }
-        (osts, drivers)
+        osts
     }
 
     /// Reject malformed fault plans at build time (the scenario-file
@@ -543,11 +503,7 @@ impl Cluster {
     }
 
     fn into_output(mut self) -> (RawRunOutput, Option<Trace>) {
-        let overheads = self
-            .drivers
-            .iter()
-            .filter_map(|d| d.as_ref().map(|d| d.overhead()))
-            .collect();
+        let overheads = self.osts.iter().filter_map(|o| o.node.overhead()).collect();
         let mut meta = self.trace_meta;
         meta.duration = self.end.since(SimTime::ZERO);
         let trace = self.recorder.take().map(|records| Trace { meta, records });
@@ -684,9 +640,6 @@ impl Cluster {
                 // once their RPC timeout expires.
                 self.crashed[ost] = true;
                 self.epochs[ost] += 1;
-                if let Some(driver) = self.drivers[ost].as_mut() {
-                    driver.on_ost_crash();
-                }
                 let mut lost = self.osts[ost].crash_reset();
                 // Clients resend in issue order, regardless of how the
                 // dead scheduler had them queued.
@@ -706,16 +659,10 @@ impl Cluster {
                 // Rejoin with empty bucket state. AdapTBF reinstalls rules
                 // on its next control cycle; Static BW's fixed rules must
                 // come back now or the policy would silently degrade to
-                // No BW on this OST for the rest of the run.
+                // No BW on this OST for the rest of the run (the node
+                // knows its policy and reinstalls them itself).
                 self.crashed[ost] = false;
-                if matches!(self.policy, Policy::StaticBw) {
-                    install_static_rules(
-                        &mut self.osts[ost],
-                        &self.trace_meta.jobs,
-                        self.static_rate_total,
-                        now,
-                    );
-                }
+                self.osts[ost].node.recover(now);
                 self.dispatch(ost, now);
             }
             Event::ProcResume { proc } => {
@@ -759,8 +706,8 @@ impl Cluster {
         } else {
             ost
         };
-        self.osts[ost].job_stats.record_arrival(rpc.job);
-        self.osts[ost].scheduler.enqueue(rpc, now);
+        self.osts[ost].node.job_stats.record_arrival(rpc.job);
+        self.osts[ost].node.scheduler.enqueue(rpc, now);
         self.dispatch(ost, now);
     }
 
@@ -829,7 +776,7 @@ impl Cluster {
             return;
         }
         while self.osts[ost].has_idle_thread() {
-            match self.osts[ost].scheduler.next(now) {
+            match self.osts[ost].node.scheduler.next(now) {
                 SchedDecision::Serve(rpc) => {
                     let health = if self.faults_active {
                         self.faults.disk_factor(now)
@@ -878,12 +825,11 @@ impl Cluster {
         }
         if self.faults.stats_lost(cycle) {
             // Failed stats read: the controller sees an empty active set.
-            self.osts[ost].job_stats.clear();
+            self.osts[ost].node.job_stats.clear();
         }
-        let Some(driver) = self.drivers[ost].as_mut() else {
+        let Some(outcome) = self.osts[ost].node.tick(now) else {
             return;
         };
-        let outcome = driver.tick(&mut self.osts[ost], now);
         for jt in &outcome.trace.jobs {
             self.metrics
                 .on_allocation(jt.job, now, jt.record_after, jt.after_recompensation);
@@ -892,8 +838,10 @@ impl Cluster {
         let mut ledger = std::mem::take(&mut self.ledger_scratch);
         ledger.clear();
         ledger.extend(
-            driver
-                .controller
+            self.osts[ost]
+                .node
+                .controller()
+                .expect("tick produced an outcome")
                 .ledger()
                 .iter()
                 .filter(|(job, _)| outcome.trace.job(*job).is_none())
@@ -921,23 +869,6 @@ impl Cluster {
     /// The policy governing this cluster.
     pub fn policy(&self) -> Policy {
         self.policy
-    }
-}
-
-/// Install the Static BW baseline's fixed rules (rate `T_i · p_x` from the
-/// global static priorities) on one OST — at build time, and again when a
-/// crashed OST rejoins with empty bucket state.
-fn install_static_rules(ost: &mut OstState, jobs: &[(JobId, u64)], rate_total: f64, now: SimTime) {
-    let total: u64 = jobs.iter().map(|&(_, n)| n).sum();
-    for &(job, nodes) in jobs {
-        let rate = rate_total * nodes as f64 / total as f64;
-        ost.scheduler.start_rule(
-            job.label(),
-            RpcMatcher::Job(job),
-            rate,
-            nodes.min(u32::MAX as u64) as u32,
-            now,
-        );
     }
 }
 

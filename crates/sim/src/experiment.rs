@@ -2,75 +2,12 @@
 //! all three policies → [`Comparison`] with the gain/loss tables of
 //! Figures 4/6/8.
 
-use crate::cluster::{Cluster, ClusterConfig, FaultStats};
-use crate::controller_driver::ControllerOverhead;
-use crate::metrics::Metrics;
+use crate::cluster::{Cluster, ClusterConfig};
 use crate::policy::Policy;
-use adaptbf_model::{JobId, SimDuration, SimTime};
+use adaptbf_model::JobId;
 use adaptbf_workload::Scenario;
-use std::collections::BTreeMap;
 
-/// Per-job outcome of one run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct JobOutcome {
-    /// The job.
-    pub job: JobId,
-    /// RPCs served.
-    pub served: u64,
-    /// RPCs its patterns released within the horizon.
-    pub released: u64,
-    /// Whether all released work completed.
-    pub completed: bool,
-    /// Completion instant, if completed.
-    pub completion: Option<SimTime>,
-    /// Achieved throughput in tokens (RPCs) per second over the job's
-    /// makespan — completion time if it finished, the horizon otherwise.
-    pub throughput_tps: f64,
-}
-
-/// Everything measured in one run.
-#[derive(Debug)]
-pub struct RunReport {
-    /// Scenario name.
-    pub scenario: String,
-    /// Policy name.
-    pub policy: String,
-    /// Run horizon.
-    pub duration: SimDuration,
-    /// Full series (timelines for the figures).
-    pub metrics: Metrics,
-    /// Per-job outcomes.
-    pub per_job: BTreeMap<JobId, JobOutcome>,
-    /// Control-plane overhead per OST (empty under baselines).
-    pub overheads: Vec<ControllerOverhead>,
-    /// Fault-machinery accounting (all zero on fault-free runs): how many
-    /// RPCs a crash window displaced and by which path they survived.
-    pub fault_stats: FaultStats,
-}
-
-impl RunReport {
-    /// Aggregate throughput in RPC/s over the workload's makespan (the
-    /// instant of the last disk completion) — so a run that finishes all
-    /// its work early is not diluted by trailing idle time.
-    pub fn overall_throughput_tps(&self) -> f64 {
-        let served = self.metrics.total_served();
-        if served == 0 {
-            return 0.0;
-        }
-        let makespan = self.metrics.last_service.as_secs_f64();
-        served as f64 / makespan.max(self.metrics.bucket.as_secs_f64())
-    }
-
-    /// One job's makespan throughput (0 for unknown jobs).
-    pub fn job_throughput(&self, job: JobId) -> f64 {
-        self.per_job.get(&job).map_or(0.0, |o| o.throughput_tps)
-    }
-
-    /// Fraction of the configured token ceiling actually used.
-    pub fn utilization(&self, max_token_rate: f64) -> f64 {
-        self.overall_throughput_tps() / max_token_rate
-    }
-}
+pub use adaptbf_node::{JobOutcome, RunReport};
 
 /// One scenario × one policy × one seed.
 #[derive(Debug, Clone)]
@@ -114,41 +51,15 @@ impl Experiment {
     /// Run to the horizon.
     pub fn run(self) -> RunReport {
         let out = Cluster::build_with(&self.scenario, self.policy, self.seed, self.cluster).run();
-        let duration = self.scenario.duration;
-        let horizon_secs = duration.as_secs_f64();
-
-        let mut per_job = BTreeMap::new();
-        for job in self.scenario.job_ids() {
-            let served = out.metrics.served_of(job);
-            let released = out.metrics.released_of(job);
-            let completion = out.metrics.completion_of(job);
-            let makespan = completion.map_or(horizon_secs, |t| t.as_secs_f64());
-            per_job.insert(
-                job,
-                JobOutcome {
-                    job,
-                    served,
-                    released,
-                    completed: completion.is_some(),
-                    completion,
-                    throughput_tps: if makespan > 0.0 {
-                        served as f64 / makespan
-                    } else {
-                        0.0
-                    },
-                },
-            );
-        }
-
-        RunReport {
-            scenario: self.scenario.name.clone(),
-            policy: self.policy.name().to_string(),
-            duration,
-            metrics: out.metrics,
-            per_job,
-            overheads: out.overheads,
-            fault_stats: out.fault_stats,
-        }
+        RunReport::from_run(
+            self.scenario.name.clone(),
+            self.policy.name(),
+            self.scenario.duration,
+            out.metrics,
+            &self.scenario.job_ids(),
+            out.overheads,
+            out.fault_stats,
+        )
     }
 }
 

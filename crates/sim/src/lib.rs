@@ -7,7 +7,8 @@
 //! plus the AdapTBF control plane on top (job-stats tracker, System Stats
 //! Controller loop, allocation algorithm, Rule Management Daemon).
 //!
-//! Three bandwidth-control policies are available ([`Policy`]), exactly the
+//! Three bandwidth-control policies are available ([`Policy`] — the
+//! shared `adaptbf-node` type the live runtime takes too), exactly the
 //! paper's baselines (Section IV-C):
 //!
 //! * **No BW** — no TBF rules; every RPC goes through the unruled fallback
@@ -23,6 +24,12 @@
 //! Entry point: [`Experiment`] (one scenario × one policy × one seed →
 //! [`RunReport`]), or [`Comparison`] to run all three policies and compute
 //! the gain/loss tables the paper's Figures 4/6/8 report.
+//!
+//! The per-OST control plane itself — scheduler + `job_stats` + rule
+//! daemon + controller — is the engine-agnostic [`adaptbf_node::OstNode`]
+//! assembly; this crate drives one per simulated OST from its event loop,
+//! and `adaptbf-runtime` drives the identical assembly from real threads.
+//! Both executors fold into the same [`RunReport`] shape.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,501 +1,5 @@
-//! Run-time metrics collection: the 100 ms-bucketed timelines and counters
-//! behind every figure of the evaluation.
-//!
-//! ## Hot-path design
-//!
-//! Every OSS arrival, disk completion and reply crosses this collector, so
-//! at million-RPC scale its bookkeeping *is* the simulator's inner loop.
-//! All per-job state therefore lives in flat vectors indexed by a dense
-//! job *slot* (a [`JobSlots`] interner assigns slots at first sight and
-//! keeps them stable for the run): recording an event is an array index,
-//! not an ordered-map walk. The JobId-keyed shapes the reporting layer
-//! reads ([`BTreeMap`]s and [`PerJobSeries`]) are folded from the flat
-//! storage only at read time — `tests/report_golden.rs` pins the folded
-//! output byte-for-byte against the original map-backed implementation.
-//!
-//! Event timestamps are near-monotone (the event loop's clock never runs
-//! backwards), so the `time → bucket index` division is cached and most
-//! events resolve their bucket with a single range check.
+//! Re-export: the slot-indexed metrics collector lives in `adaptbf-node`
+//! so both executors fold into the same report shapes (see
+//! `adaptbf_node::metrics` for the hot-path design notes).
 
-use adaptbf_model::{
-    BucketSeries, JobId, JobSlots, LatencyHistogram, PerJobSeries, SimDuration, SimTime,
-};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-
-/// One family of per-slot bucketed timelines (served / demand / records /
-/// allocations).
-///
-/// Storage is **bucket-major**: `values[bucket * stride + slot]`. The hot
-/// recording path always writes into the *current* time bucket, so all
-/// jobs' cells for that bucket share a few cache lines — with dozens of
-/// jobs and hundreds of buckets, a job-major layout made every per-RPC
-/// add a cache miss. Per-slot logical lengths (`len[slot]` = last touched
-/// bucket + 1) reproduce the exact ragged shapes of the keyed
-/// implementation at fold time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct SlotSeries {
-    bucket: SimDuration,
-    /// Slots per row. Grows (with re-layout) only when a job appears
-    /// after the family already holds data — rare: builders intern every
-    /// scenario job up front.
-    stride: usize,
-    /// Bucket-major matrix, `rows × stride`, zero-filled.
-    values: Vec<f64>,
-    /// Per-slot logical series length in buckets (0 = untouched; such
-    /// slots are excluded from the folded [`PerJobSeries`], exactly like
-    /// a job that never got a map entry in the keyed implementation).
-    len: Vec<usize>,
-}
-
-impl SlotSeries {
-    fn new(bucket: SimDuration) -> Self {
-        SlotSeries {
-            bucket,
-            stride: 0,
-            values: Vec::new(),
-            len: Vec::new(),
-        }
-    }
-
-    fn rows(&self) -> usize {
-        self.values.len().checked_div(self.stride).unwrap_or(0)
-    }
-
-    /// Make room for `slots` slots, re-laying the matrix out if data
-    /// already exists at a smaller stride.
-    fn grow(&mut self, slots: usize) {
-        if slots <= self.stride {
-            return;
-        }
-        let rows = self.rows();
-        if rows > 0 {
-            let mut next = vec![0.0; rows * slots];
-            for r in 0..rows {
-                next[r * slots..r * slots + self.stride]
-                    .copy_from_slice(&self.values[r * self.stride..(r + 1) * self.stride]);
-            }
-            self.values = next;
-        }
-        self.stride = slots;
-        self.len.resize(slots, 0);
-    }
-
-    #[inline]
-    fn cell(&mut self, slot: usize, idx: usize) -> &mut f64 {
-        debug_assert!(slot < self.stride);
-        if idx >= self.rows() {
-            self.values.resize((idx + 1) * self.stride, 0.0);
-        }
-        if idx >= self.len[slot] {
-            self.len[slot] = idx + 1;
-        }
-        &mut self.values[idx * self.stride + slot]
-    }
-
-    #[inline]
-    fn add(&mut self, slot: usize, idx: usize, amount: f64) {
-        *self.cell(slot, idx) += amount;
-    }
-
-    #[inline]
-    fn set(&mut self, slot: usize, idx: usize, value: f64) {
-        *self.cell(slot, idx) = value;
-    }
-
-    /// Pad every touched slot to cover `idx`, then align all touched
-    /// slots to the family's common length (the keyed implementation's
-    /// `add(job, until, 0.0)` + `align()`).
-    fn pad_and_align(&mut self, idx: usize) {
-        for slot in 0..self.stride {
-            if self.len[slot] > 0 && self.len[slot] <= idx {
-                self.len[slot] = idx + 1;
-            }
-        }
-        let max = self.len.iter().copied().max().unwrap_or(0);
-        if max > self.rows() {
-            self.values.resize(max * self.stride, 0.0);
-        }
-        for slot in 0..self.stride {
-            if self.len[slot] > 0 {
-                self.len[slot] = max;
-            }
-        }
-    }
-
-    /// Fold into the JobId-keyed report shape (gathering each slot's
-    /// strided column into a dense series).
-    fn to_per_job(&self, slots: &JobSlots) -> PerJobSeries {
-        let mut out = PerJobSeries::new(self.bucket);
-        for (slot, job) in slots.iter() {
-            let n = match self.len.get(slot) {
-                Some(&n) if n > 0 => n,
-                _ => continue,
-            };
-            let mut series = BucketSeries::new(self.bucket);
-            series.values = (0..n)
-                .map(|r| self.values[r * self.stride + slot])
-                .collect();
-            out.insert(job, series);
-        }
-        out
-    }
-}
-
-/// Per-slot scalar counters, fused into one struct so the serve path
-/// touches a single cache line (served + completion check per RPC).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
-struct SlotCounters {
-    /// Total RPCs served.
-    served: u64,
-    /// Total RPCs released within the horizon.
-    released: u64,
-    /// Whether [`Metrics::set_released`] was called for the slot (only
-    /// such jobs appear in the released/completion report shapes).
-    has_release: bool,
-    /// When the job finished all released work, if it did.
-    completion: Option<SimTime>,
-}
-
-/// All series and counters collected during one run, slot-indexed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Metrics {
-    /// The run's dense job interner: slots are assigned at the first
-    /// metric event a job produces and stay stable for the run.
-    slots: JobSlots,
-    /// RPCs *served* (disk completions) per job per bucket — the
-    /// throughput timelines of Figures 3/5.
-    served: SlotSeries,
-    /// RPCs *arriving* at the OSS per job per bucket — the demand lines of
-    /// Figure 7.
-    demand: SlotSeries,
-    /// Lending/borrowing record per job per bucket (gauge; Figure 7).
-    records: SlotSeries,
-    /// Token allocation per job per bucket (gauge; Figure 3 analysis).
-    allocations: SlotSeries,
-    /// Served/released/completion counters, one fused record per slot.
-    counters: Vec<SlotCounters>,
-    /// End-to-end RPC latency (client issue → disk completion) per slot.
-    latency: Vec<LatencyHistogram>,
-    /// Instant of the last disk completion (the workload's makespan).
-    pub last_service: SimTime,
-    /// Bucket width used by all series.
-    pub bucket: SimDuration,
-    // Monotone-time bucket cache: `cache_start ..cache_end` is the ns span
-    // of bucket `cache_idx`.
-    cache_start: u64,
-    cache_end: u64,
-    cache_idx: usize,
-}
-
-impl Metrics {
-    /// New collector with the given bucket width (the paper observes at
-    /// 100 ms).
-    pub fn new(bucket: SimDuration) -> Self {
-        Metrics {
-            slots: JobSlots::new(),
-            served: SlotSeries::new(bucket),
-            demand: SlotSeries::new(bucket),
-            records: SlotSeries::new(bucket),
-            allocations: SlotSeries::new(bucket),
-            counters: Vec::new(),
-            latency: Vec::new(),
-            last_service: SimTime::ZERO,
-            bucket,
-            cache_start: 0,
-            cache_end: bucket.as_nanos(),
-            cache_idx: 0,
-        }
-    }
-
-    /// Pre-size all per-slot storage for about `jobs` jobs.
-    pub fn reserve_jobs(&mut self, jobs: usize) {
-        self.slots.reserve(jobs);
-        self.counters.reserve(jobs);
-        self.latency.reserve(jobs);
-    }
-
-    /// Intern `job`, growing every per-slot vector to cover its slot.
-    #[inline]
-    fn slot(&mut self, job: JobId) -> usize {
-        let slot = self.slots.intern(job);
-        if slot >= self.counters.len() {
-            let n = slot + 1;
-            self.counters.resize(n, SlotCounters::default());
-            self.latency.resize_with(n, LatencyHistogram::new);
-            self.served.grow(n);
-            self.demand.grow(n);
-            self.records.grow(n);
-            self.allocations.grow(n);
-        }
-        slot
-    }
-
-    /// `at → bucket index`, cached for the (near-universal) case of a
-    /// repeat hit on the current bucket.
-    #[inline]
-    fn bucket_idx(&mut self, at: SimTime) -> usize {
-        let ns = at.as_nanos();
-        if ns >= self.cache_start && ns < self.cache_end {
-            return self.cache_idx;
-        }
-        let idx = at.bucket_index(self.bucket);
-        let width = self.bucket.as_nanos();
-        self.cache_start = idx as u64 * width;
-        self.cache_end = self.cache_start + width;
-        self.cache_idx = idx;
-        idx
-    }
-
-    /// Record a disk completion. `issued_at` is when the client put the
-    /// RPC on the wire (for end-to-end latency accounting).
-    pub fn on_served_at(&mut self, job: JobId, now: SimTime, issued_at: SimTime) {
-        let slot = self.slot(job);
-        self.latency[slot].record(now.since(issued_at));
-        self.served_slot(slot, now);
-    }
-
-    /// Record a disk completion without latency attribution.
-    pub fn on_served(&mut self, job: JobId, now: SimTime) {
-        let slot = self.slot(job);
-        self.served_slot(slot, now);
-    }
-
-    #[inline]
-    fn served_slot(&mut self, slot: usize, now: SimTime) {
-        let idx = self.bucket_idx(now);
-        self.served.add(slot, idx, 1.0);
-        self.last_service = self.last_service.max(now);
-        let c = &mut self.counters[slot];
-        c.served += 1;
-        if c.has_release && c.served == c.released {
-            c.completion = Some(now);
-        }
-    }
-
-    /// Record an OSS arrival.
-    pub fn on_arrival(&mut self, job: JobId, now: SimTime) {
-        let slot = self.slot(job);
-        let idx = self.bucket_idx(now);
-        self.demand.add(slot, idx, 1.0);
-    }
-
-    /// Record the controller's view after a tick (records + allocations).
-    pub fn on_allocation(&mut self, job: JobId, now: SimTime, record: i64, tokens: u64) {
-        let slot = self.slot(job);
-        let idx = self.bucket_idx(now);
-        self.records.set(slot, idx, record as f64);
-        self.allocations.set(slot, idx, tokens as f64);
-    }
-
-    /// Record only the lending/borrowing gauge (idle jobs whose records
-    /// persist between allocations).
-    pub fn set_record(&mut self, job: JobId, now: SimTime, record: f64) {
-        let slot = self.slot(job);
-        let idx = self.bucket_idx(now);
-        self.records.set(slot, idx, record);
-    }
-
-    /// Declare how much work a job releases within the horizon (enables
-    /// completion detection).
-    pub fn set_released(&mut self, job: JobId, total: u64) {
-        let slot = self.slot(job);
-        self.counters[slot].released = total;
-        self.counters[slot].has_release = true;
-    }
-
-    /// Total RPCs served across jobs.
-    pub fn total_served(&self) -> u64 {
-        self.counters.iter().map(|c| c.served).sum()
-    }
-
-    /// Total RPCs served by one job.
-    pub fn served_of(&self, job: JobId) -> u64 {
-        self.slots
-            .get(job)
-            .map_or(0, |slot| self.counters[slot].served)
-    }
-
-    /// RPCs released by one job within the horizon (0 if untracked).
-    pub fn released_of(&self, job: JobId) -> u64 {
-        match self.slots.get(job) {
-            Some(slot) if self.counters[slot].has_release => self.counters[slot].released,
-            _ => 0,
-        }
-    }
-
-    /// When `job` finished all released work, if it did.
-    pub fn completion_of(&self, job: JobId) -> Option<SimTime> {
-        self.slots
-            .get(job)
-            .and_then(|slot| self.counters[slot].completion)
-    }
-
-    /// Latency histogram for one job (empty if never served).
-    pub fn latency(&self, job: JobId) -> LatencyHistogram {
-        self.slots
-            .get(job)
-            .map(|slot| self.latency[slot].clone())
-            .unwrap_or_default()
-    }
-
-    // ---- fold/read-time report shapes -----------------------------------
-
-    /// Total RPCs served per job, in job order (only jobs that served).
-    pub fn served_by_job(&self) -> BTreeMap<JobId, u64> {
-        self.fold(|m, slot| (m.counters[slot].served > 0).then_some(m.counters[slot].served))
-    }
-
-    /// Released totals per job, in job order (only tracked jobs).
-    pub fn released_by_job(&self) -> BTreeMap<JobId, u64> {
-        self.fold(|m, slot| {
-            m.counters[slot]
-                .has_release
-                .then_some(m.counters[slot].released)
-        })
-    }
-
-    /// Completion instants per tracked job (`None` = released work still
-    /// unfinished at the horizon).
-    pub fn completion_time(&self) -> BTreeMap<JobId, Option<SimTime>> {
-        self.fold(|m, slot| {
-            m.counters[slot]
-                .has_release
-                .then_some(m.counters[slot].completion)
-        })
-    }
-
-    /// Latency histograms per job that completed at least one RPC with
-    /// latency attribution.
-    pub fn latency_by_job(&self) -> BTreeMap<JobId, LatencyHistogram> {
-        self.fold(|m, slot| (m.latency[slot].count() > 0).then(|| m.latency[slot].clone()))
-    }
-
-    fn fold<T>(&self, mut value: impl FnMut(&Self, usize) -> Option<T>) -> BTreeMap<JobId, T> {
-        let mut out = BTreeMap::new();
-        for (slot, job) in self.slots.iter() {
-            if let Some(v) = value(self, slot) {
-                out.insert(job, v);
-            }
-        }
-        out
-    }
-
-    /// The served-RPCs timeline family, JobId-keyed.
-    pub fn served(&self) -> PerJobSeries {
-        self.served.to_per_job(&self.slots)
-    }
-
-    /// The OSS-arrival (demand) timeline family, JobId-keyed.
-    pub fn demand(&self) -> PerJobSeries {
-        self.demand.to_per_job(&self.slots)
-    }
-
-    /// The lending/borrowing record gauge family, JobId-keyed.
-    pub fn records(&self) -> PerJobSeries {
-        self.records.to_per_job(&self.slots)
-    }
-
-    /// The token-allocation gauge family, JobId-keyed.
-    pub fn allocations(&self) -> PerJobSeries {
-        self.allocations.to_per_job(&self.slots)
-    }
-
-    /// Align all series to a common final length covering `until`.
-    pub fn finalize(&mut self, until: SimTime) {
-        let idx = until.bucket_index(self.bucket);
-        self.served.pad_and_align(idx);
-        self.demand.pad_and_align(idx);
-        self.records.pad_and_align(idx);
-        self.allocations.pad_and_align(idx);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn m() -> Metrics {
-        Metrics::new(SimDuration::from_millis(100))
-    }
-
-    #[test]
-    fn served_counts_and_completion() {
-        let mut metrics = m();
-        metrics.set_released(JobId(1), 2);
-        metrics.on_served(JobId(1), SimTime::from_millis(50));
-        assert_eq!(metrics.completion_time()[&JobId(1)], None);
-        assert_eq!(metrics.completion_of(JobId(1)), None);
-        metrics.on_served(JobId(1), SimTime::from_millis(160));
-        assert_eq!(
-            metrics.completion_time()[&JobId(1)],
-            Some(SimTime::from_millis(160))
-        );
-        assert_eq!(metrics.total_served(), 2);
-        assert_eq!(metrics.served_of(JobId(1)), 2);
-        assert_eq!(
-            metrics.served().get(JobId(1)).unwrap().values,
-            vec![1.0, 1.0]
-        );
-    }
-
-    #[test]
-    fn gauges_record_last_value_per_bucket() {
-        let mut metrics = m();
-        metrics.on_allocation(JobId(1), SimTime::from_millis(100), 5, 30);
-        metrics.on_allocation(JobId(1), SimTime::from_millis(200), -3, 40);
-        let records = metrics.records();
-        let records = records.get(JobId(1)).unwrap();
-        assert_eq!(records.get(1), 5.0);
-        assert_eq!(records.get(2), -3.0);
-        assert_eq!(metrics.allocations().get(JobId(1)).unwrap().get(2), 40.0);
-    }
-
-    #[test]
-    fn finalize_aligns_series() {
-        let mut metrics = m();
-        metrics.on_served(JobId(1), SimTime::from_millis(50));
-        metrics.on_arrival(JobId(2), SimTime::from_millis(950));
-        metrics.finalize(SimTime::from_millis(1000));
-        assert_eq!(metrics.served().get(JobId(1)).unwrap().len(), 11);
-        assert_eq!(metrics.demand().get(JobId(2)).unwrap().len(), 11);
-    }
-
-    #[test]
-    fn completion_without_release_info_stays_none() {
-        let mut metrics = m();
-        metrics.on_served(JobId(3), SimTime::ZERO);
-        assert!(!metrics.completion_time().contains_key(&JobId(3)));
-        assert_eq!(metrics.completion_of(JobId(3)), None);
-        assert_eq!(metrics.released_of(JobId(3)), 0);
-    }
-
-    #[test]
-    fn bucket_cache_survives_non_monotone_reads() {
-        // The cache is an optimization for near-monotone event time; an
-        // out-of-window timestamp (either direction) must still land in
-        // the right bucket.
-        let mut metrics = m();
-        metrics.on_arrival(JobId(1), SimTime::from_millis(950));
-        metrics.on_arrival(JobId(1), SimTime::from_millis(50));
-        metrics.on_arrival(JobId(1), SimTime::from_millis(951));
-        let demand = metrics.demand();
-        let s = demand.get(JobId(1)).unwrap();
-        assert_eq!(s.get(0), 1.0);
-        assert_eq!(s.get(9), 2.0);
-    }
-
-    #[test]
-    fn untouched_families_fold_empty_for_interned_jobs() {
-        // A job interned via arrivals only must not appear in the other
-        // report families — membership is per family, as with the keyed
-        // maps.
-        let mut metrics = m();
-        metrics.on_arrival(JobId(4), SimTime::ZERO);
-        assert!(metrics.served().get(JobId(4)).is_none());
-        assert!(metrics.records().get(JobId(4)).is_none());
-        assert!(metrics.served_by_job().is_empty());
-        assert!(metrics.latency_by_job().is_empty());
-        assert_eq!(metrics.demand().jobs(), vec![JobId(4)]);
-    }
-}
+pub use adaptbf_node::metrics::Metrics;

@@ -1,5 +1,5 @@
-//! One Object Storage Target: NRS/TBF scheduler + I/O thread pool + disk
-//! service model.
+//! One Object Storage Target: the shared control-plane node
+//! ([`adaptbf_node::OstNode`]) plus the simulator's disk service model.
 //!
 //! The disk model charges each RPC `size / (B/k)` seconds on one of `k`
 //! threads (so the pool sustains the device bandwidth `B`), with seeded
@@ -8,10 +8,13 @@
 //! interleaving independent sequential streams, which is what lets
 //! schedules that concentrate service (as priority control does) edge out
 //! pure FCFS on aggregate bandwidth, as the paper observes.
+//!
+//! Everything *above* the disk — scheduler, `job_stats`, rules, the
+//! AdapTBF controller — lives in the embedded [`OstNode`], the exact same
+//! assembly the live runtime moves into each OST thread.
 
-use crate::job_stats::JobStatsTracker;
-use adaptbf_model::{JobSlots, OstConfig, Rpc, SimDuration, SimTime, TbfSchedulerConfig};
-use adaptbf_tbf::NrsTbfScheduler;
+use adaptbf_model::{JobSlots, OstConfig, Rpc, SimDuration, SimTime};
+use adaptbf_node::OstNode;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,13 +26,10 @@ pub const INTERFERENCE_CAP: usize = 6;
 /// Mutable state of one OST during a run.
 #[derive(Debug)]
 pub struct OstState {
-    /// The NRS TBF scheduler in front of the I/O threads.
-    pub scheduler: NrsTbfScheduler,
-    /// The Lustre `job_stats` equivalent for this OST.
-    pub job_stats: JobStatsTracker,
+    /// The control plane: NRS/TBF scheduler, `job_stats`, and (under
+    /// AdapTBF) this OST's own controller — shared with the live runtime.
+    pub node: OstNode,
     config: OstConfig,
-    /// Kept so a crash can rebuild the scheduler with identical knobs.
-    tbf: TbfSchedulerConfig,
     /// `disk_bw / n_io_threads`, computed once (the service-time model
     /// divides by it for every RPC).
     per_thread_bw: f64,
@@ -48,13 +48,11 @@ pub struct OstState {
 }
 
 impl OstState {
-    /// New OST with an empty scheduler.
-    pub fn new(config: OstConfig, tbf: TbfSchedulerConfig, seed: u64) -> Self {
+    /// New OST wrapping an assembled control-plane node.
+    pub fn new(config: OstConfig, node: OstNode, seed: u64) -> Self {
         OstState {
-            scheduler: NrsTbfScheduler::new(tbf),
-            job_stats: JobStatsTracker::new(),
+            node,
             config,
-            tbf,
             per_thread_bw: config.disk_bw_bytes_per_s as f64 / config.n_io_threads as f64,
             busy_threads: 0,
             in_service_slots: JobSlots::new(),
@@ -69,8 +67,7 @@ impl OstState {
     /// Pre-size all per-job state (scheduler, job-stats, occupancy) for
     /// about `jobs` jobs.
     pub fn reserve_jobs(&mut self, jobs: usize) {
-        self.scheduler.reserve_jobs(jobs);
-        self.job_stats.reserve(jobs);
+        self.node.reserve_jobs(jobs);
         self.in_service_slots.reserve(jobs);
         self.in_service_counts.reserve(jobs);
     }
@@ -132,15 +129,15 @@ impl OstState {
     }
 
     /// The OST crashes: its I/O threads die (whatever they were serving
-    /// is lost), the scheduler — rules, token buckets, queues — is
-    /// replaced with a factory-fresh one, and `job_stats` is wiped. The
-    /// drained backlog (ruled queues in job order, then fallback) is
-    /// returned so the embedder can model client resends. The service-time
-    /// RNG is deliberately kept: a reboot does not reseed the device.
+    /// is lost) and the control plane resets — the scheduler (rules, token
+    /// buckets, queues) is replaced with a factory-fresh one, `job_stats`
+    /// is wiped and the rule daemon forgets its rule ids, while the
+    /// lending ledger survives (see [`OstNode::crash_reset`]). The drained
+    /// backlog (ruled queues in job order, then fallback) is returned so
+    /// the embedder can model client resends. The service-time RNG is
+    /// deliberately kept: a reboot does not reseed the device.
     pub fn crash_reset(&mut self) -> Vec<Rpc> {
-        let lost = self.scheduler.drain_pending();
-        self.scheduler = NrsTbfScheduler::new(self.tbf);
-        self.job_stats.clear();
+        let lost = self.node.crash_reset();
         self.busy_threads = 0;
         self.in_service_counts.fill(0);
         self.distinct_in_service = 0;
@@ -169,14 +166,22 @@ impl OstState {
 mod tests {
     use super::*;
     use adaptbf_model::config::paper;
-    use adaptbf_model::{ClientId, JobId, ProcId, RpcId};
+    use adaptbf_model::{ClientId, JobId, ProcId, RpcId, TbfSchedulerConfig};
 
     fn rpc(job: u32) -> Rpc {
         Rpc::new(RpcId(0), JobId(job), ClientId(0), ProcId(0), SimTime::ZERO)
     }
 
     fn ost() -> OstState {
-        OstState::new(paper::ost(), TbfSchedulerConfig::default(), 7)
+        OstState::new(
+            paper::ost(),
+            OstNode::unruled(TbfSchedulerConfig::default()),
+            7,
+        )
+    }
+
+    fn ost_with(cfg: OstConfig) -> OstState {
+        OstState::new(cfg, OstNode::unruled(TbfSchedulerConfig::default()), 7)
     }
 
     #[test]
@@ -207,7 +212,7 @@ mod tests {
     #[test]
     fn crash_reset_drains_backlog_and_frees_threads() {
         let mut o = ost();
-        o.scheduler.start_rule(
+        o.node.scheduler.start_rule(
             "j1",
             adaptbf_tbf::RpcMatcher::Job(JobId(1)),
             10.0,
@@ -217,24 +222,24 @@ mod tests {
         for i in 0..4 {
             let mut r = rpc(1);
             r.id = RpcId(i);
-            o.scheduler.enqueue(r, SimTime::ZERO);
+            o.node.scheduler.enqueue(r, SimTime::ZERO);
         }
-        o.job_stats.record_arrival(JobId(1));
+        o.node.job_stats.record_arrival(JobId(1));
         let _ = o.begin_service(&rpc(2));
         assert_eq!(o.busy_threads(), 1);
         let lost = o.crash_reset();
         assert_eq!(lost.len(), 4, "whole backlog drained");
         assert_eq!(o.busy_threads(), 0, "thread pool reset");
         assert!(o.has_idle_thread());
-        assert_eq!(o.scheduler.pending(), 0);
-        assert_eq!(o.scheduler.rules().len(), 0, "rules gone with the OST");
-        assert_eq!(o.job_stats.period_total(), 0, "stats wiped");
+        assert_eq!(o.node.scheduler.pending(), 0);
+        assert_eq!(o.node.scheduler.rules().len(), 0, "rules gone with the OST");
+        assert_eq!(o.node.job_stats.period_total(), 0, "stats wiped");
         // A fresh service after recovery pays no stale interference.
         let cfg = OstConfig {
             service_jitter: 0.0,
             ..paper::ost()
         };
-        let mut o2 = OstState::new(cfg, TbfSchedulerConfig::default(), 7);
+        let mut o2 = ost_with(cfg);
         let s1 = o2.begin_service(&rpc(1)).as_secs_f64();
         let _ = o2.begin_service(&rpc(2));
         o2.crash_reset();
@@ -248,7 +253,7 @@ mod tests {
             service_jitter: 0.0,
             ..paper::ost()
         };
-        let mut o = OstState::new(cfg, TbfSchedulerConfig::default(), 7);
+        let mut o = ost_with(cfg);
         let s1 = o.begin_service(&rpc(1)).as_secs_f64();
         let s2 = o.begin_service(&rpc(2)).as_secs_f64();
         let s3 = o.begin_service(&rpc(3)).as_secs_f64();
@@ -266,7 +271,7 @@ mod tests {
             n_io_threads: 32,
             ..paper::ost()
         };
-        let mut o = OstState::new(cfg, TbfSchedulerConfig::default(), 7);
+        let mut o = ost_with(cfg);
         let mut last = 0.0;
         for j in 0..10 {
             last = o.begin_service(&rpc(j)).as_secs_f64();

@@ -1,53 +1,5 @@
-//! The three bandwidth-control policies of the evaluation (Section IV-C).
+//! Re-export: the cluster [`Policy`] lives in `adaptbf-node` so the
+//! simulator and the live runtime speak one policy type (there is no
+//! `LivePolicy` mirror to drift).
 
-use adaptbf_model::AdapTbfConfig;
-
-/// Which bandwidth controller governs the run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Policy {
-    /// Default Lustre: no TBF rules; FCFS via the fallback path.
-    NoBw,
-    /// Static TBF rules from global priorities, installed once at t=0.
-    StaticBw,
-    /// The full AdapTBF controller re-allocating every `Δt`.
-    AdapTbf(AdapTbfConfig),
-}
-
-impl Policy {
-    /// Display name used in reports and CSV headers.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Policy::NoBw => "no_bw",
-            Policy::StaticBw => "static_bw",
-            Policy::AdapTbf(_) => "adaptbf",
-        }
-    }
-
-    /// The paper-default AdapTBF policy.
-    pub fn adaptbf_default() -> Policy {
-        Policy::AdapTbf(adaptbf_model::config::paper::adaptbf())
-    }
-}
-
-impl Default for Policy {
-    fn default() -> Self {
-        Policy::adaptbf_default()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn names() {
-        assert_eq!(Policy::NoBw.name(), "no_bw");
-        assert_eq!(Policy::StaticBw.name(), "static_bw");
-        assert_eq!(Policy::adaptbf_default().name(), "adaptbf");
-    }
-
-    #[test]
-    fn default_is_adaptbf() {
-        assert!(matches!(Policy::default(), Policy::AdapTbf(_)));
-    }
-}
+pub use adaptbf_node::Policy;

@@ -8,14 +8,13 @@
 //! semantics cannot drift between front ends.
 
 use crate::cluster::{Cluster, ClusterConfig};
-use crate::experiment::{JobOutcome, RunReport};
+use crate::experiment::RunReport;
 use crate::policy::Policy;
 use adaptbf_model::config::paper;
-use adaptbf_model::{AdapTbfConfig, SimDuration};
+use adaptbf_model::{AdapTbfConfig, JobId, SimDuration};
 use adaptbf_workload::dsl::{DslError, ScenarioFile};
 use adaptbf_workload::trace::Trace;
 use adaptbf_workload::Scenario;
-use std::collections::BTreeMap;
 
 /// A fully resolved run plan from a scenario file: the workload plus the
 /// policy/wiring its `run` block pins (paper defaults elsewhere).
@@ -124,38 +123,16 @@ pub fn replay_report(
     cluster: ClusterConfig,
 ) -> RunReport {
     let out = Cluster::build_replay(trace, policy, seed, cluster).run();
-    let horizon_secs = trace.meta.duration.as_secs_f64();
-    let mut per_job = BTreeMap::new();
-    for &(job, _) in &trace.meta.jobs {
-        let served = out.metrics.served_of(job);
-        let released = out.metrics.released_of(job);
-        let completion = out.metrics.completion_of(job);
-        let makespan = completion.map_or(horizon_secs, |t| t.as_secs_f64());
-        per_job.insert(
-            job,
-            JobOutcome {
-                job,
-                served,
-                released,
-                completed: completion.is_some(),
-                completion,
-                throughput_tps: if makespan > 0.0 {
-                    served as f64 / makespan
-                } else {
-                    0.0
-                },
-            },
-        );
-    }
-    RunReport {
-        scenario: format!("{}_replay", trace.meta.scenario),
-        policy: policy.name().to_string(),
-        duration: trace.meta.duration,
-        metrics: out.metrics,
-        per_job,
-        overheads: out.overheads,
-        fault_stats: out.fault_stats,
-    }
+    let jobs: Vec<JobId> = trace.meta.jobs.iter().map(|&(job, _)| job).collect();
+    RunReport::from_run(
+        format!("{}_replay", trace.meta.scenario),
+        policy.name(),
+        trace.meta.duration,
+        out.metrics,
+        &jobs,
+        out.overheads,
+        out.fault_stats,
+    )
 }
 
 #[cfg(test)]

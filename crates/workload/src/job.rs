@@ -98,6 +98,25 @@ impl ProcessSpec {
         self.max_inflight = window;
         self
     }
+
+    /// RPCs this process *releases* within `horizon` — the
+    /// completion-detection denominator every executor must agree on: a
+    /// closed-loop burster counts its whole file (its follow-on bursts are
+    /// released at run time, after each burst completes), an open-loop
+    /// pattern counts what its arrival chunks release in time.
+    pub fn released_within(&self, horizon: SimDuration) -> u64 {
+        let statically_released: u64 = self
+            .pattern
+            .arrivals(self.file_rpcs, horizon)
+            .iter()
+            .map(|c| c.rpcs)
+            .sum();
+        if self.pattern.think_spec().is_some() {
+            self.file_rpcs
+        } else {
+            statically_released
+        }
+    }
 }
 
 /// A job: the unit bandwidth is controlled for.
@@ -176,6 +195,30 @@ mod tests {
     #[should_panic(expected = "in-flight")]
     fn zero_inflight_rejected() {
         let _ = ProcessSpec::continuous(10).with_max_inflight(0);
+    }
+
+    #[test]
+    fn released_within_counts_whole_file_for_closed_loop() {
+        let horizon = SimDuration::from_secs(10);
+        // Open-loop continuous: everything releases at t=0.
+        assert_eq!(ProcessSpec::continuous(100).released_within(horizon), 100);
+        // Open-loop periodic bursts: only chunks inside the horizon count.
+        let bursty = ProcessSpec::bursty(
+            100,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(4),
+            20,
+        );
+        assert_eq!(bursty.released_within(horizon), 60, "bursts at 1/5/9 s");
+        // Closed-loop burster: the whole file counts (follow-on bursts are
+        // released at run time).
+        let think = ProcessSpec::bursty_think(
+            200,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            50,
+        );
+        assert_eq!(think.released_within(horizon), 200);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use adaptbf::model::config::paper;
 use adaptbf::model::{AdapTbfConfig, JobId, SimDuration};
-use adaptbf::runtime::{LiveCluster, LivePolicy, LiveTuning};
+use adaptbf::runtime::{LiveCluster, LiveTuning, Policy};
 use adaptbf::workload::{JobSpec, ProcessSpec, Scenario};
 
 fn main() {
@@ -41,10 +41,10 @@ fn main() {
         "running {} for {} on {} OSTs...",
         scenario.name, scenario.duration, tuning.n_osts
     );
-    let report = LiveCluster::run(&scenario, LivePolicy::AdapTbf(config), tuning, 42);
+    let report = LiveCluster::run(&scenario, Policy::AdapTbf(config), tuning, 42);
 
     println!("\nserved per job (target shares 25% / 75%):");
-    for (job, served) in &report.served {
+    for (job, served) in &report.served() {
         println!(
             "  {job}: {served:>6} RPCs  ({:.1}% of total)",
             report.served_share(*job) * 100.0

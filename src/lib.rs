@@ -7,14 +7,18 @@
 //! * [`model`] — shared ids, virtual time, RPCs, configuration, metrics.
 //! * [`tbf`] — the Lustre-style NRS Token Bucket Filter substrate.
 //! * [`core`] — the paper's three-step token allocation algorithm.
+//! * [`node`] — the engine-agnostic node layer: the cluster policy, the
+//!   per-OST control-plane assembly, and the common run-report shape both
+//!   executors emit.
 //! * [`workload`] — Filebench-style synthetic HPC I/O workloads.
 //! * [`sim`] — a deterministic discrete-event simulation of the full I/O
 //!   path (clients → network → OSS/NRS → OST) hosting AdapTBF and the
 //!   paper's two baselines.
-//! * [`runtime`] — a live, multi-threaded decentralized deployment of the
-//!   same controller (one independent controller per OST).
+//! * [`runtime`] — a live, multi-threaded deployment of the *same* node
+//!   layer (one independent controller per OST), emitting the same
+//!   report shape.
 //! * [`analysis`] — fairness indices, proportionality error, and latency
-//!   comparisons over completed runs.
+//!   comparisons over completed runs — simulated or live.
 //!
 //! ## Quickstart
 //!
@@ -33,6 +37,7 @@
 pub use adaptbf_analysis as analysis;
 pub use adaptbf_core as core;
 pub use adaptbf_model as model;
+pub use adaptbf_node as node;
 pub use adaptbf_runtime as runtime;
 pub use adaptbf_sim as sim;
 pub use adaptbf_tbf as tbf;

@@ -5,7 +5,7 @@
 
 use adaptbf::model::config::paper;
 use adaptbf::model::{AdapTbfConfig, JobId, SimDuration};
-use adaptbf::runtime::{LiveCluster, LivePolicy, LiveTuning};
+use adaptbf::runtime::{LiveCluster, LiveTuning};
 use adaptbf::sim::cluster::{Cluster, ClusterConfig};
 use adaptbf::sim::{Experiment, Policy};
 use adaptbf::workload::{JobSpec, ProcessSpec, Scenario};
@@ -134,12 +134,9 @@ fn live_runtime_smoke() {
         max_token_rate: 2000.0,
         ..paper::adaptbf()
     };
-    let report = LiveCluster::run(
-        &scenario,
-        LivePolicy::AdapTbf(cfg),
-        LiveTuning::fast_test(),
-        5,
-    );
+    // The live runtime takes the *same* Policy type as the simulator —
+    // there is no live-only mirror to keep in sync.
+    let report = LiveCluster::run(&scenario, Policy::AdapTbf(cfg), LiveTuning::fast_test(), 5);
     assert!(
         report.total_served() > 200,
         "traffic flowed: {}",

@@ -1,0 +1,226 @@
+//! Cross-executor convergence: the live threaded runtime and the
+//! deterministic simulator are two executors of **one** system, so on the
+//! same scenario under the same policy their per-job bandwidth shares must
+//! land within tolerance of each other — for the paper's core comparison
+//! mixes under all three policies (Section IV-C). Plus a golden-style
+//! report-shape parity check: a live run folds into the *same* report
+//! fields/keys as a simulated one, so the analysis layer can never drift
+//! toward one executor.
+//!
+//! These are wall-clock tests: each live run takes its scenario's duration
+//! in real time, so the mixes here are short, saturating versions of the
+//! paper's core comparisons (priority-proportional allocation, IV-D; the
+//! hog-vs-victim intro case) — continuous overload keeps shares governed
+//! by the policy rather than by workload completion, which is what makes
+//! the comparison meaningful at small scale.
+
+use adaptbf::model::config::paper;
+use adaptbf::model::{AdapTbfConfig, JobId, SimDuration};
+use adaptbf::runtime::{LiveCluster, LiveTuning};
+use adaptbf::sim::cluster::ClusterConfig;
+use adaptbf::sim::{Experiment, Policy, RunReport};
+use adaptbf::workload::{JobSpec, ProcessSpec, Scenario};
+
+/// Per-job served-share tolerance between the executors. The simulator is
+/// deterministic; the live side schedules real threads, so shares carry
+/// scheduler noise — but with saturating continuous demand they stabilize
+/// well inside this band after ~1 s.
+const SHARE_TOLERANCE: f64 = 0.12;
+
+/// 2 s of wall clock per live run keeps the whole battery bounded while
+/// giving the 25 ms controller ~80 cycles to converge.
+const RUN_MS: u64 = 2000;
+
+fn adaptbf_cfg() -> AdapTbfConfig {
+    AdapTbfConfig {
+        period: SimDuration::from_millis(25),
+        max_token_rate: 2000.0,
+        ..paper::adaptbf()
+    }
+}
+
+/// The live testbed and the simulated wiring describing the *same*
+/// hardware: the fast-test OST model and a 2000 tokens/s static ceiling.
+fn wirings() -> (LiveTuning, ClusterConfig) {
+    let tuning = LiveTuning::fast_test();
+    let cluster = ClusterConfig {
+        ost: tuning.ost,
+        tbf: tuning.tbf,
+        n_clients: tuning.n_clients,
+        n_osts: tuning.n_osts,
+        static_rate_total: tuning.static_rate_total,
+        ..ClusterConfig::default()
+    };
+    (tuning, cluster)
+}
+
+/// IV-D core: four continuous jobs with 10/10/30/50 % priorities, all
+/// saturating (files far larger than the horizon can serve).
+fn allocation_core() -> Scenario {
+    let job = |id: u32, nodes: u64| {
+        JobSpec::uniform(JobId(id), nodes, 2, ProcessSpec::continuous(1_000_000))
+    };
+    Scenario::new(
+        "allocation_core",
+        "IV-D shape: saturating continuous jobs at 10/10/30/50% priority",
+        vec![job(1, 1), job(2, 1), job(3, 3), job(4, 5)],
+        SimDuration::from_millis(RUN_MS),
+    )
+}
+
+/// The intro's hog-vs-victim case with both sides continuous, so the
+/// share split is purely the policy's doing.
+fn hog_core() -> Scenario {
+    Scenario::new(
+        "hog_core",
+        "intro shape: 1-node hog vs 15-node victim, both saturating",
+        vec![
+            JobSpec::uniform(JobId(1), 1, 2, ProcessSpec::continuous(1_000_000)),
+            JobSpec::uniform(JobId(2), 15, 2, ProcessSpec::continuous(1_000_000)),
+        ],
+        SimDuration::from_millis(RUN_MS),
+    )
+}
+
+fn policies() -> Vec<Policy> {
+    vec![
+        Policy::NoBw,
+        Policy::StaticBw,
+        Policy::AdapTbf(adaptbf_cfg()),
+    ]
+}
+
+fn assert_shares_converge(scenario: &Scenario) {
+    let (tuning, cluster) = wirings();
+    for policy in policies() {
+        let sim = Experiment::new(scenario.clone(), policy)
+            .seed(7)
+            .cluster_config(cluster)
+            .run();
+        let live = LiveCluster::run(scenario, policy, tuning, 7);
+        assert!(
+            live.total_served() > 500,
+            "{}/{}: live run barely served: {}",
+            scenario.name,
+            policy.name(),
+            live.total_served()
+        );
+        for job in scenario.job_ids() {
+            let sim_share = sim.served_share(job);
+            let live_share = live.report.served_share(job);
+            assert!(
+                (sim_share - live_share).abs() <= SHARE_TOLERANCE,
+                "{}/{}: {job} diverged: sim {sim_share:.3} vs live {live_share:.3} \
+                 (tolerance {SHARE_TOLERANCE}); sim {:?} live {:?}",
+                scenario.name,
+                policy.name(),
+                sim.metrics.served_by_job(),
+                live.served(),
+            );
+        }
+    }
+}
+
+#[test]
+fn allocation_core_shares_converge_across_executors() {
+    assert_shares_converge(&allocation_core());
+}
+
+#[test]
+fn hog_core_shares_converge_across_executors() {
+    assert_shares_converge(&hog_core());
+}
+
+#[test]
+fn adaptbf_priority_effect_shows_up_live() {
+    // Not just parity with sim: the live executor must show the policy
+    // *working* — the 50% job well above the 10% jobs.
+    let scenario = allocation_core();
+    let (tuning, _) = wirings();
+    let live = LiveCluster::run(&scenario, Policy::AdapTbf(adaptbf_cfg()), tuning, 3);
+    let low = live.report.served_share(JobId(1));
+    let high = live.report.served_share(JobId(4));
+    assert!(
+        high > low + 0.15,
+        "live AdapTBF must favor the 50% job: low {low:.3} high {high:.3}"
+    );
+}
+
+/// Golden-style shape parity: every report field/key family the analysis
+/// layer reads must be present with the same *keys* (not values) whether
+/// the run was simulated or live.
+#[test]
+fn live_report_folds_to_the_same_shape_as_sim() {
+    let scenario = Scenario::new(
+        "shape_parity",
+        "",
+        vec![
+            JobSpec::uniform(JobId(1), 1, 2, ProcessSpec::continuous(1_000_000)),
+            JobSpec::uniform(JobId(2), 3, 2, ProcessSpec::continuous(1_000_000)),
+        ],
+        SimDuration::from_millis(600),
+    );
+    let (tuning, cluster) = wirings();
+    let policy = Policy::AdapTbf(adaptbf_cfg());
+    let sim: RunReport = Experiment::new(scenario.clone(), policy)
+        .seed(1)
+        .cluster_config(cluster)
+        .run();
+    let live = LiveCluster::run(&scenario, policy, tuning, 1);
+    let live: RunReport = live.report; // the SAME type, not a lookalike
+
+    // Top-level identification fields match.
+    assert_eq!(sim.scenario, live.scenario);
+    assert_eq!(sim.policy, live.policy);
+    assert_eq!(sim.duration, live.duration);
+    assert_eq!(sim.metrics.bucket, live.metrics.bucket);
+
+    // Per-job outcome table: same key set, same field semantics.
+    let keys = |r: &RunReport| r.per_job.keys().copied().collect::<Vec<_>>();
+    assert_eq!(keys(&sim), keys(&live));
+    for (s, l) in sim.per_job.values().zip(live.per_job.values()) {
+        assert_eq!(s.job, l.job);
+        assert_eq!(s.released, l.released, "released totals are data-derived");
+    }
+
+    // Folded report families the analysis layer reads: identical key sets.
+    assert_eq!(
+        sim.metrics.served_by_job().keys().collect::<Vec<_>>(),
+        live.metrics.served_by_job().keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        sim.metrics.released_by_job(),
+        live.metrics.released_by_job(),
+        "released totals must agree exactly"
+    );
+    assert_eq!(
+        sim.metrics.completion_time().keys().collect::<Vec<_>>(),
+        live.metrics.completion_time().keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        sim.metrics.latency_by_job().keys().collect::<Vec<_>>(),
+        live.metrics.latency_by_job().keys().collect::<Vec<_>>()
+    );
+    for (name, s, l) in [
+        ("served", sim.metrics.served(), live.metrics.served()),
+        ("demand", sim.metrics.demand(), live.metrics.demand()),
+        ("records", sim.metrics.records(), live.metrics.records()),
+        (
+            "allocations",
+            sim.metrics.allocations(),
+            live.metrics.allocations(),
+        ),
+    ] {
+        assert_eq!(s.jobs(), l.jobs(), "{name} family keys diverged");
+    }
+
+    // Both carry controller overhead under AdapTBF, and clean fault books.
+    assert_eq!(sim.overheads.len(), live.overheads.len());
+    assert_eq!(sim.fault_stats, live.fault_stats);
+
+    // And the analysis layer runs unchanged on the live report.
+    let sim_fair = adaptbf::analysis::fairness::priority_fairness(&sim, &scenario);
+    let live_fair = adaptbf::analysis::fairness::priority_fairness(&live, &scenario);
+    assert!(sim_fair > 0.0 && sim_fair <= 1.0);
+    assert!(live_fair > 0.0 && live_fair <= 1.0);
+}
