@@ -23,5 +23,7 @@ pub mod summary;
 
 pub use fairness::{jains_index, proportionality_error, windowed_proportionality};
 pub use latency::LatencyComparison;
-pub use resilience::{resilience, JobResilience, ResilienceSummary};
+pub use resilience::{
+    conservation_ok, resilience, score_run, JobResilience, ResilienceSummary, RunScore, Scorecard,
+};
 pub use summary::{analyze, PolicyAnalysis};

@@ -86,6 +86,127 @@ impl ResilienceSummary {
     }
 }
 
+/// One run's resilience score: the dip/recovery summary collapsed to the
+/// numbers a chaos campaign ranks runs by, plus the conservation audit of
+/// the fault-stats partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunScore {
+    /// Jobs with a pre-window baseline (dip/recovery are defined for
+    /// these; 0 means the window started before any service).
+    pub tracked_jobs: usize,
+    /// Worst in-window share collapse across tracked jobs, as
+    /// `dip_share / baseline_share` (1.0 when nothing is tracked, 0.0 when
+    /// some job was starved outright).
+    pub worst_dip_ratio: f64,
+    /// Whether every tracked job converged back within tolerance.
+    pub all_recovered: bool,
+    /// Slowest recovery in seconds past the window (`None` when some job
+    /// never recovered or nothing was tracked).
+    pub worst_recovery_secs: Option<f64>,
+    /// Whether the run's accounting invariants hold ([`conservation_ok`]).
+    pub conservation_ok: bool,
+}
+
+impl RunScore {
+    /// Whether this run counts as a resilience violation: broken
+    /// conservation, or a tracked job that never converged back.
+    pub fn violates(&self) -> bool {
+        !self.conservation_ok || (self.tracked_jobs > 0 && !self.all_recovered)
+    }
+}
+
+/// Score one run over the disturbance window `[from, until)`:
+/// [`resilience`] collapsed to campaign-ranking numbers plus the
+/// [`conservation_ok`] audit.
+pub fn score_run(report: &RunReport, from: SimTime, until: SimTime, tolerance: f64) -> RunScore {
+    let summary = resilience(report, from, until, tolerance);
+    let mut worst_dip = 1.0f64;
+    for j in summary.per_job.values() {
+        if j.baseline_share > 0.0 {
+            worst_dip = worst_dip.min(j.dip_share / j.baseline_share);
+        }
+    }
+    RunScore {
+        tracked_jobs: summary.per_job.len(),
+        worst_dip_ratio: worst_dip,
+        all_recovered: summary.all_recovered(),
+        worst_recovery_secs: summary.worst_recovery_secs(),
+        conservation_ok: conservation_ok(report),
+    }
+}
+
+/// Audit a report's accounting invariants: the fault-stats partition
+/// (`lost_in_service ≤ resent`, `undelivered ≤ resent + parked`) and
+/// per-job conservation (`served ≤ released`). A healthy run — faulty or
+/// not — always passes; a `false` here means the RPC bookkeeping itself
+/// leaked and outranks any recovery-time finding.
+pub fn conservation_ok(report: &RunReport) -> bool {
+    let fs = &report.fault_stats;
+    fs.lost_in_service <= fs.resent
+        && fs.undelivered <= fs.resent + fs.parked
+        && report.per_job.values().all(|o| o.served <= o.released)
+}
+
+/// Campaign-level aggregate over many scored runs: the worst numbers a
+/// policy produced anywhere in a sweep. Chaos campaigns and the CI floor
+/// check both consume this instead of re-folding [`RunScore`]s by hand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scorecard {
+    /// Runs absorbed.
+    pub runs: usize,
+    /// Deepest `dip/baseline` collapse across all runs (1.0 = no dip
+    /// anywhere).
+    pub worst_dip_ratio: f64,
+    /// Slowest recovery observed across runs that did recover, seconds.
+    pub worst_recovery_secs: f64,
+    /// Runs where some tracked job never converged back.
+    pub unrecovered_runs: usize,
+    /// Runs whose accounting audit failed ([`conservation_ok`]).
+    pub conservation_violations: usize,
+}
+
+impl Scorecard {
+    /// An empty scorecard (identity of [`Scorecard::absorb`]).
+    pub fn new() -> Self {
+        Scorecard {
+            runs: 0,
+            worst_dip_ratio: 1.0,
+            worst_recovery_secs: 0.0,
+            unrecovered_runs: 0,
+            conservation_violations: 0,
+        }
+    }
+
+    /// Fold one run's score into the aggregate.
+    pub fn absorb(&mut self, score: &RunScore) {
+        self.runs += 1;
+        self.worst_dip_ratio = self.worst_dip_ratio.min(score.worst_dip_ratio);
+        if score.tracked_jobs > 0 && !score.all_recovered {
+            self.unrecovered_runs += 1;
+        } else if let Some(secs) = score.worst_recovery_secs {
+            self.worst_recovery_secs = self.worst_recovery_secs.max(secs);
+        }
+        if !score.conservation_ok {
+            self.conservation_violations += 1;
+        }
+    }
+
+    /// Aggregate a whole set of scores at once.
+    pub fn from_scores<'a>(scores: impl IntoIterator<Item = &'a RunScore>) -> Self {
+        let mut card = Scorecard::new();
+        for score in scores {
+            card.absorb(score);
+        }
+        card
+    }
+}
+
+impl Default for Scorecard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Summarize how `report`'s per-job served shares move through the fault
 /// window `[from, until)` and when they return to within `tolerance` of
 /// their pre-window baseline.
@@ -238,6 +359,76 @@ mod tests {
         let summary = resilience(&report, SimTime::ZERO, SimTime::from_millis(100), 0.2);
         assert!(summary.per_job.is_empty());
         assert_eq!(summary.worst_recovery_secs(), None);
+    }
+
+    #[test]
+    fn score_run_collapses_a_healthy_run_to_a_clean_score() {
+        let report = Experiment::new(
+            scenarios::token_allocation_scaled(1.0 / 16.0),
+            Policy::adaptbf_default(),
+        )
+        .seed(3)
+        .run();
+        let score = score_run(&report, SimTime::from_secs(1), SimTime::from_secs(2), 0.25);
+        assert!(score.tracked_jobs > 0);
+        assert!(score.all_recovered);
+        assert!(score.conservation_ok);
+        assert!(!score.violates());
+        assert!((0.0..=1.0).contains(&score.worst_dip_ratio));
+        assert!(score.worst_recovery_secs.is_some());
+    }
+
+    #[test]
+    fn conservation_audit_passes_the_fault_builtins() {
+        for file in [
+            scenarios::ost_failover_scaled(0.25),
+            scenarios::churn_under_degradation_scaled(0.25),
+        ] {
+            let plan = adaptbf_sim::plan_file_run(&file).unwrap();
+            let report = Experiment::new(plan.scenario, plan.policy)
+                .seed(plan.seed)
+                .cluster_config(plan.cluster)
+                .run();
+            assert!(conservation_ok(&report), "{}", report.scenario);
+        }
+    }
+
+    #[test]
+    fn scorecard_folds_worst_numbers_across_runs() {
+        let clean = RunScore {
+            tracked_jobs: 3,
+            worst_dip_ratio: 0.8,
+            all_recovered: true,
+            worst_recovery_secs: Some(0.5),
+            conservation_ok: true,
+        };
+        let stuck = RunScore {
+            tracked_jobs: 2,
+            worst_dip_ratio: 0.1,
+            all_recovered: false,
+            worst_recovery_secs: None,
+            conservation_ok: true,
+        };
+        let leaky = RunScore {
+            tracked_jobs: 2,
+            worst_dip_ratio: 0.9,
+            all_recovered: true,
+            worst_recovery_secs: Some(1.5),
+            conservation_ok: false,
+        };
+        assert!(!clean.violates());
+        assert!(stuck.violates());
+        assert!(leaky.violates());
+        let card = Scorecard::from_scores([&clean, &stuck, &leaky]);
+        assert_eq!(card.runs, 3);
+        assert_eq!(card.worst_dip_ratio, 0.1);
+        assert_eq!(card.worst_recovery_secs, 1.5);
+        assert_eq!(card.unrecovered_runs, 1);
+        assert_eq!(card.conservation_violations, 1);
+        assert_eq!(
+            Scorecard::from_scores(std::iter::empty::<&RunScore>()),
+            Scorecard::new()
+        );
     }
 
     #[test]

@@ -1,0 +1,746 @@
+//! The chaos lab: seeded randomized fault campaigns over the scenario ×
+//! policy grid, plus the shrinker that minimizes what they find.
+//!
+//! A campaign samples [`PlanBounds`] fault plans (one deterministic plan
+//! per `(campaign seed, scenario, plan index)`), runs each plan under all
+//! three policies on a striped two-OST testbed via [`RunGrid`], and scores
+//! every run with `analysis::resilience` — dip depth, recovery time and
+//! the conservation audit of the `FaultStats` partition. The fold is a
+//! per-policy [`Scorecard`] whose worst numbers become the CI resilience
+//! floor (`crates/bench/chaos_floor.txt`), and the full campaign renders
+//! as `BENCH_chaos.json`.
+//!
+//! Because the simulator is a pure function of (scenario, policy, seed,
+//! wiring, faults) and the report carries no wall-clock data, the same
+//! campaign seed reproduces `BENCH_chaos.json` *byte-identically* on any
+//! machine — the floor check can therefore be strict.
+//!
+//! Worst cases feed [`shrink_case`]: a greedy fixpoint loop that drops
+//! fault dimensions, narrows windows and shrinks the workload while the
+//! resilience violation persists, using byte-exact record/replay as the
+//! oracle on every candidate. The survivor renders as a canonical
+//! scenario file ready to check in as a golden regression.
+
+use adaptbf_analysis::{conservation_ok, score_run, RunScore, Scorecard};
+use adaptbf_model::{SimDuration, SimTime};
+use adaptbf_sim::cluster::Cluster;
+use adaptbf_sim::report::report_body_digest;
+use adaptbf_sim::{plan_file_run, replay_cluster_config, replay_report};
+use adaptbf_sim::{Experiment, RunGrid, RunReport};
+use adaptbf_workload::dsl::faults_block_json;
+use adaptbf_workload::faults::PlanBounds;
+use adaptbf_workload::{scenarios, ScenarioFile};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The three policies every sampled plan runs under.
+pub const POLICIES: [&str; 3] = ["no_bw", "static_bw", "adaptbf"];
+
+/// Campaign shape: how many plans to sample per scenario and how to score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Campaign seed: pins every sampled plan and every run seed.
+    pub seed: u64,
+    /// Fault plans sampled per base scenario (each runs under all three
+    /// policies).
+    pub plans_per_scenario: usize,
+    /// Workload scale factor for the base scenarios.
+    pub scale: f64,
+    /// Recovery tolerance passed to `analysis::resilience`.
+    pub tolerance: f64,
+}
+
+impl CampaignConfig {
+    /// The full campaign shape (the checked-in `BENCH_chaos.json`).
+    pub fn full(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            plans_per_scenario: 8,
+            scale: 1.0 / 8.0,
+            tolerance: 0.5,
+        }
+    }
+
+    /// The CI smoke shape: small enough to run per-PR, same scoring.
+    pub fn smoke(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            plans_per_scenario: 3,
+            scale: 1.0 / 16.0,
+            tolerance: 0.5,
+        }
+    }
+}
+
+/// One cell of the campaign grid: a sampled plan on a base scenario under
+/// one policy. The scenario file is self-contained — faults, policy and
+/// seed all ride in it, so a worst case is reproducible from the file
+/// alone.
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// Base scenario name.
+    pub scenario: String,
+    /// Policy this cell runs under.
+    pub policy: String,
+    /// Index of the sampled plan within its scenario.
+    pub plan_index: usize,
+    /// Derived seed: samples the plan and seeds the run.
+    pub case_seed: u64,
+    /// The complete runnable scenario file.
+    pub file: ScenarioFile,
+}
+
+/// A scored grid cell.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The cell that ran.
+    pub case: ChaosCase,
+    /// Its resilience score.
+    pub score: RunScore,
+    /// The disturbance window the score was taken over (`None` = the
+    /// plan's hull degenerated; only conservation was audited).
+    pub window: Option<(SimTime, SimTime)>,
+}
+
+/// A completed campaign: every outcome plus the per-policy fold.
+#[derive(Debug)]
+pub struct Campaign {
+    /// The shape that ran.
+    pub config: CampaignConfig,
+    /// All grid cells in submission order.
+    pub outcomes: Vec<CaseOutcome>,
+    /// Per-policy aggregate scorecards.
+    pub per_policy: BTreeMap<String, Scorecard>,
+}
+
+/// SplitMix64-style mix for deriving per-case seeds from the campaign
+/// seed: decorrelated, order-independent, stable across refactors.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The base scenarios a campaign disturbs, pinned to a striped two-OST
+/// testbed so crash re-route/resend paths are reachable.
+pub fn base_files(scale: f64) -> Vec<ScenarioFile> {
+    [
+        scenarios::token_allocation_scaled(scale),
+        scenarios::token_redistribution_scaled(scale),
+        scenarios::job_churn_scaled(scale),
+    ]
+    .into_iter()
+    .map(|s| {
+        let mut file = ScenarioFile::from_scenario(&s);
+        file.run.n_osts = Some(2);
+        file.run.stripe_count = Some(2);
+        file
+    })
+    .collect()
+}
+
+/// Expand a campaign config into its grid of cases (pure; no runs).
+pub fn campaign_cases(config: CampaignConfig) -> Vec<ChaosCase> {
+    let mut cases = Vec::new();
+    for (s_idx, base) in base_files(config.scale).iter().enumerate() {
+        let horizon = SimDuration::from_secs_f64(base.duration_secs);
+        let bounds = PlanBounds::new(horizon, base.run.n_osts.unwrap_or(1));
+        for plan_index in 0..config.plans_per_scenario {
+            // Masked to 32 bits: scenario-file seeds travel through the
+            // JSON number path, which is exact only below 2^53.
+            let case_seed = mix(config.seed, ((s_idx as u64) << 32) | plan_index as u64) >> 32;
+            let plan = bounds.sample_seeded(case_seed);
+            for policy in POLICIES {
+                let mut file = base.clone();
+                file.faults = plan;
+                file.run.policy = Some(policy.to_string());
+                file.run.seed = Some(case_seed);
+                cases.push(ChaosCase {
+                    scenario: base.name.clone(),
+                    policy: policy.to_string(),
+                    plan_index,
+                    case_seed,
+                    file,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// Run and score one grid cell.
+pub fn score_case(case: &ChaosCase, tolerance: f64) -> CaseOutcome {
+    let plan = plan_file_run(&case.file).expect("sampled chaos case must plan");
+    let horizon = plan.scenario.duration;
+    let period = SimDuration::from_millis(case.file.run.period_ms.unwrap_or(100));
+    let report = Experiment::new(plan.scenario, plan.policy)
+        .seed(plan.seed)
+        .cluster_config(plan.cluster)
+        .run();
+    let window = case.file.faults.disturbance_window(period, horizon);
+    let score = score_over(&report, window, tolerance);
+    CaseOutcome {
+        case: case.clone(),
+        score,
+        window,
+    }
+}
+
+/// Score a report over an optional disturbance window, falling back to a
+/// conservation-only audit when the window degenerated.
+fn score_over(report: &RunReport, window: Option<(SimTime, SimTime)>, tolerance: f64) -> RunScore {
+    match window {
+        Some((from, until)) => score_run(report, from, until, tolerance),
+        None => RunScore {
+            tracked_jobs: 0,
+            worst_dip_ratio: 1.0,
+            all_recovered: true,
+            worst_recovery_secs: None,
+            conservation_ok: conservation_ok(report),
+        },
+    }
+}
+
+/// Run the whole campaign grid (fanned out over [`RunGrid`]; results are
+/// byte-identical to a sequential sweep regardless of thread count).
+pub fn run_campaign(config: CampaignConfig) -> Campaign {
+    let cases = campaign_cases(config);
+    let tolerance = config.tolerance;
+    let outcomes = RunGrid::new().run(cases, move |case| score_case(&case, tolerance));
+    let mut per_policy: BTreeMap<String, Scorecard> = POLICIES
+        .iter()
+        .map(|p| (p.to_string(), Scorecard::new()))
+        .collect();
+    for outcome in &outcomes {
+        per_policy
+            .get_mut(&outcome.case.policy)
+            .expect("policy key")
+            .absorb(&outcome.score);
+    }
+    Campaign {
+        config,
+        outcomes,
+        per_policy,
+    }
+}
+
+/// Severity key, higher = worse: conservation break outranks an
+/// unrecovered job, which outranks dip depth, which outranks recovery
+/// time.
+fn severity(o: &CaseOutcome) -> (u8, u8, f64, f64) {
+    let s = &o.score;
+    (
+        u8::from(!s.conservation_ok),
+        u8::from(s.tracked_jobs > 0 && !s.all_recovered),
+        1.0 - s.worst_dip_ratio,
+        s.worst_recovery_secs.unwrap_or(0.0),
+    )
+}
+
+/// The campaign's worst cells, most severe first (stable on ties, so the
+/// ranking is as deterministic as the runs).
+pub fn worst_cases(campaign: &Campaign, k: usize) -> Vec<&CaseOutcome> {
+    let mut ranked: Vec<&CaseOutcome> = campaign.outcomes.iter().collect();
+    ranked.sort_by(|a, b| {
+        let (ka, kb) = (severity(a), severity(b));
+        kb.0.cmp(&ka.0)
+            .then(kb.1.cmp(&ka.1))
+            .then(kb.2.total_cmp(&ka.2))
+            .then(kb.3.total_cmp(&ka.3))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+/// A `faults` block on one line (the block contains no string values, so
+/// collapsing whitespace is lossless).
+fn compact_faults(file: &ScenarioFile) -> String {
+    faults_block_json(&file.faults)
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Render the campaign as the machine-readable `BENCH_chaos.json`.
+///
+/// Deliberately wall-clock free: every value is a pure function of the
+/// campaign seed, so the same seed yields byte-identical text anywhere.
+pub fn campaign_json(campaign: &Campaign) -> String {
+    let c = &campaign.config;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"campaign_seed\": {},", c.seed);
+    let _ = writeln!(json, "  \"plans_per_scenario\": {},", c.plans_per_scenario);
+    let _ = writeln!(json, "  \"scale\": {},", c.scale);
+    let _ = writeln!(json, "  \"tolerance\": {},", c.tolerance);
+    let _ = writeln!(json, "  \"runs\": {},", campaign.outcomes.len());
+    let violations = campaign
+        .outcomes
+        .iter()
+        .filter(|o| o.score.violates())
+        .count();
+    let _ = writeln!(json, "  \"violations\": {violations},");
+    json.push_str("  \"plans\": [\n");
+    let mut seen = std::collections::BTreeSet::new();
+    let mut first = true;
+    for o in &campaign.outcomes {
+        if !seen.insert((o.case.scenario.clone(), o.case.plan_index)) {
+            continue;
+        }
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{ \"scenario\": \"{}\", \"plan\": {}, \"seed\": {}, \"faults\": {} }}",
+            o.case.scenario,
+            o.case.plan_index,
+            o.case.case_seed,
+            compact_faults(&o.case.file)
+        );
+    }
+    json.push_str("\n  ],\n");
+    json.push_str("  \"floors\": {\n");
+    let mut first = true;
+    for (policy, card) in &campaign.per_policy {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    \"{policy}\": {{ \"runs\": {}, \"worst_dip_ratio\": {:.4}, \
+             \"worst_recovery_secs\": {:.4}, \"unrecovered_runs\": {}, \
+             \"conservation_violations\": {} }}",
+            card.runs,
+            card.worst_dip_ratio,
+            card.worst_recovery_secs,
+            card.unrecovered_runs,
+            card.conservation_violations
+        );
+    }
+    json.push_str("\n  },\n");
+    json.push_str("  \"worst_cases\": [\n");
+    let mut first = true;
+    for o in worst_cases(campaign, 5) {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let (wf, wu) = o.window.map_or((0.0, 0.0), |(f, u)| {
+            (f.as_nanos() as f64 / 1e9, u.as_nanos() as f64 / 1e9)
+        });
+        let _ = write!(
+            json,
+            "    {{ \"scenario\": \"{}\", \"policy\": \"{}\", \"plan\": {}, \"seed\": {}, \
+             \"violates\": {}, \"conservation_ok\": {}, \"all_recovered\": {}, \
+             \"worst_dip_ratio\": {:.4}, \"worst_recovery_secs\": {}, \
+             \"window_from_s\": {wf:.3}, \"window_until_s\": {wu:.3}, \"faults\": {} }}",
+            o.case.scenario,
+            o.case.policy,
+            o.case.plan_index,
+            o.case.case_seed,
+            o.score.violates(),
+            o.score.conservation_ok,
+            o.score.all_recovered,
+            o.score.worst_dip_ratio,
+            o.score
+                .worst_recovery_secs
+                .map_or_else(|| "null".to_string(), |s| format!("{s:.4}")),
+            compact_faults(&o.case.file)
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
+/// The adaptbf resilience floor as the key-value text checked in at
+/// `crates/bench/chaos_floor.txt`.
+pub fn floor_text(campaign: &Campaign) -> String {
+    let card = &campaign.per_policy["adaptbf"];
+    format!(
+        "adaptbf_worst_dip_ratio {:.4}\nadaptbf_worst_recovery_secs {:.4}\n\
+         adaptbf_unrecovered_runs {}\nadaptbf_conservation_violations {}\n",
+        card.worst_dip_ratio,
+        card.worst_recovery_secs,
+        card.unrecovered_runs,
+        card.conservation_violations
+    )
+}
+
+/// Compare a campaign's adaptbf scorecard against a checked-in floor.
+///
+/// The campaign is bit-deterministic, so the comparison is strict (a tiny
+/// epsilon only absorbs the floor file's 4-decimal rounding): the dip may
+/// not deepen, recovery may not slow, and no new unrecovered runs or
+/// conservation breaks may appear.
+pub fn check_floor(campaign: &Campaign, floor: &str) -> Result<(), String> {
+    let mut values: BTreeMap<&str, f64> = BTreeMap::new();
+    for line in floor.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed floor line `{line}`"))?;
+        values.insert(
+            match key {
+                "adaptbf_worst_dip_ratio" => "dip",
+                "adaptbf_worst_recovery_secs" => "recovery",
+                "adaptbf_unrecovered_runs" => "unrecovered",
+                "adaptbf_conservation_violations" => "conservation",
+                other => return Err(format!("unknown floor key `{other}`")),
+            },
+            value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad floor value for `{key}`: {e}"))?,
+        );
+    }
+    let need = |k: &str| values.get(k).copied().ok_or(format!("floor missing {k}"));
+    let card = &campaign.per_policy["adaptbf"];
+    const EPS: f64 = 1e-4;
+    if card.worst_dip_ratio < need("dip")? - EPS {
+        return Err(format!(
+            "worst_dip_ratio regressed: {:.4} < floor {:.4}",
+            card.worst_dip_ratio,
+            need("dip")?
+        ));
+    }
+    if card.worst_recovery_secs > need("recovery")? + EPS {
+        return Err(format!(
+            "worst_recovery_secs regressed: {:.4} > floor {:.4}",
+            card.worst_recovery_secs,
+            need("recovery")?
+        ));
+    }
+    if (card.unrecovered_runs as f64) > need("unrecovered")? {
+        return Err(format!(
+            "unrecovered_runs regressed: {} > floor {}",
+            card.unrecovered_runs,
+            need("unrecovered")?
+        ));
+    }
+    if (card.conservation_violations as f64) > need("conservation")? {
+        return Err(format!(
+            "conservation_violations regressed: {} > floor {}",
+            card.conservation_violations,
+            need("conservation")?
+        ));
+    }
+    Ok(())
+}
+
+/// Printable campaign summary table.
+pub fn summary_table(campaign: &Campaign) -> String {
+    let mut out = format!(
+        "chaos campaign seed={} plans/scenario={} scale={} tolerance={}\n\
+         {:<10} {:>5} {:>10} {:>14} {:>12} {:>13}\n",
+        campaign.config.seed,
+        campaign.config.plans_per_scenario,
+        campaign.config.scale,
+        campaign.config.tolerance,
+        "policy",
+        "runs",
+        "worst_dip",
+        "worst_recovery",
+        "unrecovered",
+        "conservation"
+    );
+    for (policy, card) in &campaign.per_policy {
+        let _ = writeln!(
+            out,
+            "{policy:<10} {:>5} {:>10.4} {:>13.4}s {:>12} {:>13}",
+            card.runs,
+            card.worst_dip_ratio,
+            card.worst_recovery_secs,
+            card.unrecovered_runs,
+            card.conservation_violations
+        );
+    }
+    out
+}
+
+/// One oracle-checked run of a self-contained chaos scenario file.
+#[derive(Debug, Clone)]
+pub struct ScoredRun {
+    /// The resilience score over the file's disturbance window.
+    pub score: RunScore,
+    /// Full body digest of the recorded report ([`report_body_digest`]) —
+    /// what a golden test pins.
+    pub body_digest: String,
+}
+
+/// The byte-exact record/replay contract the simulator guarantees (see
+/// `sim/tests/proptests.rs` and `tests/trace_replay.rs`): per-job served
+/// counts, the served timeline, and the audited fault-stats partition.
+/// Release/completion bookkeeping is deliberately outside the contract —
+/// a trace carries only arrivals that actually issued, so work a crash
+/// left undelivered at the horizon is invisible to the replay.
+fn oracle_digest(report: &RunReport) -> String {
+    let m = &report.metrics;
+    let fs = &report.fault_stats;
+    let mut out = format!(
+        "fault_stats resent={} lost_in_service={} rerouted={} parked={} undelivered={}\n",
+        fs.resent, fs.lost_in_service, fs.rerouted, fs.parked, fs.undelivered
+    );
+    for (job, served) in m.served_by_job() {
+        let _ = writeln!(out, "{job} served={served}");
+    }
+    out.push_str(&adaptbf_sim::report::timeline_csv(&m.served()));
+    out
+}
+
+/// Run a chaos scenario file with the record/replay oracle: the run is
+/// recorded, replayed, and both must match byte-for-byte on the replay
+/// contract (`oracle_digest`: served-by-job + served timeline +
+/// fault-stats partition).
+///
+/// `None` when the file fails to plan (a shrink move can invalidate it) or
+/// the replay diverges — either way the caller must not trust the
+/// candidate.
+pub fn scored_run(file: &ScenarioFile, tolerance: f64) -> Option<ScoredRun> {
+    let plan = plan_file_run(file).ok()?;
+    let horizon = plan.scenario.duration;
+    let period = SimDuration::from_millis(file.run.period_ms.unwrap_or(100));
+    let jobs = plan.scenario.job_ids();
+    let (out, trace) =
+        Cluster::build_with(&plan.scenario, plan.policy, plan.seed, plan.cluster).run_traced();
+    let report = RunReport::from_run(
+        plan.scenario.name.clone(),
+        plan.policy.name(),
+        horizon,
+        out.metrics,
+        &jobs,
+        out.overheads,
+        out.fault_stats,
+    );
+    let replayed = replay_report(
+        &trace,
+        plan.policy,
+        plan.seed,
+        replay_cluster_config(&trace),
+    );
+    if oracle_digest(&report) != oracle_digest(&replayed) {
+        return None;
+    }
+    let window = file.faults.disturbance_window(period, horizon);
+    Some(ScoredRun {
+        score: score_over(&report, window, tolerance),
+        body_digest: report_body_digest(&report),
+    })
+}
+
+/// A minimized violation.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest scenario file still violating.
+    pub file: ScenarioFile,
+    /// Its score.
+    pub score: RunScore,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Total oracle runs spent.
+    pub runs: usize,
+}
+
+/// Greedily minimize a violating chaos scenario file: repeatedly try the
+/// candidate moves of [`shrink_candidates`] and keep the first one that
+/// still violates (with a clean record/replay), until none does.
+///
+/// Returns `None` if the input itself does not violate under the oracle.
+pub fn shrink_case(file: &ScenarioFile, tolerance: f64) -> Option<ShrinkOutcome> {
+    let baseline = scored_run(file, tolerance)?;
+    if !baseline.score.violates() {
+        return None;
+    }
+    let mut current = file.clone();
+    let mut score = baseline.score;
+    let mut steps = 0;
+    let mut runs = 1;
+    'fixpoint: while steps < 64 {
+        for candidate in shrink_candidates(&current) {
+            runs += 1;
+            if let Some(scored) = scored_run(&candidate, tolerance) {
+                if scored.score.violates() {
+                    current = candidate;
+                    score = scored.score;
+                    steps += 1;
+                    continue 'fixpoint;
+                }
+            }
+        }
+        break;
+    }
+    Some(ShrinkOutcome {
+        file: current,
+        score,
+        steps,
+        runs,
+    })
+}
+
+fn half_ms(d: SimDuration) -> Option<SimDuration> {
+    let ms = d.as_nanos() / 1_000_000 / 2;
+    (ms > 0).then(|| SimDuration::from_millis(ms))
+}
+
+/// The shrink moves, in preference order: drop whole fault dimensions,
+/// then narrow fault windows (ms-rounded halving, so candidates stay
+/// byte-round-trippable), then shrink the workload itself.
+pub fn shrink_candidates(file: &ScenarioFile) -> Vec<ScenarioFile> {
+    let mut out = Vec::new();
+    let mut push = |f: ScenarioFile| out.push(f);
+    let faults = &file.faults;
+    if faults.controller_stall.is_some() {
+        let mut c = file.clone();
+        c.faults.controller_stall = None;
+        push(c);
+    }
+    if faults.stats_loss_every.is_some() {
+        let mut c = file.clone();
+        c.faults.stats_loss_every = None;
+        push(c);
+    }
+    if faults.disk_degrade.is_some() {
+        let mut c = file.clone();
+        c.faults.disk_degrade = None;
+        push(c);
+    }
+    if faults.ost_crash.is_some() {
+        let mut c = file.clone();
+        c.faults.ost_crash = None;
+        push(c);
+    }
+    if faults.churn.is_some() {
+        let mut c = file.clone();
+        c.faults.churn = None;
+        push(c);
+    }
+    if let Some(d) = faults.disk_degrade {
+        if let Some(half) = half_ms(d.for_) {
+            let mut c = file.clone();
+            c.faults.disk_degrade = Some(adaptbf_workload::DegradeSpec { for_: half, ..d });
+            push(c);
+        }
+    }
+    if let Some(k) = faults.ost_crash {
+        if let Some(half) = half_ms(k.for_) {
+            let mut c = file.clone();
+            c.faults.ost_crash = Some(adaptbf_workload::CrashSpec { for_: half, ..k });
+            push(c);
+        }
+    }
+    if let Some(s) = faults.controller_stall {
+        if s.duration > 1 {
+            let mut c = file.clone();
+            c.faults.controller_stall = Some(adaptbf_workload::StallSpec {
+                duration: s.duration / 2,
+                ..s
+            });
+            push(c);
+        }
+    }
+    if let Some(ch) = faults.churn {
+        if let Some(half) = half_ms(ch.offline) {
+            let mut c = file.clone();
+            c.faults.churn = Some(adaptbf_workload::ChurnSpec {
+                offline: half,
+                ..ch
+            });
+            push(c);
+        }
+    }
+    // Workload shrinks: fewer jobs, fewer processes, smaller files, a
+    // shorter horizon.
+    if file.jobs.len() > 1 {
+        let mut c = file.clone();
+        c.jobs.pop();
+        push(c);
+    }
+    for (j, job) in file.jobs.iter().enumerate() {
+        for (s, stream) in job.streams.iter().enumerate() {
+            if stream.count > 1 {
+                let mut c = file.clone();
+                c.jobs[j].streams[s].count = stream.count / 2;
+                push(c);
+            }
+            if let Some(rpcs) = stream.file_rpcs {
+                if rpcs > 64 {
+                    let mut c = file.clone();
+                    c.jobs[j].streams[s].file_rpcs = Some(rpcs / 2);
+                    push(c);
+                }
+            }
+        }
+    }
+    if file.duration_secs > 2.0 {
+        let mut c = file.clone();
+        c.duration_secs = (file.duration_secs / 2.0).max(2.0);
+        push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_grid_is_scenarios_by_plans_by_policies() {
+        let config = CampaignConfig {
+            seed: 9,
+            plans_per_scenario: 2,
+            scale: 1.0 / 16.0,
+            tolerance: 0.5,
+        };
+        let cases = campaign_cases(config);
+        assert_eq!(cases.len(), 3 * 2 * 3);
+        // Same plan is shared across the three policies of a cell.
+        assert_eq!(cases[0].file.faults, cases[1].file.faults);
+        assert_eq!(cases[0].file.faults, cases[2].file.faults);
+        assert!(!cases[0].file.faults.is_none());
+        // Every case file parses back from its canonical rendering.
+        for case in &cases {
+            let rendered = case.file.render();
+            assert_eq!(ScenarioFile::parse(&rendered).unwrap(), case.file);
+        }
+    }
+
+    #[test]
+    fn case_seeds_differ_across_scenarios_and_plans() {
+        let cases = campaign_cases(CampaignConfig::smoke(1));
+        let mut seeds: Vec<u64> = cases.iter().map(|c| c.case_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 3 * 3, "one distinct seed per (scenario, plan)");
+    }
+
+    #[test]
+    fn floor_check_accepts_own_floor_and_rejects_regressions() {
+        let mut campaign = Campaign {
+            config: CampaignConfig::smoke(1),
+            outcomes: Vec::new(),
+            per_policy: POLICIES
+                .iter()
+                .map(|p| (p.to_string(), Scorecard::new()))
+                .collect(),
+        };
+        let card = campaign.per_policy.get_mut("adaptbf").unwrap();
+        card.runs = 4;
+        card.worst_dip_ratio = 0.25;
+        card.worst_recovery_secs = 1.5;
+        let floor = floor_text(&campaign);
+        assert!(check_floor(&campaign, &floor).is_ok());
+        let card = campaign.per_policy.get_mut("adaptbf").unwrap();
+        card.worst_dip_ratio = 0.1;
+        assert!(check_floor(&campaign, &floor).is_err());
+        let card = campaign.per_policy.get_mut("adaptbf").unwrap();
+        card.worst_dip_ratio = 0.25;
+        card.conservation_violations = 1;
+        assert!(check_floor(&campaign, &floor).is_err());
+        assert!(check_floor(&campaign, "garbage").is_err());
+    }
+}

@@ -28,6 +28,8 @@
 //! worker threads; results are deterministic and identical to sequential
 //! runs (see README "Hot paths & scaling").
 
+pub mod chaos;
+
 use adaptbf_model::{AdapTbfConfig, SimDuration};
 use adaptbf_sim::report::{frequency_csv, gauge_csv, timeline_csv};
 use adaptbf_sim::{frequency_sweep, Comparison, FrequencyPoint};

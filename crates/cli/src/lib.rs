@@ -34,6 +34,9 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
                                    disk_degrade and job_churn run live.\n\
     compare <scenario>             run all three policies, print gains\n\
     analyze <scenario>             fairness + latency analysis\n\
+                                   (both accept --live: three back-to-back\n\
+                                   wall-clock runs on the live runtime,\n\
+                                   same tables)\n\
     sweep <scenario>               allocation-frequency sweep (Figure 9)\n\
     ledger <scenario>              final lending/borrowing records\n\
     record <scenario>              run + capture the RPC trace to a file\n\
@@ -59,7 +62,8 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
     --scale F       workload scale factor (built-in scenarios only)\n\
     --period MS     AdapTBF observation period in ms (default 100)\n\
     --out FILE      trace output path for `record` (default <scenario>.trace)\n\
-    --live          run on the live threaded runtime (run only)";
+    --live          run on the live threaded runtime\n\
+                    (run/compare/analyze)";
 
 /// CLI failure modes.
 #[derive(Debug, PartialEq, Eq)]
@@ -320,8 +324,10 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             if command != "record" && opts.out.is_some() {
                 return Err(usage("--out only applies to `record`"));
             }
-            if command != "run" && opts.live {
-                return Err(usage("--live only applies to `run`"));
+            if !matches!(command, "run" | "compare" | "analyze") && opts.live {
+                return Err(usage(
+                    "--live only applies to `run`, `compare` and `analyze`",
+                ));
             }
             match command {
                 "run" if opts.live => cmd_run_live(scenario, opts, *cluster),
@@ -346,7 +352,9 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 return Err(usage("--out only applies to `record`"));
             }
             if raw.live {
-                return Err(usage("--live only applies to `run`"));
+                return Err(usage(
+                    "--live only applies to `run`, `compare` and `analyze`",
+                ));
             }
             cmd_replay(path, raw)
         }
@@ -544,21 +552,69 @@ fn cmd_replay(path: &str, raw: RawOptions) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The `--live` analogue of `Comparison::run_with`: three back-to-back
+/// wall-clock runs on the live threaded runtime, one per policy, folded
+/// into the same `Comparison` the simulator path produces — so the
+/// downstream gain/fairness/latency tables render unchanged.
+fn live_comparison(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+) -> Result<Comparison, CliError> {
+    let run = |policy: Policy| -> Result<RunReport, CliError> {
+        let live = LiveCluster::run_with_faults(
+            scenario,
+            policy,
+            live_tuning_from(&cluster),
+            &cluster.faults,
+            opts.seed,
+        )
+        .map_err(|e| CliError::Run(e.to_string()))?;
+        Ok(live.report)
+    };
+    Ok(Comparison {
+        no_bw: run(Policy::NoBw)?,
+        static_bw: run(Policy::StaticBw)?,
+        adaptbf: run(Policy::AdapTbf(adaptbf_config(opts)))?,
+    })
+}
+
+fn comparison_for(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+) -> Result<Comparison, CliError> {
+    if opts.live {
+        live_comparison(scenario, opts, cluster)
+    } else {
+        Ok(Comparison::run_with(
+            scenario,
+            opts.seed,
+            Policy::AdapTbf(adaptbf_config(opts)),
+            cluster,
+        ))
+    }
+}
+
 fn cmd_compare(
     scenario: &Scenario,
     opts: &Options,
     cluster: ClusterConfig,
 ) -> Result<String, CliError> {
-    let comparison = Comparison::run_with(
-        scenario,
-        opts.seed,
-        Policy::AdapTbf(adaptbf_config(opts)),
-        cluster,
-    );
-    Ok(comparison_table(
+    let comparison = comparison_for(scenario, opts, cluster)?;
+    let mut out = String::new();
+    if opts.live {
+        let _ = writeln!(
+            out,
+            "live compare: three wall-clock runs (seed {})\n",
+            opts.seed
+        );
+    }
+    out.push_str(&comparison_table(
         &comparison.job_rows(),
         comparison.overall_row(),
-    ))
+    ));
+    Ok(out)
 }
 
 fn cmd_analyze(
@@ -566,14 +622,17 @@ fn cmd_analyze(
     opts: &Options,
     cluster: ClusterConfig,
 ) -> Result<String, CliError> {
-    let comparison = Comparison::run_with(
-        scenario,
-        opts.seed,
-        Policy::AdapTbf(adaptbf_config(opts)),
-        cluster,
-    );
+    let comparison = comparison_for(scenario, opts, cluster)?;
     let analysis = analyze_comparison(&comparison, scenario);
-    let mut out = analysis.table();
+    let mut out = String::new();
+    if opts.live {
+        let _ = writeln!(
+            out,
+            "live analyze: three wall-clock runs (seed {})\n",
+            opts.seed
+        );
+    }
+    out.push_str(&analysis.table());
     out.push('\n');
     out.push_str(&analysis.latency.table());
     Ok(out)
@@ -856,9 +915,61 @@ mod tests {
         assert!(dispatch(&argv("replay x.trace --scale 0.5")).is_err());
         assert!(dispatch(&argv("replay x.trace --out y.trace")).is_err());
         assert!(dispatch(&argv("replay x.trace --live")).is_err());
-        // --live is run-only.
-        assert!(dispatch(&argv("compare token_allocation --scale 0.015625 --live")).is_err());
+        // --live drives run/compare/analyze, nothing else.
+        assert!(dispatch(&argv("sweep token_allocation --scale 0.015625 --live")).is_err());
+        assert!(dispatch(&argv("ledger token_allocation --scale 0.015625 --live")).is_err());
         assert!(dispatch(&argv("record token_allocation --live")).is_err());
+    }
+
+    /// Write a short-horizon scenario file so the three wall-clock runs a
+    /// live compare/analyze performs stay test-sized.
+    fn short_live_scenario(name: &str) -> String {
+        let mut file = ScenarioFile::from_scenario(&scenarios::token_allocation_scaled(1.0 / 64.0));
+        file.duration_secs = 1.0;
+        let path = std::env::temp_dir().join(format!("adaptbf_cli_{name}.json"));
+        std::fs::write(&path, file.render()).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn compare_live_produces_the_same_gain_table() {
+        // ~3 s wall clock: one 1 s live run per policy.
+        let path = short_live_scenario("live_compare");
+        let args = vec![
+            "compare".to_string(),
+            "--scenario-file".to_string(),
+            path.clone(),
+            "--live".to_string(),
+        ];
+        let out = dispatch(&args).unwrap_or_else(|e| panic!("{e:?}"));
+        assert!(out.contains("live compare"), "{out}");
+        assert!(out.contains("gain_vs_nobw"), "{out}");
+        assert!(out.contains("overall"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_live_produces_the_same_fairness_tables() {
+        let path = short_live_scenario("live_analyze");
+        let args = vec![
+            "analyze".to_string(),
+            "--scenario-file".to_string(),
+            path.clone(),
+            "--live".to_string(),
+        ];
+        let out = dispatch(&args).unwrap_or_else(|e| panic!("{e:?}"));
+        assert!(out.contains("live analyze"), "{out}");
+        assert!(out.contains("fairness"), "{out}");
+        assert!(out.contains("adap_median"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compare_live_rejects_sim_only_fault_scenarios() {
+        // The live comparison inherits the fault feasibility check from
+        // the live runtime: an ost_crash plan must refuse, not panic.
+        let err = dispatch(&argv("compare ost_failover --scale 0.125 --live")).unwrap_err();
+        assert!(matches!(err, CliError::Run(msg) if msg.contains("ost_crash")));
     }
 
     #[test]

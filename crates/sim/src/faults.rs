@@ -12,4 +12,6 @@
 //! flow). All faults are deterministic (cycle-, time- or process-indexed),
 //! so a faulty run is exactly as reproducible as a healthy one.
 
-pub use adaptbf_workload::faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, StallSpec};
+pub use adaptbf_workload::faults::{
+    ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, PlanBounds, StallSpec,
+};

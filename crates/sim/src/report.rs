@@ -105,6 +105,60 @@ pub fn gauge_csv(series: &PerJobSeries) -> String {
     out
 }
 
+/// Deterministic digest of everything the reporting layer reads out of a
+/// run: totals, per-job outcomes with latency percentiles, the audited
+/// fault-stats partition, and all four series CSVs.
+///
+/// Two runs are behaviourally identical iff their digests are
+/// byte-identical — the chaos lab uses this as its record/replay oracle
+/// and golden tests pin it on disk.
+pub fn report_digest(report: &crate::RunReport) -> String {
+    format!(
+        "== {} / {} ==\n{}",
+        report.scenario,
+        report.policy,
+        report_body_digest(report)
+    )
+}
+
+/// [`report_digest`] without the scenario/policy header line — what
+/// record/replay equality compares (a replayed report renames its
+/// scenario, the behaviour underneath must not move).
+pub fn report_body_digest(report: &crate::RunReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let m = &report.metrics;
+    let _ = writeln!(out, "total_served={}", m.total_served());
+    let _ = writeln!(out, "last_service_ns={}", m.last_service.as_nanos());
+    let fs = &report.fault_stats;
+    let _ = writeln!(
+        out,
+        "fault_stats resent={} lost_in_service={} rerouted={} parked={} undelivered={}",
+        fs.resent, fs.lost_in_service, fs.rerouted, fs.parked, fs.undelivered
+    );
+    for (job, outcome) in &report.per_job {
+        let latency = m.latency(*job);
+        let _ = writeln!(
+            out,
+            "{job} served={} released={} completed={} completion_ns={} \
+             p50_ns={} p99_ns={}",
+            outcome.served,
+            outcome.released,
+            outcome.completed,
+            outcome
+                .completion
+                .map_or_else(|| "-".to_string(), |t| t.as_nanos().to_string()),
+            latency.median().as_nanos(),
+            latency.p99().as_nanos(),
+        );
+    }
+    let _ = writeln!(out, "-- served --\n{}", timeline_csv(&m.served()));
+    let _ = writeln!(out, "-- demand --\n{}", timeline_csv(&m.demand()));
+    let _ = writeln!(out, "-- records --\n{}", gauge_csv(&m.records()));
+    let _ = writeln!(out, "-- allocations --\n{}", gauge_csv(&m.allocations()));
+    out
+}
+
 /// Render the per-job comparison bars (Figures 4/6/8) as an ASCII table.
 pub fn comparison_table(rows: &[ComparisonRow], overall: ComparisonRow) -> String {
     let mut out = String::new();

@@ -742,6 +742,24 @@ fn parse_run(v: &Json) -> Result<RunSpec, DslError> {
     })
 }
 
+/// Canonical JSON text of a standalone `faults` block — byte-identical to
+/// what [`ScenarioFile::render`] writes for the block inside a full
+/// scenario file. The chaos campaign report embeds plans with this, and
+/// [`parse_faults_block`] inverts it exactly.
+pub fn faults_block_json(plan: &FaultPlan) -> String {
+    render_faults(plan).render()
+}
+
+/// Strict-parse a standalone `faults` block (the inverse of
+/// [`faults_block_json`]): unknown keys are errors and the parsed plan
+/// must pass [`FaultPlan::validate`].
+pub fn parse_faults_block(text: &str) -> Result<FaultPlan, DslError> {
+    let v = Json::parse(text)?;
+    let plan = parse_faults(&v)?;
+    plan.validate().map_err(err)?;
+    Ok(plan)
+}
+
 fn parse_faults(v: &Json) -> Result<FaultPlan, DslError> {
     let obj = as_obj(v, "faults")?;
     check_keys(

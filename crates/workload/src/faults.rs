@@ -14,6 +14,7 @@
 //! `adaptbf_sim::faults`, which re-exports everything here.
 
 use adaptbf_model::{SimDuration, SimTime};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A deterministic fault schedule for one run.
@@ -171,6 +172,52 @@ impl FaultPlan {
             && self.churn.is_none()
     }
 
+    /// The hull of the plan's first disturbance windows `[from, until)`,
+    /// clamped to `horizon` — the span `analysis::resilience` should score
+    /// a run of this plan over.
+    ///
+    /// Per dimension: degrade contributes its window, a crash contributes
+    /// `[from, recovery_at)`, churn its *second* cycle's offline span
+    /// (cycle 0 starts at t = 0, before any baseline exists), a stall its
+    /// first stalled cycles `[(every − duration)·period, every·period)`,
+    /// and stats loss its first lost cycle. Returns `None` for a faultless
+    /// plan or when the hull degenerates (e.g. it starts past the
+    /// horizon); callers then fall back to conservation-only scoring.
+    pub fn disturbance_window(
+        &self,
+        period: SimDuration,
+        horizon: SimDuration,
+    ) -> Option<(SimTime, SimTime)> {
+        let mut from = u64::MAX;
+        let mut until = 0u64;
+        let mut add = |s: u64, e: u64| {
+            from = from.min(s);
+            until = until.max(e);
+        };
+        if let Some(StallSpec { every, duration }) = self.controller_stall {
+            let p = period.as_nanos();
+            add(every.saturating_sub(duration) * p, every * p);
+        }
+        if let Some(n) = self.stats_loss_every {
+            let p = period.as_nanos();
+            add(n.saturating_sub(1) * p, n * p);
+        }
+        if let Some(DegradeSpec { from: f, for_, .. }) = self.disk_degrade {
+            add(f.as_nanos(), (f + for_).as_nanos());
+        }
+        if let Some(c) = self.ost_crash {
+            add(c.from.as_nanos(), c.recovery_at().as_nanos());
+        }
+        if let Some(ChurnSpec { every, offline, .. }) = self.churn {
+            add(every.as_nanos(), (every + offline).as_nanos());
+        }
+        if from == u64::MAX {
+            return None;
+        }
+        let until = until.min(horizon.as_nanos());
+        (from < until).then_some((SimTime(from), SimTime(until)))
+    }
+
     /// Validate all parameters, returning a human-readable error for the
     /// scenario-file surface instead of panicking mid-run.
     pub fn validate(&self) -> Result<(), String> {
@@ -224,6 +271,129 @@ impl FaultPlan {
             }
         }
         Ok(())
+    }
+}
+
+/// Declared sampling bounds for randomized fault plans — the chaos lab's
+/// search space.
+///
+/// A [`PlanBounds`] pins the run horizon and wiring limits; `sample` then
+/// draws fault plans whose windows land inside the horizon early enough
+/// that recovery is observable before the run ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanBounds {
+    /// Run horizon the sampled windows must land inside.
+    pub horizon: SimDuration,
+    /// OST count of the target wiring. Crashes pick `ost < n_osts` and are
+    /// only sampled when at least two OSTs exist — with a single OST a
+    /// crash parks everything and measures nothing.
+    pub n_osts: usize,
+    /// Upper bound (inclusive) on the churn rotation stride.
+    pub max_stride: usize,
+}
+
+impl PlanBounds {
+    /// Bounds for a run of `horizon` on `n_osts` OSTs, with the default
+    /// stride cap.
+    pub fn new(horizon: SimDuration, n_osts: usize) -> Self {
+        PlanBounds {
+            horizon,
+            n_osts,
+            max_stride: 4,
+        }
+    }
+
+    /// Sample one fault plan uniformly within the bounds.
+    ///
+    /// Each fault dimension is present with probability ~1/2, resampling
+    /// until at least one is. All instants and spans land on whole
+    /// milliseconds — together with the shortest-round-trip number
+    /// rendering of the scenario DSL this makes every sampled plan
+    /// round-trip *byte-identically* through the scenario-file `faults`
+    /// block. The result always passes [`FaultPlan::validate`].
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> FaultPlan {
+        let horizon_ms = self.horizon.as_nanos() / 1_000_000;
+        assert!(horizon_ms >= 1_000, "chaos horizon must be at least 1 s");
+        loop {
+            let plan = self.sample_raw(rng, horizon_ms);
+            if !plan.is_none() {
+                debug_assert!(plan.validate().is_ok(), "sampled invalid plan {plan:?}");
+                return plan;
+            }
+        }
+    }
+
+    /// [`PlanBounds::sample`] from a fresh generator seeded with `seed` —
+    /// one case of a campaign, addressable by its seed alone.
+    pub fn sample_seeded(&self, seed: u64) -> FaultPlan {
+        self.sample(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    fn sample_raw<R: Rng>(&self, rng: &mut R, horizon_ms: u64) -> FaultPlan {
+        // A whole-ms span in [lo, hi] percent of the horizon.
+        fn pct_ms<R: Rng>(rng: &mut R, horizon_ms: u64, lo: u64, hi: u64) -> u64 {
+            let lo_ms = (horizon_ms * lo / 100).max(1);
+            let hi_ms = (horizon_ms * hi / 100).max(lo_ms + 1);
+            rng.gen_range(lo_ms..=hi_ms)
+        }
+        fn coin<R: Rng>(rng: &mut R) -> bool {
+            rng.gen_range(0u32..2) == 0
+        }
+        let controller_stall = if coin(rng) {
+            let every = rng.gen_range(4u64..=12);
+            Some(StallSpec {
+                every,
+                duration: rng.gen_range(1..=(every - 1).min(3)),
+            })
+        } else {
+            None
+        };
+        let stats_loss_every = if coin(rng) {
+            Some(rng.gen_range(2u64..=8))
+        } else {
+            None
+        };
+        let disk_degrade = if coin(rng) {
+            // from ≤ 45 % + for ≤ 25 % keeps the window inside 70 % of the
+            // horizon: recovery stays observable.
+            let from_ms = pct_ms(rng, horizon_ms, 10, 45);
+            let for_ms = pct_ms(rng, horizon_ms, 5, 25);
+            Some(DegradeSpec {
+                from: SimTime::from_millis(from_ms),
+                for_: SimDuration::from_millis(for_ms),
+                factor: f64::from(rng.gen_range(15u32..=40)) / 10.0,
+            })
+        } else {
+            None
+        };
+        let ost_crash = if self.n_osts >= 2 && coin(rng) {
+            Some(CrashSpec {
+                ost: rng.gen_range(0..self.n_osts),
+                from: SimTime::from_millis(pct_ms(rng, horizon_ms, 15, 45)),
+                for_: SimDuration::from_millis(pct_ms(rng, horizon_ms, 10, 25)),
+                resend_after: SimDuration::from_millis(rng.gen_range(50u64..=300)),
+            })
+        } else {
+            None
+        };
+        let churn = if coin(rng) {
+            let every_ms = pct_ms(rng, horizon_ms, 12, 25);
+            let offline_ms = (every_ms * rng.gen_range(2u64..=7) / 10).max(1);
+            Some(ChurnSpec {
+                every: SimDuration::from_millis(every_ms),
+                offline: SimDuration::from_millis(offline_ms),
+                stride: rng.gen_range(1..=self.max_stride.max(1)),
+            })
+        } else {
+            None
+        };
+        FaultPlan {
+            controller_stall,
+            stats_loss_every,
+            disk_degrade,
+            ost_crash,
+            churn,
+        }
     }
 }
 
@@ -388,5 +558,84 @@ mod tests {
         for plan in bad {
             assert!(plan.validate().is_err(), "must reject {plan:?}");
         }
+    }
+
+    #[test]
+    fn sampled_plans_are_valid_nonempty_and_inside_the_horizon() {
+        let bounds = PlanBounds::new(SimDuration::from_secs(6), 2);
+        for seed in 0..200 {
+            let plan = bounds.sample_seeded(seed);
+            assert!(!plan.is_none(), "seed {seed} sampled an empty plan");
+            plan.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            if let Some(d) = plan.disk_degrade {
+                assert!(d.from + d.for_ <= SimTime::ZERO + bounds.horizon);
+            }
+            if let Some(c) = plan.ost_crash {
+                assert!(c.ost < bounds.n_osts);
+                assert!(c.recovery_at() <= SimTime::ZERO + bounds.horizon);
+            }
+            if let Some(ch) = plan.churn {
+                assert!(ch.stride <= bounds.max_stride);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible_per_seed() {
+        let bounds = PlanBounds::new(SimDuration::from_secs(4), 2);
+        for seed in [0u64, 7, 42, u64::MAX] {
+            assert_eq!(bounds.sample_seeded(seed), bounds.sample_seeded(seed));
+        }
+    }
+
+    #[test]
+    fn single_ost_bounds_never_sample_crashes() {
+        let bounds = PlanBounds::new(SimDuration::from_secs(4), 1);
+        for seed in 0..100 {
+            assert!(bounds.sample_seeded(seed).ost_crash.is_none());
+        }
+    }
+
+    #[test]
+    fn disturbance_window_hulls_all_dimensions() {
+        let period = SimDuration::from_millis(100);
+        let horizon = SimDuration::from_secs(10);
+        assert_eq!(FaultPlan::none().disturbance_window(period, horizon), None);
+        let plan = FaultPlan {
+            // Stalled cycles 7..10 → [700 ms, 1000 ms).
+            controller_stall: Some(StallSpec {
+                every: 10,
+                duration: 3,
+            }),
+            disk_degrade: Some(DegradeSpec {
+                from: SimTime::from_secs(2),
+                for_: SimDuration::from_secs(3),
+                factor: 2.0,
+            }),
+            ..Default::default()
+        };
+        assert_eq!(
+            plan.disturbance_window(period, horizon),
+            Some((SimTime::from_millis(700), SimTime::from_secs(5)))
+        );
+        // Churn scores its second cycle, skipping the baseline-free first.
+        let churn = FaultPlan {
+            churn: Some(ChurnSpec {
+                every: SimDuration::from_secs(2),
+                offline: SimDuration::from_secs(1),
+                stride: 1,
+            }),
+            ..Default::default()
+        };
+        assert_eq!(
+            churn.disturbance_window(period, horizon),
+            Some((SimTime::from_secs(2), SimTime::from_secs(3)))
+        );
+        // A window entirely past the horizon degenerates to None.
+        assert_eq!(
+            churn.disturbance_window(period, SimDuration::from_secs(2)),
+            None
+        );
     }
 }

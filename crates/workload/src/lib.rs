@@ -46,8 +46,10 @@ pub mod scenario;
 pub mod scenarios;
 pub mod trace;
 
-pub use dsl::{DslError, PatternSpec, RunSpec, ScenarioFile};
-pub use faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, StallSpec};
+pub use dsl::{
+    faults_block_json, parse_faults_block, DslError, PatternSpec, RunSpec, ScenarioFile,
+};
+pub use faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, PlanBounds, StallSpec};
 pub use job::{JobSpec, ProcessSpec};
 pub use pattern::{IoPattern, WorkChunk};
 pub use scenario::Scenario;

@@ -1,7 +1,9 @@
 //! Property-based tests for workload patterns and scenario builders.
 
 use adaptbf_model::{SimDuration, SimTime};
-use adaptbf_workload::{scenarios, IoPattern};
+use adaptbf_workload::dsl::{faults_block_json, parse_faults_block};
+use adaptbf_workload::faults::PlanBounds;
+use adaptbf_workload::{scenarios, IoPattern, ScenarioFile};
 use proptest::prelude::*;
 
 fn pattern_strategy() -> impl Strategy<Value = IoPattern> {
@@ -67,6 +69,52 @@ proptest! {
         };
         let horizon = SimDuration::from_secs(1_000_000);
         prop_assert_eq!(p.total_within(file, horizon), file);
+    }
+
+    /// The chaos generator's contract: any sampled plan round-trips
+    /// *byte-identically* through the scenario-file `faults` block — both
+    /// standalone and embedded in a full scenario file — so a campaign
+    /// case is exactly reproducible from its rendered text.
+    #[test]
+    fn sampled_fault_plans_round_trip_byte_identically(
+        seed in 0u64..1_000_000,
+        horizon_ms in 1_000u64..60_000,
+        n_osts in 1usize..5,
+    ) {
+        let bounds = PlanBounds::new(SimDuration::from_millis(horizon_ms), n_osts);
+        let plan = bounds.sample_seeded(seed);
+        prop_assert!(plan.validate().is_ok());
+        let text = faults_block_json(&plan);
+        let parsed = parse_faults_block(&text)
+            .unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(parsed, plan);
+        prop_assert_eq!(faults_block_json(&parsed), text, "render is a fixed point");
+        // Embedded in a full scenario file the same bytes come back.
+        let mut file = ScenarioFile::from_scenario(&scenarios::token_allocation_scaled(1.0 / 64.0));
+        file.faults = plan;
+        let rendered = file.render();
+        let round = ScenarioFile::parse(&rendered).expect("rendered file parses");
+        prop_assert_eq!(&round, &file);
+        prop_assert_eq!(round.render(), rendered);
+    }
+
+    /// Sampled windows always land where `analysis::resilience` can score
+    /// them: a non-degenerate disturbance window inside the horizon that
+    /// starts strictly after t = 0 (so baselines exist).
+    #[test]
+    fn sampled_plans_have_scorable_disturbance_windows(
+        seed in 0u64..1_000_000,
+        horizon_ms in 1_000u64..60_000,
+    ) {
+        let horizon = SimDuration::from_millis(horizon_ms);
+        let bounds = PlanBounds::new(horizon, 2);
+        let plan = bounds.sample_seeded(seed);
+        let (from, until) = plan
+            .disturbance_window(SimDuration::from_millis(100), horizon)
+            .expect("sampled plans are never faultless");
+        prop_assert!(from < until);
+        prop_assert!(from > SimTime::ZERO, "window must leave baseline history");
+        prop_assert!(until <= SimTime::ZERO + horizon);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Golden regression for the chaos lab's first promoted find.
+//!
+//! `examples/scenarios/chaos_crash_residual.json` was discovered by a
+//! seeded chaos campaign (`chaos --seed 8`) and minimized by the shrinker
+//! under the record/replay oracle: two single-stream burst jobs on a
+//! striped two-OST testbed where even a 1 ms OST outage near the horizon
+//! leaves a job's share collapsed with no re-convergence under `no_bw`.
+//! The full report digest is pinned under `tests/golden/reports/`, and
+//! the resilience violation itself is asserted so the corner case cannot
+//! silently heal (or break differently) without this test noticing.
+//!
+//! Regenerate the digest (only for an *intentional* report change) with:
+//!
+//! ```bash
+//! ADAPTBF_REGEN_GOLDEN=1 cargo test --test chaos_golden
+//! ```
+
+use adaptbf::analysis::score_run;
+use adaptbf::model::SimDuration;
+use adaptbf::sim::{plan_file_run, report_digest, Experiment};
+use adaptbf::workload::ScenarioFile;
+use std::path::PathBuf;
+
+const TOLERANCE: f64 = 0.5;
+
+fn scenario_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios/chaos_crash_residual.json")
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/reports/chaos_crash_residual.txt")
+}
+
+fn load_file() -> ScenarioFile {
+    let text = std::fs::read_to_string(scenario_path()).expect("read chaos_crash_residual.json");
+    let file = ScenarioFile::parse(&text).expect("chaos scenario parses strictly");
+    // The checked-in file is canonical: parse ∘ render is the identity.
+    assert_eq!(
+        file.render(),
+        text,
+        "checked-in chaos scenario not canonical"
+    );
+    file
+}
+
+#[test]
+fn minimized_chaos_find_matches_its_pinned_digest() {
+    let file = load_file();
+    let plan = plan_file_run(&file).expect("chaos scenario plans");
+    let report = Experiment::new(plan.scenario, plan.policy)
+        .seed(plan.seed)
+        .cluster_config(plan.cluster)
+        .run();
+    let rendered = report_digest(&report);
+    let path = golden_path();
+    if std::env::var_os("ADAPTBF_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "chaos_crash_residual digest diverged from the golden \
+         (ADAPTBF_REGEN_GOLDEN=1 regenerates after an intentional change)"
+    );
+}
+
+#[test]
+fn minimized_chaos_find_still_violates_resilience() {
+    let file = load_file();
+    let plan = plan_file_run(&file).expect("chaos scenario plans");
+    let horizon = plan.scenario.duration;
+    let period = SimDuration::from_millis(file.run.period_ms.unwrap_or(100));
+    let (from, until) = file
+        .faults
+        .disturbance_window(period, horizon)
+        .expect("the minimized plan still has a disturbance window");
+    let report = Experiment::new(plan.scenario, plan.policy)
+        .seed(plan.seed)
+        .cluster_config(plan.cluster)
+        .run();
+    let score = score_run(&report, from, until, TOLERANCE);
+    assert!(
+        score.conservation_ok,
+        "the find is a recovery failure, not an accounting leak"
+    );
+    assert!(score.tracked_jobs > 0);
+    assert!(
+        !score.all_recovered,
+        "the minimized corner case must keep violating: a job's share \
+         never re-converges after the crash window"
+    );
+}
