@@ -16,6 +16,16 @@
 //! `--smoke` runs the scaled-down CI configuration instead and fails
 //! (exit 1) if RPCs/sec regresses more than 30 % below the checked-in
 //! floor in `crates/bench/simloop_floor.txt`.
+//!
+//! `--shards N` shards the event loop ([`Cluster::shards`]); the full
+//! bench always adds a sharded `adaptbf` row (16 shards — one per OST —
+//! unless overridden) so the sharded engine's throughput is tracked next
+//! to the single-queue rows. `--smoke --shards N` checks the sharded
+//! smoke run against its own floor in
+//! `crates/bench/simloop_shard_floor.txt` (the sharded engine pays a
+//! per-shard merge at the end of the run, so its single-core floor sits
+//! below the single-queue one; the win is parallelism via
+//! `ADAPTBF_THREADS` on multi-core hosts).
 
 use adaptbf_sim::cluster::ClusterConfig;
 use adaptbf_sim::{Cluster, Policy};
@@ -38,6 +48,7 @@ const BASELINE_NO_BW_RPCS_PER_SEC: f64 = 2_020_000.0;
 
 struct Sample {
     policy: &'static str,
+    shards: usize,
     wall_s: f64,
     served: u64,
     events: u64,
@@ -62,13 +73,14 @@ fn wiring() -> ClusterConfig {
     }
 }
 
-fn run_once(scenario: &Scenario, policy: Policy, label: &'static str) -> Sample {
-    let cluster = Cluster::build_with(scenario, policy, SEED, wiring());
+fn run_once(scenario: &Scenario, policy: Policy, label: &'static str, shards: usize) -> Sample {
+    let cluster = Cluster::build_with(scenario, policy, SEED, wiring()).shards(shards);
     let t0 = Instant::now();
     let out = cluster.run();
     let wall_s = t0.elapsed().as_secs_f64();
     Sample {
         policy: label,
+        shards,
         wall_s,
         served: out.metrics.total_served(),
         events: out.loop_stats.events,
@@ -78,12 +90,24 @@ fn run_once(scenario: &Scenario, policy: Policy, label: &'static str) -> Sample 
 }
 
 /// Median-of-N sample for one policy (by wall time).
-fn run_median(scenario: &Scenario, policy: Policy, label: &'static str) -> Sample {
+fn run_median(scenario: &Scenario, policy: Policy, label: &'static str, shards: usize) -> Sample {
     let mut samples: Vec<Sample> = (0..RUNS_PER_POLICY)
-        .map(|_| run_once(scenario, policy, label))
+        .map(|_| run_once(scenario, policy, label, shards))
         .collect();
     samples.sort_by(|a, b| a.wall_s.total_cmp(&b.wall_s));
     samples.remove(samples.len() / 2)
+}
+
+/// `--shards N` from the command line, if given.
+fn shards_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--shards")?;
+    let n: usize = args
+        .get(i + 1)
+        .and_then(|v| v.parse().ok())
+        .expect("--shards takes a positive integer");
+    assert!(n > 0, "--shards must be positive");
+    Some(n)
 }
 
 fn workspace_root() -> PathBuf {
@@ -101,15 +125,17 @@ fn main() {
 
     println!("== simloop: million-RPC end-to-end event loop (use --release) ==\n");
     let scenario = scenarios::million_rpc();
+    let sharded = shards_arg().unwrap_or(16);
     let mut samples = Vec::new();
-    for (policy, label) in [
-        (Policy::adaptbf_default(), "adaptbf"),
-        (Policy::NoBw, "no_bw"),
+    for (policy, label, shards) in [
+        (Policy::adaptbf_default(), "adaptbf", 1),
+        (Policy::NoBw, "no_bw", 1),
+        (Policy::adaptbf_default(), "adaptbf_sharded", sharded),
     ] {
-        let s = run_median(&scenario, policy, label);
+        let s = run_median(&scenario, policy, label, shards);
         println!(
-            "{:>8}: {:>9} served in {:.2}s  → {:>9.0} RPC/s, {:>10.0} events/s \
-             (peak queue {}, {} coalesced)",
+            "{:>15}: {:>9} served in {:.2}s  → {:>9.0} RPC/s, {:>10.0} events/s \
+             (peak queue {}, {} coalesced, {} shard(s))",
             s.policy,
             s.served,
             s.wall_s,
@@ -117,6 +143,7 @@ fn main() {
             s.events_per_sec(),
             s.peak_queue,
             s.coalesced,
+            s.shards,
         );
         samples.push(s);
     }
@@ -151,6 +178,7 @@ fn main() {
     );
     for s in &samples {
         let _ = writeln!(json, "  \"{}\": {{", s.policy);
+        let _ = writeln!(json, "    \"shards\": {},", s.shards);
         let _ = writeln!(json, "    \"wall_s\": {:.3},", s.wall_s);
         let _ = writeln!(json, "    \"served\": {},", s.served);
         let _ = writeln!(json, "    \"rpcs_per_sec\": {:.0},", s.rpcs_per_sec());
@@ -173,16 +201,22 @@ fn main() {
 /// slow); catching an order-of-magnitude bookkeeping regression is the
 /// point, not enforcing this machine's numbers.
 fn run_smoke() {
+    let shards = shards_arg().unwrap_or(1);
     let scenario = scenarios::million_rpc_scaled(1.0 / 16.0);
-    let s = run_median(&scenario, Policy::adaptbf_default(), "adaptbf");
+    let s = run_median(&scenario, Policy::adaptbf_default(), "adaptbf", shards);
     let rps = s.rpcs_per_sec();
     println!(
-        "smoke: {} served in {:.2}s → {rps:.0} RPC/s (peak queue {})",
-        s.served, s.wall_s, s.peak_queue
+        "smoke: {} served in {:.2}s → {rps:.0} RPC/s (peak queue {}, {} shard(s))",
+        s.served, s.wall_s, s.peak_queue, s.shards
     );
-    let floor_path = workspace_root().join("crates/bench/simloop_floor.txt");
+    let floor_file = if shards > 1 {
+        "crates/bench/simloop_shard_floor.txt"
+    } else {
+        "crates/bench/simloop_floor.txt"
+    };
+    let floor_path = workspace_root().join(floor_file);
     let floor: f64 = std::fs::read_to_string(&floor_path)
-        .expect("read crates/bench/simloop_floor.txt")
+        .unwrap_or_else(|e| panic!("read {floor_file}: {e}"))
         .trim()
         .parse()
         .expect("floor is a number");

@@ -62,6 +62,10 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
     --scale F       workload scale factor (built-in scenarios only)\n\
     --period MS     AdapTBF observation period in ms (default 100)\n\
     --out FILE      trace output path for `record` (default <scenario>.trace)\n\
+    --shards N      shard the simulator event loop (run/record/replay;\n\
+                    default from ADAPTBF_SHARDS, else 1). Purely an\n\
+                    execution parameter: results are byte-identical at\n\
+                    every shard count\n\
     --live          run on the live threaded runtime\n\
                     (run/compare/analyze)";
 
@@ -96,6 +100,10 @@ pub struct Options {
     pub policy: String,
     /// Trace output path for `record`.
     pub out: Option<String>,
+    /// Event-loop shard count for `run`/`record`/`replay`; `None` keeps
+    /// the simulator's `ADAPTBF_SHARDS` default. Execution parameter
+    /// only — never changes results.
+    pub shards: Option<usize>,
     /// Execute `run` on the live threaded runtime instead of the
     /// simulator.
     pub live: bool,
@@ -109,6 +117,7 @@ impl Default for Options {
             period_ms: 100,
             policy: "adaptbf".into(),
             out: None,
+            shards: None,
             live: false,
         }
     }
@@ -129,6 +138,8 @@ pub struct RawOptions {
     pub policy: Option<String>,
     /// `--out FILE`.
     pub out: Option<String>,
+    /// `--shards N`.
+    pub shards: Option<usize>,
     /// `--live` (flag, no value).
     pub live: bool,
 }
@@ -179,6 +190,15 @@ impl RawOptions {
                     raw.policy = Some(value.clone());
                 }
                 "--out" => raw.out = Some(value.clone()),
+                "--shards" => {
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| usage("--shards takes an integer"))?;
+                    if n == 0 {
+                        return Err(usage("--shards must be positive"));
+                    }
+                    raw.shards = Some(n);
+                }
                 other => return Err(usage(format!("unknown option {other}"))),
             }
             i += 2;
@@ -194,6 +214,7 @@ impl RawOptions {
             period_ms: self.period_ms.unwrap_or(base.period_ms),
             policy: self.policy.unwrap_or(base.policy),
             out: self.out.or(base.out),
+            shards: self.shards.or(base.shards),
             live: self.live || base.live,
         }
     }
@@ -299,6 +320,7 @@ fn target_from_file(file: &ScenarioFile, raw: RawOptions) -> Result<Target, CliE
             .clone()
             .unwrap_or_else(|| "adaptbf".to_string()),
         out: None,
+        shards: None,
         live: false,
     });
     Ok(Target {
@@ -452,11 +474,13 @@ fn cmd_run(
     opts: &Options,
     cluster: ClusterConfig,
 ) -> Result<String, CliError> {
-    let report = Experiment::new(scenario.clone(), policy_from(opts))
+    let mut experiment = Experiment::new(scenario.clone(), policy_from(opts))
         .seed(opts.seed)
-        .cluster_config(cluster)
-        .run();
-    Ok(render_report(&report, opts.seed))
+        .cluster_config(cluster);
+    if let Some(n) = opts.shards {
+        experiment = experiment.shards(n);
+    }
+    Ok(render_report(&experiment.run(), opts.seed))
 }
 
 /// The live-testbed analogue of a simulated wiring: same OST model, TBF
@@ -506,7 +530,11 @@ fn cmd_record(
     cluster: ClusterConfig,
 ) -> Result<String, CliError> {
     let policy = policy_from(opts);
-    let (out, trace) = Cluster::build_with(scenario, policy, opts.seed, cluster).run_traced();
+    let mut recorder = Cluster::build_with(scenario, policy, opts.seed, cluster);
+    if let Some(n) = opts.shards {
+        recorder = recorder.shards(n);
+    }
+    let (out, trace) = recorder.run_traced();
     let path = opts
         .out
         .clone()
@@ -540,7 +568,13 @@ fn cmd_replay(path: &str, raw: RawOptions) -> Result<String, CliError> {
                 .ok_or_else(|| usage("unknown policy"))?
         }
     };
-    let report = adaptbf_sim::replay_report(&trace, policy, seed, replay_cluster_config(&trace));
+    let report = adaptbf_sim::replay_report_with(
+        &trace,
+        policy,
+        seed,
+        replay_cluster_config(&trace),
+        raw.shards,
+    );
     let mut out = format!(
         "replaying {path}: {} RPCs recorded from {} (seed {}, {})\n\n",
         trace.records.len(),
@@ -702,6 +736,23 @@ mod tests {
         assert!(parse_options(&argv("--period 0")).is_err());
         assert!(parse_options(&argv("--policy gift")).is_err());
         assert!(parse_options(&argv("--bogus 1")).is_err());
+        assert!(parse_options(&argv("--shards 0")).is_err());
+        assert!(parse_options(&argv("--shards four")).is_err());
+    }
+
+    /// `--shards` is an execution parameter: the rendered report is
+    /// byte-identical to the unsharded run, faults included.
+    #[test]
+    fn shards_flag_never_changes_the_report() {
+        assert_eq!(parse_options(&argv("--shards 4")).unwrap().shards, Some(4));
+        let base = dispatch(&argv("run ost_failover --scale 0.125")).unwrap();
+        for shards in [1, 4, 16] {
+            let sharded = dispatch(&argv(&format!(
+                "run ost_failover --scale 0.125 --shards {shards}"
+            )))
+            .unwrap();
+            assert_eq!(base, sharded, "report diverged at {shards} shards");
+        }
     }
 
     #[test]

@@ -46,6 +46,12 @@ struct SlotSeries {
     /// slots are excluded from the folded [`PerJobSeries`], exactly like
     /// a job that never got a map entry in the keyed implementation).
     len: Vec<usize>,
+    /// Bitmap over flat cell indices marking cells written via [`set`]
+    /// (gauge families only — the add path never touches it, keeping the
+    /// per-RPC hot path free of bitmap upkeep). Shard merges need it to
+    /// tell "gauge written as 0.0" apart from "never written", so
+    /// overwrite-merge reproduces last-write-wins exactly.
+    written: Vec<u64>,
 }
 
 impl SlotSeries {
@@ -55,6 +61,7 @@ impl SlotSeries {
             stride: 0,
             values: Vec::new(),
             len: Vec::new(),
+            written: Vec::new(),
         }
     }
 
@@ -76,6 +83,23 @@ impl SlotSeries {
                     .copy_from_slice(&self.values[r * self.stride..(r + 1) * self.stride]);
             }
             self.values = next;
+            if !self.written.is_empty() {
+                let mut next_w = vec![0u64; (rows * slots).div_ceil(64)];
+                for r in 0..rows {
+                    for s in 0..self.stride {
+                        let old = r * self.stride + s;
+                        if self
+                            .written
+                            .get(old / 64)
+                            .is_some_and(|w| w >> (old % 64) & 1 == 1)
+                        {
+                            let new = r * slots + s;
+                            next_w[new / 64] |= 1 << (new % 64);
+                        }
+                    }
+                }
+                self.written = next_w;
+            }
         }
         self.stride = slots;
         self.len.resize(slots, 0);
@@ -101,6 +125,50 @@ impl SlotSeries {
     #[inline]
     fn set(&mut self, slot: usize, idx: usize, value: f64) {
         *self.cell(slot, idx) = value;
+        let flat = idx * self.stride + slot;
+        if flat / 64 >= self.written.len() {
+            self.written.resize(flat / 64 + 1, 0);
+        }
+        self.written[flat / 64] |= 1 << (flat % 64);
+    }
+
+    #[inline]
+    fn is_written(&self, flat: usize) -> bool {
+        self.written
+            .get(flat / 64)
+            .is_some_and(|w| w >> (flat % 64) & 1 == 1)
+    }
+
+    /// Cell-wise **sum** merge for counting families (served/demand):
+    /// `self[map[slot], r] += other[slot, r]` over each touched slot's
+    /// logical length, so merged lengths are the per-slot maxima.
+    fn absorb_sum(&mut self, other: &SlotSeries, map: &[usize]) {
+        for (slot_o, &n) in other.len.iter().enumerate() {
+            for r in 0..n {
+                let v = other.values[r * other.stride + slot_o];
+                self.add(map[slot_o], r, v);
+            }
+        }
+    }
+
+    /// Cell-wise **overwrite** merge for gauge families (records /
+    /// allocations): only cells the other side actually wrote are copied,
+    /// so a later absorb overwrites an earlier one exactly where both
+    /// wrote — callers merge shards in ascending shard order to reproduce
+    /// the unsharded last-write-wins outcome (see `Metrics::absorb`).
+    fn absorb_over(&mut self, other: &SlotSeries, map: &[usize]) {
+        for (slot_o, &n) in other.len.iter().enumerate() {
+            for r in 0..n {
+                let flat = r * other.stride + slot_o;
+                if other.is_written(flat) {
+                    self.set(map[slot_o], r, other.values[flat]);
+                } else if r + 1 == n {
+                    // Preserve the logical length even when the last
+                    // touched cell was extended by padding, not a write.
+                    self.cell(map[slot_o], r);
+                }
+            }
+        }
     }
 
     /// Pad every touched slot to cover `idx`, then align all touched
@@ -144,7 +212,7 @@ impl SlotSeries {
 
 /// Per-slot scalar counters, fused into one struct so the serve path
 /// touches a single cache line (served + completion check per RPC).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct SlotCounters {
     /// Total RPCs served.
     served: u64,
@@ -155,6 +223,23 @@ struct SlotCounters {
     has_release: bool,
     /// When the job finished all released work, if it did.
     completion: Option<SimTime>,
+    /// Instant of the slot's most recent disk completion. Collected
+    /// unconditionally so [`Metrics::rebuild_completions`] can recover
+    /// completion instants after a shard merge, where release totals are
+    /// only known post-merge.
+    last_served: SimTime,
+}
+
+impl Default for SlotCounters {
+    fn default() -> Self {
+        SlotCounters {
+            served: 0,
+            released: 0,
+            has_release: false,
+            completion: None,
+            last_served: SimTime::ZERO,
+        }
+    }
 }
 
 /// All series and counters collected during one run, slot-indexed.
@@ -268,6 +353,7 @@ impl Metrics {
         self.last_service = self.last_service.max(now);
         let c = &mut self.counters[slot];
         c.served += 1;
+        c.last_served = c.last_served.max(now);
         if c.has_release && c.served == c.released {
             c.completion = Some(now);
         }
@@ -401,6 +487,62 @@ impl Metrics {
         self.allocations.to_per_job(&self.slots)
     }
 
+    /// Merge another collector into this one (the sharded executor's
+    /// fold: each shard records into its own `Metrics`, merged at run
+    /// end).
+    ///
+    /// Jobs are matched by [`JobId`], so the two sides' interning orders
+    /// are free to differ. Counting families (served/demand) and counters
+    /// sum; latency histograms merge bin-wise; gauge families (records /
+    /// allocations) copy only cells the other side wrote. Callers must
+    /// absorb shards in **ascending shard order**: controller ticks are
+    /// globally synchronized at multiples of the period, so same-bucket
+    /// gauge writes from different OSTs happen at the same instant, and
+    /// ascending-order overwrite reproduces the unsharded event loop's
+    /// last-write-wins (highest OST index) outcome exactly.
+    ///
+    /// Completion instants are *not* merged — release totals are only
+    /// known to the merged collector; call [`Metrics::set_released`] then
+    /// [`Metrics::rebuild_completions`] afterwards.
+    pub fn absorb(&mut self, other: &Metrics) {
+        debug_assert_eq!(self.bucket, other.bucket, "mismatched bucket widths");
+        let mut map = vec![0usize; other.counters.len()];
+        for (slot_o, job) in other.slots.iter() {
+            map[slot_o] = self.slot(job);
+        }
+        for (slot_o, _) in other.slots.iter() {
+            let s = map[slot_o];
+            let co = &other.counters[slot_o];
+            let c = &mut self.counters[s];
+            c.served += co.served;
+            c.last_served = c.last_served.max(co.last_served);
+            if co.has_release {
+                c.has_release = true;
+                c.released = co.released;
+            }
+            self.latency[s].merge(&other.latency[slot_o]);
+        }
+        self.served.absorb_sum(&other.served, &map);
+        self.demand.absorb_sum(&other.demand, &map);
+        self.records.absorb_over(&other.records, &map);
+        self.allocations.absorb_over(&other.allocations, &map);
+        self.last_service = self.last_service.max(other.last_service);
+    }
+
+    /// Recompute completion instants from merged counters: a tracked job
+    /// that served exactly its released total completed at its last
+    /// serve. Identical to the inline detection in the serve path (the
+    /// serve that reaches the released total *is* the job's last serve),
+    /// but usable when [`Metrics::set_released`] necessarily runs after
+    /// the serves — i.e. on a shard-merged collector.
+    pub fn rebuild_completions(&mut self) {
+        for c in &mut self.counters {
+            if c.has_release && c.served > 0 && c.served == c.released {
+                c.completion = Some(c.last_served);
+            }
+        }
+    }
+
     /// Align all series to a common final length covering `until`.
     pub fn finalize(&mut self, until: SimTime) {
         let idx = until.bucket_index(self.bucket);
@@ -483,6 +625,76 @@ mod tests {
         let s = demand.get(JobId(1)).unwrap();
         assert_eq!(s.get(0), 1.0);
         assert_eq!(s.get(9), 2.0);
+    }
+
+    #[test]
+    fn absorb_merges_counts_series_and_latency_by_job_id() {
+        // Two collectors with *different* interning orders must merge by
+        // JobId, summing counts and serve timelines.
+        let mut a = m();
+        a.on_served_at(JobId(1), SimTime::from_millis(50), SimTime::ZERO);
+        a.on_arrival(JobId(2), SimTime::from_millis(150));
+        let mut b = m();
+        b.on_served_at(
+            JobId(2),
+            SimTime::from_millis(250),
+            SimTime::from_millis(100),
+        );
+        b.on_served(JobId(1), SimTime::from_millis(160));
+        a.absorb(&b);
+        assert_eq!(a.total_served(), 3);
+        assert_eq!(a.served_of(JobId(1)), 2);
+        assert_eq!(a.served_of(JobId(2)), 1);
+        assert_eq!(a.last_service, SimTime::from_millis(250));
+        assert_eq!(a.served().get(JobId(1)).unwrap().values, vec![1.0, 1.0]);
+        assert_eq!(a.latency(JobId(1)).count() + a.latency(JobId(2)).count(), 2);
+        assert_eq!(a.demand().get(JobId(2)).unwrap().get(1), 1.0);
+    }
+
+    #[test]
+    fn absorb_gauges_overwrite_only_written_cells() {
+        // Shard A wrote bucket 1, shard B wrote buckets 1 and 2 — the
+        // merged gauge must take B's value where B wrote (ascending-order
+        // last-write-wins) and keep A's where only A wrote.
+        let mut a = m();
+        a.on_allocation(JobId(1), SimTime::from_millis(100), 5, 30);
+        a.set_record(JobId(1), SimTime::from_millis(300), 7.0);
+        let mut b = m();
+        b.on_allocation(JobId(1), SimTime::from_millis(100), -2, 40);
+        a.absorb(&b);
+        let records = a.records();
+        let r = records.get(JobId(1)).unwrap();
+        assert_eq!(r.get(1), -2.0, "B wrote bucket 1 and absorbs later");
+        assert_eq!(r.get(3), 7.0, "bucket only A wrote survives");
+        assert_eq!(a.allocations().get(JobId(1)).unwrap().get(1), 40.0);
+        // A zero written by B must still overwrite A's value.
+        let mut c = m();
+        c.set_record(JobId(1), SimTime::from_millis(100), 0.0);
+        a.absorb(&c);
+        assert_eq!(a.records().get(JobId(1)).unwrap().get(1), 0.0);
+    }
+
+    #[test]
+    fn rebuild_completions_matches_inline_detection() {
+        // Inline path: release known up front.
+        let mut inline = m();
+        inline.set_released(JobId(1), 2);
+        inline.on_served(JobId(1), SimTime::from_millis(40));
+        inline.on_served(JobId(1), SimTime::from_millis(90));
+        // Merged path: serves split across shards, release set post-merge.
+        let mut sh0 = m();
+        sh0.on_served(JobId(1), SimTime::from_millis(40));
+        let mut sh1 = m();
+        sh1.on_served(JobId(1), SimTime::from_millis(90));
+        sh0.absorb(&sh1);
+        sh0.set_released(JobId(1), 2);
+        sh0.rebuild_completions();
+        assert_eq!(sh0.completion_of(JobId(1)), inline.completion_of(JobId(1)));
+        assert_eq!(sh0.completion_of(JobId(1)), Some(SimTime::from_millis(90)));
+        // An incomplete or never-serving job must stay None.
+        sh0.set_released(JobId(2), 4);
+        sh0.rebuild_completions();
+        assert_eq!(sh0.completion_of(JobId(2)), None);
     }
 
     #[test]

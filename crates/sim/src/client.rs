@@ -8,6 +8,11 @@
 
 use adaptbf_model::{ClientId, JobId, OpCode, ProcId, Rpc, RpcId, SimTime};
 
+/// Bit position of the process index inside an [`RpcId`]: the low 40 bits
+/// number the process's own RPCs (a trillion per process), the high bits
+/// carry the process. Ids stay unique *and* executor-independent.
+pub const PROC_ID_SHIFT: u32 = 40;
+
 /// Mutable state of one workload process during a run.
 #[derive(Debug, Clone)]
 pub struct ProcessState {
@@ -89,12 +94,12 @@ impl ProcessState {
         self.completed += 1;
     }
 
-    /// Issue as many RPCs as the window allows right now. `next_rpc_id`
-    /// supplies globally unique ids; returns the RPCs to hand to the
-    /// network.
-    pub fn issue(&mut self, now: SimTime, next_rpc_id: &mut u64) -> Vec<Rpc> {
+    /// Issue as many RPCs as the window allows right now. Ids are drawn
+    /// from this process's private id space; returns the RPCs to hand to
+    /// the network.
+    pub fn issue(&mut self, now: SimTime) -> Vec<Rpc> {
         let mut out = Vec::new();
-        self.issue_into(now, next_rpc_id, &mut out);
+        self.issue_into(now, &mut out);
         out
     }
 
@@ -103,10 +108,16 @@ impl ProcessState {
     /// typically opens exactly one window slot, and a heap allocation per
     /// reply is measurable at million-RPC scale). The buffer is *appended*
     /// to; callers clear or drain it.
-    pub fn issue_into(&mut self, now: SimTime, next_rpc_id: &mut u64, out: &mut Vec<Rpc>) {
+    ///
+    /// RPC ids are `(proc << PROC_ID_SHIFT) | issue-ordinal`: each process
+    /// numbers its own RPCs, so the ids a run produces depend only on each
+    /// process's issue history — not on how processes interleave globally.
+    /// (A shared global counter would make ids — and everything keyed on
+    /// them, like crash-backlog resend order — depend on the executor's
+    /// event interleaving, which the sharded engine must not.)
+    pub fn issue_into(&mut self, now: SimTime, out: &mut Vec<Rpc>) {
         while self.available > 0 && self.inflight < self.max_inflight {
-            let id = RpcId(*next_rpc_id);
-            *next_rpc_id += 1;
+            let id = RpcId(((self.proc_id.raw() as u64) << PROC_ID_SHIFT) | self.issued);
             out.push(Rpc {
                 id,
                 job: self.job,
@@ -140,25 +151,23 @@ mod tests {
     fn issues_up_to_window() {
         let mut p = proc_state(8);
         p.add_work(20);
-        let mut ids = 0;
-        let rpcs = p.issue(SimTime::ZERO, &mut ids);
+        let rpcs = p.issue(SimTime::ZERO);
         assert_eq!(rpcs.len(), 8);
         assert_eq!(p.inflight, 8);
         assert_eq!(p.available, 12);
         // Window full: nothing more.
-        assert!(p.issue(SimTime::ZERO, &mut ids).is_empty());
+        assert!(p.issue(SimTime::ZERO).is_empty());
     }
 
     #[test]
     fn reply_opens_one_slot() {
         let mut p = proc_state(2);
         p.add_work(5);
-        let mut ids = 0;
-        assert_eq!(p.issue(SimTime::ZERO, &mut ids).len(), 2);
+        assert_eq!(p.issue(SimTime::ZERO).len(), 2);
         p.on_reply();
-        let more = p.issue(SimTime::from_millis(1), &mut ids);
+        let more = p.issue(SimTime::from_millis(1));
         assert_eq!(more.len(), 1);
-        assert_eq!(more[0].id, RpcId(2), "ids are sequential");
+        assert_eq!(more[0].id, RpcId(2), "ids count the process's own issues");
         assert_eq!(p.completed, 1);
     }
 
@@ -168,8 +177,7 @@ mod tests {
         assert!(p.is_quiescent());
         p.add_work(1);
         assert!(!p.is_quiescent());
-        let mut ids = 0;
-        p.issue(SimTime::ZERO, &mut ids);
+        p.issue(SimTime::ZERO);
         assert!(!p.is_quiescent());
         p.on_reply();
         assert!(p.is_quiescent());
@@ -183,8 +191,7 @@ mod tests {
         // Not quiescent? No burst.
         p.add_work(1);
         assert!(p.take_next_burst().is_none());
-        let mut ids = 0;
-        p.issue(SimTime::ZERO, &mut ids);
+        p.issue(SimTime::ZERO);
         p.on_reply();
         // Quiescent with file left: next burst (clipped by file on the
         // second round).
@@ -205,14 +212,30 @@ mod tests {
     fn issued_rpcs_carry_identity() {
         let mut p = ProcessState::new(JobId(9), ProcId(3), ClientId(2), 1, 1, 4096);
         p.add_work(1);
-        let mut ids = 100;
-        let rpcs = p.issue(SimTime::from_secs(5), &mut ids);
+        let rpcs = p.issue(SimTime::from_secs(5));
         let r = rpcs[0];
         assert_eq!(r.job, JobId(9));
         assert_eq!(r.proc_id, ProcId(3));
         assert_eq!(r.client, ClientId(2));
         assert_eq!(r.size_bytes, 4096);
         assert_eq!(r.issued_at, SimTime::from_secs(5));
-        assert_eq!(r.id, RpcId(100));
+        assert_eq!(r.id, RpcId(3u64 << PROC_ID_SHIFT));
+    }
+
+    #[test]
+    fn rpc_ids_are_process_local_and_interleaving_invariant() {
+        // Two processes issuing in any interleaving produce the same id
+        // sets — the property the sharded executor depends on.
+        let mut a = ProcessState::new(JobId(1), ProcId(0), ClientId(0), 0, 4, 1);
+        let mut b = ProcessState::new(JobId(1), ProcId(1), ClientId(0), 0, 4, 1);
+        a.add_work(2);
+        b.add_work(2);
+        let ids_a: Vec<_> = a.issue(SimTime::ZERO).iter().map(|r| r.id).collect();
+        let ids_b: Vec<_> = b.issue(SimTime::ZERO).iter().map(|r| r.id).collect();
+        assert_eq!(ids_a, vec![RpcId(0), RpcId(1)]);
+        assert_eq!(
+            ids_b,
+            vec![RpcId(1 << PROC_ID_SHIFT), RpcId((1 << PROC_ID_SHIFT) | 1)]
+        );
     }
 }

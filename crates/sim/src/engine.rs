@@ -17,9 +17,20 @@
 //! scan compares full keys, so ordering stays exact.
 //!
 //! Ordering is identical to the heap it replaced: strictly by `(time,
-//! insertion seq)` — a total order, so any correct priority queue yields
+//! key)` — a total order, so any correct priority queue yields
 //! byte-identical simulations (pinned by the record/replay and golden
 //! report suites).
+//!
+//! ## Keys
+//!
+//! [`EventQueue::push`] assigns keys from an internal insertion counter,
+//! which reproduces classic insertion-order tie-breaking. The sharded
+//! cluster executor instead supplies *canonical* keys through
+//! [`EventQueue::push_keyed`]: a key derived from the pushing entity (its
+//! lane id and a per-lane sequence number) rather than from global push
+//! order, so the same event carries the same key no matter how many
+//! shards the run is split over — the foundation of the cross-shard
+//! determinism guarantee. The two styles must not be mixed in one queue.
 
 use adaptbf_model::SimTime;
 use std::cmp::Ordering;
@@ -116,13 +127,26 @@ impl<E> EventQueue<E> {
 
     /// Schedule `payload` at `at`. Scheduling in the past is a logic error.
     pub fn push(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_keyed(at, seq, payload);
+    }
+
+    /// Schedule `payload` at `at` under a caller-supplied tie-break `key`.
+    ///
+    /// Events at equal timestamps pop in ascending key order. The caller
+    /// owns key uniqueness per timestamp; the sharded executor derives keys
+    /// from `(pushing lane << LANE_SHIFT) | per-lane seq` so the ordering is
+    /// independent of shard count and push interleaving. Do not mix with
+    /// [`EventQueue::push`] on the same queue — the internal counter knows
+    /// nothing about external keys.
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, payload: E) {
         debug_assert!(
             at >= self.now,
             "event scheduled in the past: {at:?} < {:?}",
             self.now
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = key;
         let bucket = (at.as_nanos() / BUCKET_WIDTH).max(self.cursor);
         if bucket >= self.cursor + N_BUCKETS as u64 {
             self.spill.push(Entry { at, seq, payload });
@@ -192,6 +216,26 @@ impl<E> EventQueue<E> {
         Some(self.take(slot, idx))
     }
 
+    /// Pop the earliest event together with its tie-break key.
+    ///
+    /// The sharded executor uses the key to tag side effects (trace
+    /// records) so per-shard outputs merge back into the exact global
+    /// processing order.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        let (slot, idx) = self.locate_min()?;
+        let key = self.ring[slot][idx].seq;
+        let (at, payload) = self.take(slot, idx);
+        Some((at, key, payload))
+    }
+
+    /// Timestamp of the earliest pending event, without popping it or
+    /// advancing the clock. Used by the epoch-barrier executor to publish
+    /// each shard's next-event time.
+    pub fn peek_at(&mut self) -> Option<SimTime> {
+        let (slot, idx) = self.locate_min()?;
+        Some(self.ring[slot][idx].at)
+    }
+
     /// Pop the earliest event only if `pred` accepts it (used to coalesce
     /// runs of equal-timestamp events aimed at the same target without
     /// disturbing any other ordering).
@@ -202,6 +246,23 @@ impl<E> EventQueue<E> {
             return None;
         }
         Some(self.take(slot, idx))
+    }
+
+    /// [`EventQueue::pop_if`] that also returns the tie-break key — the
+    /// shard drain loops bound their pops by horizon / epoch window while
+    /// keeping the key for side-effect tagging.
+    pub fn pop_entry_if(
+        &mut self,
+        pred: impl FnOnce(SimTime, &E) -> bool,
+    ) -> Option<(SimTime, u64, E)> {
+        let (slot, idx) = self.locate_min()?;
+        let e = &self.ring[slot][idx];
+        if !pred(e.at, &e.payload) {
+            return None;
+        }
+        let key = self.ring[slot][idx].seq;
+        let (at, payload) = self.take(slot, idx);
+        Some((at, key, payload))
     }
 
     /// Number of pending events.
@@ -335,6 +396,66 @@ mod tests {
             assert_eq!((at.as_nanos(), s), want);
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn keyed_ties_break_by_key_not_push_order() {
+        let mut q = EventQueue::new();
+        q.push_keyed(t(5), 30, "c");
+        q.push_keyed(t(5), 10, "a");
+        q.push_keyed(t(5), 20, "b");
+        assert_eq!(q.pop_entry(), Some((t(5), 10, "a")));
+        assert_eq!(q.pop_entry(), Some((t(5), 20, "b")));
+        assert_eq!(q.pop_entry(), Some((t(5), 30, "c")));
+        assert!(q.pop_entry().is_none());
+    }
+
+    #[test]
+    fn keyed_order_is_push_interleaving_invariant() {
+        // The same (time, key) set must drain identically no matter the
+        // push order — the property the sharded executor leans on when
+        // per-epoch inboxes are merged into a shard's queue.
+        let evs = [
+            (t(5), 7u64, "e"),
+            (t(3), 9, "b"),
+            (t(5), 2, "d"),
+            (t(3), 1, "a"),
+            (t(4), 5, "c"),
+        ];
+        let mut orders = Vec::new();
+        for rot in 0..evs.len() {
+            let mut q = EventQueue::new();
+            for i in 0..evs.len() {
+                let (at, key, p) = evs[(rot + i) % evs.len()];
+                q.push_keyed(at, key, p);
+            }
+            let mut out = Vec::new();
+            while let Some(e) = q.pop_entry() {
+                out.push(e);
+            }
+            orders.push(out);
+        }
+        for o in &orders[1..] {
+            assert_eq!(o, &orders[0]);
+        }
+        assert_eq!(
+            orders[0].iter().map(|e| e.2).collect::<Vec<_>>(),
+            vec!["a", "b", "c", "d", "e"]
+        );
+    }
+
+    #[test]
+    fn peek_at_does_not_advance_the_clock_or_consume() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_at(), None);
+        q.push_keyed(t(9), 1, "x");
+        q.push_keyed(t(4), 2, "y");
+        assert_eq!(q.peek_at(), Some(t(4)));
+        assert_eq!(q.peek_at(), Some(t(4)), "peek is idempotent");
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_entry(), Some((t(4), 2, "y")));
+        assert_eq!(q.peek_at(), Some(t(9)));
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub struct Experiment {
     policy: Policy,
     seed: u64,
     cluster: ClusterConfig,
+    shards: Option<usize>,
 }
 
 impl Experiment {
@@ -26,12 +27,21 @@ impl Experiment {
             policy,
             seed: 0,
             cluster: ClusterConfig::default(),
+            shards: None,
         }
     }
 
     /// Set the RNG seed (runs are fully deterministic per seed).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Shard the event loop ([`Cluster::shards`]). Purely an execution
+    /// parameter: the report is byte-identical for every shard count.
+    /// Unset, the cluster's `ADAPTBF_SHARDS` default applies.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
         self
     }
 
@@ -50,7 +60,11 @@ impl Experiment {
 
     /// Run to the horizon.
     pub fn run(self) -> RunReport {
-        let out = Cluster::build_with(&self.scenario, self.policy, self.seed, self.cluster).run();
+        let mut cluster = Cluster::build_with(&self.scenario, self.policy, self.seed, self.cluster);
+        if let Some(n) = self.shards {
+            cluster = cluster.shards(n);
+        }
+        let out = cluster.run();
         RunReport::from_run(
             self.scenario.name.clone(),
             self.policy.name(),

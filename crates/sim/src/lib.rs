@@ -56,4 +56,4 @@ pub use faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, StallSpec};
 pub use policy::Policy;
 pub use report::{frequency_sweep, report_body_digest, report_digest, FrequencyPoint};
 pub use run_grid::RunGrid;
-pub use spec::{plan_file_run, replay_cluster_config, replay_report, FileRun};
+pub use spec::{plan_file_run, replay_cluster_config, replay_report, replay_report_with, FileRun};

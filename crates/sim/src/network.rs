@@ -7,7 +7,42 @@ use adaptbf_model::{NetworkConfig, SimDuration};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// One-way latency for the next message, drawn from a caller-owned RNG
+/// stream.
+///
+/// The model itself is stateless: the sharded cluster gives every client
+/// process and every OST its *own* seeded stream (forward hops draw from
+/// the issuing process, reply hops from the serving OST), so the draw
+/// sequence each entity sees depends only on its own event history — never
+/// on how entities interleave globally. That per-entity confinement is
+/// what keeps latency draws identical across shard counts.
+pub fn draw_latency(config: &NetworkConfig, rng: &mut SmallRng) -> SimDuration {
+    let base = config.base_latency.as_secs_f64();
+    let j = config.jitter;
+    let factor = if j > 0.0 {
+        1.0 + rng.gen_range(-j..=j)
+    } else {
+        1.0
+    };
+    SimDuration::from_secs_f64(base * factor)
+}
+
+/// Conservative lower bound on any one-way latency the model can draw —
+/// the sharded executor's lookahead: no cross-shard message can take
+/// effect sooner than `min_latency` after it is sent.
+pub fn min_latency(config: &NetworkConfig) -> SimDuration {
+    let base = config.base_latency.as_secs_f64();
+    let j = config.jitter.clamp(0.0, 1.0);
+    // Shave a hair below the analytic minimum so float rounding in
+    // `draw_latency` can never undercut the published lookahead.
+    SimDuration::from_secs_f64((base * (1.0 - j) * 0.999_999).max(0.0))
+}
+
 /// Seeded latency source for one simulation run.
+///
+/// Thin stateful wrapper over [`draw_latency`] for callers that want a
+/// single stream (the unsharded live-side tests); the cluster uses
+/// per-entity streams directly.
 #[derive(Debug)]
 pub struct Network {
     config: NetworkConfig,
@@ -25,14 +60,7 @@ impl Network {
 
     /// One-way latency for the next message.
     pub fn latency(&mut self) -> SimDuration {
-        let base = self.config.base_latency.as_secs_f64();
-        let j = self.config.jitter;
-        let factor = if j > 0.0 {
-            1.0 + self.rng.gen_range(-j..=j)
-        } else {
-            1.0
-        };
-        SimDuration::from_secs_f64(base * factor)
+        draw_latency(&self.config, &mut self.rng)
     }
 }
 
@@ -72,5 +100,30 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.latency(), b.latency());
         }
+    }
+
+    #[test]
+    fn min_latency_lower_bounds_every_draw() {
+        let cfg = paper::network();
+        let floor = min_latency(&cfg);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            assert!(draw_latency(&cfg, &mut rng) >= floor);
+        }
+        assert!(floor > SimDuration::ZERO, "paper config has real lookahead");
+    }
+
+    #[test]
+    fn min_latency_handles_degenerate_jitter() {
+        let cfg = NetworkConfig {
+            base_latency: SimDuration::from_micros(100),
+            jitter: 1.0,
+        };
+        assert_eq!(min_latency(&cfg), SimDuration::ZERO);
+        let zero = NetworkConfig {
+            base_latency: SimDuration::ZERO,
+            jitter: 0.0,
+        };
+        assert_eq!(min_latency(&zero), SimDuration::ZERO);
     }
 }

@@ -122,7 +122,24 @@ pub fn replay_report(
     seed: u64,
     cluster: ClusterConfig,
 ) -> RunReport {
-    let out = Cluster::build_replay(trace, policy, seed, cluster).run();
+    replay_report_with(trace, policy, seed, cluster, None)
+}
+
+/// [`replay_report`] with an explicit shard count ([`Cluster::shards`]);
+/// `None` keeps the `ADAPTBF_SHARDS` default. Purely an execution
+/// parameter — the report is identical at every shard count.
+pub fn replay_report_with(
+    trace: &Trace,
+    policy: Policy,
+    seed: u64,
+    cluster: ClusterConfig,
+    shards: Option<usize>,
+) -> RunReport {
+    let mut replay = Cluster::build_replay(trace, policy, seed, cluster);
+    if let Some(n) = shards {
+        replay = replay.shards(n);
+    }
+    let out = replay.run();
     let jobs: Vec<JobId> = trace.meta.jobs.iter().map(|&(job, _)| job).collect();
     RunReport::from_run(
         format!("{}_replay", trace.meta.scenario),

@@ -1,0 +1,133 @@
+//! Cross-shard determinism oracles: the shard count is an execution
+//! parameter, never an input. For random scenarios and randomly sampled
+//! fault plans, the full report digest — per-job counters, completions,
+//! latency percentiles, timelines, gauges, and the fault-stat partition —
+//! must be byte-identical at every shard count, including the unsharded
+//! (single-queue) engine.
+
+use adaptbf_model::SimDuration;
+use adaptbf_sim::cluster::{Cluster, ClusterConfig};
+use adaptbf_sim::{report_body_digest, Experiment, FaultStats, Policy};
+use adaptbf_workload::{JobSpec, PlanBounds, ProcessSpec, Scenario};
+use proptest::prelude::*;
+
+/// A small random scenario: up to 4 jobs, mixed patterns, short horizon
+/// (long enough that every sampled fault window can open *and* close).
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let job = (1u64..8, 1usize..3, 10u64..150, 0u8..3);
+    proptest::collection::vec(job, 1..4).prop_map(|jobs| {
+        let specs = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, procs, file, kind))| {
+                let spec = match kind {
+                    0 => ProcessSpec::continuous(file),
+                    1 => ProcessSpec::bursty(
+                        file,
+                        SimDuration::from_millis(200),
+                        SimDuration::from_millis(700),
+                        (file / 4).max(1),
+                    ),
+                    _ => ProcessSpec::delayed(file, SimDuration::from_millis(500)),
+                };
+                JobSpec::uniform(adaptbf_model::JobId(i as u32 + 1), nodes, procs, spec)
+            })
+            .collect();
+        Scenario::new("shard_prop", "", specs, SimDuration::from_secs(4))
+    })
+}
+
+/// The digest of one run at a given shard count: everything the reporting
+/// layer can observe, rendered canonically.
+fn digest_at(
+    scenario: &Scenario,
+    policy: Policy,
+    seed: u64,
+    cfg: ClusterConfig,
+    shards: usize,
+) -> String {
+    let report = Experiment::new(scenario.clone(), policy)
+        .seed(seed)
+        .cluster_config(cfg)
+        .shards(shards)
+        .run();
+    report_body_digest(&report)
+}
+
+fn fault_stats_at(
+    scenario: &Scenario,
+    policy: Policy,
+    seed: u64,
+    cfg: ClusterConfig,
+    shards: usize,
+) -> FaultStats {
+    Cluster::build_with(scenario, policy, seed, cfg)
+        .shards(shards)
+        .run()
+        .fault_stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fault-free random scenarios on a striped 4-OST wiring (the coupled
+    /// epoch-barrier path): digest identical at shards 1, 2, 4, 16.
+    #[test]
+    fn digest_is_shard_count_invariant(
+        scenario in scenario_strategy(),
+        seed in 0u64..32,
+    ) {
+        let cfg = ClusterConfig {
+            n_osts: 4,
+            stripe_count: 2,
+            ..ClusterConfig::default()
+        };
+        for policy in [Policy::NoBw, Policy::adaptbf_default()] {
+            let base = digest_at(&scenario, policy, seed, cfg, 1);
+            for shards in [2usize, 4, 16] {
+                let sharded = digest_at(&scenario, policy, seed, cfg, shards);
+                prop_assert_eq!(
+                    &base, &sharded,
+                    "digest diverged at {} shards under {}", shards, policy.name()
+                );
+            }
+        }
+    }
+
+    /// Randomly *sampled* fault plans (the chaos lab's own sampler, so the
+    /// space matches what campaigns run): crash re-routes, parks, client
+    /// resends, churn and degradation must all cross shard boundaries
+    /// without perturbing the digest, and the fault-stat partition itself
+    /// must be identical — every displaced RPC lands in exactly one
+    /// category no matter which shard handled it.
+    #[test]
+    fn digest_and_fault_partition_survive_sampled_fault_plans(
+        scenario in scenario_strategy(),
+        plan_seed in 0u64..1_000_000,
+        seed in 0u64..32,
+    ) {
+        let bounds = PlanBounds::new(SimDuration::from_secs(4), 2);
+        let faults = bounds.sample_seeded(plan_seed);
+        prop_assert!(faults.validate().is_ok(), "{faults:?}");
+        let cfg = ClusterConfig {
+            n_osts: 2,
+            stripe_count: 2,
+            faults,
+            ..ClusterConfig::default()
+        };
+        let policy = Policy::adaptbf_default();
+        let base = digest_at(&scenario, policy, seed, cfg, 1);
+        let base_fs = fault_stats_at(&scenario, policy, seed, cfg, 1);
+        prop_assert!(base_fs.lost_in_service <= base_fs.resent, "{base_fs:?}");
+        prop_assert!(base_fs.undelivered <= base_fs.resent, "{base_fs:?}");
+        for shards in [2usize, 4, 16] {
+            let sharded = digest_at(&scenario, policy, seed, cfg, shards);
+            prop_assert_eq!(
+                &base, &sharded,
+                "digest diverged at {} shards under {:?}", shards, faults
+            );
+            let fs = fault_stats_at(&scenario, policy, seed, cfg, shards);
+            prop_assert_eq!(base_fs, fs, "fault partition diverged at {} shards", shards);
+        }
+    }
+}

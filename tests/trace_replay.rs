@@ -201,6 +201,56 @@ fn replay_is_exact_across_policies_and_wirings() {
     }
 }
 
+/// Shard count must never leak into the data surface: a trace recorded at
+/// 16 shards is byte-identical to one recorded unsharded, and a recording
+/// made at either shard count replays exactly at the other — including
+/// under the `ost_failover` fault plan, where the replay regenerates
+/// cross-shard resends and re-routes from the header.
+#[test]
+fn recording_and_replay_are_exact_across_shard_counts() {
+    let (_, file) = read_scenario_file("ost_failover");
+    let plan = adaptbf::sim::plan_file_run(&file).unwrap();
+
+    let build = || Cluster::build_with(&plan.scenario, plan.policy, plan.seed, plan.cluster);
+    let (out_1, trace_1) = build().shards(1).run_traced();
+    let (out_16, trace_16) = build().shards(16).run_traced();
+    assert_eq!(trace_1, trace_16, "shard count leaked into the trace");
+    assert_eq!(
+        trace_1.to_text(),
+        trace_16.to_text(),
+        "serialized traces must be byte-identical"
+    );
+    assert_eq!(out_1.fault_stats, out_16.fault_stats);
+
+    // Recorded at 16 shards → replayed at 1, and vice versa: both must
+    // reproduce the original run's every observable.
+    let cfg = adaptbf::sim::replay_cluster_config(&trace_1);
+    let rebuild = |trace: &Trace| Cluster::build_replay(trace, plan.policy, plan.seed, cfg);
+    let replay_1 = rebuild(&trace_16).shards(1).run();
+    let replay_16 = rebuild(&trace_1).shards(16).run();
+    for (what, replayed) in [("16→1", &replay_1), ("1→16", &replay_16)] {
+        assert_eq!(
+            out_1.metrics.served_by_job(),
+            replayed.metrics.served_by_job(),
+            "served counts diverged replaying {what}"
+        );
+        assert_eq!(
+            out_1.metrics.served(),
+            replayed.metrics.served(),
+            "served series diverged replaying {what}"
+        );
+        assert_eq!(
+            out_1.metrics.demand(),
+            replayed.metrics.demand(),
+            "demand series diverged replaying {what}"
+        );
+        assert_eq!(
+            out_1.fault_stats, replayed.fault_stats,
+            "fault partition diverged replaying {what}"
+        );
+    }
+}
+
 /// A trace converted back to a `Scenario` (open-loop `timed` processes)
 /// is a valid workload for any policy — the data-driven path the issue's
 /// SDN-QoS related work drives controllers with.
