@@ -11,16 +11,19 @@
 //!   --seed N        campaign seed (default 42)
 //!   --plans N       fault plans per scenario (default 8; 3 under --smoke)
 //!   --smoke         the small CI shape
-//!   --check-floor   compare against crates/bench/chaos_floor.txt, exit 1
-//!                   on a resilience regression
+//!   --live          sweep the grid over the live threaded runtime
+//!                   instead of the simulator (wall-clock; floor file is
+//!                   crates/bench/chaos_live_floor.txt, count-shaped)
+//!   --check-floor   compare against the floor file, exit 1 on a
+//!                   resilience regression
 //!   --write-floor   rewrite the floor file from this campaign
 //!   --shrink-worst  minimize the worst violating case and write it as a
-//!                   canonical scenario file under results/
+//!                   canonical scenario file under results/ (sim only)
 //!   --no-bench      skip writing BENCH_chaos.json (CI smoke)
 
 use adaptbf_bench::chaos::{
-    campaign_json, check_floor, floor_text, run_campaign, shrink_case, summary_table, worst_cases,
-    CampaignConfig,
+    campaign_json, check_floor, check_live_floor, floor_text, live_floor_text, run_campaign,
+    run_live_campaign, shrink_case, summary_table, worst_cases, CampaignConfig,
 };
 use std::path::{Path, PathBuf};
 
@@ -43,6 +46,18 @@ fn main() {
             })
     };
     let seed = value("--seed").unwrap_or(42);
+    if flag("--live") {
+        let mut config = if flag("--smoke") {
+            CampaignConfig::live_smoke(seed)
+        } else {
+            CampaignConfig::live(seed)
+        };
+        if let Some(plans) = value("--plans") {
+            config.plans_per_scenario = plans as usize;
+        }
+        run_live(config, flag("--write-floor"), flag("--check-floor"));
+        return;
+    }
     let mut config = if flag("--smoke") {
         CampaignConfig::smoke(seed)
     } else {
@@ -80,6 +95,37 @@ fn main() {
             Err(e) => {
                 eprintln!("FAIL: {e}");
                 eprintln!("(rerun with --write-floor after an intentional change)");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Sweep the campaign grid over the live threaded runtime and gate on
+/// the count-shaped live floor (`crates/bench/chaos_live_floor.txt`).
+/// No BENCH artifact: live numbers are wall-clock and would dirty the
+/// tree on every run.
+fn run_live(config: CampaignConfig, write_floor: bool, do_check: bool) {
+    println!(
+        "live chaos campaign: {} cases over the threaded runtime (wall-clock)",
+        3 * config.plans_per_scenario * 3
+    );
+    let campaign = run_live_campaign(config);
+    print!("{}", summary_table(&campaign));
+    print!("{}", live_floor_text(&campaign));
+    let path = workspace_root().join("crates/bench/chaos_live_floor.txt");
+    if write_floor {
+        std::fs::write(&path, live_floor_text(&campaign)).expect("write chaos_live_floor.txt");
+        println!("wrote {}", path.display());
+    }
+    if do_check {
+        let floor = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        match check_live_floor(&campaign, &floor) {
+            Ok(()) => println!("OK: live resilience floor holds"),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                eprintln!("(rerun with --live --write-floor after an intentional change)");
                 std::process::exit(1);
             }
         }

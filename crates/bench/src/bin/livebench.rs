@@ -11,6 +11,11 @@
 //! * the per-job served-share error between the two executors — the
 //!   number the cross-executor convergence tests bound.
 //!
+//! A second, faulted section repeats the comparison on a striped two-OST
+//! pair with a mid-run OST crash window: same policies, same seed, plus
+//! the audited `FaultStats` partition (resent / lost-in-service /
+//! rerouted / parked / undelivered) from the live failover path.
+//!
 //! Writes `BENCH_live.json` at the workspace root.
 //!
 //! `--smoke` runs a single short AdapTBF live run and fails (exit 1) if
@@ -18,10 +23,11 @@
 //! path actually moves every job's bytes.
 
 use adaptbf_cli::live_tuning_from;
+use adaptbf_model::{SimDuration, SimTime};
 use adaptbf_runtime::{LiveCluster, LiveReport};
 use adaptbf_sim::cluster::ClusterConfig;
 use adaptbf_sim::{Experiment, Policy, RunReport};
-use adaptbf_workload::{scenarios, Scenario};
+use adaptbf_workload::{scenarios, CrashSpec, FaultPlan, Scenario};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -74,6 +80,45 @@ fn run_pair(scenario: &Scenario, policy: Policy, label: &'static str) -> Pair {
     }
 }
 
+/// A mid-run crash window for the faulted rows: OST 0 of the striped pair
+/// dies at 25% of the horizon and rejoins at 50%.
+fn crash_plan(scenario: &Scenario) -> FaultPlan {
+    let quarter_ms = scenario.duration.as_nanos() / 4_000_000;
+    FaultPlan {
+        ost_crash: Some(CrashSpec {
+            ost: 0,
+            from: SimTime::from_millis(quarter_ms),
+            for_: SimDuration::from_millis(quarter_ms),
+            resend_after: SimDuration::from_millis(30),
+        }),
+        ..FaultPlan::none()
+    }
+}
+
+/// The faulted comparison: same workload and seed, striped over two OSTs
+/// with the crash window active on both executors.
+fn run_faulted_pair(scenario: &Scenario, policy: Policy, label: &'static str) -> Pair {
+    let faults = crash_plan(scenario);
+    let cluster = ClusterConfig {
+        n_osts: 2,
+        stripe_count: 2,
+        faults,
+        ..ClusterConfig::default()
+    };
+    let sim = Experiment::new(scenario.clone(), policy)
+        .seed(SEED)
+        .cluster_config(cluster)
+        .run();
+    let live =
+        LiveCluster::run_with_faults(scenario, policy, live_tuning_from(&cluster), &faults, SEED)
+            .expect("the crash plan is live-feasible");
+    Pair {
+        policy: label,
+        sim,
+        live,
+    }
+}
+
 fn workspace_root() -> PathBuf {
     std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| Path::new(&d).join("../.."))
@@ -105,6 +150,28 @@ fn main() {
         pairs.push(pair);
     }
 
+    println!("\n== faulted: same workload, striped 2-OST pair, mid-run crash window ==\n");
+    let mut faulted = Vec::new();
+    for (policy, label) in policies() {
+        let pair = run_faulted_pair(&scenario, policy, label);
+        let fs = pair.live.report.fault_stats;
+        println!(
+            "{:>9}: live {:>6} served in {:.2?}, sim {:>6} served, max share error {:.3}; \
+             resent {} (lost in service {}), rerouted {}, parked {}, undelivered {}",
+            pair.policy,
+            pair.live.total_served(),
+            pair.live.elapsed,
+            pair.sim.metrics.total_served(),
+            pair.max_share_error(&scenario),
+            fs.resent,
+            fs.lost_in_service,
+            fs.rerouted,
+            fs.parked,
+            fs.undelivered,
+        );
+        faulted.push(pair);
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
@@ -118,7 +185,7 @@ fn main() {
     let _ = writeln!(json, "  \"scenario\": \"token_allocation\",");
     let _ = writeln!(json, "  \"scale\": {SCALE:.6},");
     let _ = writeln!(json, "  \"seed\": {SEED},");
-    for (i, pair) in pairs.iter().enumerate() {
+    for pair in &pairs {
         let _ = writeln!(json, "  \"{}\": {{", pair.policy);
         let _ = writeln!(
             json,
@@ -158,9 +225,53 @@ fn main() {
             "    \"max_share_error\": {:.4}",
             pair.max_share_error(&scenario)
         );
-        let _ = writeln!(json, "  }}{}", if i + 1 < pairs.len() { "," } else { "" });
+        let _ = writeln!(json, "  }},");
     }
-    json.push_str("}\n");
+    json.push_str("  \"faulted\": {\n");
+    let _ = writeln!(json, "    \"n_osts\": 2,");
+    let _ = writeln!(json, "    \"stripe_count\": 2,");
+    let crash = crash_plan(&scenario).ost_crash.expect("crash plan");
+    let _ = writeln!(
+        json,
+        "    \"ost_crash\": {{\"ost\": {}, \"from_s\": {:.3}, \"for_s\": {:.3}, \
+         \"resend_after_s\": {:.3}}},",
+        crash.ost,
+        crash.from.as_nanos() as f64 / 1e9,
+        crash.for_.as_nanos() as f64 / 1e9,
+        crash.resend_after.as_nanos() as f64 / 1e9
+    );
+    for (i, pair) in faulted.iter().enumerate() {
+        let fs = pair.live.report.fault_stats;
+        let _ = writeln!(json, "    \"{}\": {{", pair.policy);
+        let _ = writeln!(
+            json,
+            "      \"live_wall_s\": {:.3},",
+            pair.live.elapsed.as_secs_f64()
+        );
+        let _ = writeln!(json, "      \"live_served\": {},", pair.live.total_served());
+        let _ = writeln!(
+            json,
+            "      \"sim_served\": {},",
+            pair.sim.metrics.total_served()
+        );
+        let _ = writeln!(
+            json,
+            "      \"fault_stats\": {{\"resent\": {}, \"lost_in_service\": {}, \
+             \"rerouted\": {}, \"parked\": {}, \"undelivered\": {}}},",
+            fs.resent, fs.lost_in_service, fs.rerouted, fs.parked, fs.undelivered
+        );
+        let _ = writeln!(
+            json,
+            "      \"max_share_error\": {:.4}",
+            pair.max_share_error(&scenario)
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < faulted.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n}\n");
     let path = workspace_root().join("BENCH_live.json");
     std::fs::write(&path, &json).expect("write BENCH_live.json");
     println!("\nwrote {}", path.display());

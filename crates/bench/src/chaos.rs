@@ -20,6 +20,18 @@
 //! resilience violation persists, using byte-exact record/replay as the
 //! oracle on every candidate. The survivor renders as a canonical
 //! scenario file ready to check in as a golden regression.
+//!
+//! [`run_live_campaign`] sweeps the same sampled grid over the live
+//! threaded runtime instead of the simulator — every plan the sampler
+//! emits is live-feasible now that the full fault battery runs on real
+//! threads. Live runs are wall-clock (each takes its scenario duration in
+//! real time) and their dip/recovery numbers jitter, so the live floor
+//! (`crates/bench/chaos_live_floor.txt`, [`live_floor_text`] /
+//! [`check_live_floor`]) is count-shaped rather than strict: the grid
+//! size is pinned exactly, the conservation audit — a pure invariant of
+//! the `FaultStats` partition, untouched by timing — may never break, and
+//! the number of resilience violations may not grow past the recorded
+//! ceiling.
 
 use adaptbf_analysis::{conservation_ok, score_run, RunScore, Scorecard};
 use adaptbf_model::{SimDuration, SimTime};
@@ -67,6 +79,31 @@ impl CampaignConfig {
             seed,
             plans_per_scenario: 3,
             scale: 1.0 / 16.0,
+            tolerance: 0.5,
+        }
+    }
+
+    /// The full live-runtime shape. Live runs are wall-clock (scaled
+    /// scenarios clamp to a 3 s minimum horizon), so the grid is smaller
+    /// than the simulated campaign's: 2 plans × 3 scenarios × 3 policies
+    /// ≈ one minute of real time.
+    pub fn live(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            plans_per_scenario: 2,
+            scale: 1.0 / 32.0,
+            tolerance: 0.5,
+        }
+    }
+
+    /// The live CI smoke shape: one plan per scenario, ~30 s of wall
+    /// clock. The checked-in `chaos_live_floor.txt` is written from this
+    /// shape so the per-PR check compares like with like.
+    pub fn live_smoke(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            plans_per_scenario: 1,
+            scale: 1.0 / 32.0,
             tolerance: 0.5,
         }
     }
@@ -208,6 +245,62 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
     let cases = campaign_cases(config);
     let tolerance = config.tolerance;
     let outcomes = RunGrid::new().run(cases, move |case| score_case(&case, tolerance));
+    let mut per_policy: BTreeMap<String, Scorecard> = POLICIES
+        .iter()
+        .map(|p| (p.to_string(), Scorecard::new()))
+        .collect();
+    for outcome in &outcomes {
+        per_policy
+            .get_mut(&outcome.case.policy)
+            .expect("policy key")
+            .absorb(&outcome.score);
+    }
+    Campaign {
+        config,
+        outcomes,
+        per_policy,
+    }
+}
+
+/// Run and score one grid cell on the live threaded runtime.
+///
+/// The cell's scenario file resolves through [`plan_file_run`] and the
+/// CLI's exact `ClusterConfig` → `LiveTuning` mapping, so the live
+/// testbed describes the same hardware the simulated campaign models —
+/// same wiring, same fault plan, same seed.
+pub fn score_live_case(case: &ChaosCase, tolerance: f64) -> CaseOutcome {
+    let plan = plan_file_run(&case.file).expect("sampled chaos case must plan");
+    let horizon = plan.scenario.duration;
+    let period = SimDuration::from_millis(case.file.run.period_ms.unwrap_or(100));
+    let tuning = adaptbf_cli::live_tuning_with(&plan.cluster, &plan.tuning);
+    let live = adaptbf_runtime::LiveCluster::run_with_faults(
+        &plan.scenario,
+        plan.policy,
+        tuning,
+        &case.file.faults,
+        plan.seed,
+    )
+    .expect("sampled chaos plans are live-feasible");
+    let window = case.file.faults.disturbance_window(period, horizon);
+    let score = score_over(&live.report, window, tolerance);
+    CaseOutcome {
+        case: case.clone(),
+        score,
+        window,
+    }
+}
+
+/// Sweep the campaign grid over the live threaded runtime.
+///
+/// Runs are sequential — each live run already owns the machine's
+/// threads (clients, OST I/O pools, controllers), so overlapping them
+/// would contend for cores and distort every score.
+pub fn run_live_campaign(config: CampaignConfig) -> Campaign {
+    let cases = campaign_cases(config);
+    let outcomes: Vec<CaseOutcome> = cases
+        .iter()
+        .map(|case| score_live_case(case, config.tolerance))
+        .collect();
     let mut per_policy: BTreeMap<String, Scorecard> = POLICIES
         .iter()
         .map(|p| (p.to_string(), Scorecard::new()))
@@ -428,6 +521,103 @@ pub fn check_floor(campaign: &Campaign, floor: &str) -> Result<(), String> {
             "conservation_violations regressed: {} > floor {}",
             card.conservation_violations,
             need("conservation")?
+        ));
+    }
+    Ok(())
+}
+
+/// Count the campaign's conservation-audit failures across all policies.
+fn conservation_violations(campaign: &Campaign) -> usize {
+    campaign
+        .outcomes
+        .iter()
+        .filter(|o| !o.score.conservation_ok)
+        .count()
+}
+
+/// Count the campaign's resilience violations (`RunScore::violates`)
+/// across all policies.
+fn resilience_violations(campaign: &Campaign) -> usize {
+    campaign
+        .outcomes
+        .iter()
+        .filter(|o| o.score.violates())
+        .count()
+}
+
+/// The live resilience floor as the key-value text checked in at
+/// `crates/bench/chaos_live_floor.txt`.
+///
+/// Unlike the simulated floor, the live floor is count-shaped: wall-clock
+/// jitter moves dip depth and recovery time between runs, so pinning them
+/// to four decimals would flake. What it pins instead: the grid size
+/// (exact — the case expansion is deterministic), zero conservation
+/// breaks (a pure bookkeeping invariant, independent of timing), and a
+/// ceiling on resilience violations.
+pub fn live_floor_text(campaign: &Campaign) -> String {
+    format!(
+        "live_cases {}\nlive_conservation_violations {}\nlive_resilience_violations {}\n",
+        campaign.outcomes.len(),
+        conservation_violations(campaign),
+        resilience_violations(campaign)
+    )
+}
+
+/// Compare a live campaign against the checked-in live floor: the grid
+/// must match exactly, conservation breaks may not exceed the recorded
+/// count (zero), and resilience violations may not grow past the ceiling.
+pub fn check_live_floor(campaign: &Campaign, floor: &str) -> Result<(), String> {
+    let mut values: BTreeMap<&str, usize> = BTreeMap::new();
+    for line in floor.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed live floor line `{line}`"))?;
+        if !matches!(
+            key,
+            "live_cases" | "live_conservation_violations" | "live_resilience_violations"
+        ) {
+            return Err(format!("unknown live floor key `{key}`"));
+        }
+        values.insert(
+            key,
+            value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad live floor value for `{key}`: {e}"))?,
+        );
+    }
+    let need = |k: &str| {
+        values
+            .get(k)
+            .copied()
+            .ok_or(format!("live floor missing {k}"))
+    };
+    if campaign.outcomes.len() != need("live_cases")? {
+        return Err(format!(
+            "grid changed: ran {} cases, floor expects {} \
+             (rerun with --write-floor after an intentional reshape)",
+            campaign.outcomes.len(),
+            need("live_cases")?
+        ));
+    }
+    let conservation = conservation_violations(campaign);
+    if conservation > need("live_conservation_violations")? {
+        return Err(format!(
+            "conservation regressed: {} violations > floor {}",
+            conservation,
+            need("live_conservation_violations")?
+        ));
+    }
+    let resilience = resilience_violations(campaign);
+    if resilience > need("live_resilience_violations")? {
+        return Err(format!(
+            "resilience regressed: {} violations > floor {}",
+            resilience,
+            need("live_resilience_violations")?
         ));
     }
     Ok(())
@@ -742,5 +932,53 @@ mod tests {
         card.conservation_violations = 1;
         assert!(check_floor(&campaign, &floor).is_err());
         assert!(check_floor(&campaign, "garbage").is_err());
+    }
+
+    #[test]
+    fn live_floor_pins_grid_size_and_violation_counts() {
+        let config = CampaignConfig::live_smoke(1);
+        let clean_score = RunScore {
+            tracked_jobs: 1,
+            worst_dip_ratio: 0.8,
+            all_recovered: true,
+            worst_recovery_secs: Some(0.1),
+            conservation_ok: true,
+        };
+        let outcomes: Vec<CaseOutcome> = campaign_cases(config)
+            .into_iter()
+            .map(|case| CaseOutcome {
+                case,
+                score: clean_score,
+                window: None,
+            })
+            .collect();
+        let mut campaign = Campaign {
+            config,
+            outcomes,
+            per_policy: POLICIES
+                .iter()
+                .map(|p| (p.to_string(), Scorecard::new()))
+                .collect(),
+        };
+        let floor = live_floor_text(&campaign);
+        assert!(floor.contains("live_cases 9"), "{floor}");
+        assert!(floor.contains("live_conservation_violations 0"), "{floor}");
+        assert!(floor.contains("live_resilience_violations 0"), "{floor}");
+        assert!(check_live_floor(&campaign, &floor).is_ok());
+        // A conservation break is a hard failure.
+        campaign.outcomes[0].score.conservation_ok = false;
+        let err = check_live_floor(&campaign, &floor).unwrap_err();
+        assert!(err.contains("conservation"), "{err}");
+        campaign.outcomes[0].score.conservation_ok = true;
+        // An unrecovered tracked job exceeds the zero-violation ceiling.
+        campaign.outcomes[0].score.all_recovered = false;
+        let err = check_live_floor(&campaign, &floor).unwrap_err();
+        assert!(err.contains("resilience"), "{err}");
+        campaign.outcomes[0].score.all_recovered = true;
+        // A reshaped grid must be re-floored, not silently accepted.
+        campaign.outcomes.pop();
+        let err = check_live_floor(&campaign, &floor).unwrap_err();
+        assert!(err.contains("grid changed"), "{err}");
+        assert!(check_live_floor(&campaign, "garbage").is_err());
     }
 }

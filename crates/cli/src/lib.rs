@@ -15,7 +15,7 @@ use adaptbf_sim::report::{comparison_table, frequency_csv};
 use adaptbf_sim::spec::{plan_file_run, policy_by_name, recorded_policy, replay_cluster_config};
 use adaptbf_sim::{Cluster, Comparison, Experiment, Policy, RunReport};
 use adaptbf_workload::trace::Trace;
-use adaptbf_workload::{scenarios, Scenario, ScenarioFile};
+use adaptbf_workload::{scenarios, Scenario, ScenarioFile, TuningSpec};
 use std::fmt::Write as _;
 
 /// Usage text shown on argument errors and by `help`.
@@ -27,11 +27,14 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
                                    real OS threads per OST/process against\n\
                                    the wall clock (takes the scenario's\n\
                                    duration in real time); same report\n\
-                                   shape. Scenarios whose fault plans need\n\
-                                   the simulator (ost_crash,\n\
-                                   controller_stall, stats_loss) are\n\
-                                   rejected with an explanation;\n\
-                                   disk_degrade and job_churn run live.\n\
+                                   shape. The full fault battery runs\n\
+                                   live: time-indexed faults (ost_crash,\n\
+                                   disk_degrade, job_churn) against the\n\
+                                   wall clock, cycle-indexed faults\n\
+                                   (controller_stall, stats_loss_every)\n\
+                                   against per-OST controller cycle\n\
+                                   counters. Crash runs print the audited\n\
+                                   fault-accounting partition.\n\
     compare <scenario>             run all three policies, print gains\n\
     analyze <scenario>             fairness + latency analysis\n\
                                    (both accept --live: three back-to-back\n\
@@ -40,6 +43,9 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
     sweep <scenario>               allocation-frequency sweep (Figure 9)\n\
     ledger <scenario>              final lending/borrowing records\n\
     record <scenario>              run + capture the RPC trace to a file\n\
+    record <scenario> --live       capture the trace from a wall-clock run\n\
+                                   on the threaded runtime; the file\n\
+                                   replays in the simulator\n\
     replay <trace-file>            re-inject a recorded trace\n\
     help                           show this text\n\
   <scenario> is a built-in name, or `--scenario-file FILE` to run a\n\
@@ -54,7 +60,9 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
   job_churn {every_secs,offline_secs,stride} (rotating client churn).\n\
   Faults ride recorded trace headers, so `replay` reproduces faulty runs\n\
   byte-exactly. Built-ins `ost_failover` and `churn_under_degradation`\n\
-  ship with fault plans.\n\
+  ship with fault plans; every fault runs under --live too. A file's\n\
+  optional `tuning` block pins live-testbed knobs (payload_bytes,\n\
+  service_quantum_us, pin_threads); the simulator ignores it.\n\
   options:\n\
     --policy no_bw|static_bw|adaptbf   (run/record/replay; default adaptbf,\n\
                                         replay defaults to the recorded policy)\n\
@@ -67,7 +75,7 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
                     execution parameter: results are byte-identical at\n\
                     every shard count\n\
     --live          run on the live threaded runtime\n\
-                    (run/compare/analyze)";
+                    (run/compare/analyze/record)";
 
 /// CLI failure modes.
 #[derive(Debug, PartialEq, Eq)]
@@ -265,6 +273,9 @@ struct Target {
     scenario: Scenario,
     opts: Options,
     cluster: ClusterConfig,
+    /// Live-testbed knobs from the file's `tuning` block (defaults for
+    /// built-ins); only the `--live` paths consume it.
+    tuning: TuningSpec,
 }
 
 /// Resolve `<name> [opts]` or `--scenario-file FILE [opts]` into a
@@ -297,6 +308,7 @@ fn load_target(command: &str, rest: &[String]) -> Result<Target, CliError> {
                 scenario: scenario_by_name(name, opts.scale)?,
                 opts,
                 cluster: ClusterConfig::default(),
+                tuning: TuningSpec::default(),
             })
         }
         _ => Err(usage(format!(
@@ -327,6 +339,7 @@ fn target_from_file(file: &ScenarioFile, raw: RawOptions) -> Result<Target, CliE
         scenario: plan.scenario,
         opts,
         cluster: plan.cluster,
+        tuning: plan.tuning,
     })
 }
 
@@ -342,22 +355,24 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 scenario,
                 opts,
                 cluster,
+                tuning,
             } = &target;
             if command != "record" && opts.out.is_some() {
                 return Err(usage("--out only applies to `record`"));
             }
-            if !matches!(command, "run" | "compare" | "analyze") && opts.live {
+            if !matches!(command, "run" | "compare" | "analyze" | "record") && opts.live {
                 return Err(usage(
-                    "--live only applies to `run`, `compare` and `analyze`",
+                    "--live only applies to `run`, `compare`, `analyze` and `record`",
                 ));
             }
             match command {
-                "run" if opts.live => cmd_run_live(scenario, opts, *cluster),
+                "run" if opts.live => cmd_run_live(scenario, opts, *cluster, tuning),
                 "run" => cmd_run(scenario, opts, *cluster),
-                "compare" => cmd_compare(scenario, opts, *cluster),
-                "analyze" => cmd_analyze(scenario, opts, *cluster),
+                "compare" => cmd_compare(scenario, opts, *cluster, tuning),
+                "analyze" => cmd_analyze(scenario, opts, *cluster, tuning),
                 "sweep" => cmd_sweep(scenario, opts, *cluster),
                 "ledger" => cmd_ledger(scenario, opts, *cluster),
+                "record" if opts.live => cmd_record_live(scenario, opts, *cluster, tuning),
                 "record" => cmd_record(scenario, opts, *cluster),
                 _ => unreachable!(),
             }
@@ -375,7 +390,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             }
             if raw.live {
                 return Err(usage(
-                    "--live only applies to `run`, `compare` and `analyze`",
+                    "--live only applies to `run`, `compare`, `analyze` and `record`",
                 ));
             }
             cmd_replay(path, raw)
@@ -411,11 +426,11 @@ fn list_scenarios() -> String {
     for &n in FAULT_BUILTINS {
         let file = scenario_file_by_name(n, 1.0).expect("known name");
         let s = file.to_scenario().expect("valid built-in");
-        // Fault plans split the executors: time-indexed faults run under
-        // `run --live` too, crash/stall machinery is simulator-only.
+        // The live runtime runs the full fault battery; a plan is only
+        // refused if it fails validation outright.
         let live = match LiveCluster::check_faults(&file.faults) {
             Ok(()) => "live: ok",
-            Err(_) => "live: sim-only faults",
+            Err(_) => "live: invalid fault plan",
         };
         let _ = writeln!(
             out,
@@ -498,18 +513,41 @@ pub fn live_tuning_from(cluster: &ClusterConfig) -> LiveTuning {
         static_rate_total: cluster.static_rate_total,
         bucket: cluster.bucket,
         payload_bytes: 4096,
+        pin_threads: false,
     }
+}
+
+/// [`live_tuning_from`] with a scenario file's `tuning` block applied on
+/// top. `service_quantum_us` pins the emulated disk's mean per-RPC service
+/// time by re-deriving the device bandwidth (`quantum = rpc_size / (B/k)`,
+/// solved for `B`), so the file controls wall-clock service pacing without
+/// exposing raw bandwidth numbers.
+pub fn live_tuning_with(cluster: &ClusterConfig, tuning: &TuningSpec) -> LiveTuning {
+    let mut t = live_tuning_from(cluster);
+    if let Some(bytes) = tuning.payload_bytes {
+        t.payload_bytes = bytes as usize;
+    }
+    if let Some(us) = tuning.service_quantum_us {
+        let quantum_secs = us as f64 / 1e6;
+        t.ost.disk_bw_bytes_per_s =
+            (t.ost.rpc_size as f64 * t.ost.n_io_threads as f64 / quantum_secs) as u64;
+    }
+    if let Some(pin) = tuning.pin_threads {
+        t.pin_threads = pin;
+    }
+    t
 }
 
 fn cmd_run_live(
     scenario: &Scenario,
     opts: &Options,
     cluster: ClusterConfig,
+    tuning: &TuningSpec,
 ) -> Result<String, CliError> {
     let live = LiveCluster::run_with_faults(
         scenario,
         policy_from(opts),
-        live_tuning_from(&cluster),
+        live_tuning_with(&cluster, tuning),
         &cluster.faults,
         opts.seed,
     )
@@ -521,7 +559,54 @@ fn cmd_run_live(
         live.elapsed,
     );
     out.push_str(&render_report(&live.report, opts.seed));
+    let fs = live.report.fault_stats;
+    if fs != Default::default() {
+        let _ = writeln!(
+            out,
+            "fault accounting: resent {} (lost in service {}), rerouted {}, \
+             parked {}, undelivered {}",
+            fs.resent, fs.lost_in_service, fs.rerouted, fs.parked, fs.undelivered,
+        );
+    }
     Ok(out)
+}
+
+/// `record --live`: run the scenario on the threaded runtime with the
+/// recorder hook on, then write the captured trace — the same versioned
+/// format `record` emits from the simulator — so a wall-clock (faulty) run
+/// can be re-injected deterministically with `replay`.
+fn cmd_record_live(
+    scenario: &Scenario,
+    opts: &Options,
+    cluster: ClusterConfig,
+    tuning: &TuningSpec,
+) -> Result<String, CliError> {
+    let policy = policy_from(opts);
+    let (live, trace) = LiveCluster::record_with_faults(
+        scenario,
+        policy,
+        live_tuning_with(&cluster, tuning),
+        &cluster.faults,
+        opts.seed,
+    )
+    .map_err(|e| CliError::Run(e.to_string()))?;
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.trace", scenario.name));
+    std::fs::write(&path, trace.to_text())
+        .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+    Ok(format!(
+        "recorded {} RPCs ({} served) live from {} under {} (seed {}, wall time {:.2?})\n\
+         wrote {path}\n\
+         replay in the simulator with: adaptbf replay {path}",
+        trace.records.len(),
+        live.report.metrics.total_served(),
+        scenario.name,
+        policy.name(),
+        opts.seed,
+        live.elapsed,
+    ))
 }
 
 fn cmd_record(
@@ -594,12 +679,13 @@ fn live_comparison(
     scenario: &Scenario,
     opts: &Options,
     cluster: ClusterConfig,
+    tuning: &TuningSpec,
 ) -> Result<Comparison, CliError> {
     let run = |policy: Policy| -> Result<RunReport, CliError> {
         let live = LiveCluster::run_with_faults(
             scenario,
             policy,
-            live_tuning_from(&cluster),
+            live_tuning_with(&cluster, tuning),
             &cluster.faults,
             opts.seed,
         )
@@ -617,9 +703,10 @@ fn comparison_for(
     scenario: &Scenario,
     opts: &Options,
     cluster: ClusterConfig,
+    tuning: &TuningSpec,
 ) -> Result<Comparison, CliError> {
     if opts.live {
-        live_comparison(scenario, opts, cluster)
+        live_comparison(scenario, opts, cluster, tuning)
     } else {
         Ok(Comparison::run_with(
             scenario,
@@ -634,8 +721,9 @@ fn cmd_compare(
     scenario: &Scenario,
     opts: &Options,
     cluster: ClusterConfig,
+    tuning: &TuningSpec,
 ) -> Result<String, CliError> {
-    let comparison = comparison_for(scenario, opts, cluster)?;
+    let comparison = comparison_for(scenario, opts, cluster, tuning)?;
     let mut out = String::new();
     if opts.live {
         let _ = writeln!(
@@ -655,8 +743,9 @@ fn cmd_analyze(
     scenario: &Scenario,
     opts: &Options,
     cluster: ClusterConfig,
+    tuning: &TuningSpec,
 ) -> Result<String, CliError> {
-    let comparison = comparison_for(scenario, opts, cluster)?;
+    let comparison = comparison_for(scenario, opts, cluster, tuning)?;
     let analysis = analyze_comparison(&comparison, scenario);
     let mut out = String::new();
     if opts.live {
@@ -966,10 +1055,9 @@ mod tests {
         assert!(dispatch(&argv("replay x.trace --scale 0.5")).is_err());
         assert!(dispatch(&argv("replay x.trace --out y.trace")).is_err());
         assert!(dispatch(&argv("replay x.trace --live")).is_err());
-        // --live drives run/compare/analyze, nothing else.
+        // --live drives run/compare/analyze/record, nothing else.
         assert!(dispatch(&argv("sweep token_allocation --scale 0.015625 --live")).is_err());
         assert!(dispatch(&argv("ledger token_allocation --scale 0.015625 --live")).is_err());
-        assert!(dispatch(&argv("record token_allocation --live")).is_err());
     }
 
     /// Write a short-horizon scenario file so the three wall-clock runs a
@@ -1016,14 +1104,6 @@ mod tests {
     }
 
     #[test]
-    fn compare_live_rejects_sim_only_fault_scenarios() {
-        // The live comparison inherits the fault feasibility check from
-        // the live runtime: an ost_crash plan must refuse, not panic.
-        let err = dispatch(&argv("compare ost_failover --scale 0.125 --live")).unwrap_err();
-        assert!(matches!(err, CliError::Run(msg) if msg.contains("ost_crash")));
-    }
-
-    #[test]
     fn run_live_produces_the_same_report_table() {
         // A ~3 s wall-clock run on the live threaded runtime: the output
         // must be the same per-job table the simulator path renders.
@@ -1038,19 +1118,42 @@ mod tests {
     }
 
     #[test]
-    fn run_live_rejects_sim_only_fault_scenarios() {
-        // ost_failover carries an ost_crash window: the live runtime must
-        // refuse with an explanation, not panic.
-        let err = dispatch(&argv("run ost_failover --scale 0.125 --live")).unwrap_err();
-        match err {
-            // A Run error, not Usage: the explanation prints alone, not
-            // buried under the full usage text.
-            CliError::Run(msg) => {
-                assert!(msg.contains("ost_crash"), "{msg}");
-                assert!(msg.contains("without --live"), "{msg}");
-            }
-            other => panic!("wrong error kind: {other:?}"),
-        }
+    fn run_live_runs_crash_fault_scenarios() {
+        // ost_failover carries an ost_crash window: the live runtime now
+        // runs it through the same crash-epoch/resend machinery the
+        // simulator uses and prints the audited accounting partition.
+        let out = dispatch(&argv("run ost_failover --scale 0.0625 --live"))
+            .unwrap_or_else(|e| panic!("{e:?}"));
+        assert!(out.contains("ost_failover under adaptbf"), "{out}");
+        assert!(out.contains("overall:"), "{out}");
+        assert!(out.contains("fault accounting: resent"), "{out}");
+    }
+
+    #[test]
+    fn record_live_writes_a_sim_replayable_trace() {
+        // `record --live` captures a wall-clock run into the same trace
+        // format the simulator records — and `replay` re-injects it.
+        let path = std::env::temp_dir().join("adaptbf_cli_live_record.trace");
+        let path = path.to_str().unwrap().to_string();
+        let scenario = short_live_scenario("live_record");
+        let out = dispatch(&[
+            "record".into(),
+            "--scenario-file".into(),
+            scenario.clone(),
+            "--live".into(),
+            "--out".into(),
+            path.clone(),
+        ])
+        .unwrap_or_else(|e| panic!("{e:?}"));
+        assert!(out.contains("recorded"), "{out}");
+        assert!(out.contains("live"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("recorded_by live"), "{text}");
+        let replayed = dispatch(&["replay".into(), path.clone()]).unwrap();
+        assert!(replayed.contains("_replay"), "{replayed}");
+        assert!(replayed.contains("overall:"), "{replayed}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&scenario);
     }
 
     #[test]
@@ -1070,9 +1173,31 @@ mod tests {
 
     #[test]
     fn scenario_listing_tags_live_capability() {
+        // Every built-in fault plan now runs on the live runtime.
         let out = dispatch(&argv("scenarios")).unwrap();
-        assert!(out.contains("live: sim-only faults"), "{out}");
         assert!(out.contains("live: ok"), "{out}");
+        assert!(!out.contains("sim-only"), "{out}");
+    }
+
+    #[test]
+    fn live_tuning_applies_the_scenario_tuning_block() {
+        let cluster = ClusterConfig::default();
+        let tuning = TuningSpec {
+            payload_bytes: Some(8192),
+            service_quantum_us: Some(2000),
+            pin_threads: Some(true),
+        };
+        let t = live_tuning_with(&cluster, &tuning);
+        assert_eq!(t.payload_bytes, 8192);
+        assert!(t.pin_threads);
+        // A 2 ms quantum: the derived bandwidth must put the mean per-RPC
+        // service time at exactly the requested quantum.
+        assert!((t.ost.mean_service_secs() - 0.002).abs() < 1e-6);
+        // An empty block is the identity.
+        assert_eq!(
+            live_tuning_with(&cluster, &TuningSpec::default()),
+            live_tuning_from(&cluster)
+        );
     }
 
     #[test]

@@ -19,8 +19,9 @@ use std::collections::BTreeMap;
 /// after the client timeout — so `resent + rerouted + parked` is the
 /// number of displaced RPCs. A resend the horizon ends before it can fire
 /// is the one way a displaced RPC stays unserved, and it is counted too.
-/// (All zero on fault-free runs and on the live runtime, which rejects
-/// crash windows outright.)
+/// Both executors keep the partition: the simulator in its event loop,
+/// the live runtime in the crashed OST's thread. (All zero on fault-free
+/// runs.)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// RPCs scheduled for a client resend (queued backlog drained at the

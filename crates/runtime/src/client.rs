@@ -133,6 +133,7 @@ fn run_process(
                     rpc,
                     payload: payload.clone(),
                     reply_to: done_tx.clone(),
+                    handoff: false,
                 })
                 .is_err()
             {

@@ -3,20 +3,26 @@
 //!
 //! [`LiveCluster`] speaks the same data surface as the simulator: it takes
 //! a [`Scenario`] and the shared [`Policy`] (there is no live-only policy
-//! mirror), honors the wall-clock-feasible subset of a [`FaultPlan`]
-//! (`disk_degrade`, `job_churn` — crash/stall specs are rejected with a
-//! [`LiveError`], not a panic), and folds its counters into the *same*
-//! slot-indexed report shape the simulator emits, so the analysis layer
-//! and the CLI tables run unchanged on live output.
+//! mirror), runs the **full** [`FaultPlan`] battery on real threads —
+//! time-indexed faults against the wall clock, cycle-indexed faults
+//! against per-OST deterministic cycle counters, crash windows through the
+//! same crash-epoch/resend machinery the simulator audits — and folds its
+//! counters into the *same* slot-indexed report shape the simulator emits,
+//! so the analysis layer and the CLI tables run unchanged on live output.
+//! [`LiveCluster::record_with_faults`] additionally captures the run's
+//! client-originated arrivals into the versioned `Trace` format, so a live
+//! (faulty) run replays in the simulator.
 
 use crate::client::{spawn_process, ProcFinal};
 use crate::clock::WallClock;
 use crate::metrics::LiveMetrics;
-use crate::ost::{LiveOst, OstFinal};
+use crate::ost::{LiveOst, LiveRpc, OstFinal, OstWiring};
 use adaptbf_model::{ClientId, JobId, OstConfig, ProcId, SimDuration, TbfSchedulerConfig};
 use adaptbf_node::{FaultStats, OstNode, Policy, RunReport};
+use adaptbf_workload::trace::{Trace, TraceMeta};
 use adaptbf_workload::{FaultPlan, Scenario};
 use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -43,6 +49,11 @@ pub struct LiveTuning {
     /// Payload bytes per RPC (kept small so tests move real bytes without
     /// burning memory bandwidth).
     pub payload_bytes: usize,
+    /// Ask for OST threads pinned to cores. Advisory: recorded in the
+    /// tuning and honored where the platform allows; the portable
+    /// executor keeps it best-effort (no affinity syscalls are issued
+    /// without a platform shim).
+    pub pin_threads: bool,
 }
 
 impl LiveTuning {
@@ -64,6 +75,7 @@ impl LiveTuning {
             static_rate_total: 2000.0,
             bucket: SimDuration::from_millis(100),
             payload_bytes: 4096,
+            pin_threads: false,
         }
     }
 }
@@ -71,10 +83,8 @@ impl LiveTuning {
 /// Why a live run could not start.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LiveError {
-    /// The fault plan asks for something only the deterministic simulator
-    /// can model (OST crash epochs, controller stalls, stats loss).
-    UnsupportedFault(String),
-    /// The fault plan fails its own validation.
+    /// The fault plan fails its own validation (or addresses an OST
+    /// outside the wiring).
     InvalidFault(String),
     /// The wiring is inconsistent (e.g. stripe wider than the cluster).
     InvalidWiring(String),
@@ -83,7 +93,6 @@ pub enum LiveError {
 impl std::fmt::Display for LiveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LiveError::UnsupportedFault(msg) => write!(f, "unsupported fault for --live: {msg}"),
             LiveError::InvalidFault(msg) => write!(f, "invalid fault plan: {msg}"),
             LiveError::InvalidWiring(msg) => write!(f, "invalid live wiring: {msg}"),
         }
@@ -132,35 +141,12 @@ impl LiveReport {
 pub struct LiveCluster;
 
 impl LiveCluster {
-    /// The wall-clock-feasible subset of the fault surface: `Ok` when the
-    /// plan can run live, a [`LiveError`] naming the offending spec
-    /// otherwise. `disk_degrade` and `job_churn` are time-indexed and
-    /// engine-agnostic; crash windows and controller stalls depend on the
-    /// simulator's epoch/resend and cycle-count machinery.
+    /// Validate a fault plan for a live run. Every `FaultPlan` dimension
+    /// runs on real threads now — crash windows through the live
+    /// crash-epoch/resend machinery, stalls and stats loss through
+    /// per-OST cycle counters — so only genuine plan validation remains.
     pub fn check_faults(faults: &FaultPlan) -> Result<(), LiveError> {
-        faults.validate().map_err(LiveError::InvalidFault)?;
-        if faults.ost_crash.is_some() {
-            return Err(LiveError::UnsupportedFault(
-                "ost_crash needs the simulator's crash-epoch/resend machinery; \
-                 run this scenario without --live"
-                    .into(),
-            ));
-        }
-        if faults.controller_stall.is_some() {
-            return Err(LiveError::UnsupportedFault(
-                "controller_stall is indexed by deterministic cycle counts; \
-                 run this scenario without --live"
-                    .into(),
-            ));
-        }
-        if faults.stats_loss_every.is_some() {
-            return Err(LiveError::UnsupportedFault(
-                "stats_loss_every is indexed by deterministic cycle counts; \
-                 run this scenario without --live"
-                    .into(),
-            ));
-        }
-        Ok(())
+        faults.validate().map_err(LiveError::InvalidFault)
     }
 
     /// Run `scenario` under `policy` with the given tuning and no faults.
@@ -170,9 +156,8 @@ impl LiveCluster {
             .expect("a fault-free plan is always live-feasible")
     }
 
-    /// [`LiveCluster::run`] with a fault plan. Only the
-    /// wall-clock-feasible subset is accepted — see
-    /// [`LiveCluster::check_faults`].
+    /// [`LiveCluster::run`] with a fault plan (any [`FaultPlan`] that
+    /// passes validation and addresses OSTs inside the wiring).
     pub fn run_with_faults(
         scenario: &Scenario,
         policy: Policy,
@@ -180,6 +165,33 @@ impl LiveCluster {
         faults: &FaultPlan,
         seed: u64,
     ) -> Result<LiveReport, LiveError> {
+        Self::run_inner(scenario, policy, tuning, faults, seed, false).map(|(report, _)| report)
+    }
+
+    /// [`LiveCluster::run_with_faults`] with the arrival recorder armed:
+    /// returns the run's report *and* its client-originated arrivals as a
+    /// versioned [`Trace`] — recorded with the addressed OST before any
+    /// crash re-routing, exactly like the simulator's recorder — so the
+    /// live run replays in the simulator (`Cluster::build_replay`).
+    pub fn record_with_faults(
+        scenario: &Scenario,
+        policy: Policy,
+        tuning: LiveTuning,
+        faults: &FaultPlan,
+        seed: u64,
+    ) -> Result<(LiveReport, Trace), LiveError> {
+        Self::run_inner(scenario, policy, tuning, faults, seed, true)
+            .map(|(report, trace)| (report, trace.expect("recording run yields a trace")))
+    }
+
+    fn run_inner(
+        scenario: &Scenario,
+        policy: Policy,
+        tuning: LiveTuning,
+        faults: &FaultPlan,
+        seed: u64,
+        record: bool,
+    ) -> Result<(LiveReport, Option<Trace>), LiveError> {
         Self::check_faults(faults)?;
         if tuning.n_osts == 0 || tuning.n_clients == 0 {
             return Err(LiveError::InvalidWiring(
@@ -192,9 +204,21 @@ impl LiveCluster {
                 tuning.n_osts, tuning.stripe_count
             )));
         }
+        if let Some(crash) = faults.ost_crash {
+            if crash.ost >= tuning.n_osts {
+                return Err(LiveError::InvalidFault(format!(
+                    "ost_crash.ost {} out of range (n_osts {})",
+                    crash.ost, tuning.n_osts
+                )));
+            }
+        }
 
         let clock = WallClock::start();
-        let metrics = LiveMetrics::new(tuning.bucket);
+        let metrics = if record {
+            LiveMetrics::recording(tuning.bucket)
+        } else {
+            LiveMetrics::new(tuning.bucket)
+        };
         let horizon = adaptbf_model::SimTime::ZERO + scenario.duration;
         let started = std::time::Instant::now();
 
@@ -210,11 +234,25 @@ impl LiveCluster {
             metrics.set_released(job.id, released);
         }
 
+        // All ingest channels exist before any thread starts, so the OST a
+        // crash window targets can hand displaced work to its peers.
+        let mut txs: Vec<Sender<LiveRpc>> = Vec::with_capacity(tuning.n_osts);
+        let mut rxs: Vec<Receiver<LiveRpc>> = Vec::with_capacity(tuning.n_osts);
+        for _ in 0..tuning.n_osts {
+            let (tx, rx) = bounded::<LiveRpc>(4096);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let payload = Bytes::from(vec![0xABu8; tuning.payload_bytes]);
+
         // One independent OST thread each, wrapping the shared per-OST
-        // control-plane assembly — no state is shared between OSTs.
+        // control-plane assembly — no state is shared between OSTs (the
+        // crashed OST's peer senders carry displaced work, never state).
         let jobs: Vec<(JobId, u64)> = scenario.jobs.iter().map(|j| (j.id, j.nodes)).collect();
-        let osts: Vec<_> = (0..tuning.n_osts)
-            .map(|i| {
+        let osts: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
                 let node = OstNode::new(
                     policy,
                     tuning.tbf,
@@ -222,24 +260,44 @@ impl LiveCluster {
                     tuning.static_rate_total,
                     adaptbf_model::SimTime::ZERO,
                 );
+                // Only the OST a crash targets ever forwards; everyone
+                // else keeps no peer senders, so fault-free shutdown
+                // ordering is unchanged.
+                let peers: Vec<Option<Sender<LiveRpc>>> =
+                    if faults.ost_crash.is_some_and(|c| c.ost == i) {
+                        (0..tuning.n_osts)
+                            .map(|j| (j != i).then(|| txs[j].clone()))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
                 LiveOst::spawn(
                     format!("ost{i}"),
+                    txs[i].clone(),
+                    rx,
                     tuning.ost,
                     node,
                     *faults,
+                    OstWiring {
+                        index: i,
+                        n_osts: tuning.n_osts,
+                        stripe_count: tuning.stripe_count,
+                    },
+                    peers,
                     horizon,
                     clock,
                     metrics.clone(),
                     seed ^ (0xA5 + i as u64),
+                    payload.clone(),
                 )
             })
             .collect();
+        drop(txs); // handles + clients now own the only ingest senders
 
         // Client process threads, striped over clients and OSTs exactly
         // like the simulator: process p's stripe set is the
         // `stripe_count`-wide window starting at OST `p % n_osts`.
         let rpc_ids = Arc::new(AtomicU64::new(0));
-        let payload = Bytes::from(vec![0xABu8; tuning.payload_bytes]);
         let mut handles = Vec::new();
         let mut proc_idx = 0usize;
         for job in &scenario.jobs {
@@ -272,6 +330,34 @@ impl LiveCluster {
         let issued = metrics.issued();
         let finals: Vec<OstFinal> = osts.into_iter().map(|o| o.shutdown()).collect();
 
+        // The audited partition: each displaced RPC is counted on exactly
+        // one path by exactly one OST thread; the fold is a plain sum.
+        let mut fault_stats = FaultStats::default();
+        for f in &finals {
+            fault_stats.resent += f.fault_stats.resent;
+            fault_stats.lost_in_service += f.fault_stats.lost_in_service;
+            fault_stats.rerouted += f.fault_stats.rerouted;
+            fault_stats.parked += f.fault_stats.parked;
+            fault_stats.undelivered += f.fault_stats.undelivered;
+        }
+
+        let trace = record.then(|| Trace {
+            meta: TraceMeta {
+                scenario: scenario.name.clone(),
+                seed,
+                policy: policy.name().to_string(),
+                period_ms: policy.period().map(|p| p.as_nanos() / 1_000_000),
+                duration: scenario.duration,
+                n_clients: tuning.n_clients,
+                n_osts: tuning.n_osts,
+                stripe_count: tuning.stripe_count,
+                faults: *faults,
+                recorded_by: Some("live".into()),
+                jobs: jobs.clone(),
+            },
+            records: metrics.take_records(),
+        });
+
         let folded = metrics.into_metrics(horizon);
         let report = RunReport::from_run(
             scenario.name.clone(),
@@ -280,16 +366,19 @@ impl LiveCluster {
             folded,
             &scenario.job_ids(),
             finals.iter().filter_map(|f| f.overhead).collect(),
-            FaultStats::default(),
+            fault_stats,
         );
-        Ok(LiveReport {
-            report,
-            issued,
-            records_per_ost: finals.iter().map(|f| f.records.clone()).collect(),
-            ticks_per_ost: finals.iter().map(|f| f.ticks).collect(),
-            procs,
-            elapsed: started.elapsed(),
-        })
+        Ok((
+            LiveReport {
+                report,
+                issued,
+                records_per_ost: finals.iter().map(|f| f.records.clone()).collect(),
+                ticks_per_ost: finals.iter().map(|f| f.ticks).collect(),
+                procs,
+                elapsed: started.elapsed(),
+            },
+            trace,
+        ))
     }
 }
 
@@ -320,6 +409,18 @@ mod tests {
         }
     }
 
+    fn mid_crash(ms: u64) -> FaultPlan {
+        FaultPlan {
+            ost_crash: Some(CrashSpec {
+                ost: 0,
+                from: SimTime::from_millis(ms / 4),
+                for_: SimDuration::from_millis(ms / 4),
+                resend_after: SimDuration::from_millis(30),
+            }),
+            ..FaultPlan::none()
+        }
+    }
+
     #[test]
     fn no_bw_live_run_serves_traffic() {
         let report = LiveCluster::run(
@@ -339,6 +440,7 @@ mod tests {
         );
         assert!(report.report.overheads.is_empty());
         assert_eq!(report.report.policy, "no_bw");
+        assert_eq!(report.report.fault_stats, FaultStats::default());
     }
 
     #[test]
@@ -411,45 +513,107 @@ mod tests {
     }
 
     #[test]
-    fn crash_and_stall_specs_are_rejected_with_explanations() {
-        let crash = FaultPlan {
-            ost_crash: Some(CrashSpec {
-                ost: 0,
-                from: SimTime::from_millis(50),
-                for_: SimDuration::from_millis(100),
-                resend_after: SimDuration::from_millis(20),
-            }),
-            ..FaultPlan::none()
+    fn live_crash_reroutes_to_the_surviving_ost() {
+        // Two fully-striped OSTs; OST 0 down for the middle half of the
+        // run. Every displaced RPC must land in exactly one FaultStats
+        // category, nothing parks (a survivor always exists), and traffic
+        // keeps flowing.
+        let ms = 400;
+        let tuning = LiveTuning {
+            n_osts: 2,
+            stripe_count: 2,
+            ..LiveTuning::fast_test()
         };
-        let stall = FaultPlan {
-            controller_stall: Some(StallSpec {
-                every: 10,
-                duration: 2,
-            }),
-            ..FaultPlan::none()
-        };
-        let loss = FaultPlan {
-            stats_loss_every: Some(4),
-            ..FaultPlan::none()
-        };
-        for plan in [crash, stall, loss] {
-            let err = LiveCluster::run_with_faults(
-                &small_scenario(100),
-                Policy::NoBw,
-                LiveTuning::fast_test(),
-                &plan,
+        let report = LiveCluster::run_with_faults(
+            &small_scenario(ms),
+            Policy::NoBw,
+            tuning,
+            &mid_crash(ms),
+            7,
+        )
+        .expect("crash plans run live now");
+        let fs = report.report.fault_stats;
+        assert!(
+            fs.resent + fs.rerouted > 0,
+            "a mid-run crash must displace work: {fs:?}"
+        );
+        assert_eq!(fs.parked, 0, "survivor exists, nothing parks: {fs:?}");
+        assert!(fs.lost_in_service <= fs.resent, "{fs:?}");
+        assert!(fs.undelivered <= fs.resent + fs.parked, "{fs:?}");
+        assert!(report.total_served() > 100, "survivor keeps serving");
+    }
+
+    #[test]
+    fn live_crash_on_single_ost_parks_until_recovery() {
+        // One OST and a trickling (never window-bound) workload: arrivals
+        // landing inside the window have no survivor, so they park and
+        // land at recovery. Serving must resume after the window.
+        let ms = 500u64;
+        let chunks: Vec<adaptbf_workload::WorkChunk> = (0..ms / 20)
+            .map(|k| adaptbf_workload::WorkChunk {
+                at: SimTime::from_millis(k * 20),
+                rpcs: 5,
+            })
+            .collect();
+        let scenario = Scenario::new(
+            "live-trickle",
+            "",
+            vec![JobSpec::uniform(
+                JobId(1),
                 1,
-            )
-            .expect_err("must reject");
-            assert!(
-                matches!(err, LiveError::UnsupportedFault(_)),
-                "wrong error {err:?}"
-            );
-            assert!(
-                err.to_string().contains("without --live"),
-                "error must tell the user what to do: {err}"
-            );
-        }
+                2,
+                ProcessSpec::timed(chunks).with_max_inflight(256),
+            )],
+            SimDuration::from_millis(ms),
+        );
+        let report = LiveCluster::run_with_faults(
+            &scenario,
+            Policy::NoBw,
+            LiveTuning::fast_test(),
+            &mid_crash(ms),
+            7,
+        )
+        .expect("single-OST crash plans run live");
+        let fs = report.report.fault_stats;
+        assert!(fs.parked > 0, "no survivor: arrivals must park: {fs:?}");
+        assert_eq!(fs.rerouted, 0, "nowhere to re-route to: {fs:?}");
+        assert!(fs.undelivered <= fs.resent + fs.parked, "{fs:?}");
+        assert!(
+            report.total_served() > 50,
+            "service must resume after recovery: served {}",
+            report.total_served()
+        );
+    }
+
+    #[test]
+    fn live_cycle_indexed_faults_run() {
+        // Stall 3 of every 4 cycles and lose stats every 2nd healthy one:
+        // the controller keeps (cycle-counted) cadence and the run still
+        // serves traffic.
+        let plan = FaultPlan {
+            controller_stall: Some(StallSpec {
+                every: 4,
+                duration: 3,
+            }),
+            stats_loss_every: Some(2),
+            ..FaultPlan::none()
+        };
+        let report = LiveCluster::run_with_faults(
+            &small_scenario(400),
+            Policy::AdapTbf(fast_adaptbf()),
+            LiveTuning::fast_test(),
+            &plan,
+            1,
+        )
+        .expect("cycle-indexed faults run live now");
+        // ~16 cycle deadlines in 400 ms at 25 ms; 3/4 stalled.
+        assert!(
+            report.ticks_per_ost[0] >= 1,
+            "some healthy cycles must tick: {:?}",
+            report.ticks_per_ost
+        );
+        assert!(report.total_served() > 50, "traffic survives the stall");
+        assert_eq!(report.report.fault_stats, FaultStats::default());
     }
 
     #[test]
@@ -508,6 +672,61 @@ mod tests {
             churned.total_served(),
             healthy.total_served()
         );
+    }
+
+    #[test]
+    fn recording_run_captures_a_replayable_trace() {
+        let ms = 300;
+        let tuning = LiveTuning {
+            n_osts: 2,
+            stripe_count: 2,
+            ..LiveTuning::fast_test()
+        };
+        let (report, trace) = LiveCluster::record_with_faults(
+            &small_scenario(ms),
+            Policy::NoBw,
+            tuning,
+            &mid_crash(ms),
+            5,
+        )
+        .expect("recording run starts");
+        assert_eq!(trace.meta.recorded_by.as_deref(), Some("live"));
+        assert_eq!(trace.meta.n_osts, 2);
+        assert_eq!(trace.meta.faults, mid_crash(ms));
+        assert!(
+            !trace.records.is_empty(),
+            "a serving run must record arrivals"
+        );
+        assert!(
+            trace.records.windows(2).all(|w| w[0].at <= w[1].at),
+            "records are chronological"
+        );
+        // The round-trip through the text format is identity — the trace
+        // is well-formed for the simulator's replay front end.
+        let parsed = Trace::from_text(&trace.to_text()).expect("parses");
+        assert_eq!(parsed, trace);
+        assert!(report.total_served() > 0);
+    }
+
+    #[test]
+    fn crash_outside_the_wiring_is_rejected() {
+        let err = LiveCluster::run_with_faults(
+            &small_scenario(100),
+            Policy::NoBw,
+            LiveTuning::fast_test(),
+            &FaultPlan {
+                ost_crash: Some(CrashSpec {
+                    ost: 3,
+                    from: SimTime::from_millis(20),
+                    for_: SimDuration::from_millis(30),
+                    resend_after: SimDuration::from_millis(10),
+                }),
+                ..FaultPlan::none()
+            },
+            1,
+        )
+        .expect_err("crash must address an OST inside the wiring");
+        assert!(matches!(err, LiveError::InvalidFault(_)), "{err:?}");
     }
 
     #[test]

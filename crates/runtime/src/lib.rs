@@ -17,9 +17,15 @@
 //!   cheaply-cloned [`bytes::Bytes`] slices;
 //! * a cluster orchestrator ([`cluster::LiveCluster`]) that speaks the
 //!   same data surface as the simulator: shared [`Policy`], scenario
-//!   files, the wall-clock-feasible subset of
-//!   [`adaptbf_workload::FaultPlan`] (`disk_degrade`, `job_churn`), and
-//!   the common slot-indexed [`adaptbf_node::RunReport`] output.
+//!   files, the **full** [`adaptbf_workload::FaultPlan`] battery
+//!   (time-indexed faults against the wall clock; `controller_stall` /
+//!   `stats_loss_every` against per-OST deterministic cycle counters;
+//!   `ost_crash` through the same crash-epoch/resend machinery and
+//!   audited `FaultStats` partition the simulator guarantees), a live
+//!   recorder hook ([`cluster::LiveCluster::record_with_faults`]) feeding
+//!   the versioned trace format so a real-thread run replays in the
+//!   simulator, and the common slot-indexed [`adaptbf_node::RunReport`]
+//!   output.
 //!
 //! Timing uses real `Instant`s mapped onto the shared
 //! [`adaptbf_model::SimTime`] axis by [`clock::WallClock`], so
@@ -38,4 +44,4 @@ pub use adaptbf_node::Policy;
 pub use clock::WallClock;
 pub use cluster::{LiveCluster, LiveError, LiveReport, LiveTuning};
 pub use metrics::LiveMetrics;
-pub use ost::{LiveOst, LiveOstHandle};
+pub use ost::{LiveOst, LiveOstHandle, OstWiring};

@@ -11,6 +11,7 @@
 
 use adaptbf_model::{JobId, SimDuration, SimTime};
 use adaptbf_node::Metrics;
+use adaptbf_workload::trace::TraceRecord;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -20,12 +21,18 @@ struct Inner {
     metrics: Metrics,
     issued_by_job: BTreeMap<JobId, u64>,
     controller_ticks: u64,
+    /// First-hand OSS arrivals, captured only when recording is on (the
+    /// live recorder hook feeding the versioned `Trace` format).
+    records: Vec<TraceRecord>,
 }
 
 /// Cheap-to-clone handle over the run's shared collector.
 #[derive(Debug, Clone)]
 pub struct LiveMetrics {
     inner: Arc<Mutex<Inner>>,
+    /// Copied into every clone so [`LiveMetrics::on_record`] is a no-op
+    /// without even taking the lock on non-recording runs.
+    recording: bool,
 }
 
 impl LiveMetrics {
@@ -36,7 +43,18 @@ impl LiveMetrics {
                 metrics: Metrics::new(bucket),
                 issued_by_job: BTreeMap::new(),
                 controller_ticks: 0,
+                records: Vec::new(),
             })),
+            recording: false,
+        }
+    }
+
+    /// [`LiveMetrics::new`], with the arrival recorder armed: OST threads
+    /// capture every first-hand arrival via [`LiveMetrics::on_record`].
+    pub fn recording(bucket: SimDuration) -> Self {
+        LiveMetrics {
+            recording: true,
+            ..Self::new(bucket)
         }
     }
 
@@ -54,6 +72,23 @@ impl LiveMetrics {
     /// Record an RPC arriving at an OST (the OSS-arrival demand line).
     pub fn on_arrival(&self, job: JobId, now: SimTime) {
         self.inner.lock().metrics.on_arrival(job, now);
+    }
+
+    /// Capture one first-hand arrival for the trace recorder. No-op unless
+    /// the collector was built with [`LiveMetrics::recording`].
+    pub fn on_record(&self, record: TraceRecord) {
+        if self.recording {
+            self.inner.lock().records.push(record);
+        }
+    }
+
+    /// Take the captured arrivals, sorted chronologically (wall-clock
+    /// threads record concurrently; ties keep RPC-id order so the text
+    /// form is stable). Call after every recording thread has joined.
+    pub fn take_records(&self) -> Vec<TraceRecord> {
+        let mut records = std::mem::take(&mut self.inner.lock().records);
+        records.sort_by_key(|r| (r.at, r.rpc.id.raw()));
+        records
     }
 
     /// Record a completed (serviced) RPC with end-to-end latency

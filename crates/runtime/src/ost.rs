@@ -7,15 +7,28 @@
 //! `adaptbf-sim` embeds per simulated OST; only the drive differs: an
 //! emulated I/O thread pool against the wall clock instead of a
 //! discrete-event loop.
+//!
+//! The full `FaultPlan` battery runs here. Time-indexed faults
+//! (`disk_degrade`, `ost_crash` windows, churn) key off the wall clock;
+//! cycle-indexed faults (`controller_stall`, `stats_loss_every`) key off a
+//! per-OST deterministic cycle counter, exactly like the simulator's
+//! `cycles[l]`. A crash window drives [`OstNode::crash_reset`] /
+//! [`OstNode::recover`] and the same audited `FaultStats` partition the
+//! sim guarantees: in-flight RPCs die with the I/O threads
+//! (`lost_in_service`, resent after the client timeout), the queued
+//! backlog drains to resends, and first-hand arrivals re-route ring-order
+//! to a surviving stripe member (`rerouted`) or park until recovery
+//! (`parked`). Redeliveries the horizon cuts off count `undelivered`.
 
 use crate::clock::WallClock;
 use crate::metrics::LiveMetrics;
 use adaptbf_model::{OstConfig, Rpc, SimDuration, SimTime};
-use adaptbf_node::{ControllerOverhead, OstNode};
+use adaptbf_node::{ControllerOverhead, FaultStats, OstNode};
 use adaptbf_tbf::SchedDecision;
+use adaptbf_workload::trace::TraceRecord;
 use adaptbf_workload::FaultPlan;
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -32,6 +45,23 @@ pub struct LiveRpc {
     pub payload: Bytes,
     /// Where to signal completion (the issuing process's window).
     pub reply_to: Sender<()>,
+    /// `true` for a crash-window handoff from another OST (re-route or
+    /// resend): demand and fault accounting already happened at the
+    /// addressed OST, so the receiver only enqueues.
+    pub handoff: bool,
+}
+
+/// Where one OST sits in the cluster — what the crash re-route needs to
+/// re-derive a displaced RPC's stripe set, exactly like the simulator's
+/// pure routing.
+#[derive(Debug, Clone, Copy)]
+pub struct OstWiring {
+    /// This OST's index.
+    pub index: usize,
+    /// OSTs in the cluster.
+    pub n_osts: usize,
+    /// Stripe width processes spread their RPCs over.
+    pub stripe_count: usize,
 }
 
 /// Final state returned when a live OST shuts down.
@@ -45,6 +75,9 @@ pub struct OstFinal {
     pub ticks: u64,
     /// Control-plane overhead accounting (AdapTBF only).
     pub overhead: Option<ControllerOverhead>,
+    /// This OST's share of the crash/failover accounting (all zero unless
+    /// this OST is the one a crash window targets).
+    pub fault_stats: FaultStats,
 }
 
 /// Handle to a spawned OST thread.
@@ -75,26 +108,38 @@ pub struct LiveOst;
 
 impl LiveOst {
     /// Spawn one OST thread around an assembled control-plane `node`.
-    /// `faults` may carry a `disk_degrade` window (the wall-clock-feasible
-    /// device fault); crash/stall specs are rejected upstream by
-    /// [`crate::cluster::LiveCluster`]. The thread stops serving at
-    /// `horizon` — queued work past it is dropped, exactly like the
-    /// simulator's run cutoff.
+    ///
+    /// `rx` is the ingest end of the OST's channel (the cluster creates
+    /// all channels up front so a crash window can hand work to peers);
+    /// `peers` carries senders to the *other* OSTs — non-empty only on the
+    /// OST a crash targets, `None` at its own slot. `payload` is the
+    /// cluster's shared payload template, cloned for forwarded handoffs.
+    /// The thread stops serving at `horizon` — queued work past it is
+    /// dropped, exactly like the simulator's run cutoff.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         name: String,
+        tx: Sender<LiveRpc>,
+        rx: Receiver<LiveRpc>,
         ost_cfg: OstConfig,
         node: OstNode,
         faults: FaultPlan,
+        wiring: OstWiring,
+        peers: Vec<Option<Sender<LiveRpc>>>,
         horizon: SimTime,
         clock: WallClock,
         metrics: LiveMetrics,
         seed: u64,
+        payload: Bytes,
     ) -> LiveOstHandle {
-        let (tx, rx) = bounded::<LiveRpc>(4096);
         let join = std::thread::Builder::new()
             .name(name)
-            .spawn(move || run_ost(rx, ost_cfg, node, faults, horizon, clock, metrics, seed))
+            .spawn(move || {
+                run_ost(
+                    rx, ost_cfg, node, faults, wiring, peers, horizon, clock, metrics, seed,
+                    payload,
+                )
+            })
             .expect("spawn OST thread");
         LiveOstHandle {
             tx: Some(tx),
@@ -129,16 +174,64 @@ impl Ord for InService {
     }
 }
 
+/// A displaced RPC waiting for its client-timeout resend (or, post-park,
+/// its recovery-time redelivery).
+struct Resend {
+    at: SimTime,
+    rpc: Rpc,
+    reply_to: Sender<()>,
+}
+
+/// Whether `ost` is inside its crash window at `at` — the same pure
+/// function of the fault plan the simulator routes by, so the crashed OST
+/// and its peers agree with no shared flag.
+#[inline]
+fn crashed_at(faults: &FaultPlan, ost: usize, at: SimTime) -> bool {
+    match faults.ost_crash {
+        Some(c) => c.ost == ost && at >= c.from && at < c.recovery_at(),
+        None => false,
+    }
+}
+
+/// The surviving OST that takes over a displaced RPC: the next non-crashed
+/// member of the issuing process's *stripe set*, in stripe order after
+/// `ost`, falling back to plain ring order when the RPC is addressed
+/// outside its derivable stripe set. Identical to the simulator's routing,
+/// so a live faulty recording replays through the same survivors.
+fn surviving_ost(
+    faults: &FaultPlan,
+    wiring: OstWiring,
+    ost: usize,
+    rpc: &Rpc,
+    at: SimTime,
+) -> Option<usize> {
+    let n = wiring.n_osts;
+    let width = wiring.stripe_count;
+    let base = rpc.proc_id.raw() as usize % n;
+    let offset = (ost + n - base) % n;
+    let alive = |candidate: &usize| !crashed_at(faults, *candidate, at);
+    if offset < width {
+        (1..width)
+            .map(|k| (base + (offset + k) % width) % n)
+            .find(alive)
+    } else {
+        (1..n).map(|k| (ost + k) % n).find(alive)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_ost(
     rx: Receiver<LiveRpc>,
     ost_cfg: OstConfig,
     mut node: OstNode,
     faults: FaultPlan,
+    wiring: OstWiring,
+    peers: Vec<Option<Sender<LiveRpc>>>,
     horizon: SimTime,
     clock: WallClock,
     metrics: LiveMetrics,
     seed: u64,
+    payload: Bytes,
 ) -> OstFinal {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut busy: BinaryHeap<Reverse<InService>> = BinaryHeap::new();
@@ -146,6 +239,19 @@ fn run_ost(
     let mut pending: std::collections::HashMap<u64, Sender<()>> = std::collections::HashMap::new();
     let mut seq = 0u64;
     let mut served = 0u64;
+    let mut fault_stats = FaultStats::default();
+
+    let my = wiring.index;
+    let crash = faults.ost_crash.filter(|c| c.ost == my);
+    let mut crash_done = false;
+    let mut recover_done = false;
+    // Displaced RPCs waiting for their resend deadline, and first-hand
+    // arrivals parked until recovery (no surviving stripe member).
+    let mut resends: Vec<Resend> = Vec::new();
+    let mut parked: Vec<(Rpc, Sender<()>)> = Vec::new();
+    // Deterministic control-cycle counter: `controller_stall` and
+    // `stats_loss_every` are indexed by it, identically to the simulator.
+    let mut cycle = 0u64;
 
     // The controller's tick cadence comes from the node's policy; the
     // wall-clock deadline is this executor's analogue of the simulator's
@@ -156,10 +262,69 @@ fn run_ost(
     let mut disconnected = false;
     loop {
         let now = clock.now();
+
+        // 0. Crash-window transitions. At the crash instant the I/O
+        // threads die and the control plane resets; at recovery the node
+        // rejoins with empty bucket state and parked arrivals land.
+        if let Some(c) = crash {
+            if !crash_done && now >= c.from {
+                crash_done = true;
+                // Services finished strictly before the crash still count.
+                while busy.peek().is_some_and(|Reverse(s)| s.finish < c.from) {
+                    let Reverse(s) = busy.pop().expect("peeked");
+                    served += 1;
+                    metrics.on_served(s.rpc.job, s.finish, s.rpc.issued_at);
+                    let _ = s.reply_to.send(());
+                }
+                // The timeout anchors at the loss — the crash instant —
+                // like the simulator's; `max(now)` guards a lagging thread.
+                let resend_at = (c.from + c.resend_after).max(now);
+                // In-flight RPCs die with their threads: the client never
+                // sees a reply and resends after its timeout.
+                let mut lost_busy: Vec<InService> = busy.drain().map(|Reverse(s)| s).collect();
+                lost_busy.sort_unstable_by_key(|s| s.rpc.id.raw());
+                for s in lost_busy {
+                    fault_stats.lost_in_service += 1;
+                    fault_stats.resent += 1;
+                    resends.push(Resend {
+                        at: resend_at,
+                        rpc: s.rpc,
+                        reply_to: s.reply_to,
+                    });
+                }
+                // The queued backlog drains; clients resend in id order —
+                // per-process issue order — like the simulator.
+                let mut lost = node.crash_reset();
+                lost.sort_unstable_by_key(|r| r.id.raw());
+                for rpc in lost {
+                    fault_stats.resent += 1;
+                    let reply_to = pending
+                        .remove(&rpc.id.raw())
+                        .expect("every queued RPC has a reply channel");
+                    resends.push(Resend {
+                        at: resend_at,
+                        rpc,
+                        reply_to,
+                    });
+                }
+            }
+            if crash_done && !recover_done && now >= c.recovery_at() {
+                recover_done = true;
+                node.recover(now);
+                for (rpc, reply_to) in parked.drain(..) {
+                    node.job_stats.record_arrival(rpc.job);
+                    pending.insert(rpc.id.raw(), reply_to);
+                    node.scheduler.enqueue(rpc, now);
+                }
+            }
+        }
+        let crashed = crashed_at(&faults, my, now);
+
         // The horizon cuts the run off exactly like the simulator's: due
         // completions still count (drained below at their finish
         // instants, all <= horizon), queued and in-flight work is
-        // dropped.
+        // dropped; displaced RPCs the run ends before redelivering are
+        // tallied `undelivered` after the loop.
         if now >= horizon {
             while busy.peek().is_some_and(|Reverse(s)| s.finish <= horizon) {
                 let Reverse(s) = busy.pop().expect("peeked");
@@ -170,7 +335,40 @@ fn run_ost(
             break;
         }
 
-        // 1. Complete services that are due.
+        // 1. Redeliver due resends: to a surviving stripe member while the
+        // window is open (parking when none survives), locally otherwise.
+        if resends.iter().any(|r| r.at <= now) {
+            let (due, later): (Vec<_>, Vec<_>) = resends.drain(..).partition(|r| r.at <= now);
+            resends = later;
+            for r in due {
+                if crashed {
+                    match surviving_ost(&faults, wiring, my, &r.rpc, now) {
+                        Some(target) => {
+                            let handoff = LiveRpc {
+                                rpc: r.rpc,
+                                payload: payload.clone(),
+                                reply_to: r.reply_to,
+                                handoff: true,
+                            };
+                            let peer = peers[target].as_ref().expect("crashed OST wired to peers");
+                            if peer.send(handoff).is_err() {
+                                // Survivor already shut down (horizon
+                                // race): the redelivery is lost but never
+                                // uncounted.
+                                fault_stats.undelivered += 1;
+                            }
+                        }
+                        None => parked.push((r.rpc, r.reply_to)),
+                    }
+                } else {
+                    node.job_stats.record_arrival(r.rpc.job);
+                    pending.insert(r.rpc.id.raw(), r.reply_to);
+                    node.scheduler.enqueue(r.rpc, now);
+                }
+            }
+        }
+
+        // 2. Complete services that are due.
         while busy.peek().is_some_and(|Reverse(s)| s.finish <= now) {
             let Reverse(s) = busy.pop().expect("peeked");
             served += 1;
@@ -178,30 +376,45 @@ fn run_ost(
             let _ = s.reply_to.send(()); // issuer may be gone at deadline
         }
 
-        // 2. Controller cycle (AdapTBF only) — the shared node runs the
+        // 3. Controller cycle (AdapTBF only) — the shared node runs the
         // exact collect → allocate → apply → clear sequence of the paper's
-        // Figure 2, identically to the simulator.
+        // Figure 2, identically to the simulator. The cycle counter
+        // advances even through skipped cycles, so cycle-indexed faults
+        // hit the same cycle numbers as in the simulator.
         if let Some(tick_at) = next_tick {
             if now >= tick_at {
-                if let Some(outcome) = node.tick(now) {
-                    for jt in &outcome.trace.jobs {
-                        metrics.on_allocation(
-                            jt.job,
-                            now,
-                            jt.record_after,
-                            jt.after_recompensation,
-                        );
+                let this_cycle = cycle;
+                cycle += 1;
+                // A crashed OSS takes its controller down with it; a
+                // stalled daemon skips the whole cycle while stats keep
+                // accumulating.
+                if !crashed && !faults.cycle_stalled(this_cycle) {
+                    if faults.stats_lost(this_cycle) {
+                        // Failed stats read: the controller sees an empty
+                        // active set and stops every rule until the next
+                        // healthy cycle.
+                        node.job_stats.clear();
                     }
-                    // Records of idle jobs persist; keep their gauge lines
-                    // continuous (same walk as the simulator's tick).
-                    if let Some(controller) = node.controller() {
-                        for (job, entry) in controller.ledger().iter() {
-                            if outcome.trace.job(job).is_none() {
-                                metrics.set_record(job, now, entry.record as f64);
+                    if let Some(outcome) = node.tick(now) {
+                        for jt in &outcome.trace.jobs {
+                            metrics.on_allocation(
+                                jt.job,
+                                now,
+                                jt.record_after,
+                                jt.after_recompensation,
+                            );
+                        }
+                        // Records of idle jobs persist; keep their gauge lines
+                        // continuous (same walk as the simulator's tick).
+                        if let Some(controller) = node.controller() {
+                            for (job, entry) in controller.ledger().iter() {
+                                if outcome.trace.job(job).is_none() {
+                                    metrics.set_record(job, now, entry.record as f64);
+                                }
                             }
                         }
+                        metrics.on_tick();
                     }
-                    metrics.on_tick();
                 }
                 // Schedule from *now*, like the simulator's
                 // schedule_next_tick: if the thread lagged past a whole
@@ -212,9 +425,10 @@ fn run_ost(
             }
         }
 
-        // 3. Dispatch onto idle emulated I/O threads.
+        // 4. Dispatch onto idle emulated I/O threads (never inside a
+        // crash window — the pool is down).
         let mut tbf_wait: Option<SimTime> = None;
-        while busy.len() < ost_cfg.n_io_threads {
+        while !crashed && busy.len() < ost_cfg.n_io_threads {
             match node.scheduler.next(now) {
                 SchedDecision::Serve(rpc) => {
                     // The device-degradation window (if any) stretches the
@@ -247,18 +461,36 @@ fn run_ost(
             }
         }
 
-        // 4. Work out how long to sleep (never past the horizon).
+        // 5. Work out how long to sleep (never past the horizon).
         let mut wake: Option<SimTime> = busy.peek().map(|Reverse(s)| s.finish);
-        for c in [tbf_wait, next_tick, Some(horizon)].into_iter().flatten() {
+        let crash_edges = crash.and_then(|c| {
+            if !crash_done {
+                Some(c.from)
+            } else if !recover_done {
+                Some(c.recovery_at())
+            } else {
+                None
+            }
+        });
+        let next_resend = resends.iter().map(|r| r.at).min();
+        for c in [tbf_wait, next_tick, crash_edges, next_resend, Some(horizon)]
+            .into_iter()
+            .flatten()
+        {
             wake = Some(wake.map_or(c, |w| w.min(c)));
         }
 
-        // 5. Exit when the world has hung up and all work is drained.
-        if disconnected && busy.is_empty() && node.scheduler.pending() == 0 {
+        // 6. Exit when the world has hung up and all work is drained.
+        if disconnected
+            && busy.is_empty()
+            && node.scheduler.pending() == 0
+            && resends.is_empty()
+            && parked.is_empty()
+        {
             break;
         }
 
-        // 6. Wait for traffic or the next deadline.
+        // 7. Wait for traffic or the next deadline.
         let timeout = match wake {
             Some(at) => clock.until(at),
             None => {
@@ -268,24 +500,76 @@ fn run_ost(
                 Duration::from_millis(50)
             }
         };
+        if disconnected {
+            // The channel reports Disconnected instantly; sleep to the
+            // deadline instead of spinning.
+            std::thread::sleep(timeout.min(Duration::from_millis(50)));
+            continue;
+        }
         match rx.recv_timeout(timeout) {
             Ok(live) => {
                 let now = clock.now();
-                node.job_stats.record_arrival(live.rpc.job);
-                metrics.on_arrival(live.rpc.job, now);
                 debug_assert!(!live.payload.is_empty());
-                pending.insert(live.rpc.id.raw(), live.reply_to);
-                node.scheduler.enqueue(live.rpc, now);
+                if live.handoff {
+                    // A crash-window handoff from a peer: demand, trace
+                    // and fault accounting already happened at the
+                    // addressed OST.
+                    node.job_stats.record_arrival(live.rpc.job);
+                    pending.insert(live.rpc.id.raw(), live.reply_to);
+                    node.scheduler.enqueue(live.rpc, now);
+                } else {
+                    // First-hand (client-originated) arrival: recorded
+                    // with the *addressed* OST before any crash
+                    // re-routing, exactly like the simulator's recorder —
+                    // replays re-derive the re-route from the plan.
+                    metrics.on_record(TraceRecord {
+                        at: now,
+                        ost: my,
+                        rpc: live.rpc,
+                    });
+                    metrics.on_arrival(live.rpc.job, now);
+                    if crashed_at(&faults, my, now) {
+                        match surviving_ost(&faults, wiring, my, &live.rpc, now) {
+                            Some(target) => {
+                                fault_stats.rerouted += 1;
+                                let handoff = LiveRpc {
+                                    rpc: live.rpc,
+                                    payload: live.payload,
+                                    reply_to: live.reply_to,
+                                    handoff: true,
+                                };
+                                let peer =
+                                    peers[target].as_ref().expect("crashed OST wired to peers");
+                                if peer.send(handoff).is_err() {
+                                    fault_stats.undelivered += 1;
+                                }
+                            }
+                            None => {
+                                fault_stats.parked += 1;
+                                parked.push((live.rpc, live.reply_to));
+                            }
+                        }
+                    } else {
+                        node.job_stats.record_arrival(live.rpc.job);
+                        pending.insert(live.rpc.id.raw(), live.reply_to);
+                        node.scheduler.enqueue(live.rpc, now);
+                    }
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => disconnected = true,
         }
     }
 
+    // Displaced RPCs whose redelivery the run ended before: unserved but
+    // never uncounted (the simulator's `count_undelivered_remainder`).
+    fault_stats.undelivered += (resends.len() + parked.len()) as u64;
+
     OstFinal {
         served,
         records: node.ledger_records(),
         ticks: node.ticks(),
         overhead: node.overhead(),
+        fault_stats,
     }
 }

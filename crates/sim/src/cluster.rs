@@ -1078,6 +1078,7 @@ impl Cluster {
             n_osts: cfg.n_osts,
             stripe_count: cfg.stripe_count,
             faults: cfg.faults,
+            recorded_by: None,
             jobs,
         }
     }

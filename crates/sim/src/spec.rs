@@ -12,7 +12,7 @@ use crate::experiment::RunReport;
 use crate::policy::Policy;
 use adaptbf_model::config::paper;
 use adaptbf_model::{AdapTbfConfig, JobId, SimDuration};
-use adaptbf_workload::dsl::{DslError, ScenarioFile};
+use adaptbf_workload::dsl::{DslError, ScenarioFile, TuningSpec};
 use adaptbf_workload::trace::Trace;
 use adaptbf_workload::Scenario;
 
@@ -28,6 +28,10 @@ pub struct FileRun {
     pub cluster: ClusterConfig,
     /// RNG seed (default 42, the repo-wide default).
     pub seed: u64,
+    /// Live-testbed knobs the file pins (`tuning` block). The simulator
+    /// ignores them; the CLI's `--live` paths fold them into their
+    /// `LiveTuning`.
+    pub tuning: TuningSpec,
 }
 
 /// Resolve a parsed scenario file into a runnable plan.
@@ -76,11 +80,13 @@ pub fn plan_file_run(file: &ScenarioFile) -> Result<FileRun, DslError> {
         }
     }
     cluster.faults = file.faults;
+    file.tuning.validate().map_err(DslError)?;
     Ok(FileRun {
         scenario,
         policy,
         cluster,
         seed: run.seed.unwrap_or(42),
+        tuning: file.tuning,
     })
 }
 
@@ -182,6 +188,20 @@ mod tests {
         assert_eq!(plan.cluster.stripe_count, 2);
         // Invalid striping is rejected.
         file.run.n_osts = Some(1);
+        assert!(plan_file_run(&file).is_err());
+    }
+
+    #[test]
+    fn file_run_carries_the_tuning_block() {
+        let mut file = ScenarioFile::from_scenario(&scenarios::token_allocation_scaled(1.0 / 64.0));
+        file.tuning = TuningSpec {
+            payload_bytes: Some(8192),
+            service_quantum_us: Some(500),
+            pin_threads: Some(false),
+        };
+        let plan = plan_file_run(&file).unwrap();
+        assert_eq!(plan.tuning, file.tuning);
+        file.tuning.payload_bytes = Some(0);
         assert!(plan_file_run(&file).is_err());
     }
 

@@ -38,6 +38,11 @@
 //! `ost_crash` and `job_churn` (see `docs/SCENARIOS.md` for the full
 //! reference).
 //!
+//! The optional `tuning` block ([`TuningSpec`]) pins live-runtime testbed
+//! knobs that have no simulator meaning — RPC payload bytes, the emulated
+//! service quantum, thread pinning — parsed with the same strictness as
+//! `faults` (unknown keys are errors) and rendered canonically.
+//!
 //! Rendering is canonical: [`ScenarioFile::render`] after
 //! [`ScenarioFile::parse`] reproduces a canonical file byte-for-byte
 //! (asserted by golden-file tests).
@@ -314,6 +319,40 @@ impl RunSpec {
     }
 }
 
+/// Live-testbed knobs a scenario file may pin (the `tuning` block). These
+/// only matter to the threaded runtime — the simulator ignores them — but
+/// they are part of the scenario file so a live experiment is fully
+/// described by one artifact. All fields are optional; consumers fill in
+/// the `LiveTuning` defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TuningSpec {
+    /// Payload bytes each RPC carries over the channel.
+    pub payload_bytes: Option<u64>,
+    /// Target mean service time per RPC in microseconds (the emulated
+    /// disk's per-RPC quantum at nominal bandwidth).
+    pub service_quantum_us: Option<u64>,
+    /// Ask for OST threads pinned to cores (advisory/best-effort).
+    pub pin_threads: Option<bool>,
+}
+
+impl TuningSpec {
+    /// Whether no knob is set (the `tuning` object can be omitted).
+    pub fn is_empty(&self) -> bool {
+        *self == TuningSpec::default()
+    }
+
+    /// Semantic validation: zero payloads or quanta are authoring errors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.payload_bytes == Some(0) {
+            return Err("tuning: payload_bytes must be positive".into());
+        }
+        if self.service_quantum_us == Some(0) {
+            return Err("tuning: service_quantum_us must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// A parsed declarative scenario file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioFile {
@@ -330,6 +369,9 @@ pub struct ScenarioFile {
     /// Optional deterministic fault schedule (controller stalls, stats
     /// loss, disk degradation, OST crash/recovery, process churn).
     pub faults: FaultPlan,
+    /// Optional live-testbed knobs (payload bytes, service quantum,
+    /// thread pinning). Ignored by the simulator.
+    pub tuning: TuningSpec,
 }
 
 impl ScenarioFile {
@@ -346,6 +388,7 @@ impl ScenarioFile {
                 "jobs",
                 "run",
                 "faults",
+                "tuning",
             ],
             "top level",
         )?;
@@ -375,6 +418,11 @@ impl ScenarioFile {
             Some(f) => parse_faults(f)?,
         };
         faults.validate().map_err(|e| err(format!("faults: {e}")))?;
+        let tuning = match root.get("tuning") {
+            None => TuningSpec::default(),
+            Some(t) => parse_tuning(t)?,
+        };
+        tuning.validate().map_err(err)?;
         Ok(ScenarioFile {
             name,
             description,
@@ -382,6 +430,7 @@ impl ScenarioFile {
             jobs,
             run,
             faults,
+            tuning,
         })
     }
 
@@ -432,6 +481,9 @@ impl ScenarioFile {
         }
         if !self.faults.is_none() {
             top.push(("faults", render_faults(&self.faults)));
+        }
+        if !self.tuning.is_empty() {
+            top.push(("tuning", render_tuning(&self.tuning)));
         }
         Json::obj(top).render()
     }
@@ -541,6 +593,7 @@ impl ScenarioFile {
             jobs,
             run: RunSpec::default(),
             faults: FaultPlan::none(),
+            tuning: TuningSpec::default(),
         }
     }
 }
@@ -600,6 +653,16 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, DslError> {
             .as_u64()
             .map(Some)
             .ok_or_else(|| err(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn opt_bool(v: &Json, key: &str) -> Result<Option<bool>, DslError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(b) => b
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| err(format!("`{key}` must be true or false"))),
     }
 }
 
@@ -913,6 +976,34 @@ fn render_faults(f: &FaultPlan) -> Json {
     Json::obj(pairs)
 }
 
+fn parse_tuning(v: &Json) -> Result<TuningSpec, DslError> {
+    let obj = as_obj(v, "tuning")?;
+    check_keys(
+        obj,
+        &["payload_bytes", "service_quantum_us", "pin_threads"],
+        "tuning",
+    )?;
+    Ok(TuningSpec {
+        payload_bytes: opt_u64(v, "payload_bytes")?,
+        service_quantum_us: opt_u64(v, "service_quantum_us")?,
+        pin_threads: opt_bool(v, "pin_threads")?,
+    })
+}
+
+fn render_tuning(t: &TuningSpec) -> Json {
+    let mut pairs: Vec<(&str, Json)> = Vec::new();
+    if let Some(n) = t.payload_bytes {
+        pairs.push(("payload_bytes", Json::num_u64(n)));
+    }
+    if let Some(us) = t.service_quantum_us {
+        pairs.push(("service_quantum_us", Json::num_u64(us)));
+    }
+    if let Some(pin) = t.pin_threads {
+        pairs.push(("pin_threads", Json::Bool(pin)));
+    }
+    Json::obj(pairs)
+}
+
 fn render_stream(s: &StreamSpec) -> Json {
     let mut pairs: Vec<(&str, Json)> = Vec::new();
     if s.count != 1 {
@@ -1130,6 +1221,74 @@ mod tests {
         assert_eq!(reparsed, file);
         assert_eq!(reparsed.render(), canonical);
         assert!(canonical.contains("\"faults\""));
+    }
+
+    #[test]
+    fn tuning_block_round_trips_canonically() {
+        let text = r#"{
+            "name": "tuned",
+            "description": "",
+            "duration_secs": 5,
+            "jobs": [
+                {"id": 1, "nodes": 1, "streams": [
+                    {"pattern": "continuous", "file_rpcs": 100}
+                ]}
+            ],
+            "tuning": {
+                "payload_bytes": 8192,
+                "service_quantum_us": 500,
+                "pin_threads": true
+            }
+        }"#;
+        let file = ScenarioFile::parse(text).unwrap();
+        assert_eq!(file.tuning.payload_bytes, Some(8192));
+        assert_eq!(file.tuning.service_quantum_us, Some(500));
+        assert_eq!(file.tuning.pin_threads, Some(true));
+        // Canonical rendering is a fixed point of parse ∘ render.
+        let canonical = file.render();
+        let reparsed = ScenarioFile::parse(&canonical).unwrap();
+        assert_eq!(reparsed, file);
+        assert_eq!(reparsed.render(), canonical);
+        assert!(canonical.contains("\"tuning\""));
+        // A partial block renders only what is set.
+        let partial = ScenarioFile {
+            tuning: TuningSpec {
+                payload_bytes: Some(1024),
+                ..TuningSpec::default()
+            },
+            ..file.clone()
+        };
+        let text = partial.render();
+        assert!(text.contains("\"payload_bytes\""));
+        assert!(!text.contains("\"pin_threads\""));
+        assert_eq!(ScenarioFile::parse(&text).unwrap(), partial);
+    }
+
+    #[test]
+    fn rejects_bad_tuning_blocks() {
+        let with_tuning = |tuning: &str| {
+            format!(
+                r#"{{"name":"x","duration_secs":1,"jobs":[{{"id":1,"nodes":1,
+                     "streams":[{{"pattern":"continuous","file_rpcs":1}}]}}],
+                     "tuning":{tuning}}}"#
+            )
+        };
+        let bad = [
+            // Unknown tuning key.
+            r#"{"overclock": 2}"#,
+            // Zero payload.
+            r#"{"payload_bytes": 0}"#,
+            // Zero quantum.
+            r#"{"service_quantum_us": 0}"#,
+            // pin_threads must be a bool.
+            r#"{"pin_threads": 1}"#,
+        ];
+        for tuning in bad {
+            assert!(
+                ScenarioFile::parse(&with_tuning(tuning)).is_err(),
+                "must reject tuning {tuning}"
+            );
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod scenarios;
 pub mod trace;
 
 pub use dsl::{
-    faults_block_json, parse_faults_block, DslError, PatternSpec, RunSpec, ScenarioFile,
+    faults_block_json, parse_faults_block, DslError, PatternSpec, RunSpec, ScenarioFile, TuningSpec,
 };
 pub use faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, PlanBounds, StallSpec};
 pub use job::{JobSpec, ProcessSpec};

@@ -65,6 +65,11 @@ pub struct TraceMeta {
     /// byte-exactly; replaying with a different plan answers "what would
     /// this traffic have seen without (or with another) disturbance?".
     pub faults: FaultPlan,
+    /// Which executor recorded the trace (`"live"` for the threaded
+    /// runtime's recorder hook; `None` for the simulator's, and for
+    /// traces predating the header). Provenance only — replay semantics
+    /// are identical either way.
+    pub recorded_by: Option<String>,
     /// `(job, nodes)` priority weights, in job order.
     pub jobs: Vec<(JobId, u64)>,
 }
@@ -143,6 +148,7 @@ impl Trace {
     /// n_clients <n>
     /// n_osts <n>
     /// stripe_count <n>
+    /// recorded_by <executor>   (live recordings only)
     /// fault_stall <every> <duration>             (only when injected)
     /// fault_stats_loss <n>                       (only when injected)
     /// fault_degrade <from_ns> <for_ns> <factor>  (only when injected)
@@ -166,6 +172,9 @@ impl Trace {
         out.push_str(&format!("n_clients {}\n", self.meta.n_clients));
         out.push_str(&format!("n_osts {}\n", self.meta.n_osts));
         out.push_str(&format!("stripe_count {}\n", self.meta.stripe_count));
+        if let Some(who) = &self.meta.recorded_by {
+            out.push_str(&format!("recorded_by {who}\n"));
+        }
         let f = &self.meta.faults;
         if let Some(StallSpec { every, duration }) = f.controller_stall {
             out.push_str(&format!("fault_stall {every} {duration}\n"));
@@ -250,6 +259,7 @@ impl Trace {
         let mut n_clients = None;
         let mut n_osts = None;
         let mut stripe_count = None;
+        let mut recorded_by = None;
         let mut faults = FaultPlan::none();
         let mut jobs: Vec<(JobId, u64)> = Vec::new();
         let mut expected_records = None;
@@ -278,6 +288,15 @@ impl Trace {
                 "n_osts" => n_osts = Some(parse_u64(rest, i, "n_osts")? as usize),
                 "stripe_count" => {
                     stripe_count = Some(parse_u64(rest, i, "stripe_count")? as usize);
+                }
+                "recorded_by" => {
+                    if rest.is_empty() {
+                        return Err(err(format!(
+                            "line {}: recorded_by needs an executor name",
+                            i + 1
+                        )));
+                    }
+                    recorded_by = Some(rest.to_string());
                 }
                 "fault_stall" => {
                     let f = fields_of(rest, 2, i, "fault_stall")?;
@@ -352,6 +371,7 @@ impl Trace {
             n_osts: n_osts.ok_or_else(|| err("missing `n_osts` header"))?,
             stripe_count: stripe_count.ok_or_else(|| err("missing `stripe_count` header"))?,
             faults,
+            recorded_by,
             jobs,
         };
         meta.faults
@@ -535,6 +555,7 @@ mod tests {
                 n_osts: 2,
                 stripe_count: 1,
                 faults: FaultPlan::none(),
+                recorded_by: None,
                 jobs: vec![(JobId(1), 1), (JobId(2), 3)],
             },
             records: vec![
@@ -618,6 +639,25 @@ mod tests {
         let parsed = Trace::from_text(&text).expect("parses");
         assert_eq!(parsed, t);
         assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn recorded_by_header_round_trips() {
+        let mut t = sample();
+        t.meta.recorded_by = Some("live".into());
+        let text = t.to_text();
+        assert!(text.contains("\nrecorded_by live\n"));
+        let parsed = Trace::from_text(&text).expect("parses");
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.to_text(), text);
+        // Traces predating the header still parse.
+        let old = sample().to_text();
+        assert!(!old.contains("recorded_by"));
+        assert_eq!(Trace::from_text(&old).unwrap().meta.recorded_by, None);
+        // …and an empty executor name is rejected.
+        assert!(
+            Trace::from_text(&old.replace("\nrecords 3\n", "\nrecorded_by\nrecords 3\n")).is_err()
+        );
     }
 
     #[test]

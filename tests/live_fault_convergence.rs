@@ -1,0 +1,269 @@
+//! The full fault battery on the live threaded runtime, with the
+//! simulator as the convergence oracle: the same `FaultPlan` dimensions
+//! that torture the deterministic executor — OST crash windows,
+//! controller stalls, stats loss, disk degradation — now run on real OS
+//! threads, and the per-job bandwidth shares they produce must land
+//! within the cross-executor tolerance of the simulated run under the
+//! same plan. Every live run's `FaultStats` partition is audited with the
+//! same invariants the simulator guarantees: no RPC a crash displaces is
+//! ever silently dropped.
+//!
+//! These are wall-clock tests (each live run takes its scenario duration
+//! in real time), so the mixes are short saturating workloads — shares
+//! stay policy-governed rather than completion-governed, which is what
+//! makes small-scale comparison meaningful.
+
+use adaptbf::analysis::resilience::conservation_ok;
+use adaptbf::model::config::paper;
+use adaptbf::model::{AdapTbfConfig, JobId, SimDuration, SimTime};
+use adaptbf::node::FaultStats;
+use adaptbf::runtime::{LiveCluster, LiveTuning};
+use adaptbf::sim::cluster::ClusterConfig;
+use adaptbf::sim::{Experiment, Policy};
+use adaptbf::workload::{CrashSpec, FaultPlan, JobSpec, ProcessSpec, Scenario, StallSpec};
+
+/// Cross-executor per-job served-share tolerance — the PR 5 bound the
+/// fault-free convergence suite pins, now held *through faults*.
+const SHARE_TOLERANCE: f64 = 0.12;
+
+/// Wall clock per live run.
+const RUN_MS: u64 = 2000;
+
+fn adaptbf_cfg() -> AdapTbfConfig {
+    AdapTbfConfig {
+        period: SimDuration::from_millis(25),
+        max_token_rate: 2000.0,
+        ..paper::adaptbf()
+    }
+}
+
+fn policies() -> Vec<Policy> {
+    vec![
+        Policy::NoBw,
+        Policy::StaticBw,
+        Policy::AdapTbf(adaptbf_cfg()),
+    ]
+}
+
+/// The live testbed and the simulated wiring describing the same
+/// hardware, as in the fault-free convergence suite, but striped over a
+/// pair of OSTs so crash windows have a surviving stripe member.
+fn wirings(n_osts: usize, faults: FaultPlan) -> (LiveTuning, ClusterConfig) {
+    let tuning = LiveTuning {
+        n_osts,
+        stripe_count: n_osts,
+        ..LiveTuning::fast_test()
+    };
+    let cluster = ClusterConfig {
+        ost: tuning.ost,
+        tbf: tuning.tbf,
+        n_clients: tuning.n_clients,
+        n_osts: tuning.n_osts,
+        stripe_count: tuning.stripe_count,
+        static_rate_total: tuning.static_rate_total,
+        faults,
+        ..ClusterConfig::default()
+    };
+    (tuning, cluster)
+}
+
+/// Two saturating continuous jobs at 25/75 % priority: enough demand that
+/// shares are governed by the policy all the way through the fault
+/// window.
+fn saturating_pair() -> Scenario {
+    Scenario::new(
+        "fault_battery",
+        "two saturating continuous jobs at 25/75% priority",
+        vec![
+            JobSpec::uniform(JobId(1), 1, 2, ProcessSpec::continuous(1_000_000)),
+            JobSpec::uniform(JobId(2), 3, 2, ProcessSpec::continuous(1_000_000)),
+        ],
+        SimDuration::from_millis(RUN_MS),
+    )
+}
+
+/// A crash window over the middle of the run: OST 0 dies at 25% of the
+/// horizon and rejoins at 50%, with a 30 ms client resend timeout.
+fn mid_crash() -> CrashSpec {
+    CrashSpec {
+        ost: 0,
+        from: SimTime::from_millis(RUN_MS / 4),
+        for_: SimDuration::from_millis(RUN_MS / 4),
+        resend_after: SimDuration::from_millis(30),
+    }
+}
+
+/// The partition invariants both executors guarantee (the same audit
+/// `conservation_ok` folds into campaign scoring, spelled out per field).
+fn audit_partition(fs: &FaultStats, what: &str) {
+    assert!(
+        fs.lost_in_service <= fs.resent,
+        "{what}: lost_in_service {} > resent {}",
+        fs.lost_in_service,
+        fs.resent
+    );
+    assert!(
+        fs.undelivered <= fs.resent + fs.parked,
+        "{what}: undelivered {} > resent {} + parked {}",
+        fs.undelivered,
+        fs.resent,
+        fs.parked
+    );
+}
+
+/// Run the scenario under `faults` on both executors for every policy and
+/// assert per-job share convergence plus the accounting audits.
+fn assert_faulty_shares_converge(faults: FaultPlan, n_osts: usize, expect_displacement: bool) {
+    faults.validate().expect("a valid plan");
+    let scenario = saturating_pair();
+    let (tuning, cluster) = wirings(n_osts, faults);
+    for policy in policies() {
+        let sim = Experiment::new(scenario.clone(), policy)
+            .seed(7)
+            .cluster_config(cluster)
+            .run();
+        let live = LiveCluster::run_with_faults(&scenario, policy, tuning, &faults, 7)
+            .expect("the full battery is live-feasible");
+        assert!(
+            live.total_served() > 500,
+            "{}: live run barely served: {}",
+            policy.name(),
+            live.total_served()
+        );
+        assert!(conservation_ok(&sim), "{}: sim books leaked", policy.name());
+        assert!(
+            conservation_ok(&live.report),
+            "{}: live books leaked: {:?}",
+            policy.name(),
+            live.report.fault_stats
+        );
+        audit_partition(&sim.fault_stats, policy.name());
+        audit_partition(&live.report.fault_stats, policy.name());
+        if expect_displacement {
+            let fs = live.report.fault_stats;
+            assert!(
+                fs.resent + fs.rerouted + fs.parked > 0,
+                "{}: the live crash window displaced nothing: {fs:?}",
+                policy.name()
+            );
+        } else {
+            assert_eq!(
+                live.report.fault_stats,
+                FaultStats::default(),
+                "{}: cycle-indexed faults displace no RPCs",
+                policy.name()
+            );
+        }
+        for job in scenario.job_ids() {
+            let sim_share = sim.served_share(job);
+            let live_share = live.report.served_share(job);
+            assert!(
+                (sim_share - live_share).abs() <= SHARE_TOLERANCE,
+                "{}: {job} diverged through the fault: sim {sim_share:.3} vs live \
+                 {live_share:.3} (tolerance {SHARE_TOLERANCE}); sim {:?} live {:?}",
+                policy.name(),
+                sim.metrics.served_by_job(),
+                live.served(),
+            );
+        }
+    }
+}
+
+/// Crash battery: a mid-run OST crash on a striped pair. All three
+/// policies must keep cross-executor share convergence through the
+/// failover, and the displaced traffic must be fully accounted.
+#[test]
+fn crash_window_shares_converge_across_executors() {
+    let faults = FaultPlan {
+        ost_crash: Some(mid_crash()),
+        ..FaultPlan::none()
+    };
+    assert_faulty_shares_converge(faults, 2, true);
+}
+
+/// Cycle-indexed battery: controller stalls (2 of every 4 cycles) plus
+/// periodic stats loss, driven by the live runtime's per-OST
+/// deterministic cycle counters. No RPCs are displaced; shares must still
+/// converge to the simulator's.
+#[test]
+fn stall_and_stats_loss_shares_converge_across_executors() {
+    let faults = FaultPlan {
+        controller_stall: Some(StallSpec {
+            every: 4,
+            duration: 2,
+        }),
+        stats_loss_every: Some(3),
+        ..FaultPlan::none()
+    };
+    assert_faulty_shares_converge(faults, 1, false);
+}
+
+/// The compound mix — crash window, controller stall, stats loss and a
+/// disk-degradation window all in one plan — runs live under AdapTBF and
+/// recovers: served shares return to the policy's split after the
+/// disturbances clear, and the accounting partition still balances.
+#[test]
+fn compound_fault_battery_recovers_live() {
+    use adaptbf::workload::DegradeSpec;
+    let faults = FaultPlan {
+        ost_crash: Some(mid_crash()),
+        controller_stall: Some(StallSpec {
+            every: 8,
+            duration: 2,
+        }),
+        stats_loss_every: Some(5),
+        disk_degrade: Some(DegradeSpec {
+            from: SimTime::from_millis(RUN_MS * 5 / 8),
+            for_: SimDuration::from_millis(RUN_MS / 8),
+            factor: 2.0,
+        }),
+        ..FaultPlan::none()
+    };
+    faults.validate().expect("a valid compound plan");
+    let scenario = saturating_pair();
+    let (tuning, _) = wirings(2, faults);
+    let live = LiveCluster::run_with_faults(
+        &scenario,
+        Policy::AdapTbf(adaptbf_cfg()),
+        tuning,
+        &faults,
+        7,
+    )
+    .expect("the compound battery is live-feasible");
+    assert!(
+        conservation_ok(&live.report),
+        "{:?}",
+        live.report.fault_stats
+    );
+    audit_partition(&live.report.fault_stats, "compound");
+    let fs = live.report.fault_stats;
+    assert!(
+        fs.resent + fs.rerouted + fs.parked > 0,
+        "the crash inside the compound mix displaced nothing: {fs:?}"
+    );
+    assert!(live.total_served() > 500, "served {}", live.total_served());
+    // The policy's split survives the battery: the 75% job stays ahead.
+    let low = live.report.served_share(JobId(1));
+    let high = live.report.served_share(JobId(2));
+    assert!(
+        high > low,
+        "priority order inverted through the battery: low {low:.3} high {high:.3}"
+    );
+}
+
+/// An out-of-range crash target is refused up front — the live runtime
+/// validates the plan against the wiring exactly like `plan_file_run`.
+#[test]
+fn live_battery_rejects_out_of_range_crash_targets() {
+    let faults = FaultPlan {
+        ost_crash: Some(CrashSpec {
+            ost: 7,
+            ..mid_crash()
+        }),
+        ..FaultPlan::none()
+    };
+    let (tuning, _) = wirings(2, faults);
+    let err = LiveCluster::run_with_faults(&saturating_pair(), Policy::NoBw, tuning, &faults, 7)
+        .unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}

@@ -251,6 +251,100 @@ fn recording_and_replay_are_exact_across_shard_counts() {
     }
 }
 
+/// Record → replay across executors: a *live* (wall-clock, faulty) run's
+/// recorded arrivals replay in the deterministic simulator. The recording
+/// itself carries scheduler noise, so the oracle is determinism of the
+/// replay: two independent sim replays of the live trace — at different
+/// shard counts — must agree byte-exactly on per-job served bytes, and the
+/// replay's accounting must pass the same audits as any faulty sim run.
+#[test]
+fn live_recording_replays_deterministically_in_the_simulator() {
+    use adaptbf::model::{SimDuration, SimTime};
+    use adaptbf::runtime::{LiveCluster, LiveTuning};
+    use adaptbf::workload::{CrashSpec, FaultPlan, JobSpec, ProcessSpec};
+
+    let scenario = Scenario::new(
+        "live_capture",
+        "two continuous jobs on a striped pair with a mid-run crash",
+        vec![
+            JobSpec::uniform(JobId(1), 1, 2, ProcessSpec::continuous(1_000_000)),
+            JobSpec::uniform(JobId(2), 3, 2, ProcessSpec::continuous(1_000_000)),
+        ],
+        SimDuration::from_millis(800),
+    );
+    let faults = FaultPlan {
+        ost_crash: Some(CrashSpec {
+            ost: 0,
+            from: SimTime::from_millis(200),
+            for_: SimDuration::from_millis(200),
+            resend_after: SimDuration::from_millis(30),
+        }),
+        ..FaultPlan::none()
+    };
+    let tuning = LiveTuning {
+        n_osts: 2,
+        stripe_count: 2,
+        ..LiveTuning::fast_test()
+    };
+    let (live, trace) =
+        LiveCluster::record_with_faults(&scenario, Policy::NoBw, tuning, &faults, 11)
+            .expect("crash plans record live");
+    assert_eq!(trace.meta.recorded_by.as_deref(), Some("live"));
+    assert_eq!(trace.meta.faults, faults, "the plan rides the header");
+    assert!(
+        trace.records.len() > 100,
+        "a real workload was captured: {} records",
+        trace.records.len()
+    );
+    let displaced = live.report.fault_stats;
+    assert!(
+        displaced.resent + displaced.rerouted + displaced.parked > 0,
+        "the live crash displaced traffic: {displaced:?}"
+    );
+
+    // Through the text form, as a user would store it.
+    let parsed = Trace::from_text(&trace.to_text()).expect("live trace parses");
+    assert_eq!(parsed, trace);
+
+    // Two independent simulator replays at different shard counts: the
+    // per-job served bytes must be byte-exact between them.
+    let cfg = adaptbf::sim::replay_cluster_config(&parsed);
+    assert_eq!(cfg.faults, faults);
+    let replay_a = Cluster::build_replay(&parsed, Policy::NoBw, 11, cfg)
+        .shards(1)
+        .run();
+    let replay_b = Cluster::build_replay(&parsed, Policy::NoBw, 11, cfg)
+        .shards(8)
+        .run();
+    let rpc_size = cfg.ost.rpc_size;
+    assert_eq!(
+        served_bytes(&replay_a.metrics, rpc_size),
+        served_bytes(&replay_b.metrics, rpc_size),
+        "replaying the live recording must be deterministic"
+    );
+    assert_eq!(replay_a.metrics.served(), replay_b.metrics.served());
+    assert_eq!(replay_a.metrics.demand(), replay_b.metrics.demand());
+    assert_eq!(replay_a.fault_stats, replay_b.fault_stats);
+
+    // The replay regenerates the crash from the header: its own audited
+    // accounting partition balances, and every job makes progress.
+    let fs = replay_a.fault_stats;
+    assert!(fs.lost_in_service <= fs.resent, "{fs:?}");
+    assert!(fs.undelivered <= fs.resent + fs.parked, "{fs:?}");
+    for job in scenario.job_ids() {
+        assert!(
+            replay_a
+                .metrics
+                .served_by_job()
+                .get(&job)
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "{job} starved in the replay"
+        );
+    }
+}
+
 /// A trace converted back to a `Scenario` (open-loop `timed` processes)
 /// is a valid workload for any policy — the data-driven path the issue's
 /// SDN-QoS related work drives controllers with.
