@@ -16,18 +16,30 @@
 //! the audited `FaultStats` partition (resent / lost-in-service /
 //! rerouted / parked / undelivered) from the live failover path.
 //!
+//! A third, saturation section ramps open-loop offered load on a wider
+//! emulated testbed (4 OSTs × 32 I/O threads at a 100 µs service
+//! quantum) until served RPC/s stops tracking offered RPC/s, and reports
+//! the throughput ceiling of the live data plane.
+//!
 //! Writes `BENCH_live.json` at the workspace root.
 //!
 //! `--smoke` runs a single short AdapTBF live run and fails (exit 1) if
 //! any job is starved (zero served RPCs) — the CI guard that the live
 //! path actually moves every job's bytes.
+//!
+//! `--saturate` runs only the saturation ramp. With `--smoke` it uses a
+//! shorter ramp (no_bw only); with `--check-floor` it compares the
+//! measured ceiling against `crates/bench/live_floor.txt` and fails on a
+//! >30% regression; `--write-floor` refreshes that file.
 
 use adaptbf_cli::live_tuning_from;
-use adaptbf_model::{SimDuration, SimTime};
-use adaptbf_runtime::{LiveCluster, LiveReport};
+use adaptbf_model::{config::paper, JobId, OstConfig, SimDuration, SimTime, TbfSchedulerConfig};
+use adaptbf_runtime::{LiveCluster, LiveReport, LiveTuning};
 use adaptbf_sim::cluster::ClusterConfig;
 use adaptbf_sim::{Experiment, Policy, RunReport};
-use adaptbf_workload::{scenarios, CrashSpec, FaultPlan, Scenario};
+use adaptbf_workload::{
+    scenarios, CrashSpec, FaultPlan, JobSpec, ProcessSpec, Scenario, WorkChunk,
+};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -119,6 +131,251 @@ fn run_faulted_pair(scenario: &Scenario, policy: Policy, label: &'static str) ->
     }
 }
 
+// ---------------------------------------------------------------------------
+// Saturation ramp: how many RPC/s can the live data plane actually move?
+// ---------------------------------------------------------------------------
+
+/// Jobs × processes the ramp spreads its offered load over.
+const SAT_JOBS: u32 = 2;
+const SAT_PROCS_PER_JOB: u32 = 4;
+/// Open-loop arrival granularity of the offered-load schedule.
+const SAT_STEP_US: u64 = 5_000;
+/// A level is saturated when served/s falls below this fraction of
+/// offered/s…
+const SAT_TRACKING: f64 = 0.85;
+/// …or when doubling the offered load grew served/s by less than this
+/// factor (the plateau test).
+const SAT_GROWTH: f64 = 1.10;
+/// `--check-floor` fails when the ceiling drops below floor × this.
+const FLOOR_SLACK: f64 = 0.7;
+
+/// The wide testbed the ramp runs on: 4 OSTs × 32 emulated I/O threads at
+/// a 100 µs deterministic service quantum — 320k RPC/s of device capacity
+/// per OST, 1.28M aggregate, so the data plane (channels, heap, metrics)
+/// is the binding constraint, not the emulated disk.
+fn saturation_tuning() -> LiveTuning {
+    LiveTuning {
+        ost: OstConfig {
+            n_io_threads: 32,
+            disk_bw_bytes_per_s: 32 * 4096 * 10_000,
+            service_jitter: 0.0,
+            rpc_size: 4096,
+        },
+        tbf: TbfSchedulerConfig::default(),
+        n_osts: 4,
+        n_clients: 4,
+        stripe_count: 1,
+        static_rate_total: 400_000.0,
+        bucket: SimDuration::from_millis(100),
+        payload_bytes: 4096,
+        max_batch: 512,
+        pin_threads: false,
+    }
+}
+
+/// Saturation-ramp policies: the raw ceiling (no_bw) plus AdapTBF with its
+/// token ceiling lifted to the testbed's scale, so the ramp measures the
+/// controller's overhead rather than its deliberate throttle.
+fn saturation_policies(smoke: bool) -> Vec<(Policy, &'static str)> {
+    let mut v = vec![(Policy::NoBw, "no_bw")];
+    if !smoke {
+        v.push((
+            Policy::AdapTbf(paper::adaptbf().with_max_token_rate(400_000.0)),
+            "adaptbf",
+        ));
+    }
+    v
+}
+
+/// An open-loop scenario offering `offered_rps` RPC/s in aggregate:
+/// 2 jobs × 4 processes, each releasing its share of the load in 5 ms
+/// timed chunks (fractional RPCs carried forward) under a window wide
+/// enough that the client never self-throttles.
+fn saturation_scenario(offered_rps: u64, duration: SimDuration) -> Scenario {
+    let n_procs = (SAT_JOBS * SAT_PROCS_PER_JOB) as f64;
+    let per_proc_per_step = offered_rps as f64 / n_procs * (SAT_STEP_US as f64 / 1e6);
+    let steps = duration.as_nanos() / (SAT_STEP_US * 1_000);
+    let chunks_for_proc = || {
+        let mut chunks = Vec::with_capacity(steps as usize);
+        let mut carry = 0.0;
+        for s in 0..steps {
+            let due = per_proc_per_step + carry;
+            let rpcs = due.floor() as u64;
+            carry = due - rpcs as f64;
+            if rpcs > 0 {
+                chunks.push(WorkChunk {
+                    at: SimTime::from_micros(s * SAT_STEP_US),
+                    rpcs,
+                });
+            }
+        }
+        chunks
+    };
+    let jobs = (1..=SAT_JOBS)
+        .map(|id| JobSpec {
+            id: JobId(id),
+            nodes: 1,
+            processes: (0..SAT_PROCS_PER_JOB)
+                .map(|_| ProcessSpec::timed(chunks_for_proc()).with_max_inflight(8192))
+                .collect(),
+        })
+        .collect();
+    Scenario::new(
+        "saturation",
+        "open-loop offered-load ramp for the live data plane",
+        jobs,
+        duration,
+    )
+}
+
+/// One measured rung of the ramp.
+struct SatLevel {
+    offered_rps: u64,
+    served: u64,
+    wall_s: f64,
+    rps: f64,
+}
+
+/// Ramp offered load (doubling per rung) until served/s stops tracking
+/// offered/s or plateaus; returns the rungs and the ceiling (max measured
+/// served/s).
+fn run_saturation_ramp(policy: Policy, smoke: bool) -> (Vec<SatLevel>, f64) {
+    let tuning = saturation_tuning();
+    let (duration, offers): (SimDuration, &[u64]) = if smoke {
+        (
+            SimDuration::from_secs(1),
+            &[50_000, 100_000, 200_000, 400_000],
+        )
+    } else {
+        (
+            SimDuration::from_millis(1500),
+            &[25_000, 50_000, 100_000, 200_000, 400_000, 800_000],
+        )
+    };
+    let mut levels = Vec::new();
+    let mut ceiling = 0.0_f64;
+    let mut prev_rps = 0.0_f64;
+    for &offered in offers {
+        let scenario = saturation_scenario(offered, duration);
+        let live = LiveCluster::run(&scenario, policy, tuning, SEED);
+        let wall_s = live.elapsed.as_secs_f64();
+        let served = live.total_served();
+        let rps = served as f64 / wall_s;
+        ceiling = ceiling.max(rps);
+        println!(
+            "  offered {:>7}/s: served {:>7} in {:>5.2}s = {:>7.0} RPC/s",
+            offered, served, wall_s, rps
+        );
+        let saturated =
+            rps < offered as f64 * SAT_TRACKING || (prev_rps > 0.0 && rps < prev_rps * SAT_GROWTH);
+        prev_rps = rps;
+        levels.push(SatLevel {
+            offered_rps: offered,
+            served,
+            wall_s,
+            rps,
+        });
+        if saturated {
+            break;
+        }
+    }
+    (levels, ceiling)
+}
+
+/// Render the `saturation` JSON section (shared by the full bench run and
+/// `--saturate`).
+fn saturation_json(results: &[(&'static str, Vec<SatLevel>, f64)]) -> String {
+    let t = saturation_tuning();
+    let mut json = String::from("  \"saturation\": {\n");
+    let _ = writeln!(json, "    \"n_osts\": {},", t.n_osts);
+    let _ = writeln!(json, "    \"n_io_threads\": {},", t.ost.n_io_threads);
+    let _ = writeln!(
+        json,
+        "    \"service_quantum_us\": {:.0},",
+        t.ost.mean_service_secs() * 1e6
+    );
+    let _ = writeln!(json, "    \"max_batch\": {},", t.max_batch);
+    let _ = writeln!(json, "    \"procs\": {},", SAT_JOBS * SAT_PROCS_PER_JOB);
+    for (i, (label, levels, ceiling)) in results.iter().enumerate() {
+        let _ = writeln!(json, "    \"{label}\": {{");
+        json.push_str("      \"levels\": [\n");
+        for (k, l) in levels.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"offered_rps\": {}, \"served\": {}, \"wall_s\": {:.3}, \
+                 \"rps\": {:.0}}}{}",
+                l.offered_rps,
+                l.served,
+                l.wall_s,
+                l.rps,
+                if k + 1 < levels.len() { "," } else { "" }
+            );
+        }
+        json.push_str("      ],\n");
+        let _ = writeln!(json, "      \"ceiling_rps\": {ceiling:.0}");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n");
+    json
+}
+
+/// Run the full ramp across the saturation policies.
+fn run_saturation(smoke: bool) -> Vec<(&'static str, Vec<SatLevel>, f64)> {
+    let mut results = Vec::new();
+    for (policy, label) in saturation_policies(smoke) {
+        println!("saturation ramp [{label}]:");
+        let (levels, ceiling) = run_saturation_ramp(policy, smoke);
+        println!("  ceiling: {ceiling:.0} RPC/s");
+        results.push((label, levels, ceiling));
+    }
+    results
+}
+
+fn floor_path() -> PathBuf {
+    workspace_root().join("crates/bench/live_floor.txt")
+}
+
+/// `--saturate` entry point: ramp, then optionally gate on / refresh the
+/// stored floor. The floor gate uses the *no_bw* ceiling — the raw data
+/// plane, no controller in the way.
+fn run_saturate_cli(smoke: bool, check_floor: bool, write_floor: bool) {
+    let results = run_saturation(smoke);
+    let ceiling = results
+        .iter()
+        .find(|(l, ..)| *l == "no_bw")
+        .map(|(_, _, c)| *c)
+        .expect("no_bw always runs");
+    if write_floor {
+        let path = floor_path();
+        std::fs::write(&path, format!("{ceiling:.0}\n")).expect("write live_floor.txt");
+        println!("wrote floor {:.0} to {}", ceiling, path.display());
+    }
+    if check_floor {
+        let path = floor_path();
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let floor: f64 = text
+            .trim()
+            .parse()
+            .expect("live_floor.txt holds one number");
+        let min = floor * FLOOR_SLACK;
+        if ceiling < min {
+            eprintln!(
+                "FAIL: saturation ceiling {ceiling:.0} RPC/s is below {min:.0} \
+                 (floor {floor:.0} × {FLOOR_SLACK})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "OK: ceiling {ceiling:.0} RPC/s clears floor {floor:.0} × {FLOOR_SLACK} = {min:.0}"
+        );
+    }
+}
+
 fn workspace_root() -> PathBuf {
     std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| Path::new(&d).join("../.."))
@@ -126,7 +383,13 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    if has("--saturate") {
+        run_saturate_cli(has("--smoke"), has("--check-floor"), has("--write-floor"));
+        return;
+    }
+    if has("--smoke") {
         run_smoke();
         return;
     }
@@ -271,7 +534,13 @@ fn main() {
             if i + 1 < faulted.len() { "," } else { "" }
         );
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+
+    println!("\n== saturation: offered-load ramp on the wide live testbed ==\n");
+    let sat = run_saturation(false);
+    json.push_str(&saturation_json(&sat));
+    json.push('}');
+    json.push('\n');
     let path = workspace_root().join("BENCH_live.json");
     std::fs::write(&path, &json).expect("write BENCH_live.json");
     println!("\nwrote {}", path.display());

@@ -62,7 +62,7 @@ pub const USAGE: &str = "usage: adaptbf <command> [options]\n\
   byte-exactly. Built-ins `ost_failover` and `churn_under_degradation`\n\
   ship with fault plans; every fault runs under --live too. A file's\n\
   optional `tuning` block pins live-testbed knobs (payload_bytes,\n\
-  service_quantum_us, pin_threads); the simulator ignores it.\n\
+  service_quantum_us, send_batch, pin_threads); the simulator ignores it.\n\
   options:\n\
     --policy no_bw|static_bw|adaptbf   (run/record/replay; default adaptbf,\n\
                                         replay defaults to the recorded policy)\n\
@@ -513,6 +513,7 @@ pub fn live_tuning_from(cluster: &ClusterConfig) -> LiveTuning {
         static_rate_total: cluster.static_rate_total,
         bucket: cluster.bucket,
         payload_bytes: 4096,
+        max_batch: 256,
         pin_threads: false,
     }
 }
@@ -531,6 +532,9 @@ pub fn live_tuning_with(cluster: &ClusterConfig, tuning: &TuningSpec) -> LiveTun
         let quantum_secs = us as f64 / 1e6;
         t.ost.disk_bw_bytes_per_s =
             (t.ost.rpc_size as f64 * t.ost.n_io_threads as f64 / quantum_secs) as u64;
+    }
+    if let Some(batch) = tuning.send_batch {
+        t.max_batch = batch as usize;
     }
     if let Some(pin) = tuning.pin_threads {
         t.pin_threads = pin;
@@ -1185,10 +1189,12 @@ mod tests {
         let tuning = TuningSpec {
             payload_bytes: Some(8192),
             service_quantum_us: Some(2000),
+            send_batch: Some(32),
             pin_threads: Some(true),
         };
         let t = live_tuning_with(&cluster, &tuning);
         assert_eq!(t.payload_bytes, 8192);
+        assert_eq!(t.max_batch, 32);
         assert!(t.pin_threads);
         // A 2 ms quantum: the derived bandwidth must put the mean per-RPC
         // service time at exactly the requested quantum.

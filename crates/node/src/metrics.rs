@@ -529,6 +529,33 @@ impl Metrics {
         self.last_service = self.last_service.max(other.last_service);
     }
 
+    /// Fold per-shard collectors into one finalized run collector — the
+    /// shared fold surface of both sharded executors (the sim's per-OST
+    /// event-loop shards and the live runtime's per-OST thread shards).
+    ///
+    /// `shards` must arrive in **ascending shard order** (see
+    /// [`Metrics::absorb`]'s gauge last-write-wins contract). `released`
+    /// carries the run's release denominators, which are only known to the
+    /// merged collector; completions are rebuilt from the merged counters
+    /// and every series is aligned to cover `until`.
+    pub fn fold_shards(
+        bucket: SimDuration,
+        shards: impl IntoIterator<Item = Metrics>,
+        released: impl IntoIterator<Item = (JobId, u64)>,
+        until: SimTime,
+    ) -> Metrics {
+        let mut folded = Metrics::new(bucket);
+        for shard in shards {
+            folded.absorb(&shard);
+        }
+        for (job, total) in released {
+            folded.set_released(job, total);
+        }
+        folded.rebuild_completions();
+        folded.finalize(until);
+        folded
+    }
+
     /// Recompute completion instants from merged counters: a tracked job
     /// that served exactly its released total completed at its last
     /// serve. Identical to the inline detection in the serve path (the
@@ -695,6 +722,50 @@ mod tests {
         sh0.set_released(JobId(2), 4);
         sh0.rebuild_completions();
         assert_eq!(sh0.completion_of(JobId(2)), None);
+    }
+
+    #[test]
+    fn fold_shards_matches_a_single_collector() {
+        // The one-call fold must equal the manual absorb → set_released →
+        // rebuild_completions → finalize sequence *and* an unsharded
+        // collector that saw every event inline.
+        let mut inline = m();
+        inline.set_released(JobId(1), 2);
+        inline.on_served_at(JobId(1), SimTime::from_millis(40), SimTime::ZERO);
+        inline.on_arrival(JobId(2), SimTime::from_millis(60));
+        inline.on_served_at(JobId(1), SimTime::from_millis(90), SimTime::from_millis(10));
+        inline.finalize(SimTime::from_millis(500));
+
+        let mut sh0 = m();
+        sh0.on_served_at(JobId(1), SimTime::from_millis(40), SimTime::ZERO);
+        let mut sh1 = m();
+        sh1.on_arrival(JobId(2), SimTime::from_millis(60));
+        sh1.on_served_at(JobId(1), SimTime::from_millis(90), SimTime::from_millis(10));
+        let folded = Metrics::fold_shards(
+            SimDuration::from_millis(100),
+            [sh0, sh1],
+            [(JobId(1), 2)],
+            SimTime::from_millis(500),
+        );
+        assert_eq!(folded.total_served(), inline.total_served());
+        assert_eq!(folded.served_by_job(), inline.served_by_job());
+        assert_eq!(
+            folded.completion_of(JobId(1)),
+            Some(SimTime::from_millis(90))
+        );
+        assert_eq!(folded.completion_time(), inline.completion_time());
+        assert_eq!(
+            folded.served().get(JobId(1)).unwrap().values,
+            inline.served().get(JobId(1)).unwrap().values
+        );
+        assert_eq!(
+            folded.demand().get(JobId(2)).unwrap().values,
+            inline.demand().get(JobId(2)).unwrap().values
+        );
+        assert_eq!(
+            folded.latency(JobId(1)).count(),
+            inline.latency(JobId(1)).count()
+        );
     }
 
     #[test]

@@ -1,10 +1,19 @@
 //! Client processes as real threads: bounded-window issuance over
 //! channels, with open-loop chunks, closed-loop burst support, Lustre-style
 //! striping over the process's OST set, and churn-fault gating.
+//!
+//! Issuance is batched: each pass builds up to `max_batch` RPCs, stripes
+//! them over the OST set, and sends **one** [`LiveBatch`] per target —
+//! so a channel operation amortizes over the whole batch. Completions
+//! come back as counted tokens (each `u64` worth that many finished
+//! RPCs), drained non-blockingly after every blocking receive. Issued
+//! counts are recorded only **after** a successful send, so the
+//! collector's issued totals match `ProcFinal.issued` exactly even when
+//! an OST hangs up mid-run.
 
 use crate::clock::WallClock;
-use crate::metrics::LiveMetrics;
-use crate::ost::LiveRpc;
+use crate::metrics::ClientSlot;
+use crate::ost::LiveBatch;
 use adaptbf_model::{ClientId, JobId, OpCode, ProcId, Rpc, RpcId, SimTime};
 use adaptbf_workload::{FaultPlan, ProcessSpec};
 use bytes::Bytes;
@@ -27,9 +36,10 @@ pub struct ProcFinal {
 ///
 /// `ost_txs` is the process's *stripe set* in stripe order: sequential
 /// RPCs round-robin over it exactly like the simulator's striped issue
-/// path. `faults` may carry a `job_churn` schedule; while this process is
-/// churned offline it stops issuing (work keeps accumulating client-side
-/// and in-flight RPCs complete normally), mirroring the simulator's gate.
+/// path, batched `max_batch` at a time. `faults` may carry a `job_churn`
+/// schedule; while this process is churned offline it stops issuing (work
+/// keeps accumulating client-side and in-flight RPCs complete normally),
+/// mirroring the simulator's gate.
 #[allow(clippy::too_many_arguments)]
 pub fn spawn_process(
     job: JobId,
@@ -37,19 +47,20 @@ pub fn spawn_process(
     client: ClientId,
     spec: ProcessSpec,
     horizon: SimTime,
-    ost_txs: Vec<Sender<LiveRpc>>,
+    ost_txs: Vec<Sender<LiveBatch>>,
     faults: FaultPlan,
     clock: WallClock,
     rpc_ids: Arc<AtomicU64>,
     payload: Bytes,
-    metrics: LiveMetrics,
+    slot: ClientSlot,
+    max_batch: usize,
 ) -> JoinHandle<ProcFinal> {
     std::thread::Builder::new()
         .name(format!("{job}-{proc_id}"))
         .spawn(move || {
             run_process(
                 job, proc_id, client, spec, horizon, ost_txs, faults, clock, rpc_ids, payload,
-                metrics,
+                slot, max_batch,
             )
         })
         .expect("spawn client thread")
@@ -62,15 +73,22 @@ fn run_process(
     client: ClientId,
     spec: ProcessSpec,
     horizon: SimTime,
-    ost_txs: Vec<Sender<LiveRpc>>,
+    ost_txs: Vec<Sender<LiveBatch>>,
     faults: FaultPlan,
     clock: WallClock,
     rpc_ids: Arc<AtomicU64>,
     payload: Bytes,
-    metrics: LiveMetrics,
+    slot: ClientSlot,
+    max_batch: usize,
 ) -> ProcFinal {
     assert!(!ost_txs.is_empty(), "process needs at least one OST");
-    let (done_tx, done_rx) = bounded::<()>(spec.max_inflight.max(1));
+    let max_batch = max_batch.max(1);
+    let n_targets = ost_txs.len();
+    // Counted completion tokens: at most `max_inflight` RPCs are
+    // outstanding and every token counts at least one, so the channel can
+    // never hold more than `max_inflight` messages — OST flushes never
+    // block on it.
+    let (done_tx, done_rx) = bounded::<u64>(spec.max_inflight.max(1));
     let horizon_span = horizon - SimTime::ZERO;
     let mut chunks = spec.pattern.arrivals(spec.file_rpcs, horizon_span);
     chunks.sort_by_key(|c| c.at);
@@ -89,6 +107,8 @@ fn run_process(
     let mut inflight = 0usize;
     let mut issued = 0u64;
     let mut completed = 0u64;
+    // Striped batch scratch, one bucket per stripe target.
+    let mut per_target: Vec<Vec<Rpc>> = vec![Vec::new(); n_targets];
 
     loop {
         let now = clock.now();
@@ -113,36 +133,50 @@ fn run_process(
         // (released work queues up client-side meanwhile).
         let offline_until = faults.churn_offline_until(proc_id.raw() as usize, now);
 
-        // Issue while the window allows, striping sequential RPCs over
-        // the process's OST set.
+        // Issue while the window allows: build a batch, stripe it over
+        // the OST set, one send per target.
         while offline_until.is_none() && available > 0 && inflight < spec.max_inflight {
-            let id = RpcId(rpc_ids.fetch_add(1, Ordering::Relaxed));
-            let rpc = Rpc {
-                id,
-                job,
-                client,
-                proc_id,
-                op: OpCode::Write,
-                size_bytes: payload.len() as u64,
-                issued_at: now,
-            };
-            metrics.on_issued(job);
-            let target = &ost_txs[(issued % ost_txs.len() as u64) as usize];
-            if target
-                .send(LiveRpc {
-                    rpc,
-                    payload: payload.clone(),
-                    reply_to: done_tx.clone(),
-                    handoff: false,
-                })
-                .is_err()
-            {
-                // OST gone: nothing more to do.
-                return ProcFinal { issued, completed };
+            let n = available
+                .min((spec.max_inflight - inflight) as u64)
+                .min(max_batch as u64);
+            for k in 0..n {
+                let id = RpcId(rpc_ids.fetch_add(1, Ordering::Relaxed));
+                let rpc = Rpc {
+                    id,
+                    job,
+                    client,
+                    proc_id,
+                    op: OpCode::Write,
+                    size_bytes: payload.len() as u64,
+                    issued_at: now,
+                };
+                per_target[((issued + k) % n_targets as u64) as usize].push(rpc);
             }
-            available -= 1;
-            inflight += 1;
-            issued += 1;
+            for (target, batch) in per_target.iter_mut().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                let rpcs = std::mem::take(batch);
+                let sent = rpcs.len() as u64;
+                if ost_txs[target]
+                    .send(LiveBatch {
+                        rpcs,
+                        payload: payload.clone(),
+                        reply_to: done_tx.clone(),
+                        handoff: false,
+                    })
+                    .is_err()
+                {
+                    // OST gone: nothing more to do. Only successfully
+                    // sent batches were counted, so the collector's
+                    // issued totals still match ours exactly.
+                    return ProcFinal { issued, completed };
+                }
+                slot.on_issued(sent);
+                issued += sent;
+            }
+            available -= n;
+            inflight += n as usize;
         }
 
         // Schedule the next closed-loop burst when fully drained.
@@ -169,9 +203,15 @@ fn run_process(
 
         if inflight > 0 {
             match done_rx.recv_timeout(timeout.min(Duration::from_millis(50))) {
-                Ok(()) => {
-                    inflight -= 1;
-                    completed += 1;
+                Ok(n) => {
+                    inflight -= (n as usize).min(inflight);
+                    completed += n;
+                    // Drain every token already buffered: one wake refills
+                    // the whole window.
+                    while let Some(n) = done_rx.try_recv() {
+                        inflight -= (n as usize).min(inflight);
+                        completed += n;
+                    }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -184,9 +224,9 @@ fn run_process(
     // Drain outstanding replies briefly so OST sends don't error.
     while inflight > 0 {
         match done_rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(()) => {
-                inflight -= 1;
-                completed += 1;
+            Ok(n) => {
+                inflight -= (n as usize).min(inflight);
+                completed += n;
             }
             Err(_) => break,
         }

@@ -16,7 +16,7 @@
 use crate::client::{spawn_process, ProcFinal};
 use crate::clock::WallClock;
 use crate::metrics::LiveMetrics;
-use crate::ost::{LiveOst, LiveRpc, OstFinal, OstWiring};
+use crate::ost::{LiveBatch, LiveOst, OstFinal, OstWiring};
 use adaptbf_model::{ClientId, JobId, OstConfig, ProcId, SimDuration, TbfSchedulerConfig};
 use adaptbf_node::{FaultStats, OstNode, Policy, RunReport};
 use adaptbf_workload::trace::{Trace, TraceMeta};
@@ -49,6 +49,11 @@ pub struct LiveTuning {
     /// Payload bytes per RPC (kept small so tests move real bytes without
     /// burning memory bandwidth).
     pub payload_bytes: usize,
+    /// Largest RPC batch a client puts in one channel message (1 = the
+    /// legacy one-message-per-RPC data path). Batching amortizes channel
+    /// synchronization over `max_batch` RPCs; windows, striping, and
+    /// per-RPC accounting are unchanged.
+    pub max_batch: usize,
     /// Ask for OST threads pinned to cores. Advisory: recorded in the
     /// tuning and honored where the platform allows; the portable
     /// executor keeps it best-effort (no affinity syscalls are issued
@@ -75,6 +80,7 @@ impl LiveTuning {
             static_rate_total: 2000.0,
             bucket: SimDuration::from_millis(100),
             payload_bytes: 4096,
+            max_batch: 64,
             pin_threads: false,
         }
     }
@@ -114,6 +120,9 @@ pub struct LiveReport {
     pub records_per_ost: Vec<BTreeMap<JobId, i64>>,
     /// Controller cycles executed per OST.
     pub ticks_per_ost: Vec<u64>,
+    /// RPCs served per OST (each OST thread's own count — sums to the
+    /// folded report's served total; the accounting-parity oracle).
+    pub served_per_ost: Vec<u64>,
     /// Per-process issue/complete counters.
     pub procs: Vec<ProcFinal>,
     /// Wall-clock the run took.
@@ -214,10 +223,17 @@ impl LiveCluster {
         }
 
         let clock = WallClock::start();
+        // One issued-counter slot per client process, keyed back to its
+        // job at fold time (scenario declaration order = spawn order).
+        let proc_jobs: Vec<JobId> = scenario
+            .jobs
+            .iter()
+            .flat_map(|job| job.processes.iter().map(move |_| job.id))
+            .collect();
         let metrics = if record {
-            LiveMetrics::recording(tuning.bucket)
+            LiveMetrics::recording(tuning.bucket, tuning.n_osts, proc_jobs)
         } else {
-            LiveMetrics::new(tuning.bucket)
+            LiveMetrics::new(tuning.bucket, tuning.n_osts, proc_jobs)
         };
         let horizon = adaptbf_model::SimTime::ZERO + scenario.duration;
         let started = std::time::Instant::now();
@@ -236,10 +252,10 @@ impl LiveCluster {
 
         // All ingest channels exist before any thread starts, so the OST a
         // crash window targets can hand displaced work to its peers.
-        let mut txs: Vec<Sender<LiveRpc>> = Vec::with_capacity(tuning.n_osts);
-        let mut rxs: Vec<Receiver<LiveRpc>> = Vec::with_capacity(tuning.n_osts);
+        let mut txs: Vec<Sender<LiveBatch>> = Vec::with_capacity(tuning.n_osts);
+        let mut rxs: Vec<Receiver<LiveBatch>> = Vec::with_capacity(tuning.n_osts);
         for _ in 0..tuning.n_osts {
-            let (tx, rx) = bounded::<LiveRpc>(4096);
+            let (tx, rx) = bounded::<LiveBatch>(4096);
             txs.push(tx);
             rxs.push(rx);
         }
@@ -263,7 +279,7 @@ impl LiveCluster {
                 // Only the OST a crash targets ever forwards; everyone
                 // else keeps no peer senders, so fault-free shutdown
                 // ordering is unchanged.
-                let peers: Vec<Option<Sender<LiveRpc>>> =
+                let peers: Vec<Option<Sender<LiveBatch>>> =
                     if faults.ost_crash.is_some_and(|c| c.ost == i) {
                         (0..tuning.n_osts)
                             .map(|j| (j != i).then(|| txs[j].clone()))
@@ -286,7 +302,7 @@ impl LiveCluster {
                     peers,
                     horizon,
                     clock,
-                    metrics.clone(),
+                    metrics.ost_shard(i),
                     seed ^ (0xA5 + i as u64),
                     payload.clone(),
                 )
@@ -317,7 +333,8 @@ impl LiveCluster {
                     clock,
                     rpc_ids.clone(),
                     payload.clone(),
-                    metrics.clone(),
+                    metrics.client_slot(proc_idx),
+                    tuning.max_batch,
                 ));
                 proc_idx += 1;
             }
@@ -333,13 +350,29 @@ impl LiveCluster {
         // The audited partition: each displaced RPC is counted on exactly
         // one path by exactly one OST thread; the fold is a plain sum.
         let mut fault_stats = FaultStats::default();
-        for f in &finals {
+        let mut shards = Vec::with_capacity(finals.len());
+        let mut records_per_ost = Vec::with_capacity(finals.len());
+        let mut ticks_per_ost = Vec::with_capacity(finals.len());
+        let mut served_per_ost = Vec::with_capacity(finals.len());
+        let mut overheads = Vec::new();
+        for f in finals {
             fault_stats.resent += f.fault_stats.resent;
             fault_stats.lost_in_service += f.fault_stats.lost_in_service;
             fault_stats.rerouted += f.fault_stats.rerouted;
             fault_stats.parked += f.fault_stats.parked;
             fault_stats.undelivered += f.fault_stats.undelivered;
+            records_per_ost.push(f.records);
+            ticks_per_ost.push(f.ticks);
+            served_per_ost.push(f.served);
+            if let Some(o) = f.overhead {
+                overheads.push(o);
+            }
+            shards.push(f.shard);
         }
+
+        // The join-time fold: per-OST shards into the one collector the
+        // common report shape expects, plus the recorder's arrivals.
+        let (folded, trace_records) = metrics.fold(shards, horizon);
 
         let trace = record.then(|| Trace {
             meta: TraceMeta {
@@ -355,25 +388,25 @@ impl LiveCluster {
                 recorded_by: Some("live".into()),
                 jobs: jobs.clone(),
             },
-            records: metrics.take_records(),
+            records: trace_records,
         });
 
-        let folded = metrics.into_metrics(horizon);
         let report = RunReport::from_run(
             scenario.name.clone(),
             policy.name(),
             scenario.duration,
             folded,
             &scenario.job_ids(),
-            finals.iter().filter_map(|f| f.overhead).collect(),
+            overheads,
             fault_stats,
         );
         Ok((
             LiveReport {
                 report,
                 issued,
-                records_per_ost: finals.iter().map(|f| f.records.clone()).collect(),
-                ticks_per_ost: finals.iter().map(|f| f.ticks).collect(),
+                records_per_ost,
+                ticks_per_ost,
+                served_per_ost,
                 procs,
                 elapsed: started.elapsed(),
             },

@@ -43,5 +43,5 @@ pub mod ost;
 pub use adaptbf_node::Policy;
 pub use clock::WallClock;
 pub use cluster::{LiveCluster, LiveError, LiveReport, LiveTuning};
-pub use metrics::LiveMetrics;
-pub use ost::{LiveOst, LiveOstHandle, OstWiring};
+pub use metrics::{ClientSlot, LiveMetrics, OstShard, OstShardOut};
+pub use ost::{LiveBatch, LiveOst, LiveOstHandle, OstWiring};

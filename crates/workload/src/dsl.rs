@@ -331,6 +331,9 @@ pub struct TuningSpec {
     /// Target mean service time per RPC in microseconds (the emulated
     /// disk's per-RPC quantum at nominal bandwidth).
     pub service_quantum_us: Option<u64>,
+    /// Largest RPC batch a client puts in one channel message (1 = the
+    /// legacy one-message-per-RPC data path).
+    pub send_batch: Option<u64>,
     /// Ask for OST threads pinned to cores (advisory/best-effort).
     pub pin_threads: Option<bool>,
 }
@@ -348,6 +351,9 @@ impl TuningSpec {
         }
         if self.service_quantum_us == Some(0) {
             return Err("tuning: service_quantum_us must be positive".into());
+        }
+        if self.send_batch == Some(0) {
+            return Err("tuning: send_batch must be positive".into());
         }
         Ok(())
     }
@@ -980,12 +986,18 @@ fn parse_tuning(v: &Json) -> Result<TuningSpec, DslError> {
     let obj = as_obj(v, "tuning")?;
     check_keys(
         obj,
-        &["payload_bytes", "service_quantum_us", "pin_threads"],
+        &[
+            "payload_bytes",
+            "service_quantum_us",
+            "send_batch",
+            "pin_threads",
+        ],
         "tuning",
     )?;
     Ok(TuningSpec {
         payload_bytes: opt_u64(v, "payload_bytes")?,
         service_quantum_us: opt_u64(v, "service_quantum_us")?,
+        send_batch: opt_u64(v, "send_batch")?,
         pin_threads: opt_bool(v, "pin_threads")?,
     })
 }
@@ -997,6 +1009,9 @@ fn render_tuning(t: &TuningSpec) -> Json {
     }
     if let Some(us) = t.service_quantum_us {
         pairs.push(("service_quantum_us", Json::num_u64(us)));
+    }
+    if let Some(n) = t.send_batch {
+        pairs.push(("send_batch", Json::num_u64(n)));
     }
     if let Some(pin) = t.pin_threads {
         pairs.push(("pin_threads", Json::Bool(pin)));
@@ -1237,12 +1252,14 @@ mod tests {
             "tuning": {
                 "payload_bytes": 8192,
                 "service_quantum_us": 500,
+                "send_batch": 64,
                 "pin_threads": true
             }
         }"#;
         let file = ScenarioFile::parse(text).unwrap();
         assert_eq!(file.tuning.payload_bytes, Some(8192));
         assert_eq!(file.tuning.service_quantum_us, Some(500));
+        assert_eq!(file.tuning.send_batch, Some(64));
         assert_eq!(file.tuning.pin_threads, Some(true));
         // Canonical rendering is a fixed point of parse ∘ render.
         let canonical = file.render();
@@ -1280,6 +1297,8 @@ mod tests {
             r#"{"payload_bytes": 0}"#,
             // Zero quantum.
             r#"{"service_quantum_us": 0}"#,
+            // Zero send batch.
+            r#"{"send_batch": 0}"#,
             // pin_threads must be a bool.
             r#"{"pin_threads": 1}"#,
         ];
