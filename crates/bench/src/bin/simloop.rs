@@ -4,9 +4,13 @@
 //! 16-OST cluster) through the full simulation — clients, network, NRS/TBF
 //! schedulers, controllers, metrics — and reports how fast the *simulator
 //! itself* chews through it. Writes `BENCH_simloop.json` at the workspace
-//! root with events/sec, RPCs/sec, wall seconds and peak event-queue
-//! depth, next to the recorded pre-interner baseline so the trajectory is
-//! visible commit over commit.
+//! root with, per row: the shard/thread configuration, wall seconds,
+//! events/sec, RPCs/sec, the epoch-protocol counters, and two explicit
+//! comparison ratios — `vs_pre_interner` (against the recorded
+//! pre-optimization baseline; the sharded row anchors to the same
+//! single-queue `adaptbf` baseline, so it reads as end-to-end speedup)
+//! and `vs_prev_run` (against the same row in the previously committed
+//! bench file, `null` on first run).
 //!
 //! Each policy is run three times and the median sample is reported
 //! (single runs on shared machines swing by ±10 %; the recorded baseline
@@ -49,11 +53,15 @@ const BASELINE_NO_BW_RPCS_PER_SEC: f64 = 2_020_000.0;
 struct Sample {
     policy: &'static str,
     shards: usize,
+    threads: usize,
     wall_s: f64,
     served: u64,
     events: u64,
     peak_queue: usize,
     coalesced: u64,
+    epochs: u64,
+    solo_drains: u64,
+    inbox_flushes: u64,
 }
 
 impl Sample {
@@ -63,6 +71,28 @@ impl Sample {
     fn events_per_sec(&self) -> f64 {
         self.events as f64 / self.wall_s
     }
+}
+
+/// The thread budget the sharded rows run under (`ADAPTBF_THREADS`, else
+/// the machine) — recorded per row so two bench files are comparable.
+fn thread_budget() -> usize {
+    std::env::var("ADAPTBF_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Pull `"<label>": { ... "rpcs_per_sec": X ... }` out of the previous
+/// bench file by plain text scan (the file is hand-rolled JSON; a full
+/// parser would be a dependency for one number).
+fn prev_rpcs_per_sec(prev: &str, label: &str) -> Option<f64> {
+    let row = prev.find(&format!("\"{label}\": {{"))?;
+    let rest = &prev[row..];
+    let key = "\"rpcs_per_sec\":";
+    let at = rest.find(key)? + key.len();
+    let end = rest[at..].find([',', '\n', '}'])? + at;
+    rest[at..end].trim().parse().ok()
 }
 
 fn wiring() -> ClusterConfig {
@@ -81,11 +111,15 @@ fn run_once(scenario: &Scenario, policy: Policy, label: &'static str, shards: us
     Sample {
         policy: label,
         shards,
+        threads: if shards > 1 { thread_budget() } else { 1 },
         wall_s,
         served: out.metrics.total_served(),
         events: out.loop_stats.events,
         peak_queue: out.loop_stats.peak_queue_depth,
         coalesced: out.loop_stats.coalesced,
+        epochs: out.loop_stats.epochs,
+        solo_drains: out.loop_stats.solo_drains,
+        inbox_flushes: out.loop_stats.inbox_flushes,
     }
 }
 
@@ -135,7 +169,8 @@ fn main() {
         let s = run_median(&scenario, policy, label, shards);
         println!(
             "{:>15}: {:>9} served in {:.2}s  → {:>9.0} RPC/s, {:>10.0} events/s \
-             (peak queue {}, {} coalesced, {} shard(s))",
+             (peak queue {}, {} coalesced, {} shard(s) × {} thread(s), \
+             {} epochs, {} solo, {} flushes)",
             s.policy,
             s.served,
             s.wall_s,
@@ -144,18 +179,39 @@ fn main() {
             s.peak_queue,
             s.coalesced,
             s.shards,
+            s.threads,
+            s.epochs,
+            s.solo_drains,
+            s.inbox_flushes,
         );
         samples.push(s);
     }
-    let speedup_adaptbf = samples[0].rpcs_per_sec() / BASELINE_ADAPTBF_RPCS_PER_SEC;
-    let speedup_no_bw = samples[1].rpcs_per_sec() / BASELINE_NO_BW_RPCS_PER_SEC;
-    println!(
-        "\nspeedup vs pre-interner baseline: adaptbf {speedup_adaptbf:.2}x \
-         ({BASELINE_ADAPTBF_RPCS_PER_SEC:.0} → {:.0} RPC/s), no_bw {speedup_no_bw:.2}x \
-         ({BASELINE_NO_BW_RPCS_PER_SEC:.0} → {:.0} RPC/s)",
-        samples[0].rpcs_per_sec(),
-        samples[1].rpcs_per_sec(),
-    );
+    // The two comparison series, explicit per row: `vs_pre_interner`
+    // anchors against the recorded pre-optimization baseline (the
+    // long-term trajectory), `vs_prev_run` against whatever the previous
+    // committed bench file reported for the same row (the per-PR delta).
+    let path = workspace_root().join("BENCH_simloop.json");
+    let prev = std::fs::read_to_string(&path).unwrap_or_default();
+    let pre_interner_for = |label: &str| match label {
+        "adaptbf" | "adaptbf_sharded" => Some(BASELINE_ADAPTBF_RPCS_PER_SEC),
+        "no_bw" => Some(BASELINE_NO_BW_RPCS_PER_SEC),
+        _ => None,
+    };
+    for s in &samples {
+        if let Some(base) = pre_interner_for(s.policy) {
+            print!(
+                "{:>15}: {:.2}x vs pre-interner ({:.0} → {:.0} RPC/s)",
+                s.policy,
+                s.rpcs_per_sec() / base,
+                base,
+                s.rpcs_per_sec(),
+            );
+        }
+        match prev_rpcs_per_sec(&prev, s.policy) {
+            Some(p) => println!(", {:.2}x vs previous run ({p:.0})", s.rpcs_per_sec() / p),
+            None => println!(", no previous run recorded"),
+        }
+    }
 
     let mut json = String::from("{\n");
     let _ = writeln!(
@@ -176,22 +232,48 @@ fn main() {
          {BASELINE_ADAPTBF_RPCS_PER_SEC:.0},\n    \"no_bw_rpcs_per_sec\": \
          {BASELINE_NO_BW_RPCS_PER_SEC:.0}\n  }},"
     );
-    for s in &samples {
+    for (i, s) in samples.iter().enumerate() {
         let _ = writeln!(json, "  \"{}\": {{", s.policy);
         let _ = writeln!(json, "    \"shards\": {},", s.shards);
+        let _ = writeln!(json, "    \"threads\": {},", s.threads);
         let _ = writeln!(json, "    \"wall_s\": {:.3},", s.wall_s);
         let _ = writeln!(json, "    \"served\": {},", s.served);
         let _ = writeln!(json, "    \"rpcs_per_sec\": {:.0},", s.rpcs_per_sec());
         let _ = writeln!(json, "    \"events_per_sec\": {:.0},", s.events_per_sec());
         let _ = writeln!(json, "    \"events\": {},", s.events);
         let _ = writeln!(json, "    \"coalesced\": {},", s.coalesced);
-        let _ = writeln!(json, "    \"peak_queue_depth\": {}", s.peak_queue);
-        let _ = writeln!(json, "  }},");
+        let _ = writeln!(json, "    \"epochs\": {},", s.epochs);
+        let _ = writeln!(json, "    \"solo_drains\": {},", s.solo_drains);
+        let _ = writeln!(json, "    \"inbox_flushes\": {},", s.inbox_flushes);
+        let _ = writeln!(json, "    \"peak_queue_depth\": {},", s.peak_queue);
+        match pre_interner_for(s.policy) {
+            Some(base) => {
+                let _ = writeln!(
+                    json,
+                    "    \"vs_pre_interner\": {:.3},",
+                    s.rpcs_per_sec() / base
+                );
+            }
+            None => {
+                let _ = writeln!(json, "    \"vs_pre_interner\": null,");
+            }
+        }
+        match prev_rpcs_per_sec(&prev, s.policy) {
+            Some(p) => {
+                let _ = writeln!(json, "    \"vs_prev_run\": {:.3}", s.rpcs_per_sec() / p);
+            }
+            None => {
+                let _ = writeln!(json, "    \"vs_prev_run\": null");
+            }
+        }
+        let trailer = if i + 1 == samples.len() {
+            "  }"
+        } else {
+            "  },"
+        };
+        let _ = writeln!(json, "{trailer}");
     }
-    let _ = writeln!(json, "  \"speedup_adaptbf\": {speedup_adaptbf:.3},");
-    let _ = writeln!(json, "  \"speedup_no_bw\": {speedup_no_bw:.3}");
     json.push_str("}\n");
-    let path = workspace_root().join("BENCH_simloop.json");
     std::fs::write(&path, &json).expect("write BENCH_simloop.json");
     println!("\nwrote {}", path.display());
 }

@@ -6,14 +6,29 @@
 //! The cluster can be split into `N` *shards* ([`Cluster::shards`]): each
 //! shard owns a contiguous range of OSTs (and the client processes whose
 //! base OST falls in that range) together with its own calendar
-//! [`EventQueue`]. Shards either drain fully independently (no possible
-//! cross-shard traffic) or run a conservative epoch-barrier protocol:
-//! every epoch processes the half-open window `[t_min, t_min + L)` where
-//! `t_min` is the global earliest pending event and `L` is the network
-//! lookahead (the minimum one-way latency — no cross-shard message can
-//! take effect sooner than `L` after it is sent). Cross-shard messages are
-//! buffered in per-destination outboxes during the window and exchanged at
-//! the barrier.
+//! [`EventQueue`]. A static *emits* analysis of the wiring decides, per
+//! shard, whether it can ever send a cross-shard message (a stripe set
+//! crossing a shard boundary, or any crash window — which can re-route
+//! anything). Non-emitting shards never *receive* either (every receiver
+//! is an emitter: arrivals are answered with replies, replies come from
+//! boundary stripes), so they drain fully independently at full speed
+//! while the emitting shards run a conservative epoch protocol with
+//! **adaptive windows**: each epoch, every emitting shard's published
+//! next-event time `t_i` doubles as its earliest-output promise
+//! `eot_i = t_i + L` (`L` = minimum one-way network latency — nothing a
+//! shard does before `t_i` exists, and any message it sends matures at
+//! least `L` later). The shard holding the global minimum runs the window
+//! bounded by the *second*-earliest promise — capped one lookahead past
+//! its own earliest emission, which is what keeps a reply to a message it
+//! just sent from landing behind it (`Shard::run_capped`); everyone
+//! else is bounded by the first promise. When exactly one emitting shard
+//! holds events, its hard bound is open (`∞`) and it drains **solo** — no
+//! barrier at all — until one lookahead past its first actual emission
+//! ([`LoopStats::solo_drains`]). Cross-shard
+//! messages are buffered in per-destination outboxes during the window
+//! and exchanged at the barrier ([`WindowMode::Fixed`] keeps the original
+//! static `[t_min, t_min + L)` protocol as the oracle the adaptive mode
+//! is proptested against).
 //!
 //! ## Why the shard count cannot change the run
 //!
@@ -55,6 +70,7 @@ use crate::metrics::Metrics;
 use crate::network::{draw_latency, min_latency};
 use crate::ost::OstState;
 use crate::policy::Policy;
+use crate::pool::{ShardHeap, SpinBarrier};
 use adaptbf_model::config::paper;
 use adaptbf_model::{
     ClientId, JobId, NetworkConfig, OstConfig, ProcId, Rpc, SimDuration, SimTime,
@@ -67,7 +83,7 @@ use adaptbf_workload::Scenario;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
 /// Static wiring of the simulated testbed (defaults mirror Table II).
@@ -134,6 +150,20 @@ pub struct LoopStats {
     /// Depends on queue adjacency and thus on the shard count (see the
     /// module docs); deterministic for a given shard count.
     pub coalesced: u64,
+    /// Epoch rounds the coupled protocol ran (0 when every shard drained
+    /// independently). Two barriers per epoch on the threaded path.
+    /// Deterministic for a given shard count and window mode, and
+    /// identical for any worker count.
+    pub epochs: u64,
+    /// Times the solo fast path engaged: exactly one emitting shard held
+    /// events before the global cross-shard horizon and drained with no
+    /// peer bound — free-running until one lookahead past its first
+    /// emission. Same determinism as `epochs`.
+    pub solo_drains: u64,
+    /// Non-empty outbox→inbox hand-offs: one per (sender, receiver, epoch)
+    /// with traffic, however many messages the batch carried. Same
+    /// determinism as `epochs`.
+    pub inbox_flushes: u64,
 }
 
 impl LoopStats {
@@ -143,7 +173,28 @@ impl LoopStats {
         self.events += other.events;
         self.peak_queue_depth += other.peak_queue_depth;
         self.coalesced += other.coalesced;
+        self.epochs += other.epochs;
+        self.solo_drains += other.solo_drains;
+        self.inbox_flushes += other.inbox_flushes;
     }
+}
+
+/// How the coupled epoch protocol sizes its synchronization windows
+/// ([`Cluster::windows`]). Purely an execution parameter: reports, traces
+/// and digests are byte-identical under either mode (proptested by
+/// `tests/shard_determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowMode {
+    /// The default: windows extend to the other shards' earliest-output
+    /// promises (`next_event + L`), non-emitting shards are split off by
+    /// the static wiring analysis and drained independently, and a lone
+    /// shard with events drains solo until it actually emits.
+    #[default]
+    Adaptive,
+    /// The original conservative protocol: every shard steps the global
+    /// window `[t_min, t_min + L)` each epoch. Kept as the reference
+    /// oracle the adaptive mode is tested against.
+    Fixed,
 }
 
 /// What one completed run hands back to the reporting layer.
@@ -239,6 +290,10 @@ struct Shared {
     replay: bool,
     /// The conservative lookahead `L`: minimum one-way network latency.
     lookahead: SimDuration,
+    /// Per shard: whether it can ever send a cross-shard message (see
+    /// [`compute_emits`]). Non-emitting shards never receive either, so
+    /// they drain independently under [`WindowMode::Adaptive`].
+    emits: Vec<bool>,
     /// OST → owning shard.
     ost_shard: Vec<u32>,
     /// OST → index within its shard.
@@ -361,6 +416,14 @@ struct Shard {
     /// Per-destination-shard buffers of cross-shard events produced this
     /// epoch.
     outbox: Vec<Vec<Msg>>,
+    /// Earliest maturity (nanos) shipped cross-shard in the current
+    /// window — `u64::MAX` when nothing has been emitted yet. Reset by
+    /// [`Shard::run_capped`]; [`Shard::ship`] lowers it on every outbox
+    /// push. A shard running past its peers' promises must stop at
+    /// `min_shipped_ns + L`: a message it sends can wake a peer earlier
+    /// than that peer's published next-event time, and the earliest
+    /// reply that wake-up can produce matures one lookahead after it.
+    min_shipped_ns: u64,
 }
 
 impl Shard {
@@ -387,6 +450,7 @@ impl Shard {
             self.queue.push_keyed(at, key, event);
         } else {
             self.outbox[dest].push(Msg { at, key, event });
+            self.min_shipped_ns = self.min_shipped_ns.min(at.as_nanos());
         }
     }
 
@@ -430,6 +494,37 @@ impl Shard {
         while let Some((now, key, event)) =
             self.queue.pop_entry_if(|t, _| t < window_end && t <= end)
         {
+            self.note_pop();
+            self.handle(sh, event, now, key);
+        }
+    }
+
+    /// Run a window bounded by the peers' promises **and** by this
+    /// shard's own emissions: process events while
+    /// `t < min(hard_bound, min_shipped + L)`, clipped to the horizon.
+    ///
+    /// The emission cap is what lets the minimum shard run past
+    /// `t_min + L` safely. The peers' published next-event times promise
+    /// nothing before `hard_bound = t_2nd + L` — but a message this shard
+    /// ships at maturity `m < t_2nd` wakes its receiver early, and the
+    /// receiver may answer as soon as `m + L`. Capping at
+    /// `min_shipped + L` covers exactly that chain; since a maturity is
+    /// at least one lookahead after the event that shipped it, the cap is
+    /// always `≥ t_min + 2L` — never tighter than the fixed protocol's
+    /// window. With `hard_bound == u64::MAX` this is the solo drain:
+    /// free-running until one lookahead past the first actual emission.
+    fn run_capped(&mut self, sh: &Shared, hard_bound_ns: u64) {
+        let end = sh.end;
+        let l = sh.lookahead.as_nanos();
+        self.min_shipped_ns = u64::MAX;
+        loop {
+            let cap = hard_bound_ns.min(self.min_shipped_ns.saturating_add(l));
+            let Some((now, key, event)) = self
+                .queue
+                .pop_entry_if(|t, _| t.as_nanos() < cap && t <= end)
+            else {
+                break;
+            };
             self.note_pop();
             self.handle(sh, event, now, key);
         }
@@ -819,8 +914,6 @@ pub struct Cluster {
     /// Build-time events in canonical order: their keys are
     /// `(lane 0 << LANE_SHIFT) | position`.
     build_events: Vec<(SimTime, Event)>,
-    /// Far-future event population hint for the calendar queues.
-    spill_reserve: usize,
     /// `(job, released)` pairs applied — in order, later wins — to the
     /// merged metrics before completion reconstruction.
     released: Vec<(JobId, u64)>,
@@ -829,6 +922,7 @@ pub struct Cluster {
     /// Whether the recorder hook is enabled.
     record: bool,
     n_shards: usize,
+    windows: WindowMode,
 }
 
 impl Cluster {
@@ -881,7 +975,6 @@ impl Cluster {
                 proc_chunks.push(chunks);
             }
         }
-        let chunk_events: usize = proc_chunks.iter().map(|c| c.len()).sum();
         for (idx, chunks) in proc_chunks.into_iter().enumerate() {
             for chunk in chunks {
                 build_events.push((
@@ -915,11 +1008,11 @@ impl Cluster {
             procs,
             osts,
             build_events,
-            spill_reserve: chunk_events + 2 * cfg.n_osts + 16,
             released: released.into_iter().collect(),
             trace_meta: Self::trace_meta(&scenario.name, policy, seed, &cfg, job_weights),
             record: false,
             n_shards: default_shards(),
+            windows: WindowMode::default(),
         }
     }
 
@@ -980,7 +1073,6 @@ impl Cluster {
             seed,
             procs: Vec::new(),
             osts,
-            spill_reserve: trace.records.len() + 2 * cfg.n_osts + 16,
             build_events,
             released,
             trace_meta: Self::trace_meta(
@@ -992,6 +1084,7 @@ impl Cluster {
             ),
             record: false,
             n_shards: default_shards(),
+            windows: WindowMode::default(),
         }
     }
 
@@ -1004,6 +1097,14 @@ impl Cluster {
     /// whole test suites be re-run sharded without touching call sites.
     pub fn shards(mut self, n: usize) -> Self {
         self.n_shards = n.max(1);
+        self
+    }
+
+    /// Select the epoch-window protocol (see [`WindowMode`]). Like the
+    /// shard count, purely an execution parameter: results are
+    /// byte-identical under either mode.
+    pub fn windows(mut self, mode: WindowMode) -> Self {
+        self.windows = mode;
         self
     }
 
@@ -1108,34 +1209,44 @@ impl Cluster {
         let record = self.record;
         let end = self.end;
         let released = std::mem::take(&mut self.released);
-        // Cross-shard traffic is impossible when no crash window can
-        // re-route and either there are no client processes (replay — no
-        // reply path) or every process's stripe set is exactly its base
-        // OST (stripe_count == 1): every event then targets the shard it
-        // was created on, and the shards are fully independent.
-        let independent =
-            self.faults.ost_crash.is_none() && (self.replay || self.stripe_count == 1);
         let lookahead = min_latency(&self.network);
+        // Which shards can ever touch cross-shard traffic? A static
+        // analysis of the wiring (generalizing the old "replay or
+        // stripe_count == 1" special case): shards with no boundary
+        // stripe edge neither send nor receive and drain independently.
+        // Shard counts beyond the OST count are allowed — the surplus
+        // shards are simply empty (nothing routes to them).
+        let mut n_shards = self.n_shards;
+        let mut emits = compute_emits(
+            n_shards,
+            self.osts.len(),
+            &self.procs,
+            self.stripe_count,
+            self.faults.ost_crash.is_some(),
+        );
         // A coupled run with zero lookahead cannot make epoch progress;
-        // degrade to one shard (plain drain) rather than livelock. Shard
-        // counts beyond the OST count are allowed — the surplus shards
-        // are simply empty (nothing routes to them).
-        let n_shards = if !independent && lookahead == SimDuration::ZERO {
-            1
-        } else {
-            self.n_shards
-        };
+        // degrade to one shard (plain drain) rather than livelock.
+        if emits.iter().any(|&e| e) && lookahead == SimDuration::ZERO {
+            n_shards = 1;
+            emits = vec![false];
+        }
         let trace_meta = self.trace_meta.clone();
         let bucket = self.bucket;
-        let (shared, mut shards) = self.partition(n_shards, lookahead);
+        let windows = self.windows;
+        let (shared, mut shards) = self.partition(n_shards, lookahead, emits);
 
-        let workers = worker_count().min(shards.len()).max(1);
+        let workers = crate::pool::worker_count();
+        let mut epochs = 0;
         if shards.len() == 1 {
             shards[0].drain(&shared);
-        } else if independent {
-            run_independent(&shared, &mut shards, workers);
+        } else if !shared.emits.iter().any(|&e| e) {
+            let mut all: Vec<&mut Shard> = shards.iter_mut().collect();
+            run_free(&shared, &mut all, workers);
         } else {
-            run_coupled(&shared, &mut shards, workers);
+            epochs = match windows {
+                WindowMode::Adaptive => run_adaptive(&shared, &mut shards, workers),
+                WindowMode::Fixed => run_fixed(&shared, &mut shards, workers),
+            };
         }
         if shared.faults_active {
             for shard in &mut shards {
@@ -1143,7 +1254,9 @@ impl Cluster {
             }
         }
 
-        merge_outputs(shards, &released, end, bucket, trace_meta, record)
+        let (mut out, trace) = merge_outputs(shards, &released, end, bucket, trace_meta, record);
+        out.loop_stats.epochs = epochs;
+        (out, trace)
     }
 
     /// Distribute entities and build-time events over `n_shards` shards.
@@ -1151,20 +1264,21 @@ impl Cluster {
     /// lives with its base OST, so single-stripe traffic never leaves its
     /// shard. Entity seeds and key lanes use *global* indices — identical
     /// for every shard count.
-    fn partition(self, n_shards: usize, lookahead: SimDuration) -> (Shared, Vec<Shard>) {
+    fn partition(
+        mut self,
+        n_shards: usize,
+        lookahead: SimDuration,
+        emits: Vec<bool>,
+    ) -> (Shared, Vec<Shard>) {
         let n_osts = self.osts.len();
         let n_procs = self.procs.len();
-        let mut ost_shard = vec![0u32; n_osts];
+        let ost_shard = ost_shard_map(n_osts, n_shards);
         let mut ost_local = vec![0u32; n_osts];
         let mut shard_osts: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
-        for (s, osts) in shard_osts.iter_mut().enumerate() {
-            let lo = s * n_osts / n_shards;
-            let hi = (s + 1) * n_osts / n_shards;
-            for o in lo..hi {
-                ost_shard[o] = s as u32;
-                ost_local[o] = (o - lo) as u32;
-                osts.push(o);
-            }
+        for (o, &s) in ost_shard.iter().enumerate() {
+            let members = &mut shard_osts[s as usize];
+            ost_local[o] = members.len() as u32;
+            members.push(o);
         }
         let mut proc_shard = vec![0u32; n_procs];
         let mut proc_local = vec![0u32; n_procs];
@@ -1186,11 +1300,34 @@ impl Cluster {
             faults_active: !self.faults.is_none(),
             replay: self.replay,
             lookahead,
+            emits,
             ost_shard,
             ost_local,
             proc_shard,
             proc_local,
         };
+
+        // Route every build-time event once, up front: the per-shard
+        // totals pre-size each shard's calendar spill heap exactly (the
+        // build list *is* the far-future population — run-time pushes are
+        // near-cursor), and the routes are reused by the push loop below.
+        let build_events = std::mem::take(&mut self.build_events);
+        let mut shard_load = vec![0usize; n_shards];
+        let dests: Vec<u32> = build_events
+            .iter()
+            .map(|(at, ev)| {
+                let dest = match ev {
+                    Event::OstCrash { ost }
+                    | Event::OstRecover { ost }
+                    | Event::ControllerTick { ost } => shared.ost_shard[*ost] as usize,
+                    Event::WorkArrival { proc, .. } => shared.proc_shard[*proc] as usize,
+                    Event::ArriveAtOss { ost, rpc } => shared.dest_shard(*ost, *at, rpc),
+                    _ => unreachable!("only build-time events appear here"),
+                };
+                shard_load[dest] += 1;
+                dest as u32
+            })
+            .collect();
 
         let mut osts: Vec<Option<OstState>> = self.osts.into_iter().map(Some).collect();
         let mut procs: Vec<Option<ProcessState>> = self.procs.into_iter().map(Some).collect();
@@ -1202,7 +1339,7 @@ impl Cluster {
                 let mut metrics = Metrics::new(self.bucket);
                 metrics.reserve_jobs(self.n_jobs);
                 let mut queue = EventQueue::new();
-                queue.reserve(self.spill_reserve / n_shards + 32);
+                queue.reserve(shard_load[s] + 2 * ost_ids.len() + 16);
                 Shard {
                     id: s,
                     queue,
@@ -1236,6 +1373,7 @@ impl Cluster {
                     issue_scratch: Vec::with_capacity(32),
                     ledger_scratch: Vec::new(),
                     outbox: (0..n_shards).map(|_| Vec::new()).collect(),
+                    min_shipped_ns: u64::MAX,
                 }
             })
             .collect();
@@ -1243,24 +1381,79 @@ impl Cluster {
         // Build-time events ride lane 0 with their position as the
         // sequence — the canonical order the single-queue builder pushed
         // them in, regardless of which shard queue each lands in.
-        for (build_seq, (at, ev)) in self.build_events.into_iter().enumerate() {
-            let dest = match &ev {
-                Event::OstCrash { ost }
-                | Event::OstRecover { ost }
-                | Event::ControllerTick { ost } => shared.ost_shard[*ost] as usize,
-                Event::WorkArrival { proc, .. } => shared.proc_shard[*proc] as usize,
-                Event::ArriveAtOss { ost, rpc } => shared.dest_shard(*ost, at, rpc),
-                _ => unreachable!("only build-time events appear here"),
-            };
-            shards[dest].queue.push_keyed(at, build_seq as u64, ev);
+        for (build_seq, ((at, ev), dest)) in build_events.into_iter().zip(dests).enumerate() {
+            shards[dest as usize]
+                .queue
+                .push_keyed(at, build_seq as u64, ev);
         }
         (shared, shards)
     }
 }
 
+/// OST → owning shard for the contiguous partition
+/// (`s·n/N .. (s+1)·n/N`). Shared by [`Cluster::partition`] and the
+/// pre-partition [`compute_emits`] analysis so both see the same map.
+fn ost_shard_map(n_osts: usize, n_shards: usize) -> Vec<u32> {
+    let mut ost_shard = vec![0u32; n_osts];
+    for s in 0..n_shards {
+        let lo = s * n_osts / n_shards;
+        let hi = (s + 1) * n_osts / n_shards;
+        for slot in &mut ost_shard[lo..hi] {
+            *slot = s as u32;
+        }
+    }
+    ost_shard
+}
+
+/// Which shards can ever *send* a cross-shard message — a static analysis
+/// of the wiring, run before partitioning:
+///
+/// - A crash window can re-route or resend anything across any boundary;
+///   with one in the plan, every shard conservatively emits.
+/// - Otherwise the only cross-shard edges are a process's stripe set
+///   crossing its own shard's OST range: arrivals go process→OST, replies
+///   OST→process, so *both* endpoint shards are marked.
+///
+/// The dual property makes this load-bearing for the solo fast path: a
+/// non-emitting shard never **receives** either. Every receiver is an
+/// emitter — an arrival-receiving OST shard answers with a cross-shard
+/// reply, a reply-receiving process shard owns the boundary stripe that
+/// caused it, and fault paths imply the all-emit case. Replay wirings
+/// have no processes (and no reply path), so without a crash nothing
+/// emits — the old "replay or stripe_count == 1 ⇒ independent" special
+/// case falls out of this analysis as the all-false row.
+fn compute_emits(
+    n_shards: usize,
+    n_osts: usize,
+    procs: &[ProcessState],
+    stripe_count: usize,
+    crash_possible: bool,
+) -> Vec<bool> {
+    if n_shards <= 1 {
+        return vec![false; n_shards];
+    }
+    if crash_possible {
+        return vec![true; n_shards];
+    }
+    let ost_shard = ost_shard_map(n_osts, n_shards);
+    let mut emits = vec![false; n_shards];
+    for proc in procs {
+        let ps = ost_shard[proc.ost] as usize;
+        for k in 0..stripe_count {
+            let os = ost_shard[(proc.ost + k) % n_osts] as usize;
+            if os != ps {
+                emits[ps] = true;
+                emits[os] = true;
+            }
+        }
+    }
+    emits
+}
+
 /// Drain fully independent shards, optionally in parallel. Any worker
 /// split yields the same result: shards share nothing.
-fn run_independent(shared: &Shared, shards: &mut [Shard], workers: usize) {
+fn run_free(shared: &Shared, shards: &mut [&mut Shard], workers: usize) {
+    let workers = workers.min(shards.len()).max(1);
     if workers <= 1 {
         for shard in shards.iter_mut() {
             shard.drain(shared);
@@ -1279,7 +1472,314 @@ fn run_independent(shared: &Shared, shards: &mut [Shard], workers: usize) {
     });
 }
 
-/// The conservative epoch-barrier protocol:
+/// The adaptive-window protocol (see the module docs). Splits the shards
+/// by the emits analysis — the non-emitting ones drain independently —
+/// and runs epochs over the emitting rest:
+///
+/// ```text
+/// loop:
+///   1. every shard that ran or received last epoch re-publishes its
+///      next-event time t_i (idle shards keep their published value)
+///   2. barrier A (pool) / heap refresh (sequential)
+///   3. t_min, t_2nd := two smallest published times; stop if none or
+///      past the horizon
+///   4. the t_min shard runs [·, t_2nd + L), additionally capped one
+///      lookahead past its own earliest emission ([`Shard::run_capped`]);
+///      everyone else runs [·, t_min + L). With no second shard holding
+///      events the t_min shard's hard bound is open: it drains solo
+///      until one lookahead past its first actual emission.
+///   5. outboxes flush into destination inboxes (receivers marked dirty)
+///   6. barrier B (pool only)
+/// ```
+///
+/// **Safety.** A shard processing events below its bound can only be
+/// wrong if a message it has not seen matures below that bound. Any
+/// message sent this epoch by shard `j` matures at
+/// `≥ t_j + L = eot_j ≥` the receiver's bound: for a non-minimum shard
+/// the bound is `t_min + L ≤ eot_j` for every `j`; for the minimum shard
+/// the bound is the minimum `eot` over the *other* shards. A published
+/// time only promises that epoch's outputs, though — a message the
+/// minimum shard ships at maturity `m < t_2nd` wakes its receiver ahead
+/// of the receiver's published time, and the earliest answer that
+/// wake-up can produce matures at `m + L`, possibly below `t_2nd + L`.
+/// The emission cap closes exactly that chain: the minimum shard never
+/// runs past `min_shipped + L`, so every answer to anything it sent is
+/// still ahead of it. The solo case is the same bound with an empty peer
+/// minimum (`∞`), leaving only the cap. Messages are delivered at the
+/// *next* refresh, which is safe for the same reason: they mature at or
+/// past the receiver's current bound.
+///
+/// Every worker decides from the same published snapshot, so run sets,
+/// stop decisions, and all [`LoopStats`] counters are identical for any
+/// worker count — and identical to the sequential driver's.
+fn run_adaptive(shared: &Shared, shards: &mut [Shard], workers: usize) -> u64 {
+    let n_shards = shards.len();
+    let (mut coupled, mut free): (Vec<&mut Shard>, Vec<&mut Shard>) =
+        shards.iter_mut().partition(|s| shared.emits[s.id]);
+    debug_assert!(!coupled.is_empty(), "all-independent runs take run_free");
+    let mut local_of = vec![usize::MAX; n_shards];
+    for (i, shard) in coupled.iter().enumerate() {
+        local_of[shard.id] = i;
+    }
+    if workers <= 1 {
+        for shard in free.iter_mut() {
+            shard.drain(shared);
+        }
+        run_epochs_seq(shared, &mut coupled, &local_of)
+    } else {
+        run_pool(shared, &mut free, &mut coupled, &local_of, workers)
+    }
+}
+
+/// Run one emitting shard's epoch share: its window (or solo drain when
+/// the bound is open), then flush its outboxes and mark the receivers
+/// dirty. Sequential-driver half of the protocol step 4–5.
+fn run_one(
+    shared: &Shared,
+    shard: &mut Shard,
+    bound_ns: u64,
+    inboxes: &mut [Vec<Msg>],
+    dirty: &mut [bool],
+    local_of: &[usize],
+) {
+    if bound_ns == u64::MAX {
+        shard.loop_stats.solo_drains += 1;
+    }
+    shard.run_capped(shared, bound_ns);
+    for dest in 0..shard.outbox.len() {
+        if !shard.outbox[dest].is_empty() {
+            shard.loop_stats.inbox_flushes += 1;
+            inboxes[dest].append(&mut shard.outbox[dest]);
+            debug_assert_ne!(local_of[dest], usize::MAX, "receivers are emitters");
+            dirty[local_of[dest]] = true;
+        }
+    }
+}
+
+/// Sequential adaptive driver: a [`ShardHeap`] over published next-event
+/// times schedules only the shards with work below their bound — idle
+/// shards are never touched, not even for a queue peek.
+fn run_epochs_seq(shared: &Shared, coupled: &mut [&mut Shard], local_of: &[usize]) -> u64 {
+    let m = coupled.len();
+    let end_ns = shared.end.as_nanos();
+    let l = shared.lookahead.as_nanos();
+    // Inboxes are indexed by *global* shard id (flushes address them
+    // directly); only emitting slots are ever used.
+    let mut inboxes: Vec<Vec<Msg>> = (0..local_of.len()).map(|_| Vec::new()).collect();
+    let mut heap = ShardHeap::new(m);
+    let mut dirty = vec![true; m];
+    let mut stamp = vec![0u64; m];
+    let mut epochs = 0u64;
+    loop {
+        for (i, shard) in coupled.iter_mut().enumerate() {
+            if std::mem::take(&mut dirty[i]) {
+                let id = shard.id;
+                shard.deliver_inbox(&mut inboxes[id]);
+                heap.update(i, shard.queue.peek_at().map_or(u64::MAX, |t| t.as_nanos()));
+            }
+        }
+        let (t_min, owner) = heap.min();
+        if t_min == u64::MAX || t_min > end_ns {
+            break;
+        }
+        epochs += 1;
+        let eo1 = t_min.saturating_add(l);
+        let eo2 = heap.second_min().saturating_add(l);
+        // The t_min shard always runs; its own promise is `eo1`, so its
+        // bound is the second-best promise `eo2` (MAX ⇒ solo).
+        run_one(
+            shared,
+            coupled[owner],
+            eo2,
+            &mut inboxes,
+            &mut dirty,
+            local_of,
+        );
+        stamp[owner] = epochs;
+        heap.update(
+            owner,
+            coupled[owner]
+                .queue
+                .peek_at()
+                .map_or(u64::MAX, |t| t.as_nanos()),
+        );
+        // Everyone else below the shared bound `eo1`, in heap order. The
+        // stamp stops a solo-drained owner from re-running this epoch —
+        // its emission must first reach the receiver at the next refresh.
+        loop {
+            let (t, i) = heap.min();
+            if t >= eo1 || t > end_ns || stamp[i] == epochs {
+                break;
+            }
+            run_one(shared, coupled[i], eo1, &mut inboxes, &mut dirty, local_of);
+            stamp[i] = epochs;
+            heap.update(
+                i,
+                coupled[i]
+                    .queue
+                    .peek_at()
+                    .map_or(u64::MAX, |t| t.as_nanos()),
+            );
+        }
+    }
+    epochs
+}
+
+/// Threaded adaptive driver: one **persistent pool** — spawned once per
+/// run — first drains this worker's share of the independent shards, then
+/// runs the epoch protocol over its share of the emitting shards,
+/// synchronized by a [`SpinBarrier`] (two waits per epoch, no parking, no
+/// re-spawn).
+fn run_pool(
+    shared: &Shared,
+    free: &mut [&mut Shard],
+    coupled: &mut [&mut Shard],
+    local_of: &[usize],
+    workers: usize,
+) -> u64 {
+    let m = coupled.len();
+    let workers = workers.min(m).max(1);
+    let chunk = m.div_ceil(workers);
+    let spawned = m.div_ceil(chunk);
+    let free_chunk = free.len().div_ceil(spawned).max(1);
+    // All shared state is indexed by the shard's *local* (coupled) index.
+    let published: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let dirty: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+    let inboxes: Vec<Mutex<Vec<Msg>>> = (0..m).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = SpinBarrier::new(spawned);
+    let epochs = AtomicU64::new(0);
+    let (published, dirty, inboxes, barrier, epochs) =
+        (&published, &dirty, &inboxes, &barrier, &epochs);
+    std::thread::scope(|scope| {
+        let mut free_rest = free;
+        let mut rest = coupled;
+        let mut base = 0usize;
+        for _ in 0..spawned {
+            let (fg, fr) =
+                std::mem::take(&mut free_rest).split_at_mut(free_chunk.min(free_rest.len()));
+            free_rest = fr;
+            let take = chunk.min(rest.len());
+            let (group, cr) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = cr;
+            let my_base = base;
+            base += take;
+            scope.spawn(move || {
+                pool_worker(
+                    shared, fg, group, my_base, published, dirty, inboxes, local_of, barrier,
+                    epochs,
+                );
+            });
+        }
+    });
+    epochs.load(Ordering::Relaxed)
+}
+
+/// One pool worker's whole run (see [`run_pool`] and the protocol sketch
+/// on [`run_adaptive`]).
+#[allow(clippy::too_many_arguments)]
+fn pool_worker(
+    shared: &Shared,
+    free: &mut [&mut Shard],
+    mine: &mut [&mut Shard],
+    base: usize,
+    published: &[AtomicU64],
+    dirty: &[AtomicBool],
+    inboxes: &[Mutex<Vec<Msg>>],
+    local_of: &[usize],
+    barrier: &SpinBarrier,
+    epochs: &AtomicU64,
+) {
+    let end_ns = shared.end.as_nanos();
+    let l = shared.lookahead.as_nanos();
+    let mut sense = false;
+    // Phase 0: this worker's share of the independent shards — the pool
+    // serves both phases; no barrier needed, the shards share nothing.
+    for shard in free.iter_mut() {
+        shard.drain(shared);
+    }
+    let mut ran: Vec<bool> = vec![true; mine.len()]; // force the initial publish
+    let mut scratch: Vec<Msg> = Vec::new();
+    let mut n_epochs = 0u64;
+    loop {
+        // Refresh: deliver pending inboxes and re-publish next-event
+        // times — only for shards that ran or received since their last
+        // publish; idle shards stay untouched.
+        for (k, shard) in mine.iter_mut().enumerate() {
+            let li = base + k;
+            let received = dirty[li].swap(false, Ordering::AcqRel);
+            if received {
+                // Swap the batch out under the lock, deliver outside it.
+                {
+                    let mut inbox = inboxes[li].lock().expect("inbox lock");
+                    std::mem::swap(&mut *inbox, &mut scratch);
+                }
+                shard.deliver_inbox(&mut scratch);
+            }
+            if received || ran[k] {
+                let t = shard.queue.peek_at().map_or(u64::MAX, |t| t.as_nanos());
+                published[li].store(t, Ordering::Release);
+                ran[k] = false;
+            }
+        }
+        barrier.wait(&mut sense);
+        // Every worker reads the same snapshot: same owner, same bounds,
+        // same stop decision.
+        let mut t_min = u64::MAX;
+        let mut owner = usize::MAX;
+        let mut second = u64::MAX;
+        for (li, slot) in published.iter().enumerate() {
+            let t = slot.load(Ordering::Acquire);
+            if t < t_min {
+                second = t_min;
+                t_min = t;
+                owner = li;
+            } else if t < second {
+                second = t;
+            }
+        }
+        if t_min == u64::MAX || t_min > end_ns {
+            break;
+        }
+        n_epochs += 1;
+        let eo1 = t_min.saturating_add(l);
+        let eo2 = second.saturating_add(l);
+        for (k, shard) in mine.iter_mut().enumerate() {
+            let li = base + k;
+            if li == owner {
+                if eo2 == u64::MAX {
+                    shard.loop_stats.solo_drains += 1;
+                }
+                shard.run_capped(shared, eo2);
+            } else {
+                let t = published[li].load(Ordering::Relaxed);
+                if t >= eo1 || t > end_ns {
+                    continue;
+                }
+                shard.run_capped(shared, eo1);
+            }
+            ran[k] = true;
+            for (dest, outbox) in shard.outbox.iter_mut().enumerate() {
+                if !outbox.is_empty() {
+                    shard.loop_stats.inbox_flushes += 1;
+                    debug_assert_ne!(local_of[dest], usize::MAX, "receivers are emitters");
+                    let ld = local_of[dest];
+                    let mut sink = inboxes[ld].lock().expect("inbox lock");
+                    sink.append(outbox);
+                    drop(sink);
+                    dirty[ld].store(true, Ordering::Release);
+                }
+            }
+        }
+        barrier.wait(&mut sense);
+    }
+    if base == 0 {
+        // Every worker counted the same epochs; one reports.
+        epochs.store(n_epochs, Ordering::Relaxed);
+    }
+}
+
+/// The original conservative protocol, kept verbatim as the reference
+/// oracle for [`WindowMode::Fixed`]:
 ///
 /// ```text
 /// loop:
@@ -1298,11 +1798,13 @@ fn run_independent(shared: &Shared, shards: &mut [Shard], workers: usize) {
 /// client resends preserves this for fault redeliveries too. Every worker
 /// computes the stop decision from the same published snapshot, so all
 /// exit on the same epoch.
-fn run_coupled(shared: &Shared, shards: &mut [Shard], workers: usize) {
+fn run_fixed(shared: &Shared, shards: &mut [Shard], workers: usize) -> u64 {
     let n = shards.len();
     let end_ns = shared.end.as_nanos();
+    let workers = workers.min(n).max(1);
     if workers <= 1 {
         let mut inboxes: Vec<Vec<Msg>> = (0..n).map(|_| Vec::new()).collect();
+        let mut epochs = 0u64;
         loop {
             let mut t_min = u64::MAX;
             for (shard, inbox) in shards.iter_mut().zip(&mut inboxes) {
@@ -1314,17 +1816,19 @@ fn run_coupled(shared: &Shared, shards: &mut [Shard], workers: usize) {
             if t_min == u64::MAX || t_min > end_ns {
                 break;
             }
+            epochs += 1;
             let window_end = SimTime(t_min) + shared.lookahead;
             for shard in shards.iter_mut() {
                 shard.run_window(shared, window_end);
                 for (dest, inbox) in inboxes.iter_mut().enumerate() {
                     if !shard.outbox[dest].is_empty() {
+                        shard.loop_stats.inbox_flushes += 1;
                         inbox.append(&mut shard.outbox[dest]);
                     }
                 }
             }
         }
-        return;
+        return epochs;
     }
 
     let inboxes: Vec<Mutex<Vec<Msg>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
@@ -1332,42 +1836,53 @@ fn run_coupled(shared: &Shared, shards: &mut [Shard], workers: usize) {
     let chunk = n.div_ceil(workers);
     let spawned = shards.len().div_ceil(chunk);
     let barrier = Barrier::new(spawned);
+    let epochs = AtomicU64::new(0);
     let inboxes = &inboxes;
     let next_at = &next_at;
     let barrier = &barrier;
+    let epochs_ref = &epochs;
     std::thread::scope(|scope| {
-        for group in shards.chunks_mut(chunk) {
-            scope.spawn(move || loop {
-                for shard in group.iter_mut() {
-                    let mut inbox = inboxes[shard.id].lock().expect("inbox lock");
-                    shard.deliver_inbox(&mut inbox);
-                    drop(inbox);
-                    let t = shard.queue.peek_at().map_or(u64::MAX, |t| t.as_nanos());
-                    next_at[shard.id].store(t, Ordering::Release);
-                }
-                barrier.wait();
-                let t_min = next_at
-                    .iter()
-                    .map(|a| a.load(Ordering::Acquire))
-                    .min()
-                    .expect("at least one shard");
-                if t_min == u64::MAX || t_min > end_ns {
-                    break;
-                }
-                let window_end = SimTime(t_min) + shared.lookahead;
-                for shard in group.iter_mut() {
-                    shard.run_window(shared, window_end);
-                    for (dest, inbox) in inboxes.iter().enumerate() {
-                        if !shard.outbox[dest].is_empty() {
-                            let mut sink = inbox.lock().expect("inbox lock");
-                            sink.append(&mut shard.outbox[dest]);
+        for (w, group) in shards.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                let mut n_epochs = 0u64;
+                loop {
+                    for shard in group.iter_mut() {
+                        let mut inbox = inboxes[shard.id].lock().expect("inbox lock");
+                        shard.deliver_inbox(&mut inbox);
+                        drop(inbox);
+                        let t = shard.queue.peek_at().map_or(u64::MAX, |t| t.as_nanos());
+                        next_at[shard.id].store(t, Ordering::Release);
+                    }
+                    barrier.wait();
+                    let t_min = next_at
+                        .iter()
+                        .map(|a| a.load(Ordering::Acquire))
+                        .min()
+                        .expect("at least one shard");
+                    if t_min == u64::MAX || t_min > end_ns {
+                        break;
+                    }
+                    n_epochs += 1;
+                    let window_end = SimTime(t_min) + shared.lookahead;
+                    for shard in group.iter_mut() {
+                        shard.run_window(shared, window_end);
+                        for (dest, inbox) in inboxes.iter().enumerate() {
+                            if !shard.outbox[dest].is_empty() {
+                                shard.loop_stats.inbox_flushes += 1;
+                                let mut sink = inbox.lock().expect("inbox lock");
+                                sink.append(&mut shard.outbox[dest]);
+                            }
                         }
                     }
+                    barrier.wait();
                 }
-                barrier.wait();
+                if w == 0 {
+                    epochs_ref.store(n_epochs, Ordering::Relaxed);
+                }
             });
         }
     });
+    epochs.load(Ordering::Relaxed)
 }
 
 /// Fold per-shard outputs into the run result, in ascending shard order
@@ -1437,16 +1952,6 @@ fn push_crash_events(build_events: &mut Vec<(SimTime, Event)>, faults: &FaultPla
         build_events.push((crash.from, Event::OstCrash { ost: crash.ost }));
         build_events.push((crash.recovery_at(), Event::OstRecover { ost: crash.ost }));
     }
-}
-
-/// Shard-loop worker pool size: `ADAPTBF_THREADS` if set (the same knob
-/// `RunGrid` honors), otherwise the available parallelism.
-fn worker_count() -> usize {
-    std::env::var("ADAPTBF_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Default shard count: `ADAPTBF_SHARDS` if set, else 1. An execution
@@ -1968,17 +2473,194 @@ mod tests {
         assert_eq!(t1.to_text(), t4.to_text());
     }
 
+    /// One job, one process: the smallest wiring that still emits when
+    /// its stripe set crosses a shard boundary.
+    fn lone_proc_scenario() -> Scenario {
+        Scenario::new(
+            "lone",
+            "one job, one process",
+            vec![JobSpec::uniform(
+                JobId(1),
+                1,
+                1,
+                ProcessSpec::continuous(50),
+            )],
+            SimDuration::from_secs(3),
+        )
+    }
+
+    #[test]
+    fn adaptive_windows_match_the_fixed_oracle() {
+        // Same run, both window protocols, with and without a crash — the
+        // adaptive mode must be an execution detail, not a model change,
+        // and must need no more epochs than the fixed oracle.
+        let plain = ClusterConfig {
+            n_osts: 4,
+            stripe_count: 2,
+            ..Default::default()
+        };
+        let crashy = ClusterConfig {
+            n_osts: 2,
+            stripe_count: 2,
+            faults: crash_faults(1, 20, 150),
+            ..Default::default()
+        };
+        for cfg in [plain, crashy] {
+            for n in [2, 4, 16] {
+                let run = |mode| {
+                    Cluster::build_with(&tiny_scenario(), Policy::adaptbf_default(), 11, cfg)
+                        .shards(n)
+                        .windows(mode)
+                        .run()
+                };
+                let adaptive = run(WindowMode::Adaptive);
+                let fixed = run(WindowMode::Fixed);
+                assert_same_run(&adaptive, &fixed, &format!("window modes @ {n} shards"));
+                assert!(fixed.loop_stats.epochs > 0, "coupled run must take epochs");
+                assert!(
+                    adaptive.loop_stats.epochs <= fixed.loop_stats.epochs,
+                    "adaptive windows cannot need more epochs: {} > {}",
+                    adaptive.loop_stats.epochs,
+                    fixed.loop_stats.epochs,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solo_drain_engages_and_disengages() {
+        // One process striping over both shards: only its own shard holds
+        // events until the first cross-shard arrival matures, so the run
+        // must open on the solo fast path and then fall back to windowed
+        // epochs once both sides hold work.
+        let cfg = ClusterConfig {
+            n_osts: 2,
+            stripe_count: 2,
+            ..Default::default()
+        };
+        let base = Cluster::build_with(&lone_proc_scenario(), Policy::NoBw, 17, cfg)
+            .shards(1)
+            .run();
+        assert_eq!(base.metrics.total_served(), 50);
+        assert_eq!(base.loop_stats.epochs, 0, "one shard never runs epochs");
+        let sharded = Cluster::build_with(&lone_proc_scenario(), Policy::NoBw, 17, cfg)
+            .shards(2)
+            .run();
+        assert_same_run(&base, &sharded, "solo engage/disengage");
+        let stats = sharded.loop_stats;
+        assert!(stats.solo_drains >= 1, "must open solo: {stats:?}");
+        assert!(
+            stats.epochs > stats.solo_drains,
+            "replies must pull the run back into windowed epochs: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn aligned_stripes_run_independently_despite_striping() {
+        // Stripe width 2 over 4 OSTs, but the lone process's stripe set
+        // {0, 1} sits inside shard 0 of two: the emits analysis must see
+        // that no boundary is crossed and skip the epoch protocol
+        // entirely (the old stripe_count == 1 test was a special case).
+        let cfg = ClusterConfig {
+            n_osts: 4,
+            stripe_count: 2,
+            ..Default::default()
+        };
+        let base = Cluster::build_with(&lone_proc_scenario(), Policy::NoBw, 19, cfg)
+            .shards(1)
+            .run();
+        let sharded = Cluster::build_with(&lone_proc_scenario(), Policy::NoBw, 19, cfg)
+            .shards(2)
+            .run();
+        assert_same_run(&base, &sharded, "aligned stripes");
+        assert_eq!(
+            sharded.loop_stats.epochs, 0,
+            "no stripe set crosses a boundary — nothing may couple"
+        );
+        assert_eq!(sharded.loop_stats.inbox_flushes, 0);
+    }
+
+    #[test]
+    fn crash_window_with_an_eventless_peer_stays_solo() {
+        // A crash forces every shard into the coupled set (re-routes can
+        // cross anywhere), but the second shard never actually holds an
+        // event: the owner must ride the solo fast path through the whole
+        // run instead of stepping lookahead windows.
+        let cfg = ClusterConfig {
+            n_osts: 2,
+            stripe_count: 1,
+            faults: crash_faults(0, 20, 150),
+            ..Default::default()
+        };
+        let base = Cluster::build_with(&lone_proc_scenario(), Policy::NoBw, 23, cfg)
+            .shards(1)
+            .run();
+        let sharded = Cluster::build_with(&lone_proc_scenario(), Policy::NoBw, 23, cfg)
+            .shards(2)
+            .run();
+        assert_same_run(&base, &sharded, "crash with eventless peer");
+        assert!(
+            base.fault_stats.resent > 0,
+            "the crash must actually displace traffic: {:?}",
+            base.fault_stats
+        );
+        let stats = sharded.loop_stats;
+        assert!(stats.solo_drains >= 1, "peer never has events: {stats:?}");
+        assert_eq!(
+            stats.epochs, stats.solo_drains,
+            "every epoch must be a solo drain: {stats:?}"
+        );
+        assert_eq!(stats.inbox_flushes, 0, "parks stay local: {stats:?}");
+    }
+
+    #[test]
+    fn pooled_driver_matches_sequential_and_counters_agree() {
+        // The persistent worker pool and the heap-driven sequential
+        // driver must produce the same run *and* the same loop counters.
+        // `RunGrid` nesting pins the worker count deterministically:
+        // budget/items = 1 forces the sequential driver, 4 the pool.
+        let cfg = ClusterConfig {
+            n_osts: 4,
+            stripe_count: 2,
+            ..Default::default()
+        };
+        let run_at = |grid_threads: usize| {
+            crate::RunGrid::with_threads(grid_threads)
+                .run(vec![(), ()], |_| {
+                    Cluster::build_with(&tiny_scenario(), Policy::adaptbf_default(), 29, cfg)
+                        .shards(4)
+                        .run()
+                })
+                .pop()
+                .expect("two runs")
+        };
+        let seq = run_at(2); // share 1 → sequential epochs
+        let pooled = run_at(8); // share 4 → worker pool
+        assert_same_run(&seq, &pooled, "pool vs sequential");
+        assert_eq!(
+            seq.loop_stats, pooled.loop_stats,
+            "drivers must agree on every counter"
+        );
+        assert!(seq.loop_stats.epochs > 0, "this wiring couples");
+    }
+
     #[test]
     fn loop_stats_fold_sums_events_and_bounds_depth() {
         let mut a = LoopStats {
             events: 5,
             peak_queue_depth: 3,
             coalesced: 1,
+            epochs: 2,
+            solo_drains: 1,
+            inbox_flushes: 4,
         };
         a.absorb(&LoopStats {
             events: 7,
             peak_queue_depth: 4,
             coalesced: 2,
+            epochs: 3,
+            solo_drains: 2,
+            inbox_flushes: 5,
         });
         assert_eq!(
             a,
@@ -1986,6 +2668,9 @@ mod tests {
                 events: 12,
                 peak_queue_depth: 7,
                 coalesced: 3,
+                epochs: 5,
+                solo_drains: 3,
+                inbox_flushes: 9,
             }
         );
         // The folded event count is invariant across shard counts (every

@@ -2,7 +2,7 @@
 //! all three policies → [`Comparison`] with the gain/loss tables of
 //! Figures 4/6/8.
 
-use crate::cluster::{Cluster, ClusterConfig};
+use crate::cluster::{Cluster, ClusterConfig, WindowMode};
 use crate::policy::Policy;
 use adaptbf_model::JobId;
 use adaptbf_workload::Scenario;
@@ -17,6 +17,7 @@ pub struct Experiment {
     seed: u64,
     cluster: ClusterConfig,
     shards: Option<usize>,
+    windows: WindowMode,
 }
 
 impl Experiment {
@@ -28,6 +29,7 @@ impl Experiment {
             seed: 0,
             cluster: ClusterConfig::default(),
             shards: None,
+            windows: WindowMode::default(),
         }
     }
 
@@ -42,6 +44,14 @@ impl Experiment {
     /// Unset, the cluster's `ADAPTBF_SHARDS` default applies.
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = Some(n);
+        self
+    }
+
+    /// Select the epoch-window protocol ([`Cluster::windows`]). Like the
+    /// shard count, purely an execution parameter — results are
+    /// byte-identical under either mode.
+    pub fn windows(mut self, mode: WindowMode) -> Self {
+        self.windows = mode;
         self
     }
 
@@ -60,7 +70,8 @@ impl Experiment {
 
     /// Run to the horizon.
     pub fn run(self) -> RunReport {
-        let mut cluster = Cluster::build_with(&self.scenario, self.policy, self.seed, self.cluster);
+        let mut cluster = Cluster::build_with(&self.scenario, self.policy, self.seed, self.cluster)
+            .windows(self.windows);
         if let Some(n) = self.shards {
             cluster = cluster.shards(n);
         }

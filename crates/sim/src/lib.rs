@@ -45,12 +45,13 @@ pub mod metrics;
 pub mod network;
 pub mod ost;
 pub mod policy;
+pub(crate) mod pool;
 pub mod report;
 pub mod rule_daemon;
 pub mod run_grid;
 pub mod spec;
 
-pub use cluster::{Cluster, FaultStats};
+pub use cluster::{Cluster, FaultStats, WindowMode};
 pub use experiment::{Comparison, Experiment, JobOutcome, RunReport};
 pub use faults::{ChurnSpec, CrashSpec, DegradeSpec, FaultPlan, StallSpec};
 pub use policy::Policy;

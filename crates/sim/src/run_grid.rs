@@ -10,8 +10,29 @@
 //! makes the parallel grid byte-identical to a sequential run — a
 //! property regression-tested in `tests/scalability_and_churn.rs`.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// This thread's share of the global thread budget, set by the grid
+    /// worker that spawned it (0 = not inside a grid worker). Sharded
+    /// cluster runs launched *from* a parallel grid size their worker
+    /// pools from this instead of the global budget, so
+    /// `ADAPTBF_THREADS` means **total** threads — grid parallelism and
+    /// shard workers must not multiply.
+    static NESTED_BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The thread budget the current thread may spend on nested parallelism,
+/// if it runs inside a [`RunGrid`] worker (`None` on free-standing
+/// threads — the caller owns the whole global budget).
+pub(crate) fn nested_budget() -> Option<usize> {
+    NESTED_BUDGET.with(|c| match c.get() {
+        0 => None,
+        n => Some(n),
+    })
+}
 
 /// Executor fanning independent runs over `std::thread::scope` workers.
 #[derive(Debug, Clone, Copy)]
@@ -26,14 +47,11 @@ impl Default for RunGrid {
 }
 
 impl RunGrid {
-    /// Executor sized to the machine: `ADAPTBF_THREADS` if set, otherwise
-    /// the available parallelism.
+    /// Executor sized to its context: the surrounding grid worker's
+    /// budget share when nested inside another [`RunGrid`], otherwise
+    /// `ADAPTBF_THREADS` if set, otherwise the available parallelism.
     pub fn new() -> Self {
-        let threads = std::env::var("ADAPTBF_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let threads = nested_budget().unwrap_or_else(crate::pool::global_thread_budget);
         RunGrid { threads }
     }
 
@@ -69,20 +87,26 @@ impl RunGrid {
         let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        // Each worker inherits an equal share of this grid's budget for
+        // any parallelism `f` spawns (sharded cluster runs, nested grids).
+        let share = (self.threads / workers).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n {
-                        break;
+                scope.spawn(|| {
+                    NESTED_BUDGET.with(|c| c.set(share));
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let item = work[idx]
+                            .lock()
+                            .expect("work slot")
+                            .take()
+                            .expect("each index claimed once");
+                        let out = f(item);
+                        *slots[idx].lock().expect("result slot") = Some(out);
                     }
-                    let item = work[idx]
-                        .lock()
-                        .expect("work slot")
-                        .take()
-                        .expect("each index claimed once");
-                    let out = f(item);
-                    *slots[idx].lock().expect("result slot") = Some(out);
                 });
             }
         });
@@ -134,5 +158,37 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = RunGrid::new().run(Vec::<u32>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grid_workers_inherit_a_budget_share() {
+        // Budget 8 over 2 items → 2 workers × 4 threads each: the total
+        // stays at `ADAPTBF_THREADS`, not grid × shards.
+        let shares = RunGrid::with_threads(8).run(vec![(), ()], |_| nested_budget());
+        assert_eq!(shares, vec![Some(4), Some(4)]);
+        // Budget 4 fully consumed by grid parallelism → nested runs get 1.
+        let shares = RunGrid::with_threads(4).run(vec![(); 8], |_| nested_budget());
+        assert!(shares.iter().all(|&s| s == Some(1)));
+    }
+
+    #[test]
+    fn inline_path_leaves_the_budget_untouched() {
+        // threads == 1 runs inline on the caller's thread: it must not
+        // see (or clobber) a grid share it never got.
+        let shares = RunGrid::with_threads(1).run(vec![(), ()], |_| nested_budget());
+        assert_eq!(shares, vec![None, None]);
+    }
+
+    #[test]
+    fn shard_workers_consult_the_grid_share() {
+        // The cluster's worker pool sizes itself from the nested budget
+        // when running inside a grid worker.
+        let counts = RunGrid::with_threads(6).run(vec![(); 6], |_| crate::pool::worker_count());
+        assert!(
+            counts.iter().all(|&c| c == 1),
+            "6/6 budget → 1 each: {counts:?}"
+        );
+        let counts = RunGrid::with_threads(12).run(vec![(), ()], |_| crate::pool::worker_count());
+        assert_eq!(counts, vec![6, 6]);
     }
 }

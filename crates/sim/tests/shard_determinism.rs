@@ -7,7 +7,7 @@
 
 use adaptbf_model::SimDuration;
 use adaptbf_sim::cluster::{Cluster, ClusterConfig};
-use adaptbf_sim::{report_body_digest, Experiment, FaultStats, Policy};
+use adaptbf_sim::{report_body_digest, Experiment, FaultStats, Policy, WindowMode};
 use adaptbf_workload::{JobSpec, PlanBounds, ProcessSpec, Scenario};
 use proptest::prelude::*;
 
@@ -46,10 +46,22 @@ fn digest_at(
     cfg: ClusterConfig,
     shards: usize,
 ) -> String {
+    digest_windowed(scenario, policy, seed, cfg, shards, WindowMode::Adaptive)
+}
+
+fn digest_windowed(
+    scenario: &Scenario,
+    policy: Policy,
+    seed: u64,
+    cfg: ClusterConfig,
+    shards: usize,
+    windows: WindowMode,
+) -> String {
     let report = Experiment::new(scenario.clone(), policy)
         .seed(seed)
         .cluster_config(cfg)
         .shards(shards)
+        .windows(windows)
         .run();
     report_body_digest(&report)
 }
@@ -63,6 +75,21 @@ fn fault_stats_at(
 ) -> FaultStats {
     Cluster::build_with(scenario, policy, seed, cfg)
         .shards(shards)
+        .run()
+        .fault_stats
+}
+
+fn fault_stats_windowed(
+    scenario: &Scenario,
+    policy: Policy,
+    seed: u64,
+    cfg: ClusterConfig,
+    shards: usize,
+    windows: WindowMode,
+) -> FaultStats {
+    Cluster::build_with(scenario, policy, seed, cfg)
+        .shards(shards)
+        .windows(windows)
         .run()
         .fault_stats
 }
@@ -130,4 +157,101 @@ proptest! {
             prop_assert_eq!(base_fs, fs, "fault partition diverged at {} shards", shards);
         }
     }
+
+    /// Adaptive epoch windows against the fixed-lookahead oracle, over
+    /// the same sampled fault-plan space: the window protocol is purely an
+    /// execution parameter, so report digest *and* fault-stat partition
+    /// must be byte-identical under both modes at every shard count —
+    /// solo drains, emission caps, re-routes and all.
+    #[test]
+    fn adaptive_windows_match_the_fixed_oracle_on_sampled_plans(
+        scenario in scenario_strategy(),
+        plan_seed in 0u64..1_000_000,
+        seed in 0u64..32,
+    ) {
+        let bounds = PlanBounds::new(SimDuration::from_secs(4), 2);
+        let faults = bounds.sample_seeded(plan_seed);
+        let cfg = ClusterConfig {
+            n_osts: 4,
+            stripe_count: 2,
+            faults,
+            ..ClusterConfig::default()
+        };
+        let policy = Policy::adaptbf_default();
+        for shards in [1usize, 2, 4, 16] {
+            let adaptive =
+                digest_windowed(&scenario, policy, seed, cfg, shards, WindowMode::Adaptive);
+            let fixed = digest_windowed(&scenario, policy, seed, cfg, shards, WindowMode::Fixed);
+            prop_assert_eq!(
+                &adaptive, &fixed,
+                "window modes diverged at {} shards under {:?}", shards, faults
+            );
+            let fs_a =
+                fault_stats_windowed(&scenario, policy, seed, cfg, shards, WindowMode::Adaptive);
+            let fs_f =
+                fault_stats_windowed(&scenario, policy, seed, cfg, shards, WindowMode::Fixed);
+            prop_assert_eq!(fs_a, fs_f, "fault partition diverged at {} shards", shards);
+        }
+    }
+}
+
+/// The solo fast path around a crash window, end to end: aligned stripes
+/// would run shard-independent, but the crash forces every shard into the
+/// coupled set. While both OSTs hold work the epochs are windowed; once
+/// the short job (whose OST also crashes mid-run) drains, the long job's
+/// shard must ride the solo drain for the rest of the run — with the same
+/// digest as the single-queue engine and the fixed oracle.
+#[test]
+fn solo_drain_engages_around_a_crash_window() {
+    let scenario = Scenario::new(
+        "solo_crash",
+        "long job on OST 0, short crashed job on OST 1",
+        vec![
+            JobSpec::uniform(adaptbf_model::JobId(1), 1, 1, ProcessSpec::continuous(400)),
+            JobSpec::uniform(adaptbf_model::JobId(2), 1, 1, ProcessSpec::continuous(150)),
+        ],
+        SimDuration::from_secs(4),
+    );
+    let faults = adaptbf_sim::FaultPlan {
+        ost_crash: Some(adaptbf_sim::CrashSpec {
+            ost: 1,
+            from: adaptbf_model::SimTime::from_millis(50),
+            for_: SimDuration::from_millis(200),
+            resend_after: SimDuration::from_millis(50),
+        }),
+        ..adaptbf_sim::FaultPlan::none()
+    };
+    let cfg = ClusterConfig {
+        n_osts: 2,
+        stripe_count: 1,
+        faults,
+        ..ClusterConfig::default()
+    };
+    let policy = Policy::NoBw;
+    let base = digest_at(&scenario, policy, 31, cfg, 1);
+    for mode in [WindowMode::Adaptive, WindowMode::Fixed] {
+        let sharded = digest_windowed(&scenario, policy, 31, cfg, 2, mode);
+        assert_eq!(base, sharded, "digest diverged under {mode:?}");
+    }
+    let out = Cluster::build_with(&scenario, policy, 31, cfg)
+        .shards(2)
+        .run();
+    assert!(
+        out.fault_stats.resent > 0,
+        "the crash must displace the short job's traffic: {:?}",
+        out.fault_stats
+    );
+    let stats = out.loop_stats;
+    assert!(
+        stats.solo_drains >= 1,
+        "after the short job drains, the long shard must run solo: {stats:?}"
+    );
+    assert!(
+        stats.epochs > stats.solo_drains,
+        "while both OSTs hold work the epochs must be windowed: {stats:?}"
+    );
+    assert_eq!(
+        stats.inbox_flushes, 0,
+        "aligned stripes with a local park never cross shards: {stats:?}"
+    );
 }
